@@ -1,0 +1,83 @@
+// Registry-deployment feasibility (paper Appendix D): a registry running
+// RFC 9615 does NOT need an exhaustive YoDNS-style scan — it short-circuits
+// to candidates without DS and stops at the first failed check. This bench
+// runs the registry CDS processor over a simulated TLD and reports the
+// action mix and the query cost versus the research scanner.
+#include "survey_common.hpp"
+
+#include "registry/cds_processor.hpp"
+
+int main() {
+  using namespace dnsboot;
+  std::printf("bench_registry — App. D: registry-side RFC 9615 deployment\n");
+
+  // A dedicated world: moderate size so the full registry pass stays fast.
+  net::SimNetwork network(777);
+  network.set_default_link(
+      net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
+  ecosystem::EcosystemConfig config;
+  config.scale = 1.0 / 100000;
+  ecosystem::EcosystemBuilder builder(network, config);
+  auto eco = builder.build();
+
+  resolver::QueryEngineOptions engine_options;  // paper's 50 qps default
+  resolver::QueryEngine engine(network, net::IpAddress::v4({192, 0, 2, 247}),
+                               engine_options);
+  resolver::DelegationResolver delegation_resolver(engine, eco.hints);
+
+  // One processor per TLD the registry operates (here: all of them, so the
+  // whole candidate set is covered).
+  std::map<std::string, std::unique_ptr<registry::CdsProcessor>> processors;
+  for (auto& [tld, handle] : eco.registries) {
+    registry::RegistryConfig rc;
+    rc.tld = std::move(dns::Name::from_text(tld)).take();
+    rc.now = eco.now;
+    processors.emplace(tld, std::make_unique<registry::CdsProcessor>(
+                                network, engine, delegation_resolver, handle,
+                                rc));
+  }
+
+  // Registry short-circuit: only zones WITHOUT DS are candidates (App. D).
+  std::vector<dns::Name> candidates;
+  for (const auto& [tld, handle] : eco.registries) {
+    for (const auto& zone : eco.scan_targets) {
+      if (zone.parent().canonical_text() != tld) continue;
+      if (handle.zone->find_rrset(zone, dns::RRType::kDS) == nullptr) {
+        candidates.push_back(zone);
+      }
+    }
+  }
+  std::printf("# %zu of %zu zones lack DS and are candidates\n",
+              candidates.size(), eco.scan_targets.size());
+
+  std::map<std::string, int> actions;
+  std::uint64_t done = 0;
+  for (const auto& zone : candidates) {
+    auto& processor = processors.at(zone.parent().canonical_text());
+    processor->process(zone, [&](registry::ProcessingOutcome outcome) {
+      ++actions[registry::to_string(outcome.action)];
+      ++done;
+    });
+    // Batch the event loop every so often to bound memory.
+    if (done % 64 == 0) network.run();
+  }
+  network.run();
+
+  std::printf("\n== registry actions over all candidates ==\n");
+  for (const auto& [action, count] : actions) {
+    std::printf("  %-32s %d\n", action.c_str(), count);
+  }
+  std::printf("\n== cost ==\n");
+  std::printf("  queries issued by the registry: %llu (%.1f per candidate)\n",
+              static_cast<unsigned long long>(engine.stats().queries),
+              candidates.empty()
+                  ? 0.0
+                  : static_cast<double>(engine.stats().queries) /
+                        static_cast<double>(candidates.size()));
+  std::printf("  paper App. D: only ~1.2 M of 287.6 M zones (those with "
+              "signal RRs and no DS) need deep scanning\n");
+
+  std::printf("\n# bootstrapped zones: %d — DS installed and chain closed\n",
+              actions.count("bootstrapped") ? actions["bootstrapped"] : 0);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Table 3 and the §4.4 signal-zone correctness analysis: which
+// operators publish RFC 9615 signaling records, and whether those signals
+// would actually let a registry bootstrap the zone.
+#include "survey_common.hpp"
+
+namespace {
+
+struct PaperColumn {
+  const char* name;
+  double with_signal, already_secured, cannot, deletion, invalid, potential,
+      incorrect, correct;
+};
+const PaperColumn kPaperTable3[] = {
+    {"Cloudflare", 1229568, 799169, 160268, 159503, 765, 270131, 34, 270097},
+    {"deSEC", 7314, 5439, 20, 0, 20, 1855, 155, 1700},
+    {"Glauca", 290, 233, 8, 7, 1, 49, 1, 48},
+    {"Others", 279, 113, 143, 20, 123, 23, 18, 5},
+    {"Total", 1237451, 804954, 160439, 159530, 909, 272058, 207, 271828},
+};
+
+void print_column(const char* name, double scale_factor,
+                  const dnsboot::analysis::AbColumn& c) {
+  std::printf("%-14s %10.0f %10.0f %9.0f %9.0f %8.0f %10.0f %8.0f %10.0f\n",
+              name, c.with_signal / scale_factor,
+              c.already_secured / scale_factor,
+              c.cannot_bootstrap / scale_factor,
+              c.deletion_request / scale_factor,
+              c.invalid_dnssec / scale_factor, c.potential / scale_factor,
+              c.signal_incorrect / scale_factor,
+              c.signal_correct / scale_factor);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dnsboot;
+  std::printf("bench_table3 — Table 3 + §4.4 (authenticated bootstrapping)\n");
+  auto fixture = bench::run_paper_survey();
+  const analysis::Survey& s = fixture.result.survey;
+
+  const char* header =
+      "%-14s %10s %10s %9s %9s %8s %10s %8s %10s\n";
+  std::printf("\n== Table 3 (measured, rescaled) ==\n");
+  std::printf(header, "operator", "w.signal", "secured", "cannot", "delete",
+              "invalid", "potential", "incorr.", "correct");
+  // The named AB operators first, everything else folded into Others.
+  analysis::AbColumn others;
+  for (const auto& [name, column] : s.ab_by_operator) {
+    if (name == "Cloudflare" || name == "deSEC" || name == "Glauca") {
+      print_column(name.c_str(), fixture.scale, column);
+    } else {
+      others += column;
+    }
+  }
+  print_column("Others", fixture.scale, others);
+  print_column("Total", fixture.scale, s.ab_total);
+
+  std::printf("\n== Table 3 (paper reference) ==\n");
+  std::printf(header, "operator", "w.signal", "secured", "cannot", "delete",
+              "invalid", "potential", "incorr.", "correct");
+  for (const auto& row : kPaperTable3) {
+    std::printf("%-14s %10.0f %10.0f %9.0f %9.0f %8.0f %10.0f %8.0f %10.0f\n",
+                row.name, row.with_signal, row.already_secured, row.cannot,
+                row.deletion, row.invalid, row.potential, row.incorrect,
+                row.correct);
+  }
+
+  bench::print_header("§4.4 signal violations among potential zones");
+  bench::print_row_raw(fixture, "signaling RRs not under every NS", 206,
+                       s.violation_not_under_every_ns);
+  bench::print_row_raw(fixture, "zone cut in the signaling path", 1,
+                       s.violation_zone_cut);
+  bench::print_row_raw(fixture, "signaling zone DNSSEC invalid", 1,
+                       s.violation_chain_invalid);
+  bench::print_row_raw(fixture, "signaling NSes disagree / stale trees", 32,
+                       s.violation_mismatch + s.violation_inconsistent);
+
+  if (s.ab_total.potential > 0) {
+    bench::print_header("headline");
+    bench::print_pct_row(
+        "signal correct among potential", 99.9,
+        100.0 * s.ab_total.signal_correct /
+            static_cast<double>(s.ab_total.potential));
+  }
+  std::printf("\n# Key takeaway check (§4.4): only 3 DNS operators implement\n"
+              "# AB at scale, but those that do implement it correctly for\n"
+              "# ~99.9%% of eligible zones.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// quickstart — the 5-minute tour of the dnsboot public API:
+//   1. parse a zone from master-file text,
+//   2. generate keys and sign it (Ed25519, DNSSEC algorithm 15),
+//   3. derive the DS / CDS / CDNSKEY records an operator publishes,
+//   4. validate the chain, and watch validation catch tampering.
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "dns/zonefile.hpp"
+#include "dnssec/signer.hpp"
+#include "dnssec/validator.hpp"
+
+using namespace dnsboot;
+
+int main() {
+  // 1. A small zone in ordinary master-file syntax.
+  const std::string zone_text = R"(
+$ORIGIN example.com.
+$TTL 3600
+@    IN SOA ns1 hostmaster 2025070501 7200 3600 1209600 300
+@    IN NS  ns1
+@    IN NS  ns2
+ns1  IN A   192.0.2.53
+ns2  IN A   192.0.2.54
+www  IN A   192.0.2.80
+www  IN AAAA 2001:db8::80
+)";
+  auto origin = std::move(dns::Name::from_text("example.com.")).take();
+  auto parsed = dns::parse_zone(zone_text, dns::ZoneFileOptions{origin, 3600});
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.error().to_string().c_str());
+    return 1;
+  }
+  dns::Zone zone = std::move(parsed).take();
+  std::printf("parsed %zu records for %s\n", zone.record_count(),
+              zone.origin().to_text().c_str());
+
+  // 2. Keys + signing.
+  Rng rng(2025);
+  auto keys = dnssec::ZoneKeys::generate(rng);
+  dnssec::SigningPolicy policy;
+  policy.inception = 1'000'000;
+  policy.expiration = policy.inception + 30 * 86400;
+  const std::uint32_t now = policy.inception + 86400;
+  if (auto status = dnssec::sign_zone(zone, keys, policy); !status.ok()) {
+    std::printf("signing failed: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("signed zone now holds %zu records (DNSKEY, RRSIG, NSEC)\n\n",
+              zone.record_count());
+
+  // 3. The records the DNS operator hands upward: DS for the registry,
+  // CDS/CDNSKEY for automated maintenance (RFC 7344/8078/9615).
+  auto ds = dnssec::make_ds(origin, dnssec::make_dnskey(keys.ksk), 2).take();
+  std::printf("DS for the parent:\n  %s DS %s\n\n", origin.to_text().c_str(),
+              dns::rdata_to_text(dns::Rdata{ds}).c_str());
+  auto sync = dnssec::make_child_sync_records(origin, keys.ksk).take();
+  std::printf("CDS/CDNSKEY to publish in-zone:\n");
+  for (const auto& cds : sync.cds) {
+    std::printf("  @ CDS %s\n", dns::rdata_to_text(dns::Rdata{cds}).c_str());
+  }
+  for (const auto& key : sync.cdnskey) {
+    std::printf("  @ CDNSKEY %s\n",
+                dns::rdata_to_text(dns::Rdata{key}).c_str());
+  }
+
+  // 4. Validate the apex SOA as a resolver would.
+  const dns::RRset* soa = zone.soa();
+  std::vector<dns::RrsigRdata> sigs;
+  for (const auto& rr : zone.signatures_covering(origin, dns::RRType::kSOA)) {
+    sigs.push_back(std::get<dns::RrsigRdata>(rr.rdata));
+  }
+  std::vector<dns::DnskeyRdata> dnskeys = {dnssec::make_dnskey(keys.ksk),
+                                           dnssec::make_dnskey(keys.zsk)};
+  auto valid = dnssec::verify_rrset(*soa, sigs, dnskeys, origin, now);
+  std::printf("\nSOA validation: %s\n", valid.valid ? "SECURE" : "BOGUS");
+
+  // ...and catch a forgery.
+  dns::RRset forged = *soa;
+  std::get<dns::SoaRdata>(forged.rdatas[0]).serial += 1;
+  auto forged_check = dnssec::verify_rrset(forged, sigs, dnskeys, origin, now);
+  std::printf("forged SOA validation: %s (%s)\n",
+              forged_check.valid ? "SECURE" : "BOGUS",
+              forged_check.reason.c_str());
+
+  // ...and an expired world.
+  auto expired_check = dnssec::verify_rrset(*soa, sigs, dnskeys, origin,
+                                            policy.expiration + 1);
+  std::printf("after expiry: %s (%s)\n",
+              expired_check.valid ? "SECURE" : "BOGUS",
+              expired_check.reason.c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// SurveyAggregator — folds ZoneReports into the aggregate statistics of the
+// paper's evaluation: the §4.1 headline, Table 1, Table 2, the §4.2 CDS error
+// taxonomy, the Figure 1 funnel, and Table 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/zone_report.hpp"
+
+namespace dnsboot::analysis {
+
+struct OperatorRow {
+  std::string name;
+  std::uint64_t domains = 0;
+  std::uint64_t unsigned_zones = 0;
+  std::uint64_t secured = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t islands = 0;
+  std::uint64_t with_cds = 0;
+};
+
+// One Table 3 column.
+struct AbColumn {
+  std::uint64_t with_signal = 0;
+  std::uint64_t already_secured = 0;
+  std::uint64_t cannot_bootstrap = 0;   // delete + invalid
+  std::uint64_t deletion_request = 0;
+  std::uint64_t invalid_dnssec = 0;
+  std::uint64_t potential = 0;          // incorrect + correct
+  std::uint64_t signal_incorrect = 0;
+  std::uint64_t signal_correct = 0;
+
+  void operator+=(const AbColumn& other);
+};
+
+struct Survey {
+  // §4.1 headline.
+  std::uint64_t total = 0;
+  std::uint64_t unresolved = 0;
+  std::uint64_t unsigned_zones = 0;
+  std::uint64_t secured = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t islands = 0;
+
+  // §4.2 CDS.
+  std::uint64_t with_cds = 0;
+  std::uint64_t cds_query_failed = 0;
+  std::uint64_t unsigned_with_cds = 0;
+  std::uint64_t unsigned_with_cds_delete = 0;
+  std::uint64_t secured_with_cds_delete = 0;
+  std::uint64_t island_with_cds = 0;
+  std::uint64_t island_with_cds_delete = 0;
+  std::uint64_t island_cds_consistent = 0;
+  std::uint64_t island_cds_inconsistent = 0;
+  std::uint64_t island_cds_inconsistent_multi_op = 0;
+  std::uint64_t cds_no_matching_dnskey = 0;
+  std::uint64_t cds_invalid_rrsig = 0;
+
+  // Figure 1 funnel.
+  std::map<BootstrapEligibility, std::uint64_t> funnel;
+
+  // Table 3 (per operator + total).
+  std::map<std::string, AbColumn> ab_by_operator;
+  AbColumn ab_total;
+  // §4.4 violation taxonomy among potential zones.
+  std::uint64_t violation_zone_cut = 0;
+  std::uint64_t violation_not_under_every_ns = 0;
+  std::uint64_t violation_chain_invalid = 0;
+  std::uint64_t violation_inconsistent = 0;
+  std::uint64_t violation_mismatch = 0;
+
+  // Per-operator rows (Tables 1 and 2).
+  std::map<std::string, OperatorRow> operators;
+
+  // Scan-cost accounting (App. D ablation).
+  std::uint64_t endpoints_queried = 0;
+  std::uint64_t endpoints_available = 0;
+  std::uint64_t pool_sampled_zones = 0;
+  std::uint64_t multi_operator_zones = 0;
+};
+
+class SurveyAggregator {
+ public:
+  void add(const ZoneReport& report);
+  const Survey& survey() const { return survey_; }
+
+  std::vector<OperatorRow> top_by_domains(std::size_t n) const;
+  std::vector<OperatorRow> top_by_cds(std::size_t n) const;
+
+ private:
+  Survey survey_;
+};
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,46 @@
+#include "analysis/operator_id.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.hpp"
+
+namespace dnsboot::analysis {
+
+OperatorIdentifier::OperatorIdentifier(
+    std::map<std::string, std::string> ns_domain_to_operator) {
+  for (auto& [suffix, name] : ns_domain_to_operator) add(suffix, name);
+}
+
+void OperatorIdentifier::add(const std::string& ns_domain_suffix,
+                             const std::string& operator_name) {
+  std::string key = ascii_lower(ns_domain_suffix);
+  if (key.empty()) return;
+  if (key.back() != '.') key += '.';
+  suffixes_[key] = operator_name;
+}
+
+std::string OperatorIdentifier::identify(const dns::Name& ns) const {
+  // Longest matching suffix wins (a white-label alias is more specific than
+  // the underlying provider's domain).
+  dns::Name walk = ns;
+  while (!walk.is_root()) {
+    auto it = suffixes_.find(walk.canonical_text());
+    if (it != suffixes_.end()) return it->second;
+    walk = walk.parent();
+  }
+  return kUnknownOperator;
+}
+
+std::vector<std::string> OperatorIdentifier::identify_all(
+    const std::vector<dns::Name>& ns_names) const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const auto& ns : ns_names) {
+    std::string name = identify(ns);
+    if (seen.insert(name).second) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,39 @@
+// DNS-operator identification from nameserver hostnames (paper §3):
+// longest-suffix match against a registry of operator NS domains, including
+// white-label aliases (e.g. seized.gov -> Cloudflare).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/name.hpp"
+
+namespace dnsboot::analysis {
+
+inline constexpr const char* kUnknownOperator = "unknown";
+
+class OperatorIdentifier {
+ public:
+  OperatorIdentifier() = default;
+  explicit OperatorIdentifier(
+      std::map<std::string, std::string> ns_domain_to_operator);
+
+  // Register `operator_name` for NS hostnames ending in `ns_domain_suffix`.
+  void add(const std::string& ns_domain_suffix,
+           const std::string& operator_name);
+
+  // Operator for one NS hostname; kUnknownOperator when unmatched.
+  std::string identify(const dns::Name& ns) const;
+
+  // Distinct operators across a zone's NS set. Unknown suffixes collapse
+  // into a single kUnknownOperator entry.
+  std::vector<std::string> identify_all(
+      const std::vector<dns::Name>& ns_names) const;
+
+ private:
+  // canonical suffix ("cloudflare.com.") -> operator.
+  std::map<std::string, std::string> suffixes_;
+};
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,224 @@
+#include "analysis/report_io.hpp"
+
+namespace dnsboot::analysis {
+namespace {
+
+// Minimal JSON writer — all dnsboot keys/values are ASCII identifiers and
+// integers, so no escaping machinery is needed beyond quotes.
+class JsonWriter {
+ public:
+  void open() { out_ += '{'; }
+  void close() {
+    trim_comma();
+    out_ += '}';
+  }
+  void key(const std::string& name) {
+    out_ += '"';
+    out_ += name;
+    out_ += "\":";
+  }
+  void value(std::uint64_t v) {
+    out_ += std::to_string(v);
+    out_ += ',';
+  }
+  void value(double v) {
+    out_ += std::to_string(v);
+    out_ += ',';
+  }
+  void value_string(const std::string& v) {
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += "\",";
+  }
+  void open_object(const std::string& name) {
+    key(name);
+    out_ += '{';
+  }
+  void close_object() {
+    trim_comma();
+    out_ += "},";
+  }
+  void field(const std::string& name, std::uint64_t v) {
+    key(name);
+    value(v);
+  }
+  std::string take() {
+    trim_comma();
+    return std::move(out_);
+  }
+
+ private:
+  void trim_comma() {
+    if (!out_.empty() && out_.back() == ',') out_.pop_back();
+  }
+  std::string out_;
+};
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string survey_to_json(const SurveyRunResult& result) {
+  const Survey& s = result.survey;
+  JsonWriter w;
+  w.open();
+
+  w.open_object("headline");
+  w.field("total", s.total);
+  w.field("unresolved", s.unresolved);
+  w.field("unsigned", s.unsigned_zones);
+  w.field("secured", s.secured);
+  w.field("invalid", s.invalid);
+  w.field("islands", s.islands);
+  w.close_object();
+
+  w.open_object("cds");
+  w.field("with_cds", s.with_cds);
+  w.field("query_failed", s.cds_query_failed);
+  w.field("unsigned_with_cds", s.unsigned_with_cds);
+  w.field("unsigned_with_cds_delete", s.unsigned_with_cds_delete);
+  w.field("secured_with_cds_delete", s.secured_with_cds_delete);
+  w.field("island_with_cds", s.island_with_cds);
+  w.field("island_with_cds_delete", s.island_with_cds_delete);
+  w.field("island_cds_consistent", s.island_cds_consistent);
+  w.field("island_cds_inconsistent", s.island_cds_inconsistent);
+  w.field("island_cds_inconsistent_multi_op",
+          s.island_cds_inconsistent_multi_op);
+  w.field("cds_no_matching_dnskey", s.cds_no_matching_dnskey);
+  w.field("cds_invalid_rrsig", s.cds_invalid_rrsig);
+  w.close_object();
+
+  w.open_object("funnel");
+  for (const auto& [eligibility, count] : s.funnel) {
+    w.field(to_string(eligibility), count);
+  }
+  w.close_object();
+
+  w.open_object("ab_total");
+  w.field("with_signal", s.ab_total.with_signal);
+  w.field("already_secured", s.ab_total.already_secured);
+  w.field("cannot_bootstrap", s.ab_total.cannot_bootstrap);
+  w.field("deletion_request", s.ab_total.deletion_request);
+  w.field("invalid_dnssec", s.ab_total.invalid_dnssec);
+  w.field("potential", s.ab_total.potential);
+  w.field("signal_incorrect", s.ab_total.signal_incorrect);
+  w.field("signal_correct", s.ab_total.signal_correct);
+  w.close_object();
+
+  w.open_object("violations");
+  w.field("zone_cut", s.violation_zone_cut);
+  w.field("not_under_every_ns", s.violation_not_under_every_ns);
+  w.field("chain_invalid", s.violation_chain_invalid);
+  w.field("inconsistent", s.violation_inconsistent);
+  w.field("mismatch_with_zone", s.violation_mismatch);
+  w.close_object();
+
+  w.open_object("ab_by_operator");
+  for (const auto& [name, column] : s.ab_by_operator) {
+    w.open_object(name);
+    w.field("with_signal", column.with_signal);
+    w.field("already_secured", column.already_secured);
+    w.field("deletion_request", column.deletion_request);
+    w.field("invalid_dnssec", column.invalid_dnssec);
+    w.field("potential", column.potential);
+    w.field("signal_incorrect", column.signal_incorrect);
+    w.field("signal_correct", column.signal_correct);
+    w.close_object();
+  }
+  w.close_object();
+
+  w.open_object("operators");
+  for (const auto& row : s.operators) {
+    if (row.first == kUnknownOperator) continue;
+    w.open_object(row.first);
+    w.field("domains", row.second.domains);
+    w.field("unsigned", row.second.unsigned_zones);
+    w.field("secured", row.second.secured);
+    w.field("invalid", row.second.invalid);
+    w.field("islands", row.second.islands);
+    w.field("with_cds", row.second.with_cds);
+    w.close_object();
+  }
+  w.close_object();
+
+  w.open_object("scan");
+  w.field("queries", result.engine_stats.queries);
+  w.field("sends", result.engine_stats.sends);
+  w.field("retries", result.engine_stats.retries);
+  w.field("timeouts", result.engine_stats.timeouts);
+  w.field("tcp_fallbacks", result.engine_stats.tcp_fallbacks);
+  w.field("datagrams", result.datagrams);
+  w.field("bytes_on_wire", result.bytes_on_wire);
+  w.field("simulated_duration_us", result.simulated_duration);
+  w.field("endpoints_queried", s.endpoints_queried);
+  w.field("endpoints_available", s.endpoints_available);
+  w.field("pool_sampled_zones", s.pool_sampled_zones);
+  w.close_object();
+
+  w.close();
+  return w.take();
+}
+
+std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
+  std::string out =
+      "zone,tld,resolved,operator,multi_operator,dnssec,dnssec_reason,"
+      "cds_present,cds_delete,cds_consistent,cds_matches_dnskey,"
+      "cds_rrsig_valid,cds_query_failed,eligibility,signal_present,ab,"
+      "endpoints_queried,endpoints_available,pool_sampled\n";
+  for (const auto& r : reports) {
+    out += csv_escape(r.zone.to_text());
+    out += ',';
+    out += csv_escape(r.tld.to_text());
+    out += ',';
+    out += r.resolved ? '1' : '0';
+    out += ',';
+    out += csv_escape(r.operator_name);
+    out += ',';
+    out += r.multi_operator ? '1' : '0';
+    out += ',';
+    out += dnssec::to_string(r.dnssec);
+    out += ',';
+    out += csv_escape(r.dnssec_reason);
+    out += ',';
+    out += r.cds.present ? '1' : '0';
+    out += ',';
+    out += r.cds.delete_request ? '1' : '0';
+    out += ',';
+    out += r.cds.consistent ? '1' : '0';
+    out += ',';
+    out += r.cds.matches_dnskey ? '1' : '0';
+    out += ',';
+    out += r.cds.rrsig_valid ? '1' : '0';
+    out += ',';
+    out += r.cds.query_failed ? '1' : '0';
+    out += ',';
+    out += to_string(r.eligibility);
+    out += ',';
+    out += r.signal_present ? '1' : '0';
+    out += ',';
+    out += to_string(r.ab);
+    out += ',';
+    out += std::to_string(r.endpoints_queried);
+    out += ',';
+    out += std::to_string(r.endpoints_available);
+    out += ',';
+    out += r.pool_sampled ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dnsboot::analysis

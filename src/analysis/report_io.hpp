@@ -1,0 +1,19 @@
+// Machine-readable export of survey results: JSON for the aggregate Survey,
+// CSV for per-zone reports. Downstream tooling (notebooks, dashboards)
+// consumes these instead of scraping bench stdout.
+#pragma once
+
+#include <string>
+
+#include "analysis/survey.hpp"
+
+namespace dnsboot::analysis {
+
+// The aggregate survey as a single JSON object (stable key names; numbers
+// are raw zone counts at the simulated scale, not rescaled).
+std::string survey_to_json(const SurveyRunResult& result);
+
+// Per-zone reports as CSV, one row per zone, header included.
+std::string reports_to_csv(const std::vector<ZoneReport>& reports);
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,52 @@
+#include "analysis/survey.hpp"
+
+#include "analysis/trust.hpp"
+
+namespace dnsboot::analysis {
+
+SurveyRunResult run_survey(
+    net::SimNetwork& network, const resolver::RootHints& hints,
+    const std::vector<dns::Name>& targets,
+    const std::map<std::string, std::string>& ns_domain_to_operator,
+    std::uint32_t now, const SurveyRunOptions& options) {
+  SurveyRunResult result;
+
+  // Scan phase: collect raw observations.
+  net::IpAddress scanner_address = net::IpAddress::v4({192, 0, 2, 251});
+  resolver::QueryEngine engine(network, scanner_address, options.engine);
+  resolver::DelegationResolver delegation_resolver(engine, hints);
+  scanner::Scanner scanner(network, engine, delegation_resolver,
+                           options.scanner);
+
+  std::vector<scanner::ZoneObservation> observations;
+  observations.reserve(targets.size());
+  net::SimTime started = network.now();
+  scanner.scan(targets, [&](scanner::ZoneObservation obs) {
+    observations.push_back(std::move(obs));
+  });
+  scanner.run();
+
+  result.simulated_duration = network.now() - started;
+  result.scanner_stats = scanner.stats();
+  result.engine_stats = engine.stats();
+  result.datagrams = network.datagrams_sent();
+  result.bytes_on_wire = network.bytes_sent();
+
+  // Analysis phase: validate + classify offline, as the paper does from its
+  // stored DNS messages.
+  TrustContext trust(scanner.infrastructure(), hints.trust_anchor, now);
+  OperatorIdentifier operators{
+      std::map<std::string, std::string>(ns_domain_to_operator)};
+  SurveyAggregator aggregator;
+  for (const auto& obs : observations) {
+    ZoneReport report = analyze_zone(obs, trust, operators);
+    aggregator.add(report);
+    if (options.keep_reports) result.reports.push_back(std::move(report));
+  }
+  result.survey = aggregator.survey();
+  result.top_by_domains = aggregator.top_by_domains(20);
+  result.top_by_cds = aggregator.top_by_cds(20);
+  return result;
+}
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,39 @@
+// run_survey — the end-to-end measurement pipeline in one call: set up the
+// query engine and resolver, scan every target zone, validate and classify
+// offline, and aggregate into the paper's tables.
+#pragma once
+
+#include "analysis/aggregate.hpp"
+#include "resolver/query_engine.hpp"
+#include "scanner/scanner.hpp"
+
+namespace dnsboot::analysis {
+
+struct SurveyRunOptions {
+  resolver::QueryEngineOptions engine;
+  scanner::ScannerOptions scanner;
+  bool keep_reports = false;  // retain per-zone reports (memory-heavy)
+};
+
+struct SurveyRunResult {
+  Survey survey;
+  std::vector<ZoneReport> reports;  // only when keep_reports
+
+  scanner::ScannerStats scanner_stats;
+  resolver::QueryEngineStats engine_stats;
+  net::SimTime simulated_duration = 0;
+  std::uint64_t datagrams = 0;
+  std::uint64_t bytes_on_wire = 0;
+
+  // Sorted table rows (Tables 1 and 2).
+  std::vector<OperatorRow> top_by_domains;
+  std::vector<OperatorRow> top_by_cds;
+};
+
+SurveyRunResult run_survey(
+    net::SimNetwork& network, const resolver::RootHints& hints,
+    const std::vector<dns::Name>& targets,
+    const std::map<std::string, std::string>& ns_domain_to_operator,
+    std::uint32_t now, const SurveyRunOptions& options = {});
+
+}  // namespace dnsboot::analysis

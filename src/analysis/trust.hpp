@@ -1,0 +1,49 @@
+// TrustContext — offline validation of the shared infrastructure chain:
+// trust anchor -> root DNSKEY -> TLD DS -> TLD DNSKEY. Built once per scan
+// from the InfrastructureSnapshot; per-zone analysis then validates the
+// parent-side DS RRsets against the (already validated) TLD keys.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "scanner/observation.hpp"
+
+namespace dnsboot::analysis {
+
+class TrustContext {
+ public:
+  TrustContext(const scanner::InfrastructureSnapshot& snapshot,
+               const std::vector<dns::DsRdata>& trust_anchor,
+               std::uint32_t now);
+
+  bool root_secure() const { return root_secure_; }
+  // Is the chain down to (and including) this TLD's DNSKEY valid?
+  bool tld_secure(const dns::Name& tld) const;
+  // The TLD's validated DNSKEYs (empty when the TLD is not secure).
+  const std::vector<dns::DnskeyRdata>& tld_keys(const dns::Name& tld) const;
+
+  // Validate a parent-side DS RRset (as captured from a referral) against
+  // the parent TLD's validated keys. True only when the TLD chain is secure
+  // and the DS RRset's signature verifies.
+  bool validate_parent_ds(const dns::Name& parent_tld,
+                          const dnssec::SignedRRset& ds) const;
+
+  std::uint32_t now() const { return now_; }
+
+ private:
+  struct TldTrust {
+    bool secure = false;
+    std::vector<dns::DnskeyRdata> keys;
+  };
+
+  std::map<std::string, TldTrust> tlds_;
+  std::vector<dns::DnskeyRdata> root_keys_;
+  bool root_secure_ = false;
+  std::uint32_t now_ = 0;
+};
+
+// Helpers shared with the per-zone classifier.
+std::vector<dns::DnskeyRdata> dnskeys_of(const dns::RRset& rrset);
+
+}  // namespace dnsboot::analysis

@@ -1,0 +1,71 @@
+// Bounds-checked big-endian byte readers/writers used by all wire codecs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/result.hpp"
+
+namespace dnsboot {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// ByteReader: sequential big-endian reads over a borrowed buffer.
+// All reads are bounds-checked and return Result; the reader never throws.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  BytesView whole_buffer() const { return data_; }
+
+  // Reposition to an absolute offset (used to follow DNS compression
+  // pointers). Fails when the offset is outside the buffer.
+  Status seek(std::size_t offset);
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<Bytes> bytes(std::size_t n);
+  Status skip(std::size_t n);
+
+  // Peek at the byte at the cursor without consuming it.
+  Result<std::uint8_t> peek_u8() const;
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+// ByteWriter: append-only big-endian writer over an owned buffer.
+class ByteWriter {
+ public:
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void raw(BytesView bytes);
+  void raw(const std::string& s);
+
+  // Overwrite a previously written big-endian u16 at `offset` (used to
+  // back-patch RDLENGTH and section counts).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  Bytes buf_;
+};
+
+// Convenience conversions.
+Bytes to_bytes(const std::string& s);
+std::string to_string(BytesView b);
+
+}  // namespace dnsboot

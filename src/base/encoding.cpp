@@ -1,0 +1,156 @@
+#include "base/encoding.hpp"
+
+#include <array>
+
+namespace dnsboot {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kBase32HexAlphabet[] = "0123456789abcdefghijklmnopqrstuv";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+int base32hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'v') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'V') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> hex_decode(const std::string& text) {
+  if (text.size() % 2 != 0) {
+    return Error{"encoding.hex", "odd-length hex string"};
+  }
+  Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    int hi = hex_value(text[i]);
+    int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error{"encoding.hex", "invalid hex digit"};
+    }
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16 |
+                      static_cast<std::uint32_t>(data[i + 1]) << 8 | data[i + 2];
+    out.push_back(kBase64Alphabet[v >> 18]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 0x3f]);
+    out.push_back(kBase64Alphabet[v & 0x3f]);
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kBase64Alphabet[v >> 18]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16 |
+                      static_cast<std::uint32_t>(data[i + 1]) << 8;
+    out.push_back(kBase64Alphabet[v >> 18]);
+    out.push_back(kBase64Alphabet[(v >> 12) & 0x3f]);
+    out.push_back(kBase64Alphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(const std::string& text) {
+  Bytes out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t pad = 0;
+  for (char c : text) {
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return Error{"encoding.base64", "data after padding"};
+    int v = base64_value(c);
+    if (v < 0) return Error{"encoding.base64", "invalid base64 character"};
+    acc = acc << 6 | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  if (pad > 2) return Error{"encoding.base64", "too much padding"};
+  return out;
+}
+
+std::string base32hex_encode(BytesView data) {
+  std::string out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (std::uint8_t b : data) {
+    acc = acc << 8 | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kBase32HexAlphabet[(acc >> bits) & 0x1f]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kBase32HexAlphabet[(acc << (5 - bits)) & 0x1f]);
+  }
+  return out;
+}
+
+Result<Bytes> base32hex_decode(const std::string& text) {
+  Bytes out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    int v = base32hex_value(c);
+    if (v < 0) return Error{"encoding.base32hex", "invalid base32hex character"};
+    acc = acc << 5 | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsboot

@@ -1,0 +1,22 @@
+// Text encodings used in DNS presentation format: hex (DS digests),
+// base64 (DNSKEY public keys), and base32hex (NSEC3 owner names, RFC 4648 §7).
+#pragma once
+
+#include <string>
+
+#include "base/bytes.hpp"
+#include "base/result.hpp"
+
+namespace dnsboot {
+
+std::string hex_encode(BytesView data);
+Result<Bytes> hex_decode(const std::string& text);
+
+std::string base64_encode(BytesView data);
+Result<Bytes> base64_decode(const std::string& text);
+
+// Base32 with the "extended hex" alphabet and no padding, as used for NSEC3.
+std::string base32hex_encode(BytesView data);
+Result<Bytes> base32hex_decode(const std::string& text);
+
+}  // namespace dnsboot

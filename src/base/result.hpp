@@ -1,0 +1,97 @@
+// Result<T> — lightweight expected-style error propagation.
+//
+// dnsboot is exception-free on hot paths (wire parsing, validation, the scan
+// loop). Parse and protocol errors are values, not exceptions; exceptions are
+// reserved for programming errors (precondition violations).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dnsboot {
+
+// Error carries a short machine-readable code plus human-readable detail.
+struct Error {
+  std::string code;    // e.g. "wire.truncated", "name.too_long"
+  std::string detail;  // free-form context
+
+  std::string to_string() const {
+    return detail.empty() ? code : code + ": " + detail;
+  }
+};
+
+// Result<T>: either a value or an Error. Monadic helpers are intentionally
+// minimal; call sites use early returns which read better in parser code.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : storage_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error err) : err_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+// Early-return helpers for parser code.
+#define DNSBOOT_TRY(var, expr)                  \
+  auto var##_result = (expr);                   \
+  if (!var##_result.ok()) {                     \
+    return var##_result.error();                \
+  }                                             \
+  auto var = std::move(var##_result).take()
+
+#define DNSBOOT_CHECK(expr)                     \
+  do {                                          \
+    auto status_ = (expr);                      \
+    if (!status_.ok()) return status_.error();  \
+  } while (false)
+
+}  // namespace dnsboot

@@ -1,0 +1,30 @@
+// Small ASCII string helpers. DNS is ASCII-case-insensitive, so lowering is
+// done with an explicit ASCII table rather than locale-dependent tolower.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsboot {
+
+char ascii_lower(char c);
+std::string ascii_lower(std::string_view s);
+bool ascii_iequals(std::string_view a, std::string_view b);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Split on a single delimiter; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+// Split on runs of whitespace; no empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string trim(std::string_view s);
+
+// Thousands-separated integer formatting for report tables ("56 446 359",
+// as typeset in the paper).
+std::string format_count(std::uint64_t n);
+// Fixed-precision percentage, e.g. format_percent(0.123456, 1) == "12.3".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace dnsboot

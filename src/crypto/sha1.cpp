@@ -1,0 +1,109 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace dnsboot::crypto {
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+Sha1::Sha1() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  state_[4] = 0xc3d2e1f0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(BytesView data) {
+  length_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t i = 0;
+  if (buffered_ > 0) {
+    while (buffered_ < 64 && i < data.size()) buffer_[buffered_++] = data[i++];
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (i + 64 <= data.size()) {
+    process_block(data.data() + i);
+    i += 64;
+  }
+  while (i < data.size()) buffer_[buffered_++] = data[i++];
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
+  std::uint64_t bits = length_bits_;
+  std::uint8_t pad[72];
+  std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  update(BytesView(pad, pad_len));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  update(BytesView(len_bytes, 8));
+  std::array<std::uint8_t, kDigestSize> out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, Sha1::kDigestSize> Sha1::digest(BytesView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace dnsboot::crypto

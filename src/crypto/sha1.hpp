@@ -1,0 +1,32 @@
+// SHA-1 (FIPS 180-1) — required only for NSEC3 owner-name hashing (RFC 5155
+// mandates SHA-1 as hash algorithm 1). Not used for any signature or DS
+// digest in dnsboot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/bytes.hpp"
+
+namespace dnsboot::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+
+  Sha1();
+  void update(BytesView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static std::array<std::uint8_t, kDigestSize> digest(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[5];
+  std::uint64_t length_bits_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dnsboot::crypto

@@ -1,0 +1,211 @@
+#include "dns/message.hpp"
+
+#include <map>
+
+namespace dnsboot::dns {
+namespace {
+
+// Compression context: canonical suffix text -> message offset.
+class NameCompressor {
+ public:
+  void encode(const Name& name, ByteWriter& writer) {
+    const auto& labels = name.labels();
+    for (std::size_t skip = 0; skip < labels.size(); ++skip) {
+      Name suffix = suffix_from(labels, skip);
+      auto it = offsets_.find(suffix.canonical_text());
+      if (it != offsets_.end()) {
+        writer.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+        return;
+      }
+      if (writer.size() < 0x3fff) {
+        offsets_.emplace(suffix.canonical_text(),
+                         static_cast<std::uint16_t>(writer.size()));
+      }
+      writer.u8(static_cast<std::uint8_t>(labels[skip].size()));
+      writer.raw(labels[skip]);
+    }
+    writer.u8(0);  // root
+  }
+
+ private:
+  static Name suffix_from(const std::vector<std::string>& labels,
+                          std::size_t skip) {
+    std::vector<std::string> tail(labels.begin() + static_cast<std::ptrdiff_t>(skip),
+                                  labels.end());
+    auto r = Name::from_labels(std::move(tail));
+    // Labels came from a valid Name; cannot fail.
+    return std::move(r).take();
+  }
+
+  std::map<std::string, std::uint16_t> offsets_;
+};
+
+void encode_record(const ResourceRecord& rr, ByteWriter& writer,
+                   NameCompressor& compressor) {
+  compressor.encode(rr.name, writer);
+  writer.u16(static_cast<std::uint16_t>(rr.type));
+  writer.u16(static_cast<std::uint16_t>(rr.klass));
+  writer.u32(rr.ttl);
+  // RDATA is written uncompressed: always legal, and keeps RDLENGTH
+  // back-patching trivial (compression inside RDATA is optional per RFC 1035
+  // and forbidden for post-RFC-3597 types anyway).
+  std::size_t rdlength_at = writer.size();
+  writer.u16(0);
+  std::size_t rdata_start = writer.size();
+  encode_rdata(rr.rdata, writer);
+  writer.patch_u16(rdlength_at,
+                   static_cast<std::uint16_t>(writer.size() - rdata_start));
+}
+
+Result<ResourceRecord> decode_record(ByteReader& reader) {
+  DNSBOOT_TRY(name, Name::decode(reader));
+  DNSBOOT_TRY(type_raw, reader.u16());
+  DNSBOOT_TRY(klass_raw, reader.u16());
+  DNSBOOT_TRY(ttl, reader.u32());
+  DNSBOOT_TRY(rdlength, reader.u16());
+  RRType type = static_cast<RRType>(type_raw);
+  DNSBOOT_TRY(rdata, decode_rdata(type, reader, rdlength));
+  ResourceRecord rr;
+  rr.name = std::move(name);
+  rr.type = type;
+  rr.klass = static_cast<RRClass>(klass_raw);
+  rr.ttl = ttl;
+  rr.rdata = std::move(rdata);
+  return rr;
+}
+
+}  // namespace
+
+Message Message::make_query(std::uint16_t id, const Name& name, RRType type,
+                            bool dnssec_ok) {
+  Message m;
+  m.header.id = id;
+  m.header.rd = false;  // iterative scanner: never ask for recursion
+  m.questions.push_back(Question{name, type, RRClass::kIN});
+  m.add_edns(4096, dnssec_ok);
+  return m;
+}
+
+Message Message::make_response(const Message& query) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = false;
+  m.questions = query.questions;
+  if (query.has_edns()) m.add_edns(4096, query.dnssec_ok());
+  return m;
+}
+
+bool Message::has_edns() const {
+  for (const auto& rr : additionals) {
+    if (rr.type == RRType::kOPT) return true;
+  }
+  return false;
+}
+
+bool Message::dnssec_ok() const {
+  for (const auto& rr : additionals) {
+    if (rr.type == RRType::kOPT) return (rr.ttl & 0x00008000u) != 0;
+  }
+  return false;
+}
+
+void Message::add_edns(std::uint16_t udp_size, bool dnssec_ok) {
+  ResourceRecord opt;
+  opt.name = Name::root();
+  opt.type = RRType::kOPT;
+  opt.klass = static_cast<RRClass>(udp_size);  // CLASS field carries UDP size
+  opt.ttl = dnssec_ok ? 0x00008000u : 0;       // TTL carries ext-rcode/flags
+  opt.rdata = OptRdata{};
+  additionals.push_back(std::move(opt));
+}
+
+std::vector<ResourceRecord> Message::answers_of(const Name& name,
+                                                RRType type) const {
+  std::vector<ResourceRecord> out;
+  for (const auto& rr : answers) {
+    if (rr.type == type && rr.name == name) out.push_back(rr);
+  }
+  return out;
+}
+
+Bytes Message::encode() const {
+  ByteWriter w;
+  w.u16(header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(header.opcode) << 11;
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  if (header.ad) flags |= 0x0020;
+  if (header.cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(header.rcode) & 0x000f;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+
+  NameCompressor compressor;
+  for (const auto& q : questions) {
+    compressor.encode(q.name, w);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rr : answers) encode_record(rr, w, compressor);
+  for (const auto& rr : authorities) encode_record(rr, w, compressor);
+  for (const auto& rr : additionals) encode_record(rr, w, compressor);
+  return w.take();
+}
+
+Result<Message> Message::decode(BytesView wire) {
+  ByteReader r{wire};
+  Message m;
+  DNSBOOT_TRY(id, r.u16());
+  DNSBOOT_TRY(flags, r.u16());
+  m.header.id = id;
+  m.header.qr = (flags & 0x8000) != 0;
+  m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  m.header.aa = (flags & 0x0400) != 0;
+  m.header.tc = (flags & 0x0200) != 0;
+  m.header.rd = (flags & 0x0100) != 0;
+  m.header.ra = (flags & 0x0080) != 0;
+  m.header.ad = (flags & 0x0020) != 0;
+  m.header.cd = (flags & 0x0010) != 0;
+  m.header.rcode = static_cast<Rcode>(flags & 0xf);
+
+  DNSBOOT_TRY(qdcount, r.u16());
+  DNSBOOT_TRY(ancount, r.u16());
+  DNSBOOT_TRY(nscount, r.u16());
+  DNSBOOT_TRY(arcount, r.u16());
+
+  for (int i = 0; i < qdcount; ++i) {
+    DNSBOOT_TRY(name, Name::decode(r));
+    DNSBOOT_TRY(type_raw, r.u16());
+    DNSBOOT_TRY(klass_raw, r.u16());
+    m.questions.push_back(Question{std::move(name),
+                                   static_cast<RRType>(type_raw),
+                                   static_cast<RRClass>(klass_raw)});
+  }
+  for (int i = 0; i < ancount; ++i) {
+    DNSBOOT_TRY(rr, decode_record(r));
+    m.answers.push_back(std::move(rr));
+  }
+  for (int i = 0; i < nscount; ++i) {
+    DNSBOOT_TRY(rr, decode_record(r));
+    m.authorities.push_back(std::move(rr));
+  }
+  for (int i = 0; i < arcount; ++i) {
+    DNSBOOT_TRY(rr, decode_record(r));
+    m.additionals.push_back(std::move(rr));
+  }
+  if (!r.at_end()) {
+    return Error{"wire.trailing_bytes",
+                 std::to_string(r.remaining()) + " bytes after message"};
+  }
+  return m;
+}
+
+}  // namespace dnsboot::dns

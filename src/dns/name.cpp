@@ -1,0 +1,238 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace dnsboot::dns {
+namespace {
+
+// Validate a single raw label (post-escape-processing).
+Status check_label(std::string_view label) {
+  if (label.empty()) return Error{"name.empty_label", "empty interior label"};
+  if (label.size() > kMaxLabelLength) {
+    return Error{"name.label_too_long",
+                 "label of " + std::to_string(label.size()) + " octets"};
+  }
+  return Status::ok_status();
+}
+
+Status check_total_length(const std::vector<std::string>& labels) {
+  std::size_t total = 1;  // root byte
+  for (const auto& l : labels) total += l.size() + 1;
+  if (total > kMaxNameWireLength) {
+    return Error{"name.too_long",
+                 "wire length " + std::to_string(total) + " exceeds 255"};
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Result<Name> Name::from_text(std::string_view text) {
+  if (text.empty()) return Error{"name.empty", "empty name"};
+  if (text == ".") return Name::root();
+
+  std::vector<std::string> labels;
+  std::string current;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\\') {
+      if (i + 1 >= text.size()) {
+        return Error{"name.bad_escape", "trailing backslash"};
+      }
+      char next = text[i + 1];
+      if (next >= '0' && next <= '9') {
+        if (i + 3 >= text.size() || text[i + 2] < '0' || text[i + 2] > '9' ||
+            text[i + 3] < '0' || text[i + 3] > '9') {
+          return Error{"name.bad_escape", "incomplete \\DDD escape"};
+        }
+        int value = (next - '0') * 100 + (text[i + 2] - '0') * 10 +
+                    (text[i + 3] - '0');
+        if (value > 255) return Error{"name.bad_escape", "\\DDD out of range"};
+        current.push_back(static_cast<char>(value));
+        i += 3;
+      } else {
+        current.push_back(next);
+        ++i;
+      }
+    } else if (c == '.') {
+      if (current.empty()) {
+        return Error{"name.empty_label", "empty label in " + std::string(text)};
+      }
+      DNSBOOT_CHECK(check_label(current));
+      labels.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    DNSBOOT_CHECK(check_label(current));
+    labels.push_back(std::move(current));
+  }
+  DNSBOOT_CHECK(check_total_length(labels));
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::from_labels(std::vector<std::string> labels) {
+  for (const auto& l : labels) DNSBOOT_CHECK(check_label(l));
+  DNSBOOT_CHECK(check_total_length(labels));
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::decode(ByteReader& reader) {
+  std::vector<std::string> labels;
+  std::size_t wire_len = 1;
+  // Position to restore after the first compression pointer.
+  bool jumped = false;
+  std::size_t resume_at = 0;
+  int hops = 0;
+
+  while (true) {
+    DNSBOOT_TRY(len, reader.u8());
+    if ((len & 0xc0) == 0xc0) {
+      // Compression pointer (RFC 1035 §4.1.4).
+      DNSBOOT_TRY(low, reader.u8());
+      std::size_t target = static_cast<std::size_t>(len & 0x3f) << 8 | low;
+      if (!jumped) {
+        resume_at = reader.offset();
+        jumped = true;
+      }
+      if (++hops > 32) {
+        return Error{"name.pointer_loop", "too many compression pointers"};
+      }
+      if (target >= reader.offset() - 2 && !jumped) {
+        return Error{"name.bad_pointer", "forward compression pointer"};
+      }
+      DNSBOOT_CHECK(reader.seek(target));
+      continue;
+    }
+    if ((len & 0xc0) != 0) {
+      return Error{"name.bad_label_type",
+                   "reserved label type " + std::to_string(len >> 6)};
+    }
+    if (len == 0) break;  // root
+    wire_len += len + 1;
+    if (wire_len > kMaxNameWireLength) {
+      return Error{"name.too_long", "decoded name exceeds 255 octets"};
+    }
+    DNSBOOT_TRY(raw, reader.bytes(len));
+    labels.emplace_back(raw.begin(), raw.end());
+  }
+
+  if (jumped) DNSBOOT_CHECK(reader.seek(resume_at));
+  return Name(std::move(labels));
+}
+
+void Name::encode(ByteWriter& writer) const {
+  for (const auto& label : labels_) {
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.raw(label);
+  }
+  writer.u8(0);
+}
+
+void Name::encode_canonical(ByteWriter& writer) const {
+  for (const auto& label : labels_) {
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.raw(ascii_lower(label));
+  }
+  writer.u8(0);
+}
+
+std::string Name::to_text() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& label : labels_) {
+    for (char c : label) {
+      if (c == '.' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x21 ||
+                 static_cast<unsigned char>(c) > 0x7e) {
+        unsigned v = static_cast<unsigned char>(c);
+        out.push_back('\\');
+        out.push_back(static_cast<char>('0' + v / 100));
+        out.push_back(static_cast<char>('0' + (v / 10) % 10));
+        out.push_back(static_cast<char>('0' + v % 10));
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+std::size_t Name::wire_length() const {
+  std::size_t total = 1;
+  for (const auto& l : labels_) total += l.size() + 1;
+  return total;
+}
+
+Name Name::parent() const {
+  if (labels_.empty()) return Name();
+  return Name(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+}
+
+Result<Name> Name::prepend(std::string_view label) const {
+  DNSBOOT_CHECK(check_label(label));
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  DNSBOOT_CHECK(check_total_length(labels));
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::concat(const Name& suffix) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
+  DNSBOOT_CHECK(check_total_length(labels));
+  return Name(std::move(labels));
+}
+
+bool Name::is_under(const Name& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  auto it = labels_.end() - static_cast<std::ptrdiff_t>(ancestor.labels_.size());
+  for (const auto& al : ancestor.labels_) {
+    if (!ascii_iequals(*it, al)) return false;
+    ++it;
+  }
+  return true;
+}
+
+bool Name::is_strictly_under(const Name& ancestor) const {
+  return labels_.size() > ancestor.labels_.size() && is_under(ancestor);
+}
+
+bool Name::operator==(const Name& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!ascii_iequals(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+std::strong_ordering Name::operator<=>(const Name& other) const {
+  // RFC 4034 §6.1: compare label sequences right to left; absent labels sort
+  // first; labels compare as case-folded octet strings.
+  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::string& a = labels_[labels_.size() - i];
+    const std::string& b = other.labels_[other.labels_.size() - i];
+    std::size_t m = std::min(a.size(), b.size());
+    for (std::size_t j = 0; j < m; ++j) {
+      unsigned char ca = static_cast<unsigned char>(ascii_lower(a[j]));
+      unsigned char cb = static_cast<unsigned char>(ascii_lower(b[j]));
+      if (ca != cb) return ca <=> cb;
+    }
+    if (a.size() != b.size()) return a.size() <=> b.size();
+  }
+  return labels_.size() <=> other.labels_.size();
+}
+
+std::string Name::canonical_text() const { return ascii_lower(to_text()); }
+
+}  // namespace dnsboot::dns

@@ -1,0 +1,91 @@
+// DNS domain names (RFC 1035 §3.1, RFC 4034 §6 canonical form).
+//
+// A Name is a sequence of labels, leftmost first; the root is the empty
+// sequence. Names compare case-insensitively and preserve their original
+// spelling. Wire-format decoding follows compression pointers with a hop
+// limit so malicious messages cannot loop the parser.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/result.hpp"
+
+namespace dnsboot::dns {
+
+inline constexpr std::size_t kMaxLabelLength = 63;
+// Maximum wire length of a name, including the root byte (RFC 1035 §3.1).
+inline constexpr std::size_t kMaxNameWireLength = 255;
+
+class Name {
+ public:
+  // The root name ".".
+  Name() = default;
+
+  static Name root() { return Name(); }
+
+  // Parse presentation form. Accepts absolute ("example.com.") and relative
+  // ("example.com") spellings — both produce the same absolute name, as the
+  // scanner only ever deals in fully-qualified names. Supports \. and \DDD
+  // escapes. Rejects over-long labels/names and empty interior labels.
+  static Result<Name> from_text(std::string_view text);
+
+  // Build from raw labels (no escape processing).
+  static Result<Name> from_labels(std::vector<std::string> labels);
+
+  // Decode from wire format at the reader's cursor, following compression
+  // pointers within reader.whole_buffer(). The cursor ends just past the
+  // name's first pointer (or its root byte if uncompressed).
+  static Result<Name> decode(ByteReader& reader);
+
+  // Append uncompressed wire form.
+  void encode(ByteWriter& writer) const;
+
+  // Presentation form, always absolute with trailing dot; "." for root.
+  std::string to_text() const;
+
+  bool is_root() const { return labels_.empty(); }
+  std::size_t label_count() const { return labels_.size(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  // Wire-format length in bytes (sum of label lengths + length bytes + root).
+  std::size_t wire_length() const;
+
+  // Immediate parent ("example.com." -> "com."). Parent of root is root.
+  Name parent() const;
+
+  // New name with `label` prepended ("www" + "example.com." -> "www.example.com.").
+  Result<Name> prepend(std::string_view label) const;
+
+  // New name of this name's labels followed by `suffix`'s labels.
+  Result<Name> concat(const Name& suffix) const;
+
+  // True if this name is `ancestor` or is below it ("a.b.c" under "b.c").
+  bool is_under(const Name& ancestor) const;
+  // Strictly below (not equal).
+  bool is_strictly_under(const Name& ancestor) const;
+
+  // Case-insensitive equality.
+  bool operator==(const Name& other) const;
+  bool operator!=(const Name& other) const { return !(*this == other); }
+
+  // RFC 4034 §6.1 canonical ordering (by reversed label sequence, labels as
+  // case-folded octet strings). Used for NSEC chains and sorted containers.
+  std::strong_ordering operator<=>(const Name& other) const;
+
+  // Lower-cased presentation form; stable key for hashing/maps.
+  std::string canonical_text() const;
+
+  // Append RFC 4034 §6.2 canonical wire form (lowercased, uncompressed).
+  void encode_canonical(ByteWriter& writer) const;
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;
+};
+
+}  // namespace dnsboot::dns

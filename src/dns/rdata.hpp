@@ -1,0 +1,208 @@
+// Typed RDATA for every RR type dnsboot manipulates, with wire and
+// presentation codecs. Unknown types round-trip as opaque bytes (RFC 3597).
+//
+// CDS shares the DS wire format and CDNSKEY shares the DNSKEY wire format
+// (RFC 7344 §3.1/§3.2), so they share the typed structs here; the owning
+// ResourceRecord carries the actual RR type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/result.hpp"
+#include "dns/name.hpp"
+#include "dns/rr.hpp"
+
+namespace dnsboot::dns {
+
+// RFC 4034 §4.1.2 type bitmap (NSEC, NSEC3, CSYNC).
+class TypeBitmap {
+ public:
+  TypeBitmap() = default;
+  explicit TypeBitmap(std::set<RRType> types) : types_(std::move(types)) {}
+
+  void add(RRType type) { types_.insert(type); }
+  bool contains(RRType type) const { return types_.count(type) > 0; }
+  const std::set<RRType>& types() const { return types_; }
+  bool empty() const { return types_.empty(); }
+
+  void encode(ByteWriter& writer) const;
+  static Result<TypeBitmap> decode(ByteReader& reader, std::size_t length);
+
+  std::string to_text() const;
+
+  bool operator==(const TypeBitmap&) const = default;
+
+ private:
+  std::set<RRType> types_;
+};
+
+struct ARdata {
+  std::array<std::uint8_t, 4> address{};
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  std::array<std::uint8_t, 16> address{};
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nsdname;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct PtrRdata {
+  Name target;
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+// DNSKEY and CDNSKEY (RFC 4034 §2, RFC 7344 §3.2).
+struct DnskeyRdata {
+  std::uint16_t flags = 0;
+  std::uint8_t protocol = 3;
+  std::uint8_t algorithm = 0;
+  Bytes public_key;
+  bool operator==(const DnskeyRdata&) const = default;
+
+  // RFC 4034 Appendix B key tag.
+  std::uint16_t key_tag() const;
+  bool is_sep() const { return (flags & 0x0001) != 0; }
+  bool is_zone_key() const { return (flags & 0x0100) != 0; }
+  // RFC 8078 §4: CDNSKEY delete sentinel ("0 3 0 AA==", i.e. alg 0).
+  bool is_delete_sentinel() const;
+};
+
+// DS and CDS (RFC 4034 §5, RFC 7344 §3.1).
+struct DsRdata {
+  std::uint16_t key_tag = 0;
+  std::uint8_t algorithm = 0;
+  std::uint8_t digest_type = 0;
+  Bytes digest;
+  bool operator==(const DsRdata&) const = default;
+
+  // RFC 8078 §4: CDS delete sentinel ("0 0 0 00").
+  bool is_delete_sentinel() const;
+};
+
+struct RrsigRdata {
+  RRType type_covered = RRType{0};
+  std::uint8_t algorithm = 0;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;  // seconds, absolute simulated time
+  std::uint32_t inception = 0;
+  std::uint16_t key_tag = 0;
+  Name signer_name;
+  Bytes signature;
+  bool operator==(const RrsigRdata&) const = default;
+};
+
+struct NsecRdata {
+  Name next_domain;
+  TypeBitmap types;
+  bool operator==(const NsecRdata&) const = default;
+};
+
+struct Nsec3Rdata {
+  std::uint8_t hash_algorithm = 1;  // 1 = SHA-1
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  Bytes salt;
+  Bytes next_hashed_owner;
+  TypeBitmap types;
+  bool operator==(const Nsec3Rdata&) const = default;
+};
+
+struct Nsec3ParamRdata {
+  std::uint8_t hash_algorithm = 1;
+  std::uint8_t flags = 0;
+  std::uint16_t iterations = 0;
+  Bytes salt;
+  bool operator==(const Nsec3ParamRdata&) const = default;
+};
+
+// CSYNC (RFC 7477) — the parent/child synchronization mechanism the paper's
+// conclusion points to as future work.
+struct CsyncRdata {
+  std::uint32_t soa_serial = 0;
+  std::uint16_t flags = 0;  // bit 0: immediate, bit 1: soaminimum
+  TypeBitmap types;
+  bool operator==(const CsyncRdata&) const = default;
+};
+
+// EDNS OPT pseudo-RR payload; options kept opaque.
+struct OptRdata {
+  Bytes options;
+  bool operator==(const OptRdata&) const = default;
+};
+
+// RFC 3597 opaque RDATA for unknown types.
+struct RawRdata {
+  Bytes data;
+  bool operator==(const RawRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
+                           MxRdata, SoaRdata, TxtRdata, DnskeyRdata, DsRdata,
+                           RrsigRdata, NsecRdata, Nsec3Rdata, Nsec3ParamRdata,
+                           CsyncRdata, OptRdata, RawRdata>;
+
+// Decode RDLENGTH bytes of RDATA at the reader's cursor. The reader spans the
+// whole message so embedded names can follow compression pointers (permitted
+// for the pre-RFC-3597 types only). Fails unless exactly `rdlength` bytes are
+// consumed.
+Result<Rdata> decode_rdata(RRType type, ByteReader& reader,
+                           std::size_t rdlength);
+
+// Append wire-format RDATA (without the RDLENGTH prefix). Embedded names are
+// never compressed. `canonical` lowercases embedded names (RFC 4034 §6.2).
+void encode_rdata(const Rdata& rdata, ByteWriter& writer,
+                  bool canonical = false);
+
+// Presentation form of the RDATA fields (without owner/TTL/class/type).
+std::string rdata_to_text(const Rdata& rdata);
+
+// Parse presentation fields for `type`.
+Result<Rdata> rdata_from_text(RRType type,
+                              const std::vector<std::string>& fields);
+
+// IPv4/IPv6 text helpers.
+std::string ipv4_to_text(const std::array<std::uint8_t, 4>& addr);
+std::string ipv6_to_text(const std::array<std::uint8_t, 16>& addr);
+Result<std::array<std::uint8_t, 4>> ipv4_from_text(const std::string& text);
+Result<std::array<std::uint8_t, 16>> ipv6_from_text(const std::string& text);
+
+}  // namespace dnsboot::dns

@@ -1,0 +1,83 @@
+#include "dns/record.hpp"
+
+#include <algorithm>
+
+namespace dnsboot::dns {
+
+bool ResourceRecord::same_data(const ResourceRecord& other) const {
+  return name == other.name && type == other.type && klass == other.klass &&
+         rdata == other.rdata;
+}
+
+std::string ResourceRecord::to_text() const {
+  return name.to_text() + " " + std::to_string(ttl) + " " +
+         dns::to_string(klass) + " " + dns::to_string(type) + " " +
+         rdata_to_text(rdata);
+}
+
+Bytes ResourceRecord::rdata_wire(bool canonical) const {
+  ByteWriter w;
+  encode_rdata(rdata, w, canonical);
+  return w.take();
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas) {
+    out.push_back(ResourceRecord{name, type, klass, ttl, rd});
+  }
+  return out;
+}
+
+bool RRset::same_rdatas(const RRset& other) const {
+  if (rdatas.size() != other.rdatas.size()) return false;
+  // Compare as canonical byte multisets: order must not matter.
+  std::vector<Bytes> a;
+  std::vector<Bytes> b;
+  a.reserve(rdatas.size());
+  b.reserve(other.rdatas.size());
+  for (const auto& rd : rdatas) a.push_back(canonical_rdata_bytes(rd));
+  for (const auto& rd : other.rdatas) b.push_back(canonical_rdata_bytes(rd));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+std::vector<RRset> group_into_rrsets(
+    const std::vector<ResourceRecord>& records) {
+  std::vector<RRset> out;
+  for (const auto& rr : records) {
+    RRset* target = nullptr;
+    for (auto& set : out) {
+      if (set.name == rr.name && set.type == rr.type && set.klass == rr.klass) {
+        target = &set;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      out.push_back(RRset{rr.name, rr.type, rr.klass, rr.ttl, {}});
+      target = &out.back();
+    }
+    target->ttl = std::min(target->ttl, rr.ttl);
+    // Suppress duplicate rdatas (RFC 2181 §5: no duplicate records in a set).
+    Bytes incoming = canonical_rdata_bytes(rr.rdata);
+    bool duplicate = false;
+    for (const auto& existing : target->rdatas) {
+      if (canonical_rdata_bytes(existing) == incoming) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) target->rdatas.push_back(rr.rdata);
+  }
+  return out;
+}
+
+Bytes canonical_rdata_bytes(const Rdata& rdata) {
+  ByteWriter w;
+  encode_rdata(rdata, w, /*canonical=*/true);
+  return w.take();
+}
+
+}  // namespace dnsboot::dns

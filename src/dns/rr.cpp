@@ -1,0 +1,86 @@
+#include "dns/rr.hpp"
+
+#include "base/strings.hpp"
+
+namespace dnsboot::dns {
+
+std::string to_string(RRType type) {
+  switch (type) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kOPT: return "OPT";
+    case RRType::kDS: return "DS";
+    case RRType::kRRSIG: return "RRSIG";
+    case RRType::kNSEC: return "NSEC";
+    case RRType::kDNSKEY: return "DNSKEY";
+    case RRType::kNSEC3: return "NSEC3";
+    case RRType::kNSEC3PARAM: return "NSEC3PARAM";
+    case RRType::kCDS: return "CDS";
+    case RRType::kCDNSKEY: return "CDNSKEY";
+    case RRType::kCSYNC: return "CSYNC";
+    case RRType::kAXFR: return "AXFR";
+    case RRType::kANY: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(type));
+}
+
+std::string to_string(RRClass klass) {
+  switch (klass) {
+    case RRClass::kIN: return "IN";
+    case RRClass::kANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(klass));
+}
+
+std::string to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::kNoError: return "NOERROR";
+    case Rcode::kFormErr: return "FORMERR";
+    case Rcode::kServFail: return "SERVFAIL";
+    case Rcode::kNxDomain: return "NXDOMAIN";
+    case Rcode::kNotImp: return "NOTIMP";
+    case Rcode::kRefused: return "REFUSED";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint8_t>(rcode));
+}
+
+RRType rrtype_from_string(const std::string& mnemonic) {
+  static const struct {
+    const char* text;
+    RRType type;
+  } kTable[] = {
+      {"A", RRType::kA},           {"NS", RRType::kNS},
+      {"CNAME", RRType::kCNAME},   {"SOA", RRType::kSOA},
+      {"PTR", RRType::kPTR},       {"MX", RRType::kMX},
+      {"TXT", RRType::kTXT},       {"AAAA", RRType::kAAAA},
+      {"OPT", RRType::kOPT},       {"DS", RRType::kDS},
+      {"RRSIG", RRType::kRRSIG},   {"NSEC", RRType::kNSEC},
+      {"DNSKEY", RRType::kDNSKEY}, {"NSEC3", RRType::kNSEC3},
+      {"NSEC3PARAM", RRType::kNSEC3PARAM},
+      {"CDS", RRType::kCDS},       {"CDNSKEY", RRType::kCDNSKEY},
+      {"CSYNC", RRType::kCSYNC},   {"AXFR", RRType::kAXFR},
+      {"ANY", RRType::kANY},
+  };
+  for (const auto& entry : kTable) {
+    if (ascii_iequals(mnemonic, entry.text)) return entry.type;
+  }
+  if (starts_with(mnemonic, "TYPE") || starts_with(mnemonic, "type")) {
+    int v = 0;
+    for (std::size_t i = 4; i < mnemonic.size(); ++i) {
+      char c = mnemonic[i];
+      if (c < '0' || c > '9') return RRType{0};
+      v = v * 10 + (c - '0');
+      if (v > 0xffff) return RRType{0};
+    }
+    if (mnemonic.size() > 4) return static_cast<RRType>(v);
+  }
+  return RRType{0};
+}
+
+}  // namespace dnsboot::dns

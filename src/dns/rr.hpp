@@ -1,0 +1,63 @@
+// DNS protocol constants: RR types, classes, opcodes, rcodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dnsboot::dns {
+
+// RR type numbers (IANA DNS parameters registry). Only the types dnsboot
+// manipulates get enumerators; unknown types round-trip as raw RDATA
+// (RFC 3597).
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kOPT = 41,
+  kDS = 43,
+  kRRSIG = 46,
+  kNSEC = 47,
+  kDNSKEY = 48,
+  kNSEC3 = 50,
+  kNSEC3PARAM = 51,
+  kCDS = 59,
+  kCDNSKEY = 60,
+  kCSYNC = 62,
+  kAXFR = 252,  // QTYPE only (RFC 5936)
+  kANY = 255,
+};
+
+enum class RRClass : std::uint16_t {
+  kIN = 1,
+  kANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string to_string(RRType type);
+std::string to_string(RRClass klass);
+std::string to_string(Rcode rcode);
+
+// Parse a presentation-format type mnemonic ("CDS", "TYPE1234"). Returns
+// RRType{0} when unrecognized and not a TYPE#### form.
+RRType rrtype_from_string(const std::string& mnemonic);
+
+}  // namespace dnsboot::dns

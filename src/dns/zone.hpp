@@ -1,0 +1,92 @@
+// Zone — an authoritative data store for one zone apex, with the lookup
+// semantics an authoritative server needs (answers, NODATA, NXDOMAIN,
+// delegations, CNAMEs, empty non-terminals, occlusion below zone cuts).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/record.hpp"
+
+namespace dnsboot::dns {
+
+class Zone {
+ public:
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  const Name& origin() const { return origin_; }
+
+  // Insert a record, merging into the owner/type RRset. Records outside the
+  // zone are rejected; duplicates are suppressed.
+  Status add(const ResourceRecord& record);
+  Status add_rrset(const RRset& rrset);
+
+  // Remove all records of `type` at `name` (and their covering RRSIGs if
+  // `type` is not RRSIG itself).
+  void remove_rrset(const Name& name, RRType type);
+  // Remove every DNSSEC-generated record (RRSIG/NSEC/NSEC3/NSEC3PARAM);
+  // used when re-signing.
+  void strip_dnssec();
+  // Remove only the RRSIGs covering (name, type); the data stays. Used by
+  // failure injection to replace a signature with a corrupted one.
+  void remove_signatures(const Name& name, RRType covered_type);
+
+  const RRset* find_rrset(const Name& name, RRType type) const;
+  // All RRsets at a node, empty if the node does not exist.
+  std::vector<const RRset*> rrsets_at(const Name& name) const;
+  bool has_name(const Name& name) const;
+
+  // RRSIG RRset covering `type` at `name` (RRSIGs are stored per covered
+  // type alongside the data they cover).
+  std::vector<ResourceRecord> signatures_covering(const Name& name,
+                                                  RRType type) const;
+
+  const RRset* soa() const { return find_rrset(origin_, RRType::kSOA); }
+  const RRset* apex_ns() const { return find_rrset(origin_, RRType::kNS); }
+
+  // Names with data, in canonical (RFC 4034 §6.1) order.
+  std::vector<Name> names() const;
+  // Every RRset in the zone, canonical owner order.
+  std::vector<RRset> all_rrsets() const;
+  std::size_t record_count() const;
+
+  // True if `name` is the owner of an NS RRset below the apex (a zone cut).
+  bool is_delegation_point(const Name& name) const;
+
+  struct LookupResult {
+    enum class Kind {
+      kAnswer,      // rrset is the answer
+      kNoData,      // name exists, no data of qtype
+      kNxDomain,    // name does not exist
+      kDelegation,  // referral; rrset is the delegation NS set
+      kCname,       // rrset is the CNAME at qname
+      kNotInZone,   // qname not under this zone's origin
+    };
+    Kind kind = Kind::kNotInZone;
+    const RRset* rrset = nullptr;
+    // For delegations: the cut owner (child zone apex).
+    Name cut_owner;
+  };
+
+  // Authoritative lookup. DS queries at a delegation point are answered from
+  // this (parent) zone rather than referred (RFC 4035 §3.1.4.1).
+  LookupResult lookup(const Name& qname, RRType qtype) const;
+
+ private:
+  struct NameTypeKey {
+    Name name;
+    RRType type;
+    bool operator<(const NameTypeKey& other) const {
+      if (auto c = name <=> other.name; c != 0) return c < 0;
+      return type < other.type;
+    }
+  };
+
+  Name origin_;
+  std::map<NameTypeKey, RRset> sets_;
+  // RRSIGs bucketed by (owner, covered type).
+  std::map<NameTypeKey, std::vector<ResourceRecord>> signatures_;
+};
+
+}  // namespace dnsboot::dns

@@ -1,0 +1,179 @@
+#include "dns/zonefile.hpp"
+
+#include "base/strings.hpp"
+
+namespace dnsboot::dns {
+namespace {
+
+// Strip a trailing comment that is not inside a quoted string.
+std::string strip_comment(const std::string& line) {
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_quotes = !in_quotes;
+    if (line[i] == ';' && !in_quotes) return line.substr(0, i);
+  }
+  return line;
+}
+
+// Resolve a possibly-relative owner/rdata name against the origin.
+Result<Name> resolve_name(const std::string& text, const Name& origin) {
+  if (text == "@") return origin;
+  if (!text.empty() && text.back() == '.') return Name::from_text(text);
+  DNSBOOT_TRY(relative, Name::from_text(text));
+  return relative.concat(origin);
+}
+
+bool is_ttl(const std::string& field, std::uint32_t& out) {
+  if (field.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 0xffffffffULL) return false;
+  }
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<ResourceRecord>> parse_zone_text(
+    const std::string& text, const ZoneFileOptions& options) {
+  std::vector<ResourceRecord> records;
+  Name origin = options.origin;
+  std::uint32_t default_ttl = options.default_ttl;
+  Name last_owner = origin;
+
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : split(text, '\n')) {
+    ++line_no;
+    std::string line = strip_comment(raw_line);
+    if (trim(line).empty()) continue;
+    bool owner_inherited = (line[0] == ' ' || line[0] == '\t');
+    auto fields = split_whitespace(line);
+    if (fields.empty()) continue;
+
+    auto fail = [&](const std::string& why) -> Error {
+      return Error{"zonefile.parse",
+                   "line " + std::to_string(line_no) + ": " + why};
+    };
+
+    if (fields[0] == "$ORIGIN") {
+      if (fields.size() < 2) return fail("$ORIGIN needs a name");
+      DNSBOOT_TRY(new_origin, Name::from_text(fields[1]));
+      origin = std::move(new_origin);
+      continue;
+    }
+    if (fields[0] == "$TTL") {
+      if (fields.size() < 2 || !is_ttl(fields[1], default_ttl)) {
+        return fail("$TTL needs a number");
+      }
+      continue;
+    }
+    if (fields[0] == "$INCLUDE") {
+      return fail("$INCLUDE is not supported");
+    }
+
+    std::size_t idx = 0;
+    Name owner = last_owner;
+    if (!owner_inherited) {
+      DNSBOOT_TRY(resolved, resolve_name(fields[idx], origin));
+      owner = std::move(resolved);
+      ++idx;
+    }
+
+    std::uint32_t ttl = default_ttl;
+    RRClass klass = RRClass::kIN;
+    // TTL and class may appear in either order before the type.
+    for (int pass = 0; pass < 2 && idx < fields.size(); ++pass) {
+      std::uint32_t parsed_ttl = 0;
+      if (is_ttl(fields[idx], parsed_ttl)) {
+        ttl = parsed_ttl;
+        ++idx;
+      } else if (ascii_iequals(fields[idx], "IN")) {
+        klass = RRClass::kIN;
+        ++idx;
+      }
+    }
+    if (idx >= fields.size()) return fail("missing record type");
+    RRType type = rrtype_from_string(fields[idx]);
+    if (type == RRType{0}) return fail("unknown type " + fields[idx]);
+    ++idx;
+
+    std::vector<std::string> rdata_fields(fields.begin() + static_cast<std::ptrdiff_t>(idx),
+                                          fields.end());
+    // Relative names inside rdata: resolve name-typed first fields.
+    auto resolve_field = [&](std::size_t i) -> Status {
+      if (i >= rdata_fields.size()) return Status::ok_status();
+      DNSBOOT_TRY(resolved, resolve_name(rdata_fields[i], origin));
+      rdata_fields[i] = resolved.to_text();
+      return Status::ok_status();
+    };
+    switch (type) {
+      case RRType::kNS:
+      case RRType::kCNAME:
+      case RRType::kPTR:
+        DNSBOOT_CHECK(resolve_field(0));
+        break;
+      case RRType::kMX:
+        DNSBOOT_CHECK(resolve_field(1));
+        break;
+      case RRType::kSOA:
+        DNSBOOT_CHECK(resolve_field(0));
+        DNSBOOT_CHECK(resolve_field(1));
+        break;
+      case RRType::kRRSIG:
+        DNSBOOT_CHECK(resolve_field(7));
+        break;
+      case RRType::kNSEC:
+        DNSBOOT_CHECK(resolve_field(0));
+        break;
+      default:
+        break;
+    }
+
+    auto rdata = rdata_from_text(type, rdata_fields);
+    if (!rdata.ok()) return fail(rdata.error().to_string());
+
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.type = type;
+    rr.klass = klass;
+    rr.ttl = ttl;
+    rr.rdata = std::move(rdata).take();
+    records.push_back(std::move(rr));
+    last_owner = owner;
+  }
+  return records;
+}
+
+Result<Zone> parse_zone(const std::string& text,
+                        const ZoneFileOptions& options) {
+  DNSBOOT_TRY(records, parse_zone_text(text, options));
+  Zone zone(options.origin);
+  for (const auto& rr : records) DNSBOOT_CHECK(zone.add(rr));
+  return zone;
+}
+
+std::string zone_to_text(const Zone& zone) {
+  std::string out;
+  out += "$ORIGIN " + zone.origin().to_text() + "\n";
+  // SOA first, then everything else in canonical order.
+  if (const RRset* soa = zone.soa()) {
+    for (const auto& rr : soa->to_records()) out += rr.to_text() + "\n";
+    for (const auto& sig :
+         zone.signatures_covering(zone.origin(), RRType::kSOA)) {
+      out += sig.to_text() + "\n";
+    }
+  }
+  for (const auto& set : zone.all_rrsets()) {
+    if (set.type == RRType::kSOA && set.name == zone.origin()) continue;
+    for (const auto& rr : set.to_records()) out += rr.to_text() + "\n";
+    for (const auto& sig : zone.signatures_covering(set.name, set.type)) {
+      out += sig.to_text() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsboot::dns

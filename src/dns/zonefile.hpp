@@ -1,0 +1,32 @@
+// Master-file (RFC 1035 §5) reader/writer — the interchange format for zone
+// data in examples and tests. Supports $ORIGIN, $TTL, '@', relative names and
+// ';' comments; $INCLUDE and multi-line parentheses are not supported (the
+// writer never emits them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dns/zone.hpp"
+
+namespace dnsboot::dns {
+
+struct ZoneFileOptions {
+  Name origin;                    // initial $ORIGIN
+  std::uint32_t default_ttl = 3600;  // initial $TTL
+};
+
+// Parse zone-file text into records. Owner defaults to the previous owner
+// when a line starts with whitespace.
+Result<std::vector<ResourceRecord>> parse_zone_text(
+    const std::string& text, const ZoneFileOptions& options);
+
+// Parse directly into a Zone rooted at options.origin.
+Result<Zone> parse_zone(const std::string& text,
+                        const ZoneFileOptions& options);
+
+// Serialize a zone to master-file text (absolute names, one record per line,
+// SOA first).
+std::string zone_to_text(const Zone& zone);
+
+}  // namespace dnsboot::dns

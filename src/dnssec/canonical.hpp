@@ -1,0 +1,18 @@
+// RFC 4034 canonical form: the exact byte string covered by an RRSIG
+// (§3.1.8.1), shared by the signer and the validator.
+#pragma once
+
+#include "dns/rdata.hpp"
+#include "dns/record.hpp"
+
+namespace dnsboot::dnssec {
+
+// Build the signature input: RRSIG RDATA with the Signature field omitted,
+// followed by each RR of the set in canonical form (owner lowercased,
+// original TTL from the RRSIG, RDATA in canonical order).
+Bytes signature_input(const dns::RRset& rrset, const dns::RrsigRdata& rrsig);
+
+// DS digest input: canonical owner name || DNSKEY RDATA (RFC 4034 §5.1.4).
+Bytes ds_digest_input(const dns::Name& owner, const dns::DnskeyRdata& dnskey);
+
+}  // namespace dnsboot::dnssec

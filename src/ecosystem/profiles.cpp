@@ -1,0 +1,327 @@
+#include "ecosystem/profiles.hpp"
+
+#include <algorithm>
+
+namespace dnsboot::ecosystem {
+namespace {
+
+OperatorProfile op(std::string name, std::string ns_domain,
+                   std::uint64_t domains, std::uint64_t secured,
+                   std::uint64_t invalid, std::uint64_t islands,
+                   std::uint64_t cds) {
+  OperatorProfile p;
+  p.name = std::move(name);
+  p.ns_domains = {std::move(ns_domain)};
+  p.domains = domains;
+  p.secured = secured;
+  p.invalid = invalid;
+  p.islands = islands;
+  p.cds_domains = cds;
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> simulated_tlds() {
+  return {"com", "net",  "org", "io", "ch", "li",
+          "se",  "uk",   "sk",  "ee", "nu", "swiss",
+          "bo",  "vip",  "dev"};
+}
+
+std::vector<OperatorProfile> paper_operator_profiles() {
+  std::vector<OperatorProfile> out;
+
+  // ---- Table 1: top-20 DNS operators (domains, unsigned implied) ----
+  {
+    auto p = op("GoDaddy", "domaincontrol.com", 56'446'359, 107'550, 8'550,
+                3'507, 111'078);
+    p.island_cds_fraction = 1.0;  // CDS on its few auto-managed islands
+    out.push_back(p);
+  }
+  {
+    auto p = op("Cloudflare", "ns.cloudflare.com", 27'790'208, 799'377,
+                16'694, 432'152, 1'232'531);
+    p.anycast_pool = true;
+    p.addresses_per_ns = 3;  // x2 NS names, each 3 IPv4 + 3 IPv6 = 12 endpoints
+    p.island_cds_fraction = 1.0;
+    p.island_cds_delete_fraction = 0.372;  // 160.0 k of 432.2 k (§4.2)
+    p.publishes_signal = true;
+    p.signal_includes_delete = true;
+    p.signal_on_invalid = 765;  // Table 3: CF "invalid DNSSEC" row
+    out.push_back(p);
+  }
+  out.push_back(op("Namecheap", "registrar-servers.com", 10'252'586, 126'601,
+                   5'300, 1'615, 0));
+  {
+    // Google Domains (SquareSpace): DNSSEC on by default; CDS on secured
+    // zones. (Table 2 credits CDS ≈ secured + islands; Figure 1 forbids
+    // islands-with-CDS at this volume — the funnel wins, see DESIGN.md.)
+    auto p = op("GoogleDomains", "googledomains.com", 9'931'131, 4'496'848,
+                109'499, 127'137, 4'496'848);
+    out.push_back(p);
+  }
+  {
+    // WIX: the 15.7 % secure-island experiment (§4.1); islands carry no CDS.
+    auto p = op("WIX", "wixdns.net", 7'318'524, 74'423, 2'954, 1'151'200,
+                77'377);
+    out.push_back(p);
+  }
+  out.push_back(op("Hostinger", "dns-parking.com", 6'561'661, 5'360, 0, 0, 0));
+  {
+    auto p = op("AfterNIC", "afternic.com", 5'360'163, 11'034, 0, 0, 0);
+    out.push_back(p);
+  }
+  out.push_back(op("HiChina", "hichina.com", 4'637'997, 9'481, 0, 0, 0));
+  out.push_back(
+      op("AWS", "awsdns.net", 3'698'499, 30'005, 4'345, 10'776, 0));
+  out.push_back(op("GName", "gname.net", 3'558'801, 1'145, 1'002, 572, 0));
+  out.push_back(op("NameBright", "namebrightdns.com", 3'516'303, 73, 680, 2, 0));
+  out.push_back(op("SquareSpace", "squarespacedns.com", 2'735'515, 24'278,
+                   1'023, 174, 0));
+  {
+    // OVH: DNSSEC by default, but no CDS publication (absent from Table 2).
+    auto p = op("OVH", "ovh.net", 2'662'864, 1'169'714, 2'839, 20'886, 0);
+    out.push_back(p);
+  }
+  out.push_back(op("Sedo", "sedoparking.com", 2'340'028, 3'645, 0, 0, 0));
+  out.push_back(
+      op("BlueHost", "bluehost.com", 1'976'091, 13'188, 136, 1'215, 0));
+  out.push_back(op("NameSilo", "namesilo.com", 1'847'474, 1'223, 0, 0, 0));
+  out.push_back(
+      op("Alibaba", "alidns.com", 1'570'903, 2'675, 1'216, 2'032, 0));
+  out.push_back(op("DynaDot", "dynadot.com", 1'552'892, 461, 0, 0, 0));
+  out.push_back(
+      op("Wordpress", "wordpress.com", 1'549'730, 7'824, 347, 60, 0));
+  out.push_back(op("SiteGround", "sgvps.net", 1'535'176, 1'302, 0, 0, 0));
+
+  // ---- Table 2: CDS-publishing operators not already above ----
+  // Portfolio derived from count/percentage; these operators auto-manage
+  // DNSSEC, so secured ≈ CDS count and islands contribute the long tail of
+  // the funnel's "possible to bootstrap" branch beyond Cloudflare.
+  struct CdsOp {
+    const char* name;
+    const char* ns_domain;
+    std::uint64_t cds;
+    double pct;
+    bool swiss;
+  };
+  static const CdsOp kCdsOps[] = {
+      {"SimplyCom", "simply.com", 218'590, 96.8, false},
+      {"cyon", "cyon.ch", 60'981, 48.1, true},
+      {"Gransy", "gransy.com", 54'690, 98.9, false},
+      {"METANET", "metanet.ch", 54'522, 70.5, true},
+      {"Porkbun", "porkbun.com", 34'989, 3.2, false},
+      {"netim", "netim.net", 34'586, 40.9, false},
+      {"Gandi", "gandi.net", 34'486, 3.6, false},
+      {"Webland", "webland.ch", 26'416, 76.3, true},
+      {"greench", "green.ch", 24'674, 16.8, true},
+      {"WebHouse", "webhouse.sk", 18'766, 60.0, false},
+      {"Va3Hosting", "va3.net", 13'066, 98.3, false},
+      {"HostFactory", "hostfactory.ch", 12'897, 68.4, true},
+      {"INWX", "inwx.net", 11'303, 7.8, false},
+      {"OpenProvider", "openprovider.net", 10'312, 79.5, false},
+      {"AWARDIC", "awardic.net", 8'898, 99.9, false},
+      {"ThreeDNS", "3dns.net", 8'112, 75.6, false},
+  };
+  for (const auto& c : kCdsOps) {
+    std::uint64_t domains =
+        static_cast<std::uint64_t>(static_cast<double>(c.cds) / c.pct * 100.0);
+    // Mostly secured; ~2 % of the CDS zones are still islands (bootstrappable).
+    std::uint64_t islands = c.cds / 50;
+    std::uint64_t secured = c.cds - islands;
+    auto p = op(c.name, c.ns_domain, domains, secured, 0, islands, c.cds);
+    p.swiss = c.swiss;
+    if (c.swiss) {
+      p.tld = "ch";
+      p.customer_tld = "ch";
+    }
+    if (std::string(c.ns_domain).find(".sk") != std::string::npos) {
+      p.tld = "sk";
+      p.customer_tld = "sk";
+    }
+    if (std::string(c.ns_domain).find(".net") != std::string::npos) {
+      p.tld = "net";
+    }
+    p.island_cds_fraction = 1.0;
+    out.push_back(p);
+  }
+
+  // ---- Table 3: the remaining authenticated-bootstrapping operators ----
+  {
+    // deSEC: everything signed, signal RRs for the whole portfolio, two
+    // signal domains (desec.io + desec.org), no delete sentinels in signal.
+    OperatorProfile p;
+    p.name = "deSEC";
+    p.ns_domains = {"desec.io", "desec.org"};
+    p.tld = "io";
+    p.customer_tld = "dev";
+    p.domains = 7'320;
+    p.secured = 5'439;
+    p.invalid = 20;
+    p.islands = 1'855;
+    p.cds_domains = 7'314;
+    p.island_cds_fraction = 1.0;
+    p.publishes_signal = true;
+    p.signal_includes_delete = false;
+    p.signal_on_invalid = 20;  // Table 3: deSEC "invalid DNSSEC" row
+    out.push_back(p);
+  }
+  {
+    // Glauca Digital: small portfolio, delete sentinels copied into signal.
+    OperatorProfile p;
+    p.name = "Glauca";
+    p.ns_domains = {"glauca.uk"};  // glauca.digital in reality; .digital is
+                                   // not simulated, so host under .uk
+    p.tld = "uk";
+    p.customer_tld = "uk";
+    p.domains = 295;
+    p.secured = 233;
+    p.invalid = 1;
+    p.islands = 56;  // 49 potential + 7 delete
+    p.cds_domains = 290;
+    p.island_cds_fraction = 1.0;
+    p.island_cds_delete_fraction = 7.0 / 56.0;
+    p.publishes_signal = true;
+    p.signal_includes_delete = true;
+    p.signal_on_invalid = 1;
+    out.push_back(p);
+  }
+  {
+    // "Others" from Table 3: test deployments (Wordpress, One.com, AWS,
+    // 51DNS, Verisign, personal servers) modelled as one small operator
+    // whose composition matches the Others column: 113 secured, 20 delete,
+    // 123 invalid, 23 potential.
+    OperatorProfile p;
+    p.name = "OtherSignal";
+    p.ns_domains = {"othersignal.net"};
+    p.tld = "net";
+    p.domains = 330;
+    p.secured = 113;
+    p.invalid = 123;
+    p.islands = 43;  // 23 potential + 20 delete
+    p.cds_domains = 279;
+    p.island_cds_fraction = 1.0;
+    p.island_cds_delete_fraction = 20.0 / 43.0;
+    p.publishes_signal = true;
+    p.signal_includes_delete = true;
+    p.signal_on_invalid = 123;
+    p.signal_on_unsigned = 43;  // §4.4: signal RRs over entirely unsigned zones
+    out.push_back(p);
+  }
+  {
+    // Canal Dominios: the §4.2 misconfiguration — CDS published in zones
+    // that are not signed at all (2 469 zones).
+    OperatorProfile p;
+    p.name = "CanalDominios";
+    p.ns_domains = {"canaldominios.net"};
+    p.tld = "net";
+    p.domains = 2'600;
+    p.cds_domains = 0;  // CDS handled by the pathology injector
+    out.push_back(p);
+  }
+  {
+    // Afternic-style parking for the typo'd nameserver domain desc.io
+    // (§4.4 zone-cut violation). Serves identical answers for every name.
+    OperatorProfile p;
+    p.name = "ParkingNamefind";
+    p.ns_domains = {"namefind.com"};
+    p.tld = "com";
+    p.domains = 0;  // hosts no scanned zones; only the parked desc.io
+    out.push_back(p);
+  }
+
+  return out;
+}
+
+std::vector<OperatorProfile> long_tail_profiles(
+    const std::vector<OperatorProfile>& named, const GlobalTargets& targets,
+    int count) {
+  std::uint64_t named_domains = 0, named_secured = 0, named_invalid = 0,
+                named_islands = 0, named_cds = 0;
+  for (const auto& p : named) {
+    named_domains += p.domains;
+    named_secured += p.secured;
+    named_invalid += p.invalid;
+    named_islands += p.islands;
+    named_cds += p.cds_domains;
+  }
+  auto saturating_sub = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  std::uint64_t rest_domains = saturating_sub(targets.total_domains, named_domains);
+  std::uint64_t rest_secured = saturating_sub(targets.secured, named_secured);
+  std::uint64_t rest_invalid = saturating_sub(targets.invalid, named_invalid);
+  std::uint64_t rest_islands = saturating_sub(targets.islands, named_islands);
+  std::uint64_t rest_cds = saturating_sub(targets.with_cds, named_cds);
+
+  // The funnel's island-CDS branches beyond the named operators: Cloudflare
+  // supplies most delete sentinels and most valid-CDS islands; the long tail
+  // supplies the remainder of the 302 985 "possible to bootstrap".
+  std::uint64_t named_island_cds_valid = 0;
+  for (const auto& p : named) {
+    double with_cds = static_cast<double>(p.islands) * p.island_cds_fraction;
+    named_island_cds_valid += static_cast<std::uint64_t>(
+        with_cds * (1.0 - p.island_cds_delete_fraction));
+  }
+  std::uint64_t rest_island_cds_valid =
+      saturating_sub(targets.island_cds_valid, named_island_cds_valid);
+
+  std::vector<OperatorProfile> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const auto tlds = simulated_tlds();
+
+  // Servers that predate RFC 3597 cannot serve DNSKEY either, so legacy
+  // operators host exclusively unsigned zones; the DNSSEC mass is spread
+  // over the modern remainder. The first `legacy_count` tail operators
+  // together cover the paper's 7.6 M CDS-query-failure domains.
+  const std::uint64_t per_op_domains =
+      rest_domains / static_cast<std::uint64_t>(count);
+  int legacy_count = per_op_domains == 0
+                         ? 0
+                         : static_cast<int>(
+                               (targets.legacy_formerr_domains +
+                                per_op_domains - 1) /
+                               per_op_domains);
+  legacy_count = std::min(legacy_count, count - 1);
+  const int modern_count = count - legacy_count;
+
+  for (int i = 0; i < count; ++i) {
+    OperatorProfile p;
+    p.name = "LongTail" + std::to_string(i + 1);
+    p.ns_domains = {"dns" + std::to_string(i + 1) + "-longtail.net"};
+    p.tld = "net";
+    p.customer_tld = tlds[static_cast<std::size_t>(i) % tlds.size()];
+    p.legacy_formerr = i < legacy_count;
+
+    auto share_all = [&](std::uint64_t total) {
+      std::uint64_t base = total / static_cast<std::uint64_t>(count);
+      return (i == count - 1)
+                 ? total - base * static_cast<std::uint64_t>(count - 1)
+                 : base;
+    };
+    // DNSSEC mass goes to modern operators only.
+    auto share_modern = [&](std::uint64_t total) -> std::uint64_t {
+      if (p.legacy_formerr) return 0;
+      int j = i - legacy_count;  // index among modern ops
+      std::uint64_t base = total / static_cast<std::uint64_t>(modern_count);
+      return (j == modern_count - 1)
+                 ? total - base * static_cast<std::uint64_t>(modern_count - 1)
+                 : base;
+    };
+    p.domains = share_all(rest_domains);
+    p.secured = share_modern(rest_secured);
+    p.invalid = share_modern(rest_invalid);
+    p.islands = share_modern(rest_islands);
+    p.cds_domains = share_modern(rest_cds);
+    std::uint64_t island_cds =
+        std::min(share_modern(rest_island_cds_valid), p.islands);
+    p.island_cds_fraction =
+        p.islands == 0 ? 0.0
+                       : static_cast<double>(island_cds) /
+                             static_cast<double>(p.islands);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace dnsboot::ecosystem

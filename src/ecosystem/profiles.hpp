@@ -1,0 +1,128 @@
+// Operator profiles and pathology specification — the calibration data that
+// makes the synthetic Internet reproduce the paper's evaluation.
+//
+// All counts are FULL-SCALE (the paper's absolute numbers); the builder
+// multiplies population counts by the configured scale factor, while
+// pathology counts are scaled with a floor of 1 so every error class the
+// paper describes is exercised at any scale.
+//
+// Sources: Table 1 (DNSSEC per top-20 operator), Table 2 (CDS publishers),
+// Table 3 / §4.4 (authenticated-bootstrapping signal zones), §4.2 (CDS error
+// taxonomy), Figure 1 (bootstrappability funnel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnsboot::ecosystem {
+
+struct OperatorProfile {
+  std::string name;
+  // NS hostnames are ns1.<d>, ns2.<d>, ... one per entry. Two entries on the
+  // same domain model a conventional 2-NS setup; two entries on different
+  // domains model the deSEC pattern (ns1.desec.io + ns2.desec.org).
+  std::vector<std::string> ns_domains;
+  std::string tld = "com";           // TLD of the operator's own zone(s)
+  std::string customer_tld = "com";  // TLD where customer zones are created
+
+  int addresses_per_ns = 1;  // Cloudflare pool: 3 IPv4 + 3 IPv6 => 6
+  bool anycast_pool = false;
+  bool legacy_formerr = false;  // pre-RFC 3597 servers: FORMERR on CDS (§4.2)
+  bool swiss = false;           // Table 2 annotation
+
+  // Portfolio composition (absolute, full scale). Remainder is unsigned.
+  std::uint64_t domains = 0;
+  std::uint64_t secured = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t islands = 0;
+
+  // CDS publication: secured zones receive CDS first, then islands according
+  // to island_cds_fraction, until cds_domains is exhausted.
+  std::uint64_t cds_domains = 0;
+  double island_cds_fraction = 0.0;
+  // Of islands with CDS, the fraction carrying the RFC 8078 delete sentinel
+  // (the Cloudflare disable-without-cleanup flow, §4.2: 37 % of their islands).
+  double island_cds_delete_fraction = 0.0;
+
+  // RFC 9615: publish signaling records for every DNSSEC-enabled zone
+  // (secured + islands-with-CDS) — the Cloudflare/deSEC/Glauca policy (§4.4).
+  bool publishes_signal = false;
+  // Cloudflare and Glauca copy delete sentinels into signal zones; deSEC
+  // does not (§4.4).
+  bool signal_includes_delete = false;
+  // Zones with signal RRs that are nonetheless invalid/unsigned in-zone —
+  // the Table 3 "invalid DNSSEC" row (43 unsigned + 787 invalid across
+  // operators). Full-scale counts.
+  std::uint64_t signal_on_invalid = 0;
+  std::uint64_t signal_on_unsigned = 0;
+
+  // Secured zones publishing a CSYNC record (RFC 7477) announcing an apex NS
+  // set that differs from the TLD delegation — migration via
+  // child-to-parent synchronization (the paper's future-work mechanism).
+  std::uint64_t csync_migrations = 0;
+};
+
+// Exact small-count error injections (scaled with floor 1).
+struct PathologySpec {
+  // §4.2 — CDS in unsigned zones (Canal Dominios et al.).
+  std::uint64_t unsigned_with_cds_canal = 2469;
+  std::uint64_t unsigned_with_cds_other = 385;  // 2 854 total
+  std::uint64_t unsigned_with_cds_delete = 16;
+  // §4.2 — signed zones whose CDS is a delete request the parent ignores.
+  std::uint64_t signed_with_cds_delete = 3289;
+  // §4.2 — islands with CDS inconsistent between nameservers (5 333 total,
+  // 4 637 of them multi-operator setups).
+  std::uint64_t island_cds_inconsistent_multi_op = 4637;
+  std::uint64_t island_cds_inconsistent_other = 696;
+  // §4.2 — CDS RRs matching no DNSKEY (7, of which 5 are secure islands)
+  // and invalid RRSIGs over CDS (3).
+  std::uint64_t island_cds_no_matching_dnskey = 5;
+  std::uint64_t signed_cds_no_matching_dnskey = 2;
+  std::uint64_t cds_invalid_rrsig = 3;
+
+  // §4.4 — signal-zone violations among bootstrappable zones.
+  std::uint64_t signal_missing_one_ns_cloudflare = 34;  // TLD/operator NS mismatch
+  std::uint64_t signal_missing_one_ns_desec = 154;      // spurious NS etc.
+  std::uint64_t signal_missing_one_ns_glauca = 1;
+  std::uint64_t signal_missing_one_ns_multi_op = 17;
+  std::uint64_t signal_zone_cut = 1;  // the ns1.desc.io parking typo
+
+  // §4.4 — zones with signal RRs that cannot be bootstrapped for in-zone
+  // reasons (beyond deletion requests): 43 unsigned, 787 invalidly signed,
+  // 32 inconsistent CDS, 47 invalid RRSIGs over in-zone CDS. These are
+  // attributed to the "other" signal publishers.
+  std::uint64_t signal_zone_unsigned = 43;
+  std::uint64_t signal_zone_invalid = 787;
+  std::uint64_t signal_cds_inconsistent = 32;
+  std::uint64_t signal_cds_bad_rrsig = 47;
+};
+
+// Global targets (§4.1 headline + Figure 1) used to calibrate the long tail.
+struct GlobalTargets {
+  std::uint64_t total_domains = 287'600'000;
+  std::uint64_t secured = 15'786'327;
+  std::uint64_t invalid = 640'048;
+  std::uint64_t islands = 3'122'912;  // funnel branches summed
+  std::uint64_t with_cds = 10'500'000;
+  std::uint64_t island_cds_delete = 165'010;
+  std::uint64_t island_cds_valid = 302'985;  // "possible to bootstrap"
+  // §4.2: 7.6 M domains whose NSes fail on CDS queries (legacy servers).
+  std::uint64_t legacy_formerr_domains = 7'600'000;
+};
+
+// The paper's named operators (Tables 1–3) plus deSEC/Glauca/parking/Canal.
+std::vector<OperatorProfile> paper_operator_profiles();
+
+// The calibrated long tail: generic operators covering the difference
+// between the named operators and the global targets. `count` controls how
+// many distinct operator identities the remainder is split across.
+std::vector<OperatorProfile> long_tail_profiles(
+    const std::vector<OperatorProfile>& named, const GlobalTargets& targets,
+    int count = 32);
+
+// TLDs the simulation serves. All are DNSSEC-signed (the paper scopes to
+// signed TLDs).
+std::vector<std::string> simulated_tlds();
+
+}  // namespace dnsboot::ecosystem

@@ -1,0 +1,40 @@
+// Simulated network addresses. An IpAddress is either IPv4 or IPv6; the
+// simulator treats them as opaque endpoint identities (there is no routing —
+// delivery is by exact address, with anycast pools layered on top).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "base/result.hpp"
+
+namespace dnsboot::net {
+
+class IpAddress {
+ public:
+  IpAddress() = default;
+
+  static IpAddress v4(std::array<std::uint8_t, 4> octets);
+  static IpAddress v6(std::array<std::uint8_t, 16> octets);
+  // Deterministic synthetic addresses for the ecosystem generator: maps an
+  // index into 10.x.y.z (v4) or fd00::/8 space (v6).
+  static IpAddress synthetic_v4(std::uint32_t index);
+  static IpAddress synthetic_v6(std::uint64_t index);
+
+  static Result<IpAddress> from_text(const std::string& text);
+
+  bool is_v6() const { return is_v6_; }
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+  std::string to_text() const;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  // IPv4 stored in the first 4 bytes.
+  std::array<std::uint8_t, 16> bytes_{};
+  bool is_v6_ = false;
+};
+
+}  // namespace dnsboot::net

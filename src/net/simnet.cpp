@@ -1,0 +1,106 @@
+#include "net/simnet.hpp"
+
+namespace dnsboot::net {
+
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+
+void SimNetwork::push_event(SimTime at, std::uint64_t timer_id,
+                            TimerHandler action) {
+  events_.push(Event{at, next_sequence_++, timer_id, std::move(action)});
+}
+
+std::uint64_t SimNetwork::schedule(SimTime delay, TimerHandler fn) {
+  std::uint64_t id = next_timer_id_++;
+  cancelled_[id] = false;
+  push_event(now_ + delay, id, std::move(fn));
+  return id;
+}
+
+void SimNetwork::cancel(std::uint64_t timer_id) {
+  auto it = cancelled_.find(timer_id);
+  if (it != cancelled_.end()) it->second = true;
+}
+
+void SimNetwork::bind(const IpAddress& address, DatagramHandler handler) {
+  handlers_[address] = std::move(handler);
+}
+
+void SimNetwork::unbind(const IpAddress& address) { handlers_.erase(address); }
+
+bool SimNetwork::is_bound(const IpAddress& address) const {
+  return handlers_.count(address) > 0;
+}
+
+const LinkModel& SimNetwork::link_for(const IpAddress& destination) const {
+  auto it = link_overrides_.find(destination);
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+void SimNetwork::set_link_to(const IpAddress& destination,
+                             const LinkModel& model) {
+  link_overrides_[destination] = model;
+}
+
+void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
+                      Bytes payload, bool tcp) {
+  ++datagrams_sent_;
+  bytes_sent_ += payload.size();
+  const LinkModel& link = link_for(destination);
+  if (rng_.chance(link.loss_rate)) {
+    ++datagrams_dropped_;
+    return;
+  }
+  SimTime latency = link.base_latency;
+  if (link.jitter > 0) latency += rng_.next_below(link.jitter);
+  // TCP pays an extra round trip for the handshake.
+  if (tcp) latency += link.base_latency;
+  Datagram dgram{source, destination, std::move(payload), tcp};
+  push_event(now_ + latency, 0, [this, dgram = std::move(dgram)]() {
+    auto it = handlers_.find(dgram.destination);
+    if (it == handlers_.end()) {
+      ++datagrams_unroutable_;
+      return;
+    }
+    ++datagrams_delivered_;
+    it->second(dgram);
+  });
+}
+
+std::size_t SimNetwork::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!events_.empty() && processed < max_events) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.at;
+    if (event.timer_id != 0) {
+      auto it = cancelled_.find(event.timer_id);
+      bool skip = (it != cancelled_.end() && it->second);
+      if (it != cancelled_.end()) cancelled_.erase(it);
+      if (skip) continue;
+    }
+    event.action();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t SimNetwork::run_until(SimTime deadline) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().at <= deadline) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.at;
+    if (event.timer_id != 0) {
+      auto it = cancelled_.find(event.timer_id);
+      bool skip = (it != cancelled_.end() && it->second);
+      if (it != cancelled_.end()) cancelled_.erase(it);
+      if (skip) continue;
+    }
+    event.action();
+    ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace dnsboot::net

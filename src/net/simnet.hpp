@@ -1,0 +1,122 @@
+// SimNetwork — a discrete-event network simulator carrying UDP-style
+// datagrams between simulated endpoints.
+//
+// This is the substitution for the live Internet (see DESIGN.md §1): the
+// scanner and the authoritative servers exchange real DNS wire-format
+// messages over it, while latency, jitter, loss and anycast behaviour are
+// modelled here. Everything is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "base/bytes.hpp"
+#include "base/rng.hpp"
+#include "net/address.hpp"
+
+namespace dnsboot::net {
+
+// Simulated time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+struct Datagram {
+  IpAddress source;
+  IpAddress destination;
+  Bytes payload;
+  // Transport marker: TCP carries arbitrarily large payloads (no server-side
+  // truncation); UDP is subject to the receiver's advertised limit. The
+  // simulator delivers both the same way — the flag only informs endpoints.
+  bool tcp = false;
+};
+
+// Per-path link characteristics.
+struct LinkModel {
+  SimTime base_latency = 10 * kMillisecond;  // one-way
+  SimTime jitter = 2 * kMillisecond;         // uniform [0, jitter)
+  double loss_rate = 0.0;                    // per-datagram drop probability
+};
+
+class SimNetwork {
+ public:
+  using DatagramHandler = std::function<void(const Datagram&)>;
+  using TimerHandler = std::function<void()>;
+
+  explicit SimNetwork(std::uint64_t seed);
+
+  SimTime now() const { return now_; }
+
+  // Run `fn` at now() + delay. Returns a timer id usable with cancel().
+  std::uint64_t schedule(SimTime delay, TimerHandler fn);
+  void cancel(std::uint64_t timer_id);
+
+  // Attach a handler to an address. Binding an already-bound address
+  // replaces the handler (used for fail-over in tests).
+  void bind(const IpAddress& address, DatagramHandler handler);
+  void unbind(const IpAddress& address);
+  bool is_bound(const IpAddress& address) const;
+
+  // Queue a datagram for delivery after the path's modelled latency. Lost
+  // datagrams are silently dropped (the caller sees a timeout, as on a real
+  // network).
+  void send(const IpAddress& source, const IpAddress& destination,
+            Bytes payload, bool tcp = false);
+
+  void set_default_link(const LinkModel& model) { default_link_ = model; }
+  // Override the link model for datagrams *to* a given destination.
+  void set_link_to(const IpAddress& destination, const LinkModel& model);
+
+  // Process events until the queue is empty or `max_events` fire.
+  // Returns the number of events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+  // Process events with time <= deadline.
+  std::size_t run_until(SimTime deadline);
+
+  // Statistics (for the scanner feasibility bench, paper App. D).
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t datagrams_delivered() const { return datagrams_delivered_; }
+  std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+  std::uint64_t datagrams_unroutable() const { return datagrams_unroutable_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
+    std::uint64_t timer_id;  // 0 for datagram deliveries
+    TimerHandler action;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  const LinkModel& link_for(const IpAddress& destination) const;
+  void push_event(SimTime at, std::uint64_t timer_id, TimerHandler action);
+
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t next_timer_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::map<std::uint64_t, bool> cancelled_;  // timer_id -> cancelled
+  std::map<IpAddress, DatagramHandler> handlers_;
+  std::map<IpAddress, LinkModel> link_overrides_;
+  LinkModel default_link_;
+  Rng rng_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_delivered_ = 0;
+  std::uint64_t datagrams_dropped_ = 0;
+  std::uint64_t datagrams_unroutable_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dnsboot::net

@@ -1,0 +1,118 @@
+#include "resolver/query_engine.hpp"
+
+namespace dnsboot::resolver {
+
+QueryEngine::QueryEngine(net::SimNetwork& network,
+                         net::IpAddress local_address,
+                         QueryEngineOptions options)
+    : network_(network),
+      local_address_(local_address),
+      options_(options) {
+  network_.bind(local_address_,
+                [this](const net::Datagram& dgram) { handle_datagram(dgram); });
+}
+
+std::uint16_t QueryEngine::allocate_id() {
+  // Find a free 16-bit ID; the scanner bounds concurrency well below 65k.
+  for (int tries = 0; tries < 0x10000; ++tries) {
+    std::uint16_t id = next_id_++;
+    if (id != 0 && pending_.find(id) == pending_.end()) return id;
+  }
+  return 0;  // exhausted (callers treat as overload)
+}
+
+void QueryEngine::query(const net::IpAddress& server, const dns::Name& qname,
+                        dns::RRType qtype, Callback callback) {
+  ++stats_.queries;
+  std::uint16_t id = allocate_id();
+  if (id == 0) {
+    callback(Error{"query.overload", "no free query ids"});
+    return;
+  }
+  Pending pending;
+  pending.server = server;
+  pending.qname = qname;
+  pending.qtype = qtype;
+  pending.callback = std::move(callback);
+  pending.attempts_left = options_.attempts;
+  pending_.emplace(id, std::move(pending));
+  send_attempt(id);
+}
+
+void QueryEngine::send_attempt(std::uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  --p.attempts_left;
+
+  // Pace sends per destination: the next slot is 1/qps after the previous.
+  net::SimTime interval =
+      static_cast<net::SimTime>(1e6 / options_.per_server_qps);
+  net::SimTime& next_free = next_free_[p.server];
+  net::SimTime send_at = std::max(network_.now(), next_free);
+  next_free = send_at + interval;
+  net::SimTime delay = send_at - network_.now();
+
+  dns::Message query = dns::Message::make_query(id, p.qname, p.qtype);
+  Bytes wire = query.encode();
+  network_.schedule(delay, [this, id, wire = std::move(wire)] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // answered while queued
+    ++stats_.sends;
+    network_.send(local_address_, it->second.server, wire,
+                  it->second.use_tcp);
+  });
+  p.timeout_timer = network_.schedule(delay + options_.timeout,
+                                      [this, id] { handle_timeout(id); });
+}
+
+void QueryEngine::handle_timeout(std::uint16_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  if (it->second.attempts_left > 0) {
+    ++stats_.retries;
+    send_attempt(id);
+    return;
+  }
+  ++stats_.timeouts;
+  Callback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  callback(Error{"query.timeout", "no response after all attempts"});
+}
+
+void QueryEngine::handle_datagram(const net::Datagram& dgram) {
+  auto message = dns::Message::decode(dgram.payload);
+  if (!message.ok()) {
+    ++stats_.mismatched;
+    return;
+  }
+  auto it = pending_.find(message->header.id);
+  if (it == pending_.end() || !message->header.qr) {
+    ++stats_.mismatched;
+    return;
+  }
+  // Guard against spoofed/crossed answers: source and question must match.
+  const Pending& p = it->second;
+  if (dgram.source != p.server || message->questions.size() != 1 ||
+      !(message->questions[0].name == p.qname) ||
+      message->questions[0].type != p.qtype) {
+    ++stats_.mismatched;
+    return;
+  }
+  // Truncated UDP answer: retry the same query over TCP (RFC 1035 §4.2.2).
+  if (message->header.tc && !p.use_tcp) {
+    ++stats_.tcp_fallbacks;
+    network_.cancel(p.timeout_timer);
+    it->second.use_tcp = true;
+    ++it->second.attempts_left;  // the TCP retry is not a lost attempt
+    send_attempt(message->header.id);
+    return;
+  }
+  ++stats_.responses;
+  network_.cancel(p.timeout_timer);
+  Callback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  callback(std::move(message).take());
+}
+
+}  // namespace dnsboot::resolver

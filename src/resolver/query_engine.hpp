@@ -1,0 +1,77 @@
+// QueryEngine — asynchronous DNS query transport over the simulated network,
+// with per-nameserver rate limiting, timeouts and retries.
+//
+// This is the piece the calibration note says real DNS libraries make clunky:
+// a large scan needs tens of thousands of outstanding queries with per-target
+// pacing (the paper limits itself to 50 qps per NS, §3). The engine paces
+// sends per destination address, matches responses by message ID, and
+// retries on timeout.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "dns/message.hpp"
+#include "net/simnet.hpp"
+
+namespace dnsboot::resolver {
+
+struct QueryEngineOptions {
+  net::SimTime timeout = 2 * net::kSecond;  // per attempt
+  int attempts = 3;                         // total tries per query
+  double per_server_qps = 50.0;             // paper's scan limit (§3)
+};
+
+struct QueryEngineStats {
+  std::uint64_t queries = 0;        // logical queries issued by callers
+  std::uint64_t sends = 0;          // datagrams sent (includes retries)
+  std::uint64_t responses = 0;      // matched responses
+  std::uint64_t timeouts = 0;       // logical queries that exhausted retries
+  std::uint64_t retries = 0;
+  std::uint64_t mismatched = 0;     // responses that matched no pending query
+  std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
+};
+
+class QueryEngine {
+ public:
+  using Callback = std::function<void(Result<dns::Message>)>;
+
+  QueryEngine(net::SimNetwork& network, net::IpAddress local_address,
+              QueryEngineOptions options);
+
+  // Issue one query. The callback fires exactly once: with the decoded
+  // response, or with an error after all attempts time out.
+  void query(const net::IpAddress& server, const dns::Name& qname,
+             dns::RRType qtype, Callback callback);
+
+  const QueryEngineStats& stats() const { return stats_; }
+  std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    net::IpAddress server;
+    dns::Name qname;
+    dns::RRType qtype;
+    Callback callback;
+    int attempts_left = 0;
+    std::uint64_t timeout_timer = 0;
+    bool use_tcp = false;  // set after a truncated (TC=1) UDP response
+  };
+
+  void send_attempt(std::uint16_t id);
+  void handle_datagram(const net::Datagram& dgram);
+  void handle_timeout(std::uint16_t id);
+  std::uint16_t allocate_id();
+
+  net::SimNetwork& network_;
+  net::IpAddress local_address_;
+  QueryEngineOptions options_;
+  std::map<std::uint16_t, Pending> pending_;
+  std::uint16_t next_id_ = 1;
+  // Rate pacing: earliest time the next datagram may leave for a server.
+  std::map<net::IpAddress, net::SimTime> next_free_;
+  QueryEngineStats stats_;
+};
+
+}  // namespace dnsboot::resolver

@@ -1,0 +1,348 @@
+#include "resolver/resolver.hpp"
+
+#include <memory>
+
+namespace dnsboot::resolver {
+namespace {
+
+constexpr int kMaxDepth = 8;
+
+}  // namespace
+
+DelegationResolver::DelegationResolver(QueryEngine& engine, RootHints hints)
+    : engine_(engine), hints_(std::move(hints)) {}
+
+std::optional<DelegationResolver::Referral>
+DelegationResolver::extract_referral(const dns::Message& response,
+                                     const dns::Name& parent) {
+  if (response.header.aa) return std::nullopt;
+  if (response.header.rcode != dns::Rcode::kNoError) return std::nullopt;
+
+  Referral ref;
+  bool found_ns = false;
+  for (const auto& rr : response.authorities) {
+    if (rr.type != dns::RRType::kNS) continue;
+    if (!rr.name.is_strictly_under(parent)) continue;
+    if (!found_ns) {
+      ref.cut = rr.name;
+      found_ns = true;
+    }
+    if (rr.name == ref.cut) {
+      ref.ns_names.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+    }
+  }
+  if (!found_ns) return std::nullopt;
+
+  // Parent-side DS (+ RRSIGs) travels in the referral's authority section.
+  for (const auto& rr : response.authorities) {
+    if (rr.name != ref.cut) continue;
+    if (rr.type == dns::RRType::kDS) {
+      if (ref.ds.rrset.rdatas.empty()) {
+        ref.ds.rrset.name = rr.name;
+        ref.ds.rrset.type = dns::RRType::kDS;
+        ref.ds.rrset.klass = rr.klass;
+        ref.ds.rrset.ttl = rr.ttl;
+      }
+      ref.ds.rrset.rdatas.push_back(rr.rdata);
+    } else if (rr.type == dns::RRType::kRRSIG) {
+      const auto& sig = std::get<dns::RrsigRdata>(rr.rdata);
+      if (sig.type_covered == dns::RRType::kDS) {
+        ref.ds.signatures.push_back(sig);
+      }
+    }
+  }
+
+  // Glue.
+  for (const auto& rr : response.additionals) {
+    net::IpAddress address;
+    if (rr.type == dns::RRType::kA) {
+      const auto& a = std::get<dns::ARdata>(rr.rdata);
+      address = net::IpAddress::v4(a.address);
+    } else if (rr.type == dns::RRType::kAAAA) {
+      const auto& a = std::get<dns::AaaaRdata>(rr.rdata);
+      address = net::IpAddress::v6(a.address);
+    } else {
+      continue;
+    }
+    for (const auto& ns : ref.ns_names) {
+      if (rr.name == ns) {
+        ref.glue.push_back(NsEndpoint{ns, address});
+        break;
+      }
+    }
+  }
+  return ref;
+}
+
+namespace {
+
+// One iterative walk from the root towards qname. Owns its own retry/descend
+// state; completes via exactly one of the two callbacks.
+struct WalkTask : std::enable_shared_from_this<WalkTask> {
+  DelegationResolver* resolver = nullptr;
+  QueryEngine* engine = nullptr;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::kSOA;
+  std::optional<dns::Name> stop_at;  // stop when a referral cuts exactly here
+  std::vector<net::IpAddress> servers;
+  std::size_t server_index = 0;
+  dns::Name parent;  // zone the current servers are authoritative for
+  int depth = 0;
+  // (response-or-error, answering server, zone it serves)
+  std::function<void(Result<dns::Message>, net::IpAddress, dns::Name)>
+      on_terminal;
+  std::function<void(DelegationResolver::Referral, dns::Name)> on_stop;
+  std::function<void(const dns::Name&, int,
+                     DelegationResolver::HostCallback)>
+      resolve_host_fn;
+
+  void start() { try_server(); }
+
+  void try_server() {
+    if (server_index >= servers.size()) {
+      on_terminal(Error{"resolve.unreachable",
+                        "no server for " + parent.to_text() + " answered"},
+                  net::IpAddress{}, parent);
+      return;
+    }
+    net::IpAddress server = servers[server_index];
+    auto self = shared_from_this();
+    engine->query(server, qname, qtype,
+                  [self, server](Result<dns::Message> result) {
+                    self->handle(std::move(result), server);
+                  });
+  }
+
+  void handle(Result<dns::Message> result, net::IpAddress server) {
+    if (!result.ok()) {
+      ++server_index;
+      try_server();
+      return;
+    }
+    dns::Message response = std::move(result).take();
+    if (response.header.rcode == dns::Rcode::kServFail ||
+        response.header.rcode == dns::Rcode::kRefused ||
+        response.header.rcode == dns::Rcode::kFormErr) {
+      ++server_index;
+      try_server();
+      return;
+    }
+    auto referral = DelegationResolver::extract_referral(response, parent);
+    if (!referral.has_value()) {
+      on_terminal(std::move(response), server, parent);
+      return;
+    }
+    if (stop_at.has_value() && referral->cut == *stop_at) {
+      on_stop(std::move(*referral), parent);
+      return;
+    }
+    if (depth >= kMaxDepth) {
+      on_terminal(Error{"resolve.too_deep", qname.to_text()},
+                  net::IpAddress{}, parent);
+      return;
+    }
+    descend_into(std::move(*referral));
+  }
+
+  void descend_into(DelegationResolver::Referral referral) {
+    parent = referral.cut;
+    ++depth;
+    server_index = 0;
+    if (!referral.glue.empty()) {
+      servers.clear();
+      for (const auto& endpoint : referral.glue) {
+        servers.push_back(endpoint.address);
+      }
+      try_server();
+      return;
+    }
+    // Glueless referral: resolve NS hostnames one at a time until one works.
+    resolve_ns_list(std::make_shared<std::vector<dns::Name>>(
+                        std::move(referral.ns_names)),
+                    0);
+  }
+
+  void resolve_ns_list(std::shared_ptr<std::vector<dns::Name>> ns_names,
+                       std::size_t index) {
+    if (index >= ns_names->size()) {
+      on_terminal(Error{"resolve.glueless_dead_end",
+                        "no NS of " + parent.to_text() + " resolvable"},
+                  net::IpAddress{}, parent);
+      return;
+    }
+    auto self = shared_from_this();
+    resolve_host_fn((*ns_names)[index], depth,
+                    [self, ns_names, index](
+                        Result<std::vector<net::IpAddress>> addresses) {
+                      if (addresses.ok() && !addresses->empty()) {
+                        self->servers = std::move(addresses).take();
+                        self->server_index = 0;
+                        self->try_server();
+                      } else {
+                        self->resolve_ns_list(ns_names, index + 1);
+                      }
+                    });
+  }
+};
+
+}  // namespace
+
+void DelegationResolver::resolve_host(const dns::Name& host,
+                                      HostCallback callback) {
+  // Public entry: depth 0.
+  struct Impl {
+    static void run(DelegationResolver* self, const dns::Name& host, int depth,
+                    HostCallback callback) {
+      const std::string key = host.canonical_text();
+      auto cached = self->host_cache_.find(key);
+      if (cached != self->host_cache_.end()) {
+        ++self->cache_hits_;
+        callback(cached->second);
+        return;
+      }
+      ++self->cache_misses_;
+      auto waiting = self->host_waiters_.find(key);
+      if (waiting != self->host_waiters_.end()) {
+        waiting->second.push_back(std::move(callback));
+        return;
+      }
+      if (depth >= kMaxDepth) {
+        callback(Error{"resolve.too_deep", host.to_text()});
+        return;
+      }
+      self->host_waiters_[key].push_back(std::move(callback));
+
+      auto finish = [self, key](std::vector<net::IpAddress> addresses) {
+        self->host_cache_[key] = addresses;
+        auto waiters = std::move(self->host_waiters_[key]);
+        self->host_waiters_.erase(key);
+        for (auto& cb : waiters) cb(addresses);
+      };
+
+      auto task = std::make_shared<WalkTask>();
+      task->resolver = self;
+      task->engine = &self->engine_;
+      task->qname = host;
+      task->qtype = dns::RRType::kA;
+      task->servers = self->hints_.servers;
+      task->parent = dns::Name::root();
+      task->depth = depth;
+      task->resolve_host_fn = [self](const dns::Name& h, int d,
+                                     HostCallback cb) {
+        Impl::run(self, h, d + 1, std::move(cb));
+      };
+      task->on_stop = [](DelegationResolver::Referral, dns::Name) {};
+      task->on_terminal = [self, host, finish](Result<dns::Message> result,
+                                               net::IpAddress server,
+                                               dns::Name) {
+        if (!result.ok() ||
+            result->header.rcode != dns::Rcode::kNoError) {
+          finish({});
+          return;
+        }
+        auto addresses = std::make_shared<std::vector<net::IpAddress>>();
+        for (const auto& rr : result->answers_of(host, dns::RRType::kA)) {
+          addresses->push_back(
+              net::IpAddress::v4(std::get<dns::ARdata>(rr.rdata).address));
+        }
+        // Follow up with AAAA at the same (authoritative) server.
+        self->engine_.query(
+            server, host, dns::RRType::kAAAA,
+            [host, finish, addresses](Result<dns::Message> v6) {
+              if (v6.ok() && v6->header.rcode == dns::Rcode::kNoError) {
+                for (const auto& rr :
+                     v6->answers_of(host, dns::RRType::kAAAA)) {
+                  addresses->push_back(net::IpAddress::v6(
+                      std::get<dns::AaaaRdata>(rr.rdata).address));
+                }
+              }
+              finish(*addresses);
+            });
+      };
+      task->start();
+    }
+  };
+  Impl::run(this, host, 0, std::move(callback));
+}
+
+void DelegationResolver::finish_delegation(Delegation base,
+                                           DelegationCallback callback) {
+  // Resolve every NS hostname; glue already in `endpoints`.
+  auto state = std::make_shared<Delegation>(std::move(base));
+  auto remaining = std::make_shared<std::size_t>(0);
+  auto cb = std::make_shared<DelegationCallback>(std::move(callback));
+
+  std::vector<dns::Name> to_resolve;
+  for (const auto& ns : state->ns_names) {
+    bool have_glue = false;
+    for (const auto& endpoint : state->endpoints) {
+      if (endpoint.ns == ns) {
+        have_glue = true;
+        break;
+      }
+    }
+    if (!have_glue) to_resolve.push_back(ns);
+  }
+  if (to_resolve.empty()) {
+    (*cb)(std::move(*state));
+    return;
+  }
+  *remaining = to_resolve.size();
+  for (const auto& ns : to_resolve) {
+    resolve_host(ns, [state, remaining, cb,
+                      ns](Result<std::vector<net::IpAddress>> addresses) {
+      if (addresses.ok() && !addresses->empty()) {
+        for (const auto& address : addresses.value()) {
+          state->endpoints.push_back(NsEndpoint{ns, address});
+        }
+      } else {
+        state->unresolved_ns.push_back(ns);
+      }
+      if (--*remaining == 0) (*cb)(std::move(*state));
+    });
+  }
+}
+
+void DelegationResolver::resolve_zone(const dns::Name& zone,
+                                      DelegationCallback callback) {
+  auto cb = std::make_shared<DelegationCallback>(std::move(callback));
+  auto task = std::make_shared<WalkTask>();
+  task->resolver = this;
+  task->engine = &engine_;
+  task->qname = zone;
+  task->qtype = dns::RRType::kSOA;
+  task->stop_at = zone;
+  task->servers = hints_.servers;
+  task->parent = dns::Name::root();
+  task->resolve_host_fn = [this](const dns::Name& h, int,
+                                 HostCallback hcb) {
+    resolve_host(h, std::move(hcb));
+  };
+  task->on_stop = [this, zone, cb](Referral referral, dns::Name parent) {
+    Delegation delegation;
+    delegation.zone = zone;
+    delegation.parent = parent;
+    delegation.ns_names = referral.ns_names;
+    delegation.ds = std::move(referral.ds);
+    delegation.endpoints = std::move(referral.glue);
+    finish_delegation(std::move(delegation), [cb](Result<Delegation> result) {
+      (*cb)(std::move(result));
+    });
+  };
+  task->on_terminal = [zone, cb](Result<dns::Message> result, net::IpAddress,
+                                 dns::Name) {
+    if (!result.ok()) {
+      (*cb)(result.error());
+      return;
+    }
+    if (result->header.rcode == dns::Rcode::kNxDomain) {
+      (*cb)(Error{"resolve.nxdomain", zone.to_text()});
+      return;
+    }
+    (*cb)(Error{"resolve.not_delegated",
+                zone.to_text() + " answered without a delegation"});
+  };
+  task->start();
+}
+
+}  // namespace dnsboot::resolver

@@ -1,0 +1,94 @@
+// DelegationResolver — iterative resolution over the simulated DNS tree.
+//
+// Mirrors YoDNS's behaviour (paper §3): it walks the delegation chain from
+// the root, resolves the full NS dependency tree (including out-of-bailiwick
+// nameserver hosts, with caching), and captures the parent-side DS RRset with
+// its signatures so the analysis can validate chains offline.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dnssec/validator.hpp"
+#include "resolver/query_engine.hpp"
+
+namespace dnsboot::resolver {
+
+struct RootHints {
+  std::vector<net::IpAddress> servers;
+  // The configured trust anchor: DS records committing to the root KSK.
+  std::vector<dns::DsRdata> trust_anchor;
+};
+
+struct NsEndpoint {
+  dns::Name ns;
+  net::IpAddress address;
+
+  bool operator==(const NsEndpoint& other) const {
+    return ns == other.ns && address == other.address;
+  }
+};
+
+// The parent-side view of one zone.
+struct Delegation {
+  dns::Name zone;
+  dns::Name parent;                  // zone that served the referral
+  std::vector<dns::Name> ns_names;   // NS set in the referral
+  dnssec::SignedRRset ds;            // DS RRset at the parent (may be empty)
+  std::vector<NsEndpoint> endpoints; // resolved address for every NS
+  // NS hostnames that could not be resolved to any address.
+  std::vector<dns::Name> unresolved_ns;
+};
+
+class DelegationResolver {
+ public:
+  using DelegationCallback = std::function<void(Result<Delegation>)>;
+  using HostCallback =
+      std::function<void(Result<std::vector<net::IpAddress>>)>;
+
+  DelegationResolver(QueryEngine& engine, RootHints hints);
+
+  // Find the delegation for `zone`, resolving every NS hostname.
+  void resolve_zone(const dns::Name& zone, DelegationCallback callback);
+
+  // Resolve a hostname to its addresses (A + AAAA), iteratively from root.
+  // Results (and failures) are cached: a scan meets the same operator
+  // nameservers millions of times.
+  void resolve_host(const dns::Name& host, HostCallback callback);
+
+  const RootHints& hints() const { return hints_; }
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+  // A referral extracted from a response's authority/additional sections.
+  // Public so the walk state machine (an implementation detail) and tests
+  // can use it.
+  struct Referral {
+    dns::Name cut;                     // owner of the NS set
+    std::vector<dns::Name> ns_names;
+    std::vector<NsEndpoint> glue;      // in-bailiwick addresses
+    dnssec::SignedRRset ds;
+  };
+
+  // Classify a response from a server authoritative for `parent` as a
+  // referral, if it is one.
+  static std::optional<Referral> extract_referral(const dns::Message& response,
+                                                  const dns::Name& parent);
+
+ private:
+  void finish_delegation(Delegation base, DelegationCallback callback);
+
+  QueryEngine& engine_;
+  RootHints hints_;
+  // Host address cache; nullopt-equivalent: empty vector means negative.
+  std::map<std::string, std::vector<net::IpAddress>> host_cache_;
+  std::map<std::string, std::vector<HostCallback>> host_waiters_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace dnsboot::resolver

@@ -1,0 +1,472 @@
+#include "scanner/scanner.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dnsboot::scanner {
+
+std::string to_string(RRsetProbe::Outcome outcome) {
+  switch (outcome) {
+    case RRsetProbe::Outcome::kAnswer: return "answer";
+    case RRsetProbe::Outcome::kNoData: return "nodata";
+    case RRsetProbe::Outcome::kNxDomain: return "nxdomain";
+    case RRsetProbe::Outcome::kError: return "error";
+    case RRsetProbe::Outcome::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+std::vector<const RRsetProbe*> ZoneObservation::probes_of(
+    dns::RRType qtype) const {
+  std::vector<const RRsetProbe*> out;
+  for (const auto& probe : probes) {
+    if (probe.qtype == qtype) out.push_back(&probe);
+  }
+  return out;
+}
+
+Result<dns::Name> signaling_name(const dns::Name& child, const dns::Name& ns) {
+  std::vector<std::string> labels;
+  labels.reserve(child.label_count() + ns.label_count() + 2);
+  labels.push_back("_dsboot");
+  for (const auto& l : child.labels()) labels.push_back(l);
+  labels.push_back("_signal");
+  for (const auto& l : ns.labels()) labels.push_back(l);
+  return dns::Name::from_labels(std::move(labels));
+}
+
+dns::Name registrable_domain_of(const dns::Name& host) {
+  const auto& labels = host.labels();
+  if (labels.size() <= 2) return host;
+  std::vector<std::string> tail(labels.end() - 2, labels.end());
+  return std::move(dns::Name::from_labels(std::move(tail))).take();
+}
+
+// --- task types -----------------------------------------------------------------
+
+struct Scanner::SignalTask {
+  SignalObservation obs;
+  std::size_t outstanding = 0;
+};
+
+struct Scanner::ZoneTask : std::enable_shared_from_this<Scanner::ZoneTask> {
+  ZoneObservation obs;
+  std::size_t outstanding = 0;
+  std::size_t signals_outstanding = 0;
+};
+
+// --- scanner --------------------------------------------------------------------
+
+Scanner::Scanner(net::SimNetwork& network, resolver::QueryEngine& engine,
+                 resolver::DelegationResolver& resolver,
+                 ScannerOptions options)
+    : network_(network),
+      engine_(engine),
+      resolver_(resolver),
+      options_(options),
+      rng_(options.seed) {}
+
+void Scanner::scan(std::vector<dns::Name> zones, ZoneCallback on_zone) {
+  on_zone_ = std::move(on_zone);
+  for (auto& zone : zones) queue_.push_back(std::move(zone));
+  capture_root_dnskey();
+  start_next_zones();
+}
+
+void Scanner::run() { network_.run(); }
+
+void Scanner::start_next_zones() {
+  while (active_zones_ < options_.max_concurrent_zones && !queue_.empty()) {
+    dns::Name zone = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_zones_;
+    start_zone(zone);
+  }
+}
+
+void Scanner::capture_root_dnskey() {
+  if (root_capture_started_) return;
+  root_capture_started_ = true;
+  if (resolver_.hints().servers.empty()) return;
+  dns::Name root = dns::Name::root();
+  std::weak_ptr<int> alive = alive_;
+  engine_.query(resolver_.hints().servers[0], root, dns::RRType::kDNSKEY,
+                [this, alive, root](Result<dns::Message> response) {
+                  if (alive.expired() || !response.ok()) return;
+                  RRsetProbe probe = make_probe_result(
+                      root, resolver_.hints().servers[0], root,
+                      dns::RRType::kDNSKEY, response);
+                  infra_.root_dnskey = probe.rrset;
+                });
+}
+
+void Scanner::capture_tld(const dns::Name& tld) {
+  const std::string key = tld.canonical_text();
+  if (tld_capture_started_[key]) return;
+  tld_capture_started_[key] = true;
+  std::weak_ptr<int> alive = alive_;
+  resolver_.resolve_zone(
+      tld, [this, alive, tld, key](Result<resolver::Delegation> result) {
+        if (alive.expired()) return;
+        if (!result.ok() || result->endpoints.empty()) return;
+        infra_.tlds[key].ds = result->ds;
+        net::IpAddress server = result->endpoints[0].address;
+        engine_.query(server, tld, dns::RRType::kDNSKEY,
+                      [this, alive, tld, key,
+                       server](Result<dns::Message> response) {
+                        if (alive.expired() || !response.ok()) return;
+                        RRsetProbe probe =
+                            make_probe_result(tld, server, tld,
+                                              dns::RRType::kDNSKEY, response);
+                        infra_.tlds[key].dnskey = probe.rrset;
+                      });
+      });
+}
+
+RRsetProbe Scanner::make_probe_result(const dns::Name& ns,
+                                      const net::IpAddress& endpoint,
+                                      const dns::Name& qname,
+                                      dns::RRType qtype,
+                                      const Result<dns::Message>& response) {
+  RRsetProbe probe;
+  probe.ns = ns;
+  probe.endpoint = endpoint;
+  probe.qname = qname;
+  probe.qtype = qtype;
+  if (!response.ok()) {
+    probe.outcome = RRsetProbe::Outcome::kTimeout;
+    return probe;
+  }
+  const dns::Message& message = response.value();
+  probe.rcode = message.header.rcode;
+  switch (message.header.rcode) {
+    case dns::Rcode::kNoError: {
+      auto answers = message.answers_of(qname, qtype);
+      if (answers.empty()) {
+        probe.outcome = RRsetProbe::Outcome::kNoData;
+        break;
+      }
+      probe.outcome = RRsetProbe::Outcome::kAnswer;
+      probe.rrset.rrset.name = qname;
+      probe.rrset.rrset.type = qtype;
+      probe.rrset.rrset.klass = answers[0].klass;
+      probe.rrset.rrset.ttl = answers[0].ttl;
+      for (const auto& rr : answers) {
+        probe.rrset.rrset.rdatas.push_back(rr.rdata);
+      }
+      for (const auto& rr : message.answers) {
+        if (rr.type == dns::RRType::kRRSIG && rr.name == qname) {
+          const auto& sig = std::get<dns::RrsigRdata>(rr.rdata);
+          if (sig.type_covered == qtype) probe.rrset.signatures.push_back(sig);
+        }
+      }
+      break;
+    }
+    case dns::Rcode::kNxDomain:
+      probe.outcome = RRsetProbe::Outcome::kNxDomain;
+      break;
+    default:
+      probe.outcome = RRsetProbe::Outcome::kError;
+      break;
+  }
+  return probe;
+}
+
+void Scanner::apply_pool_sampling(ZoneObservation& obs) {
+  obs.endpoints_before_sampling = obs.endpoints.size();
+  if (!options_.enable_pool_sampling) return;
+  if (obs.endpoints.size() < options_.pool_threshold) return;
+  Rng zone_rng = rng_.fork(obs.zone.canonical_text());
+  if (zone_rng.chance(options_.pool_full_scan_fraction)) {
+    ++stats_.pool_zones_full;
+    return;
+  }
+  ++stats_.pool_zones_sampled;
+  obs.pool_sampled = true;
+  // Keep one IPv4 and one IPv6 endpoint (paper §3).
+  std::vector<resolver::NsEndpoint> sampled;
+  for (const auto& endpoint : obs.endpoints) {
+    if (!endpoint.address.is_v6()) {
+      sampled.push_back(endpoint);
+      break;
+    }
+  }
+  for (const auto& endpoint : obs.endpoints) {
+    if (endpoint.address.is_v6()) {
+      sampled.push_back(endpoint);
+      break;
+    }
+  }
+  if (!sampled.empty()) obs.endpoints = std::move(sampled);
+}
+
+void Scanner::start_zone(const dns::Name& zone) {
+  auto task = std::make_shared<ZoneTask>();
+  task->obs.zone = zone;
+  task->obs.tld = zone.parent();
+  capture_tld(task->obs.tld);
+
+  std::weak_ptr<int> alive = alive_;
+  resolver_.resolve_zone(
+      zone, [this, alive, task](Result<resolver::Delegation> result) {
+        if (alive.expired()) return;
+        if (!result.ok()) {
+          task->obs.resolved = false;
+          task->obs.failure = result.error().to_string();
+          zone_finished(task);
+          return;
+        }
+        resolver::Delegation delegation = std::move(result).take();
+        task->obs.resolved = !delegation.endpoints.empty();
+        if (!task->obs.resolved) {
+          task->obs.failure = "no nameserver address resolvable";
+        }
+        task->obs.parent_ns = std::move(delegation.ns_names);
+        task->obs.parent_ds = std::move(delegation.ds);
+        task->obs.endpoints = std::move(delegation.endpoints);
+        apply_pool_sampling(task->obs);
+        if (!task->obs.resolved) {
+          zone_finished(task);
+          return;
+        }
+        probe_endpoints(task);
+      });
+}
+
+void Scanner::probe_endpoints(std::shared_ptr<ZoneTask> task) {
+  std::vector<dns::RRType> probe_types = {
+      dns::RRType::kSOA, dns::RRType::kNS, dns::RRType::kDNSKEY,
+      dns::RRType::kCDS, dns::RRType::kCDNSKEY};
+  if (options_.scan_csync) probe_types.push_back(dns::RRType::kCSYNC);
+  task->outstanding = task->obs.endpoints.size() * probe_types.size();
+  const dns::Name zone = task->obs.zone;
+  std::weak_ptr<int> alive = alive_;
+  for (const auto& endpoint : task->obs.endpoints) {
+    for (dns::RRType qtype : probe_types) {
+      engine_.query(endpoint.address, zone, qtype,
+                    [this, alive, task, endpoint, zone,
+                     qtype](Result<dns::Message> response) {
+                      if (alive.expired()) return;
+                      task->obs.probes.push_back(make_probe_result(
+                          endpoint.ns, endpoint.address, zone, qtype,
+                          response));
+                      if (--task->outstanding == 0) {
+                        start_signal_probes(task);
+                      }
+                    });
+    }
+  }
+}
+
+void Scanner::start_signal_probes(std::shared_ptr<ZoneTask> task) {
+  if (!options_.scan_signal_zones) {
+    zone_finished(task);
+    return;
+  }
+  // Distinct NS names: union of the parent NS set and every child-apex NS
+  // answer (the Cloudflare NS-mismatch cases of §4.4 make these differ).
+  std::set<std::string> seen;
+  std::vector<dns::Name> ns_names;
+  auto add = [&](const dns::Name& ns) {
+    if (seen.insert(ns.canonical_text()).second) ns_names.push_back(ns);
+  };
+  for (const auto& ns : task->obs.parent_ns) add(ns);
+  for (const auto* probe : task->obs.probes_of(dns::RRType::kNS)) {
+    if (probe->outcome != RRsetProbe::Outcome::kAnswer) continue;
+    for (const auto& rd : probe->rrset.rrset.rdatas) {
+      add(std::get<dns::NsRdata>(rd).nsdname);
+    }
+  }
+  if (ns_names.empty()) {
+    zone_finished(task);
+    return;
+  }
+  task->signals_outstanding = ns_names.size();
+  for (const auto& ns : ns_names) {
+    auto signal = std::make_shared<SignalTask>();
+    signal->obs.ns = ns;
+    auto name = signaling_name(task->obs.zone, ns);
+    if (!name.ok()) {
+      signal->obs.failure = name.error().to_string();
+      task->obs.signals.push_back(std::move(signal->obs));
+      if (--task->signals_outstanding == 0) zone_finished(task);
+      continue;
+    }
+    signal->obs.signal_name = std::move(name).take();
+    ++stats_.signal_probes;
+    run_signal_task(task, signal);
+  }
+}
+
+void Scanner::run_signal_task(std::shared_ptr<ZoneTask> task,
+                              std::shared_ptr<SignalTask> signal) {
+  const dns::Name operator_zone = registrable_domain_of(signal->obs.ns);
+  signal->obs.signaling_zone = operator_zone;
+  capture_tld(operator_zone.parent());
+
+  // Cached operator-zone delegation (shared across all zones on the operator).
+  const std::string key = operator_zone.canonical_text();
+  auto finish_with_delegation =
+      [this, task, signal](const Result<resolver::Delegation>& result) {
+        if (!result.ok() || result->endpoints.empty()) {
+          signal->obs.resolved = false;
+          signal->obs.failure =
+              result.ok() ? "no signaling-zone nameserver resolvable"
+                          : result.error().to_string();
+          task->obs.signals.push_back(std::move(signal->obs));
+          if (--task->signals_outstanding == 0) zone_finished(task);
+          return;
+        }
+        const resolver::Delegation& delegation = result.value();
+        signal->obs.resolved = true;
+        signal->obs.parent = delegation.parent;
+        signal->obs.parent_ds = delegation.ds;
+
+        // Sample endpoints like the main scan (pools answer identically).
+        std::vector<resolver::NsEndpoint> endpoints = delegation.endpoints;
+        if (options_.enable_pool_sampling &&
+            endpoints.size() >= options_.pool_threshold) {
+          std::vector<resolver::NsEndpoint> sampled;
+          std::set<std::string> names_seen;
+          for (const auto& endpoint : endpoints) {
+            if (names_seen.insert(endpoint.ns.canonical_text()).second) {
+              sampled.push_back(endpoint);
+            }
+          }
+          endpoints = std::move(sampled);
+        }
+
+        const dns::Name signal_name = signal->obs.signal_name;
+        const dns::Name apex = signal->obs.signaling_zone;
+        std::weak_ptr<int> alive = alive_;
+        // DNSKEY once + (CDS, CDNSKEY) per endpoint.
+        signal->outstanding = 1 + endpoints.size() * 2;
+
+        // The zone-cut probe runs for AB candidates: zones that published
+        // in-zone CDS (the registry short-circuit of App. D) or whose
+        // signaling tree carries data.
+        bool zone_has_cds = false;
+        for (const auto* probe : task->obs.probes_of(dns::RRType::kCDS)) {
+          if (probe->outcome == RRsetProbe::Outcome::kAnswer) {
+            zone_has_cds = true;
+            break;
+          }
+        }
+        auto on_probe_done = [this, task, signal, endpoints, apex, signal_name,
+                              zone_has_cds] {
+          if (--signal->outstanding > 0) return;
+          bool has_signal_data = false;
+          for (const auto& probe : signal->obs.cds_probes) {
+            if (probe.outcome == RRsetProbe::Outcome::kAnswer) {
+              has_signal_data = true;
+              break;
+            }
+          }
+          if (!options_.probe_signal_zone_cuts ||
+              (!has_signal_data && !zone_has_cds) || endpoints.empty()) {
+            task->obs.signals.push_back(std::move(signal->obs));
+            if (--task->signals_outstanding == 0) zone_finished(task);
+            return;
+          }
+          signal->obs.cut_check_performed = true;
+          // Intermediate names, strictly between apex and signal name.
+          std::vector<dns::Name> intermediates;
+          dns::Name walk = signal_name.parent();
+          while (walk.label_count() > apex.label_count()) {
+            intermediates.push_back(walk);
+            walk = walk.parent();
+          }
+          if (intermediates.empty()) {
+            task->obs.signals.push_back(std::move(signal->obs));
+            if (--task->signals_outstanding == 0) zone_finished(task);
+            return;
+          }
+          signal->outstanding = intermediates.size();
+          const net::IpAddress probe_endpoint = endpoints[0].address;
+          std::weak_ptr<int> cut_alive = alive_;
+          for (const auto& name : intermediates) {
+            engine_.query(
+                probe_endpoint, name, dns::RRType::kNS,
+                [this, cut_alive, task, signal,
+                 name](Result<dns::Message> response) {
+                  if (cut_alive.expired()) return;
+                  if (response.ok() &&
+                      response->header.rcode == dns::Rcode::kNoError &&
+                      !response->answers_of(name, dns::RRType::kNS).empty()) {
+                    signal->obs.apparent_cuts.push_back(name);
+                  }
+                  if (--signal->outstanding == 0) {
+                    task->obs.signals.push_back(std::move(signal->obs));
+                    if (--task->signals_outstanding == 0) zone_finished(task);
+                  }
+                });
+          }
+        };
+
+        engine_.query(endpoints[0].address, apex, dns::RRType::kDNSKEY,
+                      [this, alive, signal, endpoints, apex,
+                       on_probe_done](Result<dns::Message> response) {
+                        if (alive.expired()) return;
+                        signal->obs.dnskey_probes.push_back(make_probe_result(
+                            endpoints[0].ns, endpoints[0].address, apex,
+                            dns::RRType::kDNSKEY, response));
+                        on_probe_done();
+                      });
+        for (const auto& endpoint : endpoints) {
+          engine_.query(endpoint.address, signal_name, dns::RRType::kCDS,
+                        [this, alive, signal, endpoint, signal_name,
+                         on_probe_done](Result<dns::Message> response) {
+                          if (alive.expired()) return;
+                          signal->obs.cds_probes.push_back(make_probe_result(
+                              endpoint.ns, endpoint.address, signal_name,
+                              dns::RRType::kCDS, response));
+                          on_probe_done();
+                        });
+          engine_.query(endpoint.address, signal_name, dns::RRType::kCDNSKEY,
+                        [this, alive, signal, endpoint, signal_name,
+                         on_probe_done](Result<dns::Message> response) {
+                          if (alive.expired()) return;
+                          signal->obs.cdnskey_probes.push_back(
+                              make_probe_result(endpoint.ns, endpoint.address,
+                                                signal_name,
+                                                dns::RRType::kCDNSKEY,
+                                                response));
+                          on_probe_done();
+                        });
+        }
+      };
+
+  auto cached = operator_delegations_.find(key);
+  if (cached != operator_delegations_.end()) {
+    finish_with_delegation(*cached->second);
+    return;
+  }
+  auto waiting = operator_waiters_.find(key);
+  if (waiting != operator_waiters_.end()) {
+    waiting->second.push_back(finish_with_delegation);
+    return;
+  }
+  operator_waiters_[key].push_back(finish_with_delegation);
+  std::weak_ptr<int> alive = alive_;
+  resolver_.resolve_zone(
+      operator_zone,
+      [this, alive, key](Result<resolver::Delegation> result) {
+        if (alive.expired()) return;
+        auto stored =
+            std::make_shared<Result<resolver::Delegation>>(std::move(result));
+        operator_delegations_[key] = stored;
+        auto waiters = std::move(operator_waiters_[key]);
+        operator_waiters_.erase(key);
+        for (auto& waiter : waiters) waiter(*stored);
+      });
+}
+
+void Scanner::zone_finished(std::shared_ptr<ZoneTask> task) {
+  ++stats_.zones_scanned;
+  if (!task->obs.resolved) ++stats_.zones_failed;
+  if (on_zone_) on_zone_(std::move(task->obs));
+  --active_zones_;
+  start_next_zones();
+}
+
+}  // namespace dnsboot::scanner

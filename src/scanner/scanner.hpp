@@ -1,0 +1,122 @@
+// Scanner — YoDNS-style orchestration (paper §3): resolve each zone's
+// delegation, query *every* authoritative nameserver for the DNSSEC-relevant
+// RRsets, probe the RFC 9615 signaling names, and emit raw ZoneObservations.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "scanner/observation.hpp"
+
+namespace dnsboot::scanner {
+
+struct ScannerOptions {
+  // Zones probed concurrently; bounds outstanding queries.
+  std::size_t max_concurrent_zones = 256;
+
+  // Probe the RFC 9615 signaling names.
+  bool scan_signal_zones = true;
+
+  // Also query CSYNC (RFC 7477) at each endpoint — used by registries that
+  // synchronize NS/glue from the child (the paper's future-work pointer).
+  bool scan_csync = false;
+
+  // Cloudflare pool sampling (§3): when a zone's endpoint set is at least
+  // `pool_threshold` addresses, scan only 1 IPv4 + 1 IPv6 endpoint for
+  // (1 - pool_full_scan_fraction) of such zones.
+  std::size_t pool_threshold = 6;
+  double pool_full_scan_fraction = 0.05;
+  bool enable_pool_sampling = true;
+
+  // Zone-cut probing for signaling names (registry short-circuit, App. D):
+  // only performed when signal CDS records were actually found.
+  bool probe_signal_zone_cuts = true;
+
+  std::uint64_t seed = 0x5ca11ab1e;
+};
+
+struct ScannerStats {
+  std::uint64_t zones_scanned = 0;
+  std::uint64_t zones_failed = 0;
+  std::uint64_t signal_probes = 0;
+  std::uint64_t pool_zones_sampled = 0;
+  std::uint64_t pool_zones_full = 0;
+};
+
+class Scanner {
+ public:
+  using ZoneCallback = std::function<void(ZoneObservation)>;
+
+  Scanner(net::SimNetwork& network, resolver::QueryEngine& engine,
+          resolver::DelegationResolver& resolver, ScannerOptions options);
+
+  // Enqueue zones for scanning. Observations are delivered via `on_zone`
+  // as they complete. Call run() afterwards to drive the simulation.
+  void scan(std::vector<dns::Name> zones, ZoneCallback on_zone);
+
+  // Drive the simulated network until all scheduled work completes.
+  void run();
+
+  const ScannerStats& stats() const { return stats_; }
+  const InfrastructureSnapshot& infrastructure() const { return infra_; }
+
+ private:
+  struct ZoneTask;
+  struct SignalTask;
+
+  void start_next_zones();
+  void start_zone(const dns::Name& zone);
+  void zone_finished(std::shared_ptr<ZoneTask> task);
+  void apply_pool_sampling(ZoneObservation& obs);
+  void probe_endpoints(std::shared_ptr<ZoneTask> task);
+  void start_signal_probes(std::shared_ptr<ZoneTask> task);
+  void run_signal_task(std::shared_ptr<ZoneTask> task,
+                       std::shared_ptr<SignalTask> signal);
+  void capture_tld(const dns::Name& tld);
+  void capture_root_dnskey();
+
+  RRsetProbe make_probe_result(const dns::Name& ns,
+                               const net::IpAddress& endpoint,
+                               const dns::Name& qname, dns::RRType qtype,
+                               const Result<dns::Message>& response);
+
+  net::SimNetwork& network_;
+  resolver::QueryEngine& engine_;
+  resolver::DelegationResolver& resolver_;
+  ScannerOptions options_;
+  Rng rng_;
+  // Liveness token: async callbacks hold a weak reference and become no-ops
+  // once the Scanner is destroyed (callbacks can outlive it inside the
+  // engine/resolver queues).
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+
+  std::deque<dns::Name> queue_;
+  std::size_t active_zones_ = 0;
+  ZoneCallback on_zone_;
+  ScannerStats stats_;
+  InfrastructureSnapshot infra_;
+  std::map<std::string, bool> tld_capture_started_;
+  bool root_capture_started_ = false;
+
+  // Cache of operator-zone delegations for signal probing (one operator
+  // hosts many zones; resolving its zone once is the YoDNS dependency-tree
+  // reuse).
+  std::map<std::string, std::shared_ptr<Result<resolver::Delegation>>>
+      operator_delegations_;
+  std::map<std::string,
+           std::vector<std::function<void(const Result<resolver::Delegation>&)>>>
+      operator_waiters_;
+};
+
+// The RFC 9615 signaling name for (child, ns):
+//   _dsboot.<child-labels>._signal.<ns-labels>
+// Fails when the result would exceed the 255-octet name limit — one of the
+// standard's documented bootstrapping gaps (§2 "DS Bootstrapping Limitations").
+Result<dns::Name> signaling_name(const dns::Name& child, const dns::Name& ns);
+
+// The registrable domain (direct child of a public suffix) that contains
+// `host`, under the simulation's single-label-TLD model.
+dns::Name registrable_domain_of(const dns::Name& host);
+
+}  // namespace dnsboot::scanner

@@ -1,0 +1,161 @@
+#include "scanner/targets.hpp"
+
+#include <set>
+
+#include "base/rng.hpp"
+
+namespace dnsboot::scanner {
+
+struct TargetAcquirer::Transfer {
+  dns::Name tld;
+  Callback callback;
+  std::set<std::string> seen;           // canonical child names
+  std::vector<dns::Name> names;
+  std::size_t soa_count = 0;
+  std::size_t messages = 0;
+  std::size_t records = 0;
+  std::uint64_t settle_timer = 0;
+  std::uint64_t deadline_timer = 0;
+  bool done = false;
+  bool failure_on_finalize = false;
+};
+
+TargetAcquirer::TargetAcquirer(net::SimNetwork& network,
+                               net::IpAddress local_address,
+                               resolver::DelegationResolver& resolver)
+    : network_(network),
+      local_address_(local_address),
+      resolver_(resolver) {
+  network_.bind(local_address_,
+                [this](const net::Datagram& dgram) { handle_datagram(dgram); });
+}
+
+TargetAcquirer::~TargetAcquirer() { network_.unbind(local_address_); }
+
+void TargetAcquirer::axfr_targets(const dns::Name& tld, Callback callback) {
+  std::weak_ptr<int> alive = alive_;
+  resolver_.resolve_zone(
+      tld, [this, alive, tld, callback = std::move(callback)](
+               Result<resolver::Delegation> result) mutable {
+        if (alive.expired()) return;
+        if (!result.ok() || result->endpoints.empty()) {
+          TargetAcquisition out;
+          out.tld = tld;
+          out.failure = result.ok() ? "no reachable nameserver"
+                                    : result.error().to_string();
+          callback(std::move(out));
+          return;
+        }
+        start_transfer(tld, result->endpoints[0].address,
+                       std::move(callback));
+      });
+}
+
+void TargetAcquirer::start_transfer(const dns::Name& tld,
+                                    net::IpAddress server,
+                                    Callback callback) {
+  std::uint16_t id = next_id_++;
+  auto transfer = std::make_shared<Transfer>();
+  transfer->tld = tld;
+  transfer->callback = std::move(callback);
+  transfers_[id] = transfer;
+
+  dns::Message query = dns::Message::make_query(id, tld, dns::RRType::kAXFR,
+                                                /*dnssec_ok=*/false);
+  // Zone transfers run over TCP (RFC 5936 §4.2).
+  network_.send(local_address_, server, query.encode(), /*tcp=*/true);
+
+  // Overall deadline: a transfer that never completes must still call back.
+  std::weak_ptr<int> alive = alive_;
+  transfer->deadline_timer =
+      network_.schedule(30 * net::kSecond, [this, alive, id] {
+        if (alive.expired()) return;
+        auto it = transfers_.find(id);
+        if (it == transfers_.end() || it->second->done) return;
+        it->second->failure_on_finalize = it->second->soa_count < 2;
+        finalize(id);
+      });
+}
+
+void TargetAcquirer::handle_datagram(const net::Datagram& dgram) {
+  auto message = dns::Message::decode(dgram.payload);
+  if (!message.ok()) return;
+  auto it = transfers_.find(message->header.id);
+  if (it == transfers_.end() || it->second->done) return;
+  Transfer& transfer = *it->second;
+  const std::uint16_t id = message->header.id;
+
+  if (message->header.rcode != dns::Rcode::kNoError) {
+    transfer.failure_on_finalize = true;
+    finalize(id);
+    return;
+  }
+  ++transfer.messages;
+  for (const auto& rr : message->answers) {
+    ++transfer.records;
+    if (rr.type == dns::RRType::kSOA && rr.name == transfer.tld) {
+      ++transfer.soa_count;
+      continue;
+    }
+    // Registrable domains are the NS owners exactly one label below the TLD.
+    if (rr.type == dns::RRType::kNS &&
+        rr.name.label_count() == transfer.tld.label_count() + 1 &&
+        rr.name.is_strictly_under(transfer.tld)) {
+      if (transfer.seen.insert(rr.name.canonical_text()).second) {
+        transfer.names.push_back(rr.name);
+      }
+    }
+  }
+  // The closing SOA marks the end of the stream — but the simulated network
+  // can reorder datagrams, so wait a short settle window for stragglers.
+  if (transfer.soa_count >= 2 && transfer.settle_timer == 0) {
+    std::weak_ptr<int> alive = alive_;
+    transfer.settle_timer =
+        network_.schedule(200 * net::kMillisecond, [this, alive, id] {
+          if (alive.expired()) return;
+          finalize(id);
+        });
+  }
+}
+
+void TargetAcquirer::finalize(std::uint16_t id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end() || it->second->done) return;
+  std::shared_ptr<Transfer> transfer = it->second;
+  transfer->done = true;
+  network_.cancel(transfer->deadline_timer);
+  transfers_.erase(it);
+
+  TargetAcquisition out;
+  out.tld = transfer->tld;
+  out.names = std::move(transfer->names);
+  out.transfer_messages = transfer->messages;
+  out.transfer_records = transfer->records;
+  out.complete = transfer->soa_count >= 2 && !transfer->failure_on_finalize;
+  if (!out.complete) {
+    out.failure = transfer->messages == 0
+                      ? "refused"
+                      : "transfer incomplete";
+    out.names.clear();
+  }
+  transfer->callback(std::move(out));
+}
+
+std::vector<dns::Name> TargetAcquirer::ctlog_sample(
+    const std::vector<dns::Name>& full_zone, double coverage,
+    std::uint64_t seed) {
+  std::vector<dns::Name> out;
+  out.reserve(static_cast<std::size_t>(
+      static_cast<double>(full_zone.size()) * coverage));
+  for (const auto& name : full_zone) {
+    // Deterministic per (name, seed): the same domains appear in CT logs on
+    // every "observation" — it is the unlucky tail that never shows up
+    // (§3.1). SplitMix diffuses the seed into all output bits.
+    std::uint64_t h = SplitMix64(fnv1a(name.canonical_text()) ^ seed).next();
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < coverage) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dnsboot::scanner

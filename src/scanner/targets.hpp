@@ -1,0 +1,59 @@
+// Target acquisition — the paper's §3 domain-list inputs:
+//   (ii)  gTLD zone files from CZDS        -> generator-provided lists
+//   (iii) ccTLD zone files via AXFR        -> TargetAcquirer::axfr_targets
+//   (v)   CT-log-derived ccTLD samples     -> ctlog_sample (43-80 % coverage,
+//                                             §3.1 limitations)
+#pragma once
+
+#include <functional>
+
+#include "resolver/resolver.hpp"
+
+namespace dnsboot::scanner {
+
+struct TargetAcquisition {
+  dns::Name tld;
+  std::vector<dns::Name> names;  // registrable domains discovered
+  bool complete = false;         // a full zone transfer succeeded
+  std::string failure;
+  std::size_t transfer_messages = 0;
+  std::size_t transfer_records = 0;
+};
+
+class TargetAcquirer {
+ public:
+  using Callback = std::function<void(TargetAcquisition)>;
+
+  TargetAcquirer(net::SimNetwork& network, net::IpAddress local_address,
+                 resolver::DelegationResolver& resolver);
+  ~TargetAcquirer();
+
+  // Transfer the TLD zone via AXFR (resolving the TLD's servers first) and
+  // extract the delegated registrable domains. Registries that do not allow
+  // AXFR yield failure="refused" — the paper could not transfer .com either.
+  void axfr_targets(const dns::Name& tld, Callback callback);
+
+  // A Certificate-Transparency-derived sample: the paper could not transfer
+  // some large ccTLDs and fell back to CT-log names covering 43-80 % of each
+  // zone (§3.1). Deterministic per (seed, name).
+  static std::vector<dns::Name> ctlog_sample(
+      const std::vector<dns::Name>& full_zone, double coverage,
+      std::uint64_t seed);
+
+ private:
+  struct Transfer;
+
+  void start_transfer(const dns::Name& tld, net::IpAddress server,
+                      Callback callback);
+  void handle_datagram(const net::Datagram& dgram);
+  void finalize(std::uint16_t id);
+
+  net::SimNetwork& network_;
+  net::IpAddress local_address_;
+  resolver::DelegationResolver& resolver_;
+  std::uint16_t next_id_ = 1;
+  std::map<std::uint16_t, std::shared_ptr<Transfer>> transfers_;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace dnsboot::scanner

@@ -1,0 +1,385 @@
+#include "server/auth_server.hpp"
+
+#include <optional>
+
+#include "dnssec/nsec3.hpp"
+
+namespace dnsboot::server {
+namespace {
+
+// NSEC3 parameters of a zone, when it uses hashed denial.
+std::optional<dnssec::Nsec3Params> nsec3_params_of(const dns::Zone& zone) {
+  const dns::RRset* param =
+      zone.find_rrset(zone.origin(), dns::RRType::kNSEC3PARAM);
+  if (param == nullptr || param->rdatas.empty()) return std::nullopt;
+  const auto& rdata = std::get<dns::Nsec3ParamRdata>(param->rdatas[0]);
+  return dnssec::Nsec3Params{rdata.iterations, rdata.salt};
+}
+
+// The RR types a pre-2003 (pre-RFC 3597) implementation knows about; anything
+// else draws FORMERR from the kLegacyFormerr profile.
+bool legacy_known_type(dns::RRType type) {
+  switch (type) {
+    case dns::RRType::kA:
+    case dns::RRType::kNS:
+    case dns::RRType::kCNAME:
+    case dns::RRType::kSOA:
+    case dns::RRType::kPTR:
+    case dns::RRType::kMX:
+    case dns::RRType::kTXT:
+    case dns::RRType::kAAAA:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+AuthServer::AuthServer(ServerConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+void AuthServer::add_zone(std::shared_ptr<const dns::Zone> zone) {
+  zones_[zone->origin().canonical_text()] = std::move(zone);
+}
+
+std::shared_ptr<const dns::Zone> AuthServer::zone_for(
+    const dns::Name& name) const {
+  // Longest-origin match: walk the name's ancestors from most to least
+  // specific. O(labels * log zones) — operators here serve 10^5 zones.
+  dns::Name walk = name;
+  while (true) {
+    auto it = zones_.find(walk.canonical_text());
+    if (it != zones_.end()) return it->second;
+    if (walk.is_root()) return nullptr;
+    walk = walk.parent();
+  }
+}
+
+void AuthServer::append_rrset_with_sigs(
+    const dns::Zone& zone, const dns::RRset& rrset, bool dnssec_ok,
+    std::vector<dns::ResourceRecord>* section) {
+  for (const auto& rr : rrset.to_records()) section->push_back(rr);
+  if (dnssec_ok) {
+    for (const auto& sig : zone.signatures_covering(rrset.name, rrset.type)) {
+      section->push_back(sig);
+    }
+  }
+}
+
+dns::Message AuthServer::respond_parking(const dns::Message& query) {
+  // The Afternic model: every query for every name gets the same
+  // authoritative-looking answer. NS queries return the parking NS set;
+  // address queries return a parking address; everything else is NODATA
+  // without an SOA (these servers are not careful about standards).
+  dns::Message response = dns::Message::make_response(query);
+  response.header.aa = true;
+  const dns::Question& q = query.questions[0];
+  if (q.type == dns::RRType::kNS) {
+    for (const auto& ns : config_.parking_ns) {
+      dns::ResourceRecord rr;
+      rr.name = q.name;
+      rr.type = dns::RRType::kNS;
+      rr.ttl = 300;
+      rr.rdata = dns::NsRdata{ns};
+      response.answers.push_back(std::move(rr));
+    }
+  } else if (q.type == dns::RRType::kA) {
+    dns::ResourceRecord rr;
+    rr.name = q.name;
+    rr.type = dns::RRType::kA;
+    rr.ttl = 300;
+    rr.rdata = dns::ARdata{{203, 0, 113, 1}};
+    response.answers.push_back(std::move(rr));
+  } else if (q.type == dns::RRType::kSOA) {
+    dns::ResourceRecord rr;
+    rr.name = q.name;
+    rr.type = dns::RRType::kSOA;
+    rr.ttl = 300;
+    rr.rdata = dns::SoaRdata{config_.parking_ns.empty()
+                                 ? q.name
+                                 : config_.parking_ns.front(),
+                             q.name, 1, 3600, 600, 86400, 300};
+    response.answers.push_back(std::move(rr));
+  }
+  return response;
+}
+
+dns::Message AuthServer::respond_from_zone(const dns::Message& query,
+                                           const dns::Zone& zone) {
+  dns::Message response = dns::Message::make_response(query);
+  const dns::Question& q = query.questions[0];
+  const bool dnssec_ok = query.dnssec_ok();
+
+  auto lookup = zone.lookup(q.name, q.type);
+  using Kind = dns::Zone::LookupResult::Kind;
+  switch (lookup.kind) {
+    case Kind::kAnswer:
+    case Kind::kCname:
+      response.header.aa = true;
+      append_rrset_with_sigs(zone, *lookup.rrset, dnssec_ok,
+                             &response.answers);
+      break;
+    case Kind::kNoData: {
+      response.header.aa = true;
+      if (const dns::RRset* soa = zone.soa()) {
+        append_rrset_with_sigs(zone, *soa, dnssec_ok,
+                               &response.authorities);
+      }
+      if (dnssec_ok) {
+        if (const dns::RRset* nsec =
+                zone.find_rrset(q.name, dns::RRType::kNSEC)) {
+          append_rrset_with_sigs(zone, *nsec, dnssec_ok,
+                                 &response.authorities);
+        } else if (auto params = nsec3_params_of(zone)) {
+          dns::Name owner =
+              dnssec::nsec3_owner(q.name, zone.origin(), *params);
+          if (const dns::RRset* nsec3 =
+                  zone.find_rrset(owner, dns::RRType::kNSEC3)) {
+            append_rrset_with_sigs(zone, *nsec3, dnssec_ok,
+                                   &response.authorities);
+          }
+        }
+      }
+      break;
+    }
+    case Kind::kNxDomain: {
+      response.header.aa = true;
+      response.header.rcode = dns::Rcode::kNxDomain;
+      if (const dns::RRset* soa = zone.soa()) {
+        append_rrset_with_sigs(zone, *soa, dnssec_ok,
+                               &response.authorities);
+      }
+      if (dnssec_ok) {
+        if (auto params = nsec3_params_of(zone)) {
+          // RFC 5155 §7.2.2: matching NSEC3 for the closest encloser and a
+          // covering NSEC3 for the next-closer name.
+          dns::Name closest = q.name.parent();
+          dns::Name next_closer = q.name;
+          while (closest.label_count() >= zone.origin().label_count()) {
+            dns::Name owner =
+                dnssec::nsec3_owner(closest, zone.origin(), *params);
+            if (const dns::RRset* match =
+                    zone.find_rrset(owner, dns::RRType::kNSEC3)) {
+              append_rrset_with_sigs(zone, *match, dnssec_ok,
+                                     &response.authorities);
+              break;
+            }
+            if (closest.is_root()) break;
+            next_closer = closest;
+            closest = closest.parent();
+          }
+          for (const auto& set : zone.all_rrsets()) {
+            if (set.type != dns::RRType::kNSEC3) continue;
+            dns::ResourceRecord rr = set.to_records()[0];
+            if (dnssec::nsec3_covers(rr, zone.origin(), next_closer)) {
+              append_rrset_with_sigs(zone, set, dnssec_ok,
+                                     &response.authorities);
+              break;
+            }
+          }
+        } else {
+          // Covering NSEC for the denied name.
+          for (const auto& set : zone.all_rrsets()) {
+            if (set.type != dns::RRType::kNSEC) continue;
+            const auto& nsec = std::get<dns::NsecRdata>(set.rdatas[0]);
+            bool covers;
+            if (set.name < nsec.next_domain) {
+              covers = set.name < q.name && q.name < nsec.next_domain;
+            } else {
+              covers = set.name < q.name || q.name < nsec.next_domain;
+            }
+            if (covers) {
+              append_rrset_with_sigs(zone, set, dnssec_ok,
+                                     &response.authorities);
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Kind::kDelegation: {
+      // Referral: NS in authority, DS (+sigs) if present, glue in additional.
+      response.header.aa = false;
+      for (const auto& rr : lookup.rrset->to_records()) {
+        response.authorities.push_back(rr);
+      }
+      if (const dns::RRset* ds =
+              zone.find_rrset(lookup.cut_owner, dns::RRType::kDS)) {
+        append_rrset_with_sigs(zone, *ds, dnssec_ok,
+                               &response.authorities);
+      } else if (dnssec_ok) {
+        // Prove the absence of DS (insecure delegation).
+        if (const dns::RRset* nsec =
+                zone.find_rrset(lookup.cut_owner, dns::RRType::kNSEC)) {
+          append_rrset_with_sigs(zone, *nsec, dnssec_ok,
+                                 &response.authorities);
+        }
+      }
+      for (const auto& rd : lookup.rrset->rdatas) {
+        const dns::Name& ns_name = std::get<dns::NsRdata>(rd).nsdname;
+        for (dns::RRType glue_type : {dns::RRType::kA, dns::RRType::kAAAA}) {
+          if (const dns::RRset* glue = zone.find_rrset(ns_name, glue_type)) {
+            for (const auto& rr : glue->to_records()) {
+              response.additionals.push_back(rr);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Kind::kNotInZone:
+      response.header.rcode = dns::Rcode::kRefused;
+      break;
+  }
+  return response;
+}
+
+dns::Message AuthServer::handle(const dns::Message& query) {
+  ++queries_handled_;
+  dns::Message response = dns::Message::make_response(query);
+  if (query.questions.size() != 1) {
+    response.header.rcode = dns::Rcode::kFormErr;
+    return response;
+  }
+  const dns::Question& q = query.questions[0];
+
+  if (rng_.chance(config_.transient_servfail_rate)) {
+    response.header.rcode = dns::Rcode::kServFail;
+    return response;
+  }
+
+  if (config_.behavior == ServerBehavior::kLegacyFormerr &&
+      !legacy_known_type(q.type)) {
+    response.header.rcode = dns::Rcode::kFormErr;
+    return response;
+  }
+
+  if (config_.behavior == ServerBehavior::kParkingWildcard) {
+    return respond_parking(query);
+  }
+
+  auto zone = zone_for(q.name);
+  if (zone == nullptr) {
+    response.header.rcode = dns::Rcode::kRefused;
+    return response;
+  }
+  response = respond_from_zone(query, *zone);
+  maybe_corrupt_signatures(response);
+  return response;
+}
+
+void AuthServer::maybe_corrupt_signatures(dns::Message& response) {
+  if (!rng_.chance(config_.transient_badsig_rate)) return;
+  auto corrupt_section = [&](std::vector<dns::ResourceRecord>& section) {
+    for (auto& rr : section) {
+      if (rr.type != dns::RRType::kRRSIG) continue;
+      auto& rrsig = std::get<dns::RrsigRdata>(rr.rdata);
+      if (!rrsig.signature.empty()) {
+        rrsig.signature[rrsig.signature.size() / 2] ^= 0x01;
+      }
+    }
+  };
+  corrupt_section(response.answers);
+  corrupt_section(response.authorities);
+}
+
+std::vector<dns::Message> AuthServer::handle_axfr(const dns::Message& query) {
+  ++queries_handled_;
+  std::vector<dns::Message> out;
+  auto refuse = [&] {
+    dns::Message response = dns::Message::make_response(query);
+    response.header.rcode = dns::Rcode::kRefused;
+    out = {response};
+  };
+  if (query.questions.size() != 1 || !config_.allow_axfr) {
+    refuse();
+    return out;
+  }
+  const dns::Question& q = query.questions[0];
+  auto zone = zone_for(q.name);
+  if (zone == nullptr || !(zone->origin() == q.name)) {
+    refuse();
+    return out;
+  }
+  const dns::RRset* soa = zone->soa();
+  if (soa == nullptr) {
+    refuse();
+    return out;
+  }
+
+  // Serialize: SOA first, every RRset (including signatures), SOA last.
+  std::vector<dns::ResourceRecord> stream;
+  stream.push_back(soa->to_records()[0]);
+  for (const auto& set : zone->all_rrsets()) {
+    if (set.type == dns::RRType::kSOA && set.name == zone->origin()) {
+      // only at the stream boundaries
+    } else {
+      for (const auto& rr : set.to_records()) stream.push_back(rr);
+    }
+    for (const auto& sig : zone->signatures_covering(set.name, set.type)) {
+      stream.push_back(sig);
+    }
+  }
+  stream.push_back(soa->to_records()[0]);
+
+  const std::size_t chunk = std::max<std::size_t>(1, config_.axfr_chunk_records);
+  for (std::size_t offset = 0; offset < stream.size(); offset += chunk) {
+    dns::Message response = dns::Message::make_response(query);
+    response.header.aa = true;
+    std::size_t end = std::min(stream.size(), offset + chunk);
+    response.answers.assign(stream.begin() + static_cast<std::ptrdiff_t>(offset),
+                            stream.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(response));
+  }
+  return out;
+}
+
+void AuthServer::attach(net::SimNetwork& network,
+                        const net::IpAddress& address) {
+  network.bind(address, [this, &network](const net::Datagram& dgram) {
+    auto query = dns::Message::decode(dgram.payload);
+    if (!query.ok()) return;  // garbage in, silence out (as UDP would)
+    if (!query->questions.empty() &&
+        query->questions[0].type == dns::RRType::kAXFR) {
+      // Zone transfers run over TCP (RFC 5936 §4.2); refuse UDP attempts.
+      if (!dgram.tcp) {
+        dns::Message refusal = dns::Message::make_response(query.value());
+        refusal.header.rcode = dns::Rcode::kRefused;
+        network.send(dgram.destination, dgram.source, refusal.encode(),
+                     /*tcp=*/false);
+        return;
+      }
+      for (auto& response : handle_axfr(query.value())) {
+        network.send(dgram.destination, dgram.source, response.encode(),
+                     /*tcp=*/true);
+      }
+      return;
+    }
+    dns::Message response = handle(query.value());
+    Bytes wire = response.encode();
+    if (!dgram.tcp) {
+      // UDP size limit: the client's EDNS-advertised buffer, or the
+      // classic 512 bytes without EDNS (RFC 1035 §4.2.1). Oversized
+      // responses are truncated to header+question with TC set.
+      std::size_t limit = 512;
+      for (const auto& rr : query->additionals) {
+        if (rr.type == dns::RRType::kOPT) {
+          limit = std::max<std::size_t>(
+              512, static_cast<std::uint16_t>(rr.klass));
+        }
+      }
+      if (wire.size() > limit) {
+        dns::Message truncated = dns::Message::make_response(query.value());
+        truncated.header.rcode = response.header.rcode;
+        truncated.header.aa = response.header.aa;
+        truncated.header.tc = true;
+        wire = truncated.encode();
+      }
+    }
+    network.send(dgram.destination, dgram.source, std::move(wire), dgram.tcp);
+  });
+}
+
+}  // namespace dnsboot::server

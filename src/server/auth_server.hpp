@@ -1,0 +1,96 @@
+// Authoritative DNS server engine over the simulated network.
+//
+// One AuthServer instance models one operational server identity (which may
+// answer on many addresses — the anycast-pool model). Behaviour profiles
+// reproduce the server populations the paper observed:
+//   kCompliant       — answers per RFC 1035/4035, NODATA for unknown types
+//   kLegacyFormerr   — pre-RFC 3597 software: FORMERR on unknown RR types
+//                      (the 7.6 M zones of §4.2 "lack of support for CDS")
+//   kParkingWildcard — Afternic-style parking: identical answers for every
+//                      name, creating the illusion of a zone cut at every
+//                      level (the copacabana zone-cut violation of §4.4)
+// Transient failures (deSEC's SERVFAILs and invalid signatures during the
+// scan, §4.4) are injected via failure rates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "dns/message.hpp"
+#include "dns/zone.hpp"
+#include "net/simnet.hpp"
+
+namespace dnsboot::server {
+
+enum class ServerBehavior {
+  kCompliant,
+  kLegacyFormerr,
+  kParkingWildcard,
+};
+
+struct ServerConfig {
+  std::string id;  // diagnostic label, e.g. "ns1.desec.io"
+  ServerBehavior behavior = ServerBehavior::kCompliant;
+  // Probability of answering any query with SERVFAIL (transient outage).
+  double transient_servfail_rate = 0.0;
+  // Probability of corrupting every RRSIG in a response (transient bad
+  // signatures, as observed from deSEC during the paper's scan).
+  double transient_badsig_rate = 0.0;
+  // Parking profile: the NS names returned for every NS query.
+  std::vector<dns::Name> parking_ns;
+
+  // Permit zone transfers (RFC 5936). The paper obtained full zone files via
+  // AXFR only from a handful of ccTLDs (.ch/.li/.se/.nu/.ee) and by private
+  // arrangement (.uk/.sk); everyone else refuses.
+  bool allow_axfr = false;
+  // Records per AXFR response message (the simulated stream framing).
+  std::size_t axfr_chunk_records = 2000;
+};
+
+class AuthServer {
+ public:
+  AuthServer(ServerConfig config, std::uint64_t seed);
+
+  const ServerConfig& config() const { return config_; }
+
+  // Serve a zone. Zones are shared (an operator's servers all serve the same
+  // zone objects).
+  void add_zone(std::shared_ptr<const dns::Zone> zone);
+  // The zone whose origin is the longest suffix of `name`, if any.
+  std::shared_ptr<const dns::Zone> zone_for(const dns::Name& name) const;
+
+  // Produce the response for one query (the core of the engine; pure except
+  // for the failure-injection RNG).
+  dns::Message handle(const dns::Message& query);
+
+  // Zone transfer: the full record stream for an AXFR query, chunked into
+  // multiple messages (first and last carry the SOA, RFC 5936 §2.2). Empty
+  // with REFUSED semantics when transfers are not allowed or the zone is not
+  // served here.
+  std::vector<dns::Message> handle_axfr(const dns::Message& query);
+
+  // Bind this server to an address on the simulated network. May be called
+  // many times (anycast pool: every pool address answers identically).
+  void attach(net::SimNetwork& network, const net::IpAddress& address);
+
+  std::uint64_t queries_handled() const { return queries_handled_; }
+
+ private:
+  dns::Message respond_from_zone(const dns::Message& query,
+                                 const dns::Zone& zone);
+  dns::Message respond_parking(const dns::Message& query);
+  void append_rrset_with_sigs(const dns::Zone& zone, const dns::RRset& rrset,
+                              bool dnssec_ok,
+                              std::vector<dns::ResourceRecord>* section);
+  void maybe_corrupt_signatures(dns::Message& response);
+
+  ServerConfig config_;
+  Rng rng_;
+  // Keyed by canonical origin text for longest-suffix lookup.
+  std::map<std::string, std::shared_ptr<const dns::Zone>> zones_;
+  std::uint64_t queries_handled_ = 0;
+};
+
+}  // namespace dnsboot::server

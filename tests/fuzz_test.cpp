@@ -1,0 +1,138 @@
+// Robustness sweeps: the wire-format parsers must survive arbitrary bytes —
+// a scanner ingests whatever the network hands it. No crash, no hang, no
+// out-of-bounds read (ASan-verified in the sanitizer build); malformed input
+// yields an Error, never undefined behaviour.
+#include <gtest/gtest.h>
+
+#include "base/encoding.hpp"
+#include "base/rng.hpp"
+#include "dns/message.hpp"
+#include "dns/zonefile.hpp"
+
+namespace dnsboot::dns {
+namespace {
+
+class MessageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessageFuzz, RandomBytesNeverCrashDecoder) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 2000; ++round) {
+    Bytes junk = rng.bytes(rng.next_below(300));
+    auto result = Message::decode(junk);
+    // Either parses or errors; both are fine. Touch the value to make sure
+    // any lazy state is materialized.
+    if (result.ok()) {
+      (void)result->encode();
+    } else {
+      EXPECT_FALSE(result.error().code.empty());
+    }
+  }
+}
+
+TEST_P(MessageFuzz, BitFlippedRealMessagesNeverCrashDecoder) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  Message query = Message::make_query(
+      1234, std::move(Name::from_text("www.example.com.")).take(),
+      RRType::kCDS);
+  Message response = Message::make_response(query);
+  ResourceRecord rr;
+  rr.name = std::move(Name::from_text("www.example.com.")).take();
+  rr.type = RRType::kCDS;
+  rr.rdata = DsRdata{12345, 15, 2, Bytes(32, 0xaa)};
+  response.answers.push_back(rr);
+  const Bytes original = response.encode();
+
+  for (int round = 0; round < 4000; ++round) {
+    Bytes mutated = original;
+    int flips = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < flips; ++f) {
+      std::size_t at = rng.next_below(mutated.size());
+      mutated[at] ^= static_cast<std::uint8_t>(1 << rng.next_below(8));
+    }
+    auto result = Message::decode(mutated);
+    if (result.ok()) (void)result->encode();
+  }
+}
+
+TEST_P(MessageFuzz, TruncatedRealMessagesNeverCrashDecoder) {
+  Message query = Message::make_query(
+      7, std::move(Name::from_text("zone.example.")).take(), RRType::kDNSKEY);
+  const Bytes original = query.encode();
+  for (std::size_t cut = 0; cut < original.size(); ++cut) {
+    Bytes prefix(original.begin(),
+                 original.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto result = Message::decode(prefix);
+    // Prefixes shorter than the full message must not parse successfully
+    // (the encoder emits no trailing padding to be confused by).
+    if (cut < original.size()) EXPECT_FALSE(result.ok()) << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessageFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(NameFuzz, RandomTextNeverCrashesParser) {
+  Rng rng(99);
+  const char alphabet[] = "abc.-\\019_*@ \t";
+  for (int round = 0; round < 5000; ++round) {
+    std::string text;
+    std::size_t length = rng.next_below(80);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+    }
+    auto result = Name::from_text(text);
+    if (result.ok()) {
+      // Round-trip safety: printing and reparsing yields the same name.
+      auto reparsed = Name::from_text(result->to_text());
+      ASSERT_TRUE(reparsed.ok()) << text;
+      EXPECT_EQ(*reparsed, *result) << text;
+    }
+  }
+}
+
+TEST(ZoneFileFuzz, RandomLinesNeverCrashParser) {
+  Rng rng(7);
+  const char* fragments[] = {"@",       "IN",    "A",     "NS",      "3600",
+                             "example", "CDS",   "\"x\"", "$ORIGIN", "$TTL",
+                             "192.0.2.1", ";c",  "\\000", "..",      "MX"};
+  auto origin = std::move(Name::from_text("example.com.")).take();
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    int lines = 1 + static_cast<int>(rng.next_below(5));
+    for (int l = 0; l < lines; ++l) {
+      int words = static_cast<int>(rng.next_below(7));
+      for (int w = 0; w < words; ++w) {
+        text += fragments[rng.next_below(std::size(fragments))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    auto result = parse_zone_text(text, ZoneFileOptions{origin, 300});
+    (void)result;  // ok or error; must not crash
+  }
+}
+
+TEST(EncodingFuzz, DecodersRejectOrRoundTrip) {
+  Rng rng(11);
+  const char b64ish[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/=??";
+  for (int round = 0; round < 3000; ++round) {
+    std::string text;
+    std::size_t length = rng.next_below(40);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += b64ish[rng.next_below(sizeof(b64ish) - 1)];
+    }
+    auto b64 = base64_decode(text);
+    if (b64.ok()) {
+      // Decoded data re-encodes to a canonical form that decodes identically.
+      auto again = base64_decode(base64_encode(b64.value()));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again.value(), b64.value());
+    }
+    (void)hex_decode(text);
+    (void)base32hex_decode(text);
+  }
+}
+
+}  // namespace
+}  // namespace dnsboot::dns

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "net/address.hpp"
+#include "net/simnet.hpp"
+
+namespace dnsboot::net {
+namespace {
+
+TEST(IpAddress, V4TextRoundTrip) {
+  auto a = IpAddress::from_text("192.0.2.1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->is_v6());
+  EXPECT_EQ(a->to_text(), "192.0.2.1");
+}
+
+TEST(IpAddress, V6TextRoundTrip) {
+  auto a = IpAddress::from_text("2001:db8::53");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->to_text(), "2001:db8:0:0:0:0:0:53");
+}
+
+TEST(IpAddress, SyntheticAddressesAreDistinct) {
+  EXPECT_NE(IpAddress::synthetic_v4(1), IpAddress::synthetic_v4(2));
+  EXPECT_NE(IpAddress::synthetic_v6(1), IpAddress::synthetic_v6(2));
+  EXPECT_NE(IpAddress::synthetic_v4(1), IpAddress::synthetic_v6(1));
+  EXPECT_EQ(IpAddress::synthetic_v4(0x00010203).to_text(), "10.1.2.3");
+}
+
+TEST(IpAddress, Ordering) {
+  auto a = IpAddress::synthetic_v4(1);
+  auto b = IpAddress::synthetic_v4(2);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(SimNetwork, DeliversDatagramAfterLatency) {
+  SimNetwork net(1);
+  net.set_default_link(LinkModel{5 * kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+
+  SimTime delivered_at = 0;
+  Bytes received;
+  net.bind(server, [&](const Datagram& d) {
+    delivered_at = net.now();
+    received = d.payload;
+  });
+  net.send(client, server, Bytes{1, 2, 3});
+  net.run();
+  EXPECT_EQ(delivered_at, 5 * kMillisecond);
+  EXPECT_EQ(received, (Bytes{1, 2, 3}));
+  EXPECT_EQ(net.datagrams_delivered(), 1u);
+}
+
+TEST(SimNetwork, UnboundDestinationCountsUnroutable) {
+  SimNetwork net(1);
+  net.send(IpAddress::synthetic_v4(1), IpAddress::synthetic_v4(99), Bytes{1});
+  net.run();
+  EXPECT_EQ(net.datagrams_unroutable(), 1u);
+  EXPECT_EQ(net.datagrams_delivered(), 0u);
+}
+
+TEST(SimNetwork, LossDropsDeterministically) {
+  SimNetwork net(42);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.5});
+  auto server = IpAddress::synthetic_v4(1);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) {
+    net.send(IpAddress::synthetic_v4(2), server, Bytes{0});
+  }
+  net.run();
+  EXPECT_EQ(net.datagrams_dropped() + static_cast<std::uint64_t>(delivered),
+            1000u);
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 600);
+
+  // Same seed reproduces exactly.
+  SimNetwork net2(42);
+  net2.set_default_link(LinkModel{kMillisecond, 0, 0.5});
+  int delivered2 = 0;
+  net2.bind(server, [&](const Datagram&) { ++delivered2; });
+  for (int i = 0; i < 1000; ++i) {
+    net2.send(IpAddress::synthetic_v4(2), server, Bytes{0});
+  }
+  net2.run();
+  EXPECT_EQ(delivered, delivered2);
+}
+
+TEST(SimNetwork, TimersFireInOrder) {
+  SimNetwork net(1);
+  std::vector<int> order;
+  net.schedule(30, [&] { order.push_back(3); });
+  net.schedule(10, [&] { order.push_back(1); });
+  net.schedule(20, [&] { order.push_back(2); });
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net.now(), 30u);
+}
+
+TEST(SimNetwork, EqualTimestampsFifo) {
+  SimNetwork net(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    net.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimNetwork, CancelSuppressesTimer) {
+  SimNetwork net(1);
+  bool fired = false;
+  auto id = net.schedule(10, [&] { fired = true; });
+  net.cancel(id);
+  net.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimNetwork, RunUntilStopsAtDeadline) {
+  SimNetwork net(1);
+  int fired = 0;
+  net.schedule(10, [&] { ++fired; });
+  net.schedule(20, [&] { ++fired; });
+  net.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(net.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(net.now(), 20u);
+  net.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimNetwork, NestedSchedulingFromHandlers) {
+  SimNetwork net(1);
+  auto addr = IpAddress::synthetic_v4(1);
+  int hops = 0;
+  net.bind(addr, [&](const Datagram& d) {
+    if (++hops < 5) net.send(d.destination, d.destination, Bytes{0});
+  });
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  net.send(addr, addr, Bytes{0});
+  net.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(net.now(), 5 * kMillisecond);
+}
+
+TEST(SimNetwork, PerDestinationLinkOverride) {
+  SimNetwork net(1);
+  net.set_default_link(LinkModel{10 * kMillisecond, 0, 0.0});
+  auto fast = IpAddress::synthetic_v4(1);
+  auto slow = IpAddress::synthetic_v4(2);
+  net.set_link_to(fast, LinkModel{1 * kMillisecond, 0, 0.0});
+  SimTime fast_at = 0, slow_at = 0;
+  net.bind(fast, [&](const Datagram&) { fast_at = net.now(); });
+  net.bind(slow, [&](const Datagram&) { slow_at = net.now(); });
+  auto src = IpAddress::synthetic_v4(3);
+  net.send(src, fast, Bytes{0});
+  net.send(src, slow, Bytes{0});
+  net.run();
+  EXPECT_EQ(fast_at, 1 * kMillisecond);
+  EXPECT_EQ(slow_at, 10 * kMillisecond);
+}
+
+TEST(SimNetwork, JitterStaysWithinBound) {
+  SimNetwork net(7);
+  net.set_default_link(LinkModel{10 * kMillisecond, 5 * kMillisecond, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  std::vector<SimTime> arrivals;
+  net.bind(server, [&](const Datagram&) { arrivals.push_back(net.now()); });
+  // Send all at t=0; arrival times reflect per-packet jitter.
+  for (int i = 0; i < 200; ++i) {
+    net.send(IpAddress::synthetic_v4(2), server, Bytes{0});
+  }
+  net.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  bool saw_jitter = false;
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 10 * kMillisecond);
+    EXPECT_LT(t, 15 * kMillisecond);
+    if (t != 10 * kMillisecond) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+}
+
+}  // namespace
+}  // namespace dnsboot::net

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ecosystem/profiles.hpp"
+#include "scanner/scanner.hpp"
+
+namespace dnsboot {
+namespace {
+
+dns::Name name_of(const std::string& text) {
+  return std::move(dns::Name::from_text(text)).take();
+}
+
+// --- signaling name construction (RFC 9615 §2) ------------------------------------
+
+TEST(SignalingName, BasicShape) {
+  auto name = scanner::signaling_name(name_of("example.co.uk."),
+                                      name_of("ns1.example.net."));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->to_text(), "_dsboot.example.co.uk._signal.ns1.example.net.");
+}
+
+TEST(SignalingName, PreservesEveryLabel) {
+  auto name = scanner::signaling_name(name_of("a.b.c.d."),
+                                      name_of("x.y.z."));
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->label_count(), 4u + 3u + 2u);
+}
+
+TEST(SignalingName, RejectsOverlongCombination) {
+  // §2 "DS Bootstrapping Limitations": long child names overflow the
+  // 255-octet bound once _dsboot/_signal and the NS name are prepended.
+  std::string long_child = std::string(63, 'a') + "." + std::string(63, 'b') +
+                           "." + std::string(63, 'c') + "." +
+                           std::string(40, 'd') + ".com";
+  auto child = name_of(long_child + ".");
+  auto result = scanner::signaling_name(child, name_of("ns1.operator.net."));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "name.too_long");
+}
+
+TEST(SignalingName, CaseIsPreserved) {
+  auto name = scanner::signaling_name(name_of("Example.COM."),
+                                      name_of("NS1.Host.NET."));
+  ASSERT_TRUE(name.ok());
+  // Matching is case-insensitive either way.
+  EXPECT_EQ(*name, name_of("_dsboot.example.com._signal.ns1.host.net."));
+}
+
+// --- registrable domain heuristic ---------------------------------------------------
+
+TEST(RegistrableDomain, LastTwoLabels) {
+  EXPECT_EQ(scanner::registrable_domain_of(name_of("ns1.desec.io.")),
+            name_of("desec.io."));
+  EXPECT_EQ(scanner::registrable_domain_of(name_of("asa.ns.cloudflare.com.")),
+            name_of("cloudflare.com."));
+  EXPECT_EQ(scanner::registrable_domain_of(name_of("host.net.")),
+            name_of("host.net."));
+  EXPECT_EQ(scanner::registrable_domain_of(name_of("net.")), name_of("net."));
+}
+
+// --- observation helpers -------------------------------------------------------------
+
+TEST(Observation, ProbesOfFiltersByType) {
+  scanner::ZoneObservation obs;
+  scanner::RRsetProbe a;
+  a.qtype = dns::RRType::kCDS;
+  scanner::RRsetProbe b;
+  b.qtype = dns::RRType::kSOA;
+  obs.probes = {a, b, a};
+  EXPECT_EQ(obs.probes_of(dns::RRType::kCDS).size(), 2u);
+  EXPECT_EQ(obs.probes_of(dns::RRType::kSOA).size(), 1u);
+  EXPECT_TRUE(obs.probes_of(dns::RRType::kDNSKEY).empty());
+}
+
+TEST(Observation, OutcomeNames) {
+  using O = scanner::RRsetProbe::Outcome;
+  EXPECT_EQ(scanner::to_string(O::kAnswer), "answer");
+  EXPECT_EQ(scanner::to_string(O::kNoData), "nodata");
+  EXPECT_EQ(scanner::to_string(O::kNxDomain), "nxdomain");
+  EXPECT_EQ(scanner::to_string(O::kError), "error");
+  EXPECT_EQ(scanner::to_string(O::kTimeout), "timeout");
+}
+
+// --- profile calibration invariants --------------------------------------------------
+
+TEST(Profiles, NamedOperatorsMatchPaperRows) {
+  auto profiles = ecosystem::paper_operator_profiles();
+  // Spot-check the anchor rows of Table 1.
+  const ecosystem::OperatorProfile* cloudflare = nullptr;
+  const ecosystem::OperatorProfile* godaddy = nullptr;
+  const ecosystem::OperatorProfile* desec = nullptr;
+  for (const auto& p : profiles) {
+    if (p.name == "Cloudflare") cloudflare = &p;
+    if (p.name == "GoDaddy") godaddy = &p;
+    if (p.name == "deSEC") desec = &p;
+  }
+  ASSERT_NE(cloudflare, nullptr);
+  ASSERT_NE(godaddy, nullptr);
+  ASSERT_NE(desec, nullptr);
+  EXPECT_EQ(godaddy->domains, 56'446'359u);
+  EXPECT_EQ(cloudflare->secured, 799'377u);
+  EXPECT_EQ(cloudflare->islands, 432'152u);
+  EXPECT_TRUE(cloudflare->anycast_pool);
+  EXPECT_TRUE(cloudflare->publishes_signal);
+  EXPECT_TRUE(cloudflare->signal_includes_delete);
+  EXPECT_FALSE(desec->signal_includes_delete);
+  EXPECT_EQ(desec->ns_domains.size(), 2u);  // desec.io + desec.org
+}
+
+TEST(Profiles, LongTailHitsGlobalTargets) {
+  auto named = ecosystem::paper_operator_profiles();
+  ecosystem::GlobalTargets targets;
+  auto tail = ecosystem::long_tail_profiles(named, targets, 32);
+  ASSERT_EQ(tail.size(), 32u);
+
+  std::uint64_t domains = 0, secured = 0, invalid = 0, islands = 0,
+                legacy_domains = 0;
+  for (const auto& p : named) {
+    domains += p.domains;
+    secured += p.secured;
+    invalid += p.invalid;
+    islands += p.islands;
+  }
+  for (const auto& p : tail) {
+    domains += p.domains;
+    secured += p.secured;
+    invalid += p.invalid;
+    islands += p.islands;
+    if (p.legacy_formerr) {
+      legacy_domains += p.domains;
+      // Legacy operators cannot host signed zones.
+      EXPECT_EQ(p.secured, 0u) << p.name;
+      EXPECT_EQ(p.islands, 0u) << p.name;
+    }
+  }
+  // Totals must land on the paper's headline numbers (±0.5 %).
+  auto near = [](std::uint64_t value, std::uint64_t target) {
+    double ratio = static_cast<double>(value) / static_cast<double>(target);
+    return ratio > 0.995 && ratio < 1.005;
+  };
+  EXPECT_TRUE(near(domains, targets.total_domains)) << domains;
+  EXPECT_TRUE(near(secured, targets.secured)) << secured;
+  EXPECT_TRUE(near(invalid, targets.invalid)) << invalid;
+  EXPECT_TRUE(near(islands, targets.islands)) << islands;
+  // Legacy servers cover roughly the 7.6 M CDS-query-failure domains.
+  EXPECT_GE(legacy_domains, targets.legacy_formerr_domains);
+  EXPECT_LE(legacy_domains,
+            targets.legacy_formerr_domains + domains / 32);
+}
+
+TEST(Profiles, SwissOperatorsAreMarked) {
+  auto profiles = ecosystem::paper_operator_profiles();
+  int swiss = 0;
+  for (const auto& p : profiles) {
+    if (p.swiss) {
+      ++swiss;
+      EXPECT_EQ(p.customer_tld, "ch") << p.name;
+    }
+  }
+  EXPECT_EQ(swiss, 5);  // cyon, METANET, Webland, greench, HostFactory
+}
+
+TEST(Profiles, SimulatedTldsCoverThePaperSources) {
+  auto tlds = ecosystem::simulated_tlds();
+  for (const char* required : {"ch", "li", "se", "uk", "sk", "ee", "nu",
+                               "swiss", "com", "net", "org"}) {
+    bool found = false;
+    for (const auto& tld : tlds) {
+      if (tld == required) found = true;
+    }
+    EXPECT_TRUE(found) << required;
+  }
+}
+
+}  // namespace
+}  // namespace dnsboot

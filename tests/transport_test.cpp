@@ -1,0 +1,166 @@
+// Transport behaviour: UDP truncation, EDNS buffer sizes, TCP fallback, and
+// TCP-only zone transfers.
+#include <gtest/gtest.h>
+
+#include "dns/zonefile.hpp"
+#include "resolver/query_engine.hpp"
+#include "server/auth_server.hpp"
+
+namespace dnsboot {
+namespace {
+
+dns::Name name_of(const std::string& text) {
+  return std::move(dns::Name::from_text(text)).take();
+}
+
+// A zone whose TXT RRset is far larger than any UDP buffer.
+std::shared_ptr<dns::Zone> make_fat_zone() {
+  auto zone = std::make_shared<dns::Zone>(name_of("fat.example."));
+  (void)zone->add(dns::ResourceRecord{
+      zone->origin(), dns::RRType::kSOA, dns::RRClass::kIN, 300,
+      dns::SoaRdata{name_of("ns1.fat.example."), name_of("h.fat.example."), 1,
+                    1, 1, 1, 1}});
+  for (int i = 0; i < 80; ++i) {
+    dns::TxtRdata txt;
+    // Unique rdata per record (RRset members must be distinct) and bulky
+    // enough that 80 of them exceed any EDNS buffer.
+    txt.strings.push_back("record-" + std::to_string(i) + "-" +
+                          std::string(100, static_cast<char>('a' + i % 26)));
+    (void)zone->add(dns::ResourceRecord{name_of("big.fat.example."),
+                                        dns::RRType::kTXT, dns::RRClass::kIN,
+                                        300, std::move(txt)});
+  }
+  return zone;
+}
+
+struct Fixture {
+  net::SimNetwork network{81};
+  std::shared_ptr<server::AuthServer> server;
+  net::IpAddress server_addr = net::IpAddress::synthetic_v4(1);
+  net::IpAddress client_addr = net::IpAddress::synthetic_v4(2);
+
+  explicit Fixture(bool allow_axfr = false) {
+    network.set_default_link(net::LinkModel{net::kMillisecond, 0, 0.0});
+    server::ServerConfig config;
+    config.id = "transport";
+    config.allow_axfr = allow_axfr;
+    config.axfr_chunk_records = 10;
+    server = std::make_shared<server::AuthServer>(config, 1);
+    server->add_zone(make_fat_zone());
+    server->attach(network, server_addr);
+  }
+
+  // Send a raw message (optionally via TCP) and capture responses.
+  std::vector<dns::Message> exchange(const dns::Message& query, bool tcp) {
+    std::vector<dns::Message> responses;
+    network.bind(client_addr, [&](const net::Datagram& dgram) {
+      auto message = dns::Message::decode(dgram.payload);
+      if (message.ok()) responses.push_back(std::move(message).take());
+    });
+    network.send(client_addr, server_addr, query.encode(), tcp);
+    network.run();
+    return responses;
+  }
+};
+
+TEST(Transport, OversizeUdpResponseIsTruncated) {
+  Fixture fx;
+  // EDNS 4096 is still far below the ~8 KiB TXT RRset.
+  dns::Message query = dns::Message::make_query(
+      1, name_of("big.fat.example."), dns::RRType::kTXT);
+  auto responses = fx.exchange(query, /*tcp=*/false);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].header.tc);
+  EXPECT_TRUE(responses[0].answers.empty());
+}
+
+TEST(Transport, Classic512LimitWithoutEdns) {
+  Fixture fx;
+  dns::Message query;
+  query.header.id = 2;
+  query.questions.push_back(dns::Question{name_of("big.fat.example."),
+                                          dns::RRType::kTXT,
+                                          dns::RRClass::kIN});
+  auto responses = fx.exchange(query, /*tcp=*/false);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].header.tc);
+}
+
+TEST(Transport, TcpCarriesFullResponse) {
+  Fixture fx;
+  dns::Message query = dns::Message::make_query(
+      3, name_of("big.fat.example."), dns::RRType::kTXT);
+  auto responses = fx.exchange(query, /*tcp=*/true);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].header.tc);
+  EXPECT_EQ(responses[0].answers.size(), 80u);
+}
+
+TEST(Transport, SmallResponseFitsUdp) {
+  Fixture fx;
+  dns::Message query = dns::Message::make_query(
+      4, name_of("fat.example."), dns::RRType::kSOA);
+  auto responses = fx.exchange(query, /*tcp=*/false);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].header.tc);
+  EXPECT_EQ(responses[0].answers.size(), 1u);
+}
+
+TEST(Transport, QueryEngineFallsBackToTcp) {
+  Fixture fx;
+  resolver::QueryEngine engine(fx.network, fx.client_addr,
+                               resolver::QueryEngineOptions{});
+  bool answered = false;
+  engine.query(fx.server_addr, name_of("big.fat.example."), dns::RRType::kTXT,
+               [&](Result<dns::Message> result) {
+                 ASSERT_TRUE(result.ok());
+                 EXPECT_FALSE(result->header.tc);
+                 EXPECT_EQ(result->answers.size(), 80u);
+                 answered = true;
+               });
+  fx.network.run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(engine.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+}
+
+TEST(Transport, AxfrOverUdpIsRefused) {
+  Fixture fx(/*allow_axfr=*/true);
+  dns::Message query = dns::Message::make_query(
+      5, name_of("fat.example."), dns::RRType::kAXFR, false);
+  auto responses = fx.exchange(query, /*tcp=*/false);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].header.rcode, dns::Rcode::kRefused);
+}
+
+TEST(Transport, AxfrOverTcpStreamsChunks) {
+  Fixture fx(/*allow_axfr=*/true);
+  dns::Message query = dns::Message::make_query(
+      6, name_of("fat.example."), dns::RRType::kAXFR, false);
+  auto responses = fx.exchange(query, /*tcp=*/true);
+  // 80 TXT + 2 SOA boundary records at 10 records per message.
+  EXPECT_GE(responses.size(), 8u);
+  std::size_t soa_count = 0;
+  std::size_t records = 0;
+  for (const auto& response : responses) {
+    EXPECT_EQ(response.header.rcode, dns::Rcode::kNoError);
+    for (const auto& rr : response.answers) {
+      ++records;
+      if (rr.type == dns::RRType::kSOA) ++soa_count;
+    }
+  }
+  EXPECT_EQ(soa_count, 2u);  // stream starts and ends with the SOA
+  EXPECT_EQ(records, 82u);
+}
+
+TEST(Transport, AxfrRefusedWhenDisabled) {
+  Fixture fx(/*allow_axfr=*/false);
+  dns::Message query = dns::Message::make_query(
+      7, name_of("fat.example."), dns::RRType::kAXFR, false);
+  auto responses = fx.exchange(query, /*tcp=*/true);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].header.rcode, dns::Rcode::kRefused);
+}
+
+}  // namespace
+}  // namespace dnsboot

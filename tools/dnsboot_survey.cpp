@@ -1,0 +1,154 @@
+// dnsboot-survey — the command-line front end: build the paper-calibrated
+// synthetic Internet at a chosen scale, run the full scan + analysis, and
+// write the results as JSON (aggregate) and optionally CSV (per zone).
+//
+// Usage:
+//   dnsboot-survey [--scale-denom N] [--seed S] [--json FILE] [--csv FILE]
+//                  [--no-pathologies] [--no-signal-scan] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/report_io.hpp"
+#include "analysis/survey.hpp"
+#include "base/strings.hpp"
+#include "ecosystem/builder.hpp"
+
+using namespace dnsboot;
+
+namespace {
+
+struct CliOptions {
+  double scale_denom = 4000;
+  std::uint64_t seed = 1;
+  std::string json_path;
+  std::string csv_path;
+  bool pathologies = true;
+  bool signal_scan = true;
+  bool quiet = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scale-denom N] [--seed S] [--json FILE] "
+               "[--csv FILE] [--no-pathologies] [--no-signal-scan] "
+               "[--quiet]\n",
+               argv0);
+}
+
+bool parse_cli(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale-denom") == 0) {
+      const char* v = need_value("--scale-denom");
+      if (v == nullptr) return false;
+      options->scale_denom = std::atof(v);
+      if (options->scale_denom <= 0) return false;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need_value("--seed");
+      if (v == nullptr) return false;
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = need_value("--json");
+      if (v == nullptr) return false;
+      options->json_path = v;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      const char* v = need_value("--csv");
+      if (v == nullptr) return false;
+      options->csv_path = v;
+    } else if (std::strcmp(argv[i], "--no-pathologies") == 0) {
+      options->pathologies = false;
+    } else if (std::strcmp(argv[i], "--no-signal-scan") == 0) {
+      options->signal_scan = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      options->quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_cli(argc, argv, &options)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  net::SimNetwork network(options.seed ^ 0xd15b007);
+  network.set_default_link(
+      net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
+  ecosystem::EcosystemConfig config;
+  config.seed = options.seed;
+  config.scale = 1.0 / options.scale_denom;
+  config.inject_pathologies = options.pathologies;
+  ecosystem::EcosystemBuilder builder(network, config);
+  auto eco = builder.build();
+  if (!options.quiet) {
+    std::printf("dnsboot-survey: %zu zones (scale 1/%.0f, seed %llu)\n",
+                eco.scan_targets.size(), options.scale_denom,
+                static_cast<unsigned long long>(options.seed));
+  }
+
+  analysis::SurveyRunOptions run_options;
+  run_options.scanner.scan_signal_zones = options.signal_scan;
+  run_options.keep_reports = !options.csv_path.empty();
+  auto result = analysis::run_survey(network, eco.hints, eco.scan_targets,
+                                     eco.ns_domain_to_operator, eco.now,
+                                     run_options);
+
+  if (!options.quiet) {
+    const analysis::Survey& s = result.survey;
+    double total = static_cast<double>(s.total - s.unresolved);
+    std::printf("unsigned %s (%s%%), secured %s (%s%%), invalid %s, "
+                "islands %s; with CDS %s; signal zones %s\n",
+                format_count(s.unsigned_zones).c_str(),
+                format_percent(s.unsigned_zones / total).c_str(),
+                format_count(s.secured).c_str(),
+                format_percent(s.secured / total).c_str(),
+                format_count(s.invalid).c_str(),
+                format_count(s.islands).c_str(),
+                format_count(s.with_cds).c_str(),
+                format_count(s.ab_total.with_signal).c_str());
+  }
+
+  if (!options.json_path.empty()) {
+    if (!write_file(options.json_path, analysis::survey_to_json(result))) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    if (!options.quiet) {
+      std::printf("wrote %s\n", options.json_path.c_str());
+    }
+  }
+  if (!options.csv_path.empty()) {
+    if (!write_file(options.csv_path,
+                    analysis::reports_to_csv(result.reports))) {
+      std::fprintf(stderr, "cannot write %s\n", options.csv_path.c_str());
+      return 1;
+    }
+    if (!options.quiet) {
+      std::printf("wrote %s (%zu rows)\n", options.csv_path.c_str(),
+                  result.reports.size());
+    }
+  }
+  return 0;
+}
