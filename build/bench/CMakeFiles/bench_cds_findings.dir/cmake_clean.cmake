@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cds_findings.dir/bench_cds_findings.cpp.o"
+  "CMakeFiles/bench_cds_findings.dir/bench_cds_findings.cpp.o.d"
+  "bench_cds_findings"
+  "bench_cds_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cds_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

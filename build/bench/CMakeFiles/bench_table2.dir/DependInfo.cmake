@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cpp" "bench/CMakeFiles/bench_table2.dir/bench_table2.cpp.o" "gcc" "bench/CMakeFiles/bench_table2.dir/bench_table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecosystem/CMakeFiles/dnsboot_ecosystem.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dnsboot_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dnsboot_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/dnsboot_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsboot_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/dnsboot_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dnsboot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsboot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsboot_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dnsboot_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_rollover.dir/key_rollover.cpp.o"
+  "CMakeFiles/key_rollover.dir/key_rollover.cpp.o.d"
+  "key_rollover"
+  "key_rollover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_rollover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

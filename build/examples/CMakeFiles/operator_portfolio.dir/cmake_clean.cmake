@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_portfolio.dir/operator_portfolio.cpp.o"
+  "CMakeFiles/operator_portfolio.dir/operator_portfolio.cpp.o.d"
+  "operator_portfolio"
+  "operator_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_ab_check.dir/registry_ab_check.cpp.o"
+  "CMakeFiles/registry_ab_check.dir/registry_ab_check.cpp.o.d"
+  "registry_ab_check"
+  "registry_ab_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_ab_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

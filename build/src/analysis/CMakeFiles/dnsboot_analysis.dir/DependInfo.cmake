@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/aggregate.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/aggregate.cpp.o.d"
+  "/root/repo/src/analysis/classify.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/classify.cpp.o.d"
+  "/root/repo/src/analysis/operator_id.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/operator_id.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/operator_id.cpp.o.d"
+  "/root/repo/src/analysis/report_io.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/report_io.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/report_io.cpp.o.d"
+  "/root/repo/src/analysis/survey.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/survey.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/survey.cpp.o.d"
+  "/root/repo/src/analysis/trust.cpp" "src/analysis/CMakeFiles/dnsboot_analysis.dir/trust.cpp.o" "gcc" "src/analysis/CMakeFiles/dnsboot_analysis.dir/trust.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scanner/CMakeFiles/dnsboot_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssec/CMakeFiles/dnsboot_dnssec.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/dnsboot_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dnsboot_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsboot_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsboot_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dnsboot_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

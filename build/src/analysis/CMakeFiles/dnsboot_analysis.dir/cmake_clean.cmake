@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_analysis.dir/aggregate.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/aggregate.cpp.o.d"
+  "CMakeFiles/dnsboot_analysis.dir/classify.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/classify.cpp.o.d"
+  "CMakeFiles/dnsboot_analysis.dir/operator_id.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/operator_id.cpp.o.d"
+  "CMakeFiles/dnsboot_analysis.dir/report_io.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/report_io.cpp.o.d"
+  "CMakeFiles/dnsboot_analysis.dir/survey.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/survey.cpp.o.d"
+  "CMakeFiles/dnsboot_analysis.dir/trust.cpp.o"
+  "CMakeFiles/dnsboot_analysis.dir/trust.cpp.o.d"
+  "libdnsboot_analysis.a"
+  "libdnsboot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

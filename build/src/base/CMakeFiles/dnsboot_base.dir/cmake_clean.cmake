@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_base.dir/bytes.cpp.o"
+  "CMakeFiles/dnsboot_base.dir/bytes.cpp.o.d"
+  "CMakeFiles/dnsboot_base.dir/encoding.cpp.o"
+  "CMakeFiles/dnsboot_base.dir/encoding.cpp.o.d"
+  "CMakeFiles/dnsboot_base.dir/rng.cpp.o"
+  "CMakeFiles/dnsboot_base.dir/rng.cpp.o.d"
+  "CMakeFiles/dnsboot_base.dir/strings.cpp.o"
+  "CMakeFiles/dnsboot_base.dir/strings.cpp.o.d"
+  "libdnsboot_base.a"
+  "libdnsboot_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

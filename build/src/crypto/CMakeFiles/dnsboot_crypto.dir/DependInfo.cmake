@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ed25519.cpp" "src/crypto/CMakeFiles/dnsboot_crypto.dir/ed25519.cpp.o" "gcc" "src/crypto/CMakeFiles/dnsboot_crypto.dir/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/crypto/CMakeFiles/dnsboot_crypto.dir/keys.cpp.o" "gcc" "src/crypto/CMakeFiles/dnsboot_crypto.dir/keys.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/dnsboot_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/dnsboot_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/crypto/CMakeFiles/dnsboot_crypto.dir/sha2.cpp.o" "gcc" "src/crypto/CMakeFiles/dnsboot_crypto.dir/sha2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnsboot_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

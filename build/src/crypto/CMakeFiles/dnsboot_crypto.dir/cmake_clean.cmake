@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/dnsboot_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/dnsboot_crypto.dir/keys.cpp.o"
+  "CMakeFiles/dnsboot_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/dnsboot_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/dnsboot_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/dnsboot_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/dnsboot_crypto.dir/sha2.cpp.o.d"
+  "libdnsboot_crypto.a"
+  "libdnsboot_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

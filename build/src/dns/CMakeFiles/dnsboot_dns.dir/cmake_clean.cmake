@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_dns.dir/message.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/message.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/name.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/rdata.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/rdata.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/record.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/record.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/rr.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/rr.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/zone.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/zone.cpp.o.d"
+  "CMakeFiles/dnsboot_dns.dir/zonefile.cpp.o"
+  "CMakeFiles/dnsboot_dns.dir/zonefile.cpp.o.d"
+  "libdnsboot_dns.a"
+  "libdnsboot_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

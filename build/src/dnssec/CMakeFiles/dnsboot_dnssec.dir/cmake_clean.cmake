@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_dnssec.dir/canonical.cpp.o"
+  "CMakeFiles/dnsboot_dnssec.dir/canonical.cpp.o.d"
+  "CMakeFiles/dnsboot_dnssec.dir/nsec3.cpp.o"
+  "CMakeFiles/dnsboot_dnssec.dir/nsec3.cpp.o.d"
+  "CMakeFiles/dnsboot_dnssec.dir/signer.cpp.o"
+  "CMakeFiles/dnsboot_dnssec.dir/signer.cpp.o.d"
+  "CMakeFiles/dnsboot_dnssec.dir/validator.cpp.o"
+  "CMakeFiles/dnsboot_dnssec.dir/validator.cpp.o.d"
+  "libdnsboot_dnssec.a"
+  "libdnsboot_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

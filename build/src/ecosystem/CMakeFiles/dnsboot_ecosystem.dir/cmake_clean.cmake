@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_ecosystem.dir/builder.cpp.o"
+  "CMakeFiles/dnsboot_ecosystem.dir/builder.cpp.o.d"
+  "CMakeFiles/dnsboot_ecosystem.dir/profiles.cpp.o"
+  "CMakeFiles/dnsboot_ecosystem.dir/profiles.cpp.o.d"
+  "libdnsboot_ecosystem.a"
+  "libdnsboot_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_net.dir/address.cpp.o"
+  "CMakeFiles/dnsboot_net.dir/address.cpp.o.d"
+  "CMakeFiles/dnsboot_net.dir/simnet.cpp.o"
+  "CMakeFiles/dnsboot_net.dir/simnet.cpp.o.d"
+  "libdnsboot_net.a"
+  "libdnsboot_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_registry.dir/cds_processor.cpp.o"
+  "CMakeFiles/dnsboot_registry.dir/cds_processor.cpp.o.d"
+  "CMakeFiles/dnsboot_registry.dir/csync_processor.cpp.o"
+  "CMakeFiles/dnsboot_registry.dir/csync_processor.cpp.o.d"
+  "libdnsboot_registry.a"
+  "libdnsboot_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_resolver.dir/query_engine.cpp.o"
+  "CMakeFiles/dnsboot_resolver.dir/query_engine.cpp.o.d"
+  "CMakeFiles/dnsboot_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/dnsboot_resolver.dir/resolver.cpp.o.d"
+  "libdnsboot_resolver.a"
+  "libdnsboot_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/dnsboot_scanner.dir/scanner.cpp.o.d"
+  "CMakeFiles/dnsboot_scanner.dir/targets.cpp.o"
+  "CMakeFiles/dnsboot_scanner.dir/targets.cpp.o.d"
+  "libdnsboot_scanner.a"
+  "libdnsboot_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

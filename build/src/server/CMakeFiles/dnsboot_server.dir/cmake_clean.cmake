@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot_server.dir/auth_server.cpp.o"
+  "CMakeFiles/dnsboot_server.dir/auth_server.cpp.o.d"
+  "libdnsboot_server.a"
+  "libdnsboot_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

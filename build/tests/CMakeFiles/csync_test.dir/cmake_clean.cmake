@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csync_test.dir/csync_test.cpp.o"
+  "CMakeFiles/csync_test.dir/csync_test.cpp.o.d"
+  "csync_test"
+  "csync_test.pdb"
+  "csync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnssec_test.dir/dnssec_test.cpp.o"
+  "CMakeFiles/dnssec_test.dir/dnssec_test.cpp.o.d"
+  "dnssec_test"
+  "dnssec_test.pdb"
+  "dnssec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnssec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

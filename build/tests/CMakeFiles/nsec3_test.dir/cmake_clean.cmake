@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsec3_test.dir/nsec3_test.cpp.o"
+  "CMakeFiles/nsec3_test.dir/nsec3_test.cpp.o.d"
+  "nsec3_test"
+  "nsec3_test.pdb"
+  "nsec3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsec3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

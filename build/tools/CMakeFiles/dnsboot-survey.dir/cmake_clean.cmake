@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsboot-survey.dir/dnsboot_survey.cpp.o"
+  "CMakeFiles/dnsboot-survey.dir/dnsboot_survey.cpp.o.d"
+  "dnsboot-survey"
+  "dnsboot-survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsboot-survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
