@@ -1,0 +1,53 @@
+// Seed-input generators shared between the fuzz harnesses' standalone driver
+// and the GTest robustness sweeps in tests/fuzz_test.cpp. Keeping them in one
+// place means the deterministic ctest sweep and a real libFuzzer campaign
+// start from the same corpus shapes.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <string>
+
+#include "base/bytes.hpp"
+#include "base/rng.hpp"
+
+namespace dnsboot::fuzz {
+
+// Arbitrary wire bytes — the raw diet of Message::decode and decode_rdata.
+inline Bytes random_wire_junk(Rng& rng, std::size_t max_length = 300) {
+  return rng.bytes(rng.next_below(max_length));
+}
+
+// Presentation-form name text with the characters that exercise the escape,
+// label-length, and root-handling paths of Name::from_text.
+inline std::string random_name_text(Rng& rng, std::size_t max_length = 80) {
+  static const char alphabet[] = "abc.-\\019_*@ \t";
+  std::string text;
+  std::size_t length = rng.next_below(max_length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+  }
+  return text;
+}
+
+// Zone-file lines assembled from fragments the tokenizer cares about
+// (directives, record fields, quoting, comments, malformed names).
+inline std::string random_zone_text(Rng& rng) {
+  static const char* fragments[] = {"@",       "IN",    "A",     "NS",
+                                    "3600",    "example", "CDS", "\"x\"",
+                                    "$ORIGIN", "$TTL",  "192.0.2.1", ";c",
+                                    "\\000",   "..",    "MX"};
+  std::string text;
+  int lines = 1 + static_cast<int>(rng.next_below(5));
+  for (int l = 0; l < lines; ++l) {
+    int words = static_cast<int>(rng.next_below(7));
+    for (int w = 0; w < words; ++w) {
+      text += fragments[rng.next_below(std::size(fragments))];
+      text += ' ';
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace dnsboot::fuzz

@@ -1,0 +1,60 @@
+// Standalone driver used when libFuzzer is unavailable (DNSBOOT_FUZZERS=OFF,
+// the GCC default). Replays any file arguments through the harness, then runs
+// a deterministic random sweep built from the shared corpus generators, so
+// `ctest` exercises every harness in every configuration — under the asan
+// preset this doubles as a sanitizer sweep.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "corpus.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+void feed(const std::string& text) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(text.data()),
+                         text.size());
+}
+
+void feed(const dnsboot::Bytes& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    dnsboot::Bytes bytes{std::istreambuf_iterator<char>(file),
+                         std::istreambuf_iterator<char>()};
+    feed(bytes);
+    ++replayed;
+  }
+  if (replayed > 0) {
+    std::printf("replayed %d input file(s)\n", replayed);
+    return 0;
+  }
+
+  // No corpus files given: deterministic sweep. All three input shapes go to
+  // every harness — text is valid wire junk and vice versa.
+  dnsboot::Rng rng(1);
+  constexpr int kRounds = 3000;
+  for (int round = 0; round < kRounds; ++round) {
+    feed(dnsboot::fuzz::random_wire_junk(rng));
+    feed(dnsboot::fuzz::random_name_text(rng));
+    feed(dnsboot::fuzz::random_zone_text(rng));
+  }
+  std::printf("sweep complete: %d rounds x 3 input shapes\n", kRounds);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// libFuzzer entry point for the DNS message decoder: arbitrary bytes must
+// decode-or-error without UB, and anything that decodes must re-encode.
+#include <cstddef>
+#include <cstdint>
+
+#include "dns/message.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  dnsboot::Bytes input(data, data + size);
+  auto result = dnsboot::dns::Message::decode(input);
+  if (result.ok()) (void)result->encode();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// libFuzzer entry point for the presentation-form name parser. Accepted
+// inputs must round-trip: to_text() reparses to an equal name.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "dns/name.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto result = dnsboot::dns::Name::from_text(text);
+  if (result.ok()) {
+    auto reparsed = dnsboot::dns::Name::from_text(result->to_text());
+    if (!reparsed.ok() || *reparsed != *result) std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// libFuzzer entry point for the zone-file parser: arbitrary text must
+// parse-or-error without UB.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "dns/name.hpp"
+#include "dns/zonefile.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const dnsboot::dns::Name origin =
+      std::move(dnsboot::dns::Name::from_text("example.com.")).take();
+  std::string text(reinterpret_cast<const char*>(data), size);
+  auto result = dnsboot::dns::parse_zone_text(
+      text, dnsboot::dns::ZoneFileOptions{origin, 300});
+  (void)result;
+  return 0;
+}

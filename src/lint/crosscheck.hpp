@@ -1,0 +1,151 @@
+// Generator ↔ linter cross-validation. The ecosystem builder records which
+// misconfiguration it injected into every zone (ZoneTruth); this header maps
+// each truth class to the lint rule(s) that must flag it and scores a lint
+// report against that ground truth. Used by `dnsboot_lint --self-check` and
+// the lint test suite — the contract that generator, linter, and scanner
+// witness the same reality.
+//
+// Header-only on purpose: dnsboot_lint itself must not link the ecosystem
+// generator (the linter runs on arbitrary zones); only callers that already
+// hold an Ecosystem pay the dependency.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecosystem/builder.hpp"
+#include "lint/findings.hpp"
+
+namespace dnsboot::lint {
+
+struct CrossCheckClass {
+  std::string name;           // truth-class label ("cds-no-matching-dnskey")
+  std::vector<RuleId> rules;  // any of these flagging the zone counts as caught
+  std::set<std::string> injected;  // canonical zone names carrying the flag
+  std::set<std::string> missed;    // injected but not flagged
+  std::size_t caught() const { return injected.size() - missed.size(); }
+};
+
+struct CrossCheckResult {
+  std::vector<CrossCheckClass> classes;
+
+  bool all_caught() const {
+    for (const CrossCheckClass& c : classes) {
+      if (!c.missed.empty()) return false;
+    }
+    return true;
+  }
+};
+
+inline CrossCheckResult cross_check(const ecosystem::Ecosystem& eco,
+                                    const LintReport& report) {
+  using ecosystem::ZoneState;
+  using ecosystem::ZoneTruth;
+
+  struct ClassSpec {
+    const char* name;
+    std::vector<RuleId> rules;
+    bool (*matches)(const ZoneTruth&);
+  };
+  // Every misconfiguration class the builder can inject (paper §4.2/§4.4),
+  // with the rule(s) obligated to catch it. "invalid-dnssec" accepts either
+  // L004 (expired signatures) or L009 (errant DS over an unsigned child) —
+  // the builder materializes the Invalid state both ways.
+  static const std::vector<ClassSpec> specs = {
+      {"unsigned-with-cds",
+       {RuleId::kCdsUnsignedZone},
+       [](const ZoneTruth& t) {
+         return t.cds && t.state == ZoneState::kUnsigned;
+       }},
+      {"cds-no-matching-dnskey",
+       {RuleId::kCdsDnskeyMismatch},
+       [](const ZoneTruth& t) { return t.cds_no_match; }},
+      {"cds-bad-rrsig",
+       {RuleId::kRrsigInvalid},
+       [](const ZoneTruth& t) { return t.cds_bad_rrsig; }},
+      {"invalid-dnssec",
+       {RuleId::kRrsigTemporal, RuleId::kDsUnsignedChild},
+       [](const ZoneTruth& t) { return t.state == ZoneState::kInvalid; }},
+      {"cds-inconsistent",
+       {RuleId::kCdsCrossServer},
+       [](const ZoneTruth& t) { return t.cds_inconsistent; }},
+      {"signal-missing-one-ns",
+       {RuleId::kSignalIncomplete},
+       [](const ZoneTruth& t) { return t.signal_missing_one_ns; }},
+      {"signal-stale-one-ns",
+       {RuleId::kSignalInconsistent},
+       [](const ZoneTruth& t) { return t.signal_stale_one_ns; }},
+      {"signal-zone-cut",
+       {RuleId::kSignalZoneCut},
+       [](const ZoneTruth& t) { return t.signal_zone_cut; }},
+      {"signal-on-broken-zone",
+       {RuleId::kSignalUnbootstrappable},
+       [](const ZoneTruth& t) {
+         return t.signal && (t.state == ZoneState::kUnsigned ||
+                             t.state == ZoneState::kInvalid);
+       }},
+      {"csync-migration",
+       {RuleId::kDelegationDrift},
+       [](const ZoneTruth& t) { return t.csync; }},
+  };
+
+  CrossCheckResult result;
+  for (const ClassSpec& spec : specs) {
+    CrossCheckClass cls;
+    cls.name = spec.name;
+    cls.rules = spec.rules;
+    for (const auto& [zone, truth] : eco.truth) {
+      if (spec.matches(truth)) cls.injected.insert(zone);
+    }
+    std::set<std::string> flagged;
+    for (RuleId rule : spec.rules) {
+      for (const std::string& zone : report.zones_with(rule)) {
+        flagged.insert(zone);
+      }
+    }
+    for (const std::string& zone : cls.injected) {
+      if (flagged.count(zone) == 0) cls.missed.insert(zone);
+    }
+    result.classes.push_back(std::move(cls));
+  }
+  return result;
+}
+
+// A misconfiguration-free world for the negative half of the self-check: the
+// linter must come back empty on it. Custom operators are required — the
+// paper profiles always contain Invalid zones, and the builder assigns the
+// signal-on-broken and CSYNC quotas outside the `inject_pathologies` guard,
+// so `inject_pathologies = false` alone does not produce a clean world.
+inline ecosystem::EcosystemConfig clean_world_config(std::uint64_t seed = 7) {
+  ecosystem::OperatorProfile signal_op;
+  signal_op.name = "CleanSignal";
+  signal_op.ns_domains = {"cleansignal.net", "cleansignal.org"};
+  signal_op.tld = "net";
+  signal_op.customer_tld = "ch";
+  signal_op.domains = 24;
+  signal_op.secured = 8;
+  signal_op.islands = 8;  // remainder (8) stays unsigned
+  signal_op.cds_domains = 8;
+  signal_op.island_cds_fraction = 1.0;
+  signal_op.island_cds_delete_fraction = 0.25;
+  signal_op.publishes_signal = true;
+  signal_op.signal_includes_delete = true;
+
+  ecosystem::OperatorProfile plain_op;
+  plain_op.name = "CleanPlain";
+  plain_op.ns_domains = {"cleanplain.com"};
+  plain_op.customer_tld = "com";
+  plain_op.domains = 10;
+  plain_op.secured = 2;
+  plain_op.cds_domains = 2;
+
+  ecosystem::EcosystemConfig config;
+  config.seed = seed;
+  config.scale = 1.0;
+  config.inject_pathologies = false;
+  config.operators = {signal_op, plain_op};
+  return config;
+}
+
+}  // namespace dnsboot::lint

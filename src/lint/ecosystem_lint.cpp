@@ -1,0 +1,314 @@
+#include "lint/ecosystem_lint.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "dnssec/validator.hpp"
+
+namespace dnsboot::lint {
+namespace {
+
+// Parent context for one zone: the nearest enclosing zone in the view and
+// the DS set it delegates with.
+struct ParentContext {
+  const dns::Zone* parent = nullptr;
+  std::vector<dns::DsRdata> ds;
+};
+
+ParentContext parent_of(const EcosystemView& view, const dns::Name& origin) {
+  ParentContext context;
+  if (origin.is_root()) return context;
+  for (dns::Name cursor = origin.parent();; cursor = cursor.parent()) {
+    auto it = view.zones.find(cursor.canonical_text());
+    if (it != view.zones.end() && !it->second.empty()) {
+      context.parent = it->second.front().zone.get();
+      break;
+    }
+    if (cursor.is_root()) break;
+  }
+  if (context.parent != nullptr) {
+    if (const dns::RRset* ds_set =
+            context.parent->find_rrset(origin, dns::RRType::kDS)) {
+      for (const dns::Rdata& rdata : ds_set->rdatas) {
+        if (const auto* ds = std::get_if<dns::DsRdata>(&rdata)) {
+          context.ds.push_back(*ds);
+        }
+      }
+    }
+  }
+  return context;
+}
+
+std::string join_servers(const ZoneVersion& version) {
+  std::string out;
+  for (const std::string& server : version.servers) {
+    if (!out.empty()) out += ",";
+    out += server;
+  }
+  return out;
+}
+
+// --- RFC 9615 signaling-tree resolution -------------------------------------
+
+enum class TreeStatus { kFound, kMissing, kCut };
+
+struct TreeResult {
+  TreeStatus status = TreeStatus::kMissing;
+  const dns::RRset* cds = nullptr;      // when kFound (may be null: CDNSKEY only)
+  const dns::RRset* cdnskey = nullptr;  // when kFound
+  dns::Name cut_owner;                  // when kCut
+};
+
+// Statically resolve the signaling records for one (zone, ns) pair. The
+// view's longest-suffix zone stands in for the authoritative server that
+// would answer the query; a Delegation result means the name sits behind a
+// zone cut whose child no zone in the view serves (the desc.io pathology).
+TreeResult resolve_signal_tree(const EcosystemView& view,
+                               const dns::Name& signal_name) {
+  TreeResult result;
+  const dns::Zone* zone = view.find_zone(signal_name);
+  if (zone == nullptr) return result;
+
+  auto cds = zone->lookup(signal_name, dns::RRType::kCDS);
+  switch (cds.kind) {
+    case dns::Zone::LookupResult::Kind::kAnswer:
+      result.status = TreeStatus::kFound;
+      result.cds = cds.rrset;
+      break;
+    case dns::Zone::LookupResult::Kind::kDelegation:
+      result.status = TreeStatus::kCut;
+      result.cut_owner = cds.cut_owner;
+      return result;
+    default:
+      break;
+  }
+  auto cdnskey = zone->lookup(signal_name, dns::RRType::kCDNSKEY);
+  if (cdnskey.kind == dns::Zone::LookupResult::Kind::kAnswer) {
+    result.status = TreeStatus::kFound;
+    result.cdnskey = cdnskey.rrset;
+  }
+  return result;
+}
+
+Result<dns::Name> signal_name_for(const dns::Name& zone_origin,
+                                  const dns::Name& ns) {
+  std::vector<std::string> labels;
+  labels.push_back("_dsboot");
+  for (const std::string& label : zone_origin.labels()) labels.push_back(label);
+  labels.push_back("_signal");
+  for (const std::string& label : ns.labels()) labels.push_back(label);
+  return dns::Name::from_labels(std::move(labels));
+}
+
+bool rrsets_agree(const dns::RRset* a, const dns::RRset* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  if (a == nullptr) return true;
+  return a->same_rdatas(*b);
+}
+
+void lint_signal_trees(const EcosystemView& view, const dns::Zone& zone,
+                       const std::set<std::string>& invalid_zones,
+                       LintReport& report) {
+  const dns::Name& origin = zone.origin();
+  const dns::RRset* apex_ns = zone.apex_ns();
+  if (apex_ns == nullptr) return;
+
+  struct PerNs {
+    dns::Name ns;
+    dns::Name signal_name;
+    TreeResult tree;
+  };
+  std::vector<PerNs> trees;
+  for (const dns::Rdata& rdata : apex_ns->rdatas) {
+    const auto* ns = std::get_if<dns::NsRdata>(&rdata);
+    if (ns == nullptr) continue;
+    auto name = signal_name_for(origin, ns->nsdname);
+    if (!name.ok()) continue;  // over-long names cannot carry a signal
+    PerNs entry;
+    entry.ns = ns->nsdname;
+    entry.signal_name = std::move(name).take();
+    entry.tree = resolve_signal_tree(view, entry.signal_name);
+    trees.push_back(std::move(entry));
+  }
+
+  const bool any_found = std::any_of(
+      trees.begin(), trees.end(),
+      [](const PerNs& t) { return t.tree.status == TreeStatus::kFound; });
+  if (!any_found) return;  // the zone does not participate in bootstrapping
+
+  // The zone signals: RFC 9615 §4.2 requires a complete, consistent tree
+  // under every delegated NS.
+  for (const PerNs& entry : trees) {
+    switch (entry.tree.status) {
+      case TreeStatus::kMissing:
+        report.add(RuleId::kSignalIncomplete, origin, entry.signal_name,
+                   "no signaling records under NS " + entry.ns.to_text());
+        break;
+      case TreeStatus::kCut:
+        report.add(RuleId::kSignalZoneCut, origin, entry.signal_name,
+                   "signaling name crosses the zone cut at " +
+                       entry.tree.cut_owner.to_text() + " (NS " +
+                       entry.ns.to_text() + ")");
+        break;
+      case TreeStatus::kFound:
+        break;
+    }
+  }
+
+  // Consistency: every found tree must agree with the in-zone CDS set when
+  // one exists, and with each other regardless.
+  const dns::RRset* reference_cds = zone.find_rrset(origin, dns::RRType::kCDS);
+  std::string reference_label = "the in-zone CDS set";
+  if (reference_cds == nullptr) {
+    for (const PerNs& entry : trees) {
+      if (entry.tree.status == TreeStatus::kFound) {
+        reference_cds = entry.tree.cds;
+        reference_label = "the tree under NS " + entry.ns.to_text();
+        break;
+      }
+    }
+  }
+  for (const PerNs& entry : trees) {
+    if (entry.tree.status != TreeStatus::kFound) continue;
+    if (!rrsets_agree(entry.tree.cds, reference_cds)) {
+      report.add(RuleId::kSignalInconsistent, origin, entry.signal_name,
+                 "signaling CDS under NS " + entry.ns.to_text() +
+                     " disagrees with " + reference_label);
+    }
+  }
+
+  // L104: signal RRs advertise bootstrapping, but the zone itself cannot be
+  // bootstrapped (unsigned or fails in-zone validation).
+  if (zone.find_rrset(origin, dns::RRType::kDNSKEY) == nullptr) {
+    report.add(RuleId::kSignalUnbootstrappable, origin, origin,
+               "signal RRs published for a zone without a DNSKEY RRset");
+  } else if (invalid_zones.count(origin.canonical_text()) > 0) {
+    report.add(RuleId::kSignalUnbootstrappable, origin, origin,
+               "signal RRs published for a zone that fails DNSSEC validation");
+  }
+}
+
+}  // namespace
+
+void EcosystemView::add(std::shared_ptr<const dns::Zone> zone,
+                        const std::string& server) {
+  if (zone == nullptr) return;
+  std::vector<ZoneVersion>& versions = zones[zone->origin().canonical_text()];
+  for (ZoneVersion& version : versions) {
+    if (version.zone.get() == zone.get()) {
+      version.servers.push_back(server);
+      return;
+    }
+  }
+  versions.push_back({std::move(zone), {server}});
+}
+
+const dns::Zone* EcosystemView::find_zone(const dns::Name& name) const {
+  for (dns::Name cursor = name;; cursor = cursor.parent()) {
+    auto it = zones.find(cursor.canonical_text());
+    if (it != zones.end() && !it->second.empty()) {
+      return it->second.front().zone.get();
+    }
+    if (cursor.is_root()) return nullptr;
+  }
+}
+
+EcosystemView collect_view(
+    const std::vector<std::shared_ptr<server::AuthServer>>& servers,
+    std::uint32_t now) {
+  EcosystemView view;
+  view.now = now;
+  for (const auto& server : servers) {
+    if (server == nullptr) continue;
+    for (const auto& [origin, zone] : server->zones()) {
+      view.add(zone, server->config().id);
+    }
+  }
+  return view;
+}
+
+LintReport lint_ecosystem(const EcosystemView& view,
+                          const EcosystemLintOptions& options) {
+  LintReport report;
+
+  // ---- single-zone rules, with parent DS context from the view ----
+  for (const auto& [origin_text, versions] : view.zones) {
+    if (versions.empty()) continue;
+    const dns::Name& origin = versions.front().zone->origin();
+    ParentContext parent = parent_of(view, origin);
+    ZoneLintOptions zone_options = options.zone;
+    zone_options.now = view.now;
+    zone_options.have_parent = parent.parent != nullptr;
+    zone_options.parent_ds = std::move(parent.ds);
+    for (const ZoneVersion& version : versions) {
+      lint_zone(*version.zone, zone_options, report);
+    }
+  }
+
+  // Zones whose in-zone DNSSEC state is broken — input for L104.
+  std::set<std::string> invalid_zones;
+  for (const Finding& finding : report.findings()) {
+    switch (finding.rule) {
+      case RuleId::kRrsigTemporal:
+      case RuleId::kRrsigSignerName:
+      case RuleId::kRrsigInvalid:
+      case RuleId::kDsOrphan:
+      case RuleId::kDsUnsignedChild:
+        invalid_zones.insert(finding.zone.canonical_text());
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ---- cross-zone rules ----
+  for (const auto& [origin_text, versions] : view.zones) {
+    if (versions.empty()) continue;
+    const dns::Zone& zone = *versions.front().zone;
+    const dns::Name& origin = zone.origin();
+
+    // L101: every server must publish the same CDS/CDNSKEY sets, or the
+    // parent-side poll sees conflicting requests (RFC 7344 §6.1).
+    for (std::size_t i = 1; i < versions.size(); ++i) {
+      const dns::Zone& other = *versions[i].zone;
+      for (dns::RRType type : {dns::RRType::kCDS, dns::RRType::kCDNSKEY}) {
+        const dns::RRset* a = zone.find_rrset(origin, type);
+        const dns::RRset* b = other.find_rrset(origin, type);
+        if (!rrsets_agree(a, b)) {
+          report.add(RuleId::kCdsCrossServer, origin, origin,
+                     dns::to_string(type) + " differs between servers [" +
+                         join_servers(versions.front()) + "] and [" +
+                         join_servers(versions[i]) + "]");
+          break;  // one finding per divergent version pair
+        }
+      }
+    }
+
+    // L100: the delegation NS set at the parent must match the child apex
+    // (drift is what CSYNC migrations announce, and it breaks the RFC 9615
+    // every-NS requirement).
+    ParentContext parent = parent_of(view, origin);
+    if (parent.parent != nullptr) {
+      const dns::RRset* delegation =
+          parent.parent->find_rrset(origin, dns::RRType::kNS);
+      const dns::RRset* apex_ns = zone.apex_ns();
+      if (delegation != nullptr && apex_ns != nullptr &&
+          !delegation->same_rdatas(*apex_ns)) {
+        std::string detail = "delegation NS set in " +
+                             parent.parent->origin().to_text() +
+                             " differs from the child apex NS set";
+        if (zone.find_rrset(origin, dns::RRType::kCSYNC) != nullptr) {
+          detail += " (child publishes CSYNC requesting synchronization)";
+        }
+        report.add(RuleId::kDelegationDrift, origin, origin, detail);
+      }
+    }
+
+    // L102–L105: RFC 9615 signaling-tree placement and coherence.
+    lint_signal_trees(view, zone, invalid_zones, report);
+  }
+
+  return report;
+}
+
+}  // namespace dnsboot::lint

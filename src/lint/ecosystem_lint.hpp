@@ -1,0 +1,56 @@
+// Ecosystem-level static analysis (rules L100–L105): checks that span zone
+// boundaries — delegation consistency, cross-server CDS agreement, and
+// RFC 9615 _dsboot signaling-tree placement — evaluated over a static view
+// of every zone every authoritative server publishes, without simulating a
+// single query.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/findings.hpp"
+#include "lint/zone_lint.hpp"
+#include "server/auth_server.hpp"
+
+namespace dnsboot::lint {
+
+// One distinct version of a zone's contents plus the servers publishing it.
+// A healthy zone has exactly one version; divergent copies (the paper's
+// §4.2 cross-NS inconsistencies) appear as additional versions.
+struct ZoneVersion {
+  std::shared_ptr<const dns::Zone> zone;
+  std::vector<std::string> servers;
+};
+
+struct EcosystemView {
+  // Canonical origin text -> distinct versions, first-seen order.
+  std::map<std::string, std::vector<ZoneVersion>> zones;
+  std::uint32_t now = 0;
+
+  // Register one (zone, server) pair; same Zone object twice merges.
+  void add(std::shared_ptr<const dns::Zone> zone, const std::string& server);
+
+  // The zone whose origin is the longest suffix of `name` (first version),
+  // or nullptr when no zone in the view contains the name.
+  const dns::Zone* find_zone(const dns::Name& name) const;
+};
+
+// Collect the view from a server set (e.g. ecosystem::Ecosystem::servers).
+EcosystemView collect_view(
+    const std::vector<std::shared_ptr<server::AuthServer>>& servers,
+    std::uint32_t now);
+
+struct EcosystemLintOptions {
+  // Per-zone options; `now`, `parent_ds` and `have_parent` are filled in
+  // from the view for every zone.
+  ZoneLintOptions zone;
+};
+
+// Run the single-zone rules over every zone version (with parent DS context
+// resolved from the view) plus the cross-zone rules.
+LintReport lint_ecosystem(const EcosystemView& view,
+                          const EcosystemLintOptions& options = {});
+
+}  // namespace dnsboot::lint

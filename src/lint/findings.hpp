@@ -1,0 +1,84 @@
+// Findings — the linter's output vocabulary. A Finding pins one rule
+// violation to a zone (and the specific owner name inside it); a LintReport
+// aggregates findings plus the coverage counters reporters and tests need.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "lint/rule.hpp"
+
+namespace dnsboot::lint {
+
+struct Finding {
+  RuleId rule = RuleId::kCdsUnsignedZone;
+  dns::Name zone;      // apex of the zone the finding is about
+  dns::Name owner;     // offending owner name (== zone apex when apex-level)
+  std::string detail;  // free-form context ("CDS key tag 4711 matches no key")
+  std::string server;  // server id for per-server findings; empty otherwise
+
+  Severity severity() const { return rule_info(rule).severity; }
+};
+
+class LintReport {
+ public:
+  void add(RuleId rule, const dns::Name& zone, const dns::Name& owner,
+           std::string detail, std::string server = {}) {
+    findings_.push_back(
+        {rule, zone, owner, std::move(detail), std::move(server)});
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool empty() const { return findings_.empty(); }
+  std::size_t size() const { return findings_.size(); }
+
+  // True when no finding reaches `at_least` (default: any finding at all).
+  bool clean(Severity at_least = Severity::kInfo) const {
+    for (const Finding& f : findings_) {
+      if (f.severity() >= at_least) return false;
+    }
+    return true;
+  }
+
+  std::size_t count(RuleId rule) const {
+    std::size_t n = 0;
+    for (const Finding& f : findings_) n += (f.rule == rule) ? 1 : 0;
+    return n;
+  }
+
+  // Distinct zones (canonical text) flagged by `rule` — the unit the
+  // generator cross-check compares against injected ground truth.
+  std::set<std::string> zones_with(RuleId rule) const {
+    std::set<std::string> zones;
+    for (const Finding& f : findings_) {
+      if (f.rule == rule) zones.insert(f.zone.canonical_text());
+    }
+    return zones;
+  }
+
+  std::map<RuleId, std::size_t> counts_by_rule() const {
+    std::map<RuleId, std::size_t> counts;
+    for (const Finding& f : findings_) ++counts[f.rule];
+    return counts;
+  }
+
+  void merge(LintReport other) {
+    findings_.insert(findings_.end(),
+                     std::make_move_iterator(other.findings_.begin()),
+                     std::make_move_iterator(other.findings_.end()));
+    zones_checked_ += other.zones_checked_;
+  }
+
+  std::size_t zones_checked() const { return zones_checked_; }
+  void note_zone_checked() { ++zones_checked_; }
+
+ private:
+  std::vector<Finding> findings_;
+  std::size_t zones_checked_ = 0;
+};
+
+}  // namespace dnsboot::lint

@@ -1,0 +1,103 @@
+#include "lint/report.hpp"
+
+namespace dnsboot::lint {
+namespace {
+
+void append_escaped(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string report_to_text(const LintReport& report) {
+  std::string out;
+  for (const Finding& finding : report.findings()) {
+    const RuleInfo& rule = rule_info(finding.rule);
+    out += to_string(rule.severity);
+    out += ' ';
+    out += rule.code;
+    out += ' ';
+    out += rule.name;
+    out += " zone ";
+    out += finding.zone.to_text();
+    if (finding.owner != finding.zone) {
+      out += " at ";
+      out += finding.owner.to_text();
+    }
+    if (!finding.server.empty()) {
+      out += " [";
+      out += finding.server;
+      out += ']';
+    }
+    out += ": ";
+    out += finding.detail;
+    out += '\n';
+  }
+
+  out += "checked " + std::to_string(report.zones_checked()) + " zone(s), " +
+         std::to_string(report.size()) + " finding(s)";
+  const auto counts = report.counts_by_rule();
+  if (!counts.empty()) {
+    out += " (";
+    bool first = true;
+    for (const auto& [rule, count] : counts) {
+      if (!first) out += ", ";
+      first = false;
+      const RuleInfo& info = rule_info(rule);
+      out += info.code;
+      out += ' ';
+      out.append(info.name);
+      out += ": " + std::to_string(count);
+    }
+    out += ')';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string report_to_json(const LintReport& report) {
+  std::string out = "{\"zones_checked\":";
+  out += std::to_string(report.zones_checked());
+  out += ",\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : report.findings()) {
+    if (!first) out += ',';
+    first = false;
+    const RuleInfo& rule = rule_info(finding.rule);
+    out += "{\"rule\":";
+    append_escaped(out, std::string(rule.code));
+    out += ",\"name\":";
+    append_escaped(out, std::string(rule.name));
+    out += ",\"severity\":";
+    append_escaped(out, std::string(to_string(rule.severity)));
+    out += ",\"zone\":";
+    append_escaped(out, finding.zone.to_text());
+    out += ",\"owner\":";
+    append_escaped(out, finding.owner.to_text());
+    if (!finding.server.empty()) {
+      out += ",\"server\":";
+      append_escaped(out, finding.server);
+    }
+    out += ",\"detail\":";
+    append_escaped(out, finding.detail);
+    out += '}';
+  }
+  out += "],\"summary\":{";
+  first = true;
+  for (const auto& [rule, count] : report.counts_by_rule()) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, std::string(rule_info(rule).code));
+    out += ':';
+    out += std::to_string(count);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dnsboot::lint

@@ -1,0 +1,18 @@
+// Text and JSON renderers for lint reports — the CLI's output layer.
+#pragma once
+
+#include <string>
+
+#include "lint/findings.hpp"
+
+namespace dnsboot::lint {
+
+// Human-readable report: one line per finding
+// ("error L001 cds-unsigned-zone zone example.com.: <detail>") followed by a
+// per-rule summary block.
+std::string report_to_text(const LintReport& report);
+
+// Machine-readable report: {"zones_checked":N,"findings":[...],"summary":{...}}.
+std::string report_to_json(const LintReport& report);
+
+}  // namespace dnsboot::lint

@@ -56,11 +56,11 @@ void QueryEngine::send_attempt(std::uint16_t id) {
   dns::Message query = dns::Message::make_query(id, p.qname, p.qtype);
   Bytes wire = query.encode();
   network_.schedule(delay, [this, id, wire = std::move(wire)] {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) return;  // answered while queued
+    auto entry = pending_.find(id);
+    if (entry == pending_.end()) return;  // answered while queued
     ++stats_.sends;
-    network_.send(local_address_, it->second.server, wire,
-                  it->second.use_tcp);
+    network_.send(local_address_, entry->second.server, wire,
+                  entry->second.use_tcp);
   });
   p.timeout_timer = network_.schedule(delay + options_.timeout,
                                       [this, id] { handle_timeout(id); });

@@ -61,6 +61,12 @@ class AuthServer {
   // The zone whose origin is the longest suffix of `name`, if any.
   std::shared_ptr<const dns::Zone> zone_for(const dns::Name& name) const;
 
+  // Every zone this server publishes, keyed by canonical origin text. The
+  // static linter enumerates these to build its ecosystem view.
+  const std::map<std::string, std::shared_ptr<const dns::Zone>>& zones() const {
+    return zones_;
+  }
+
   // Produce the response for one query (the core of the engine; pure except
   // for the failure-injection RNG).
   dns::Message handle(const dns::Message& query);

@@ -136,7 +136,9 @@ TEST(SurveyRoundTrip, PerZoneStateMatchesTruth) {
         break;
     }
     EXPECT_EQ(report.cds.present, truth.cds);
-    if (truth.cds) EXPECT_EQ(report.cds.delete_request, truth.cds_delete);
+    if (truth.cds) {
+      EXPECT_EQ(report.cds.delete_request, truth.cds_delete);
+    }
     EXPECT_EQ(report.operator_name, truth.operator_name);
   }
 }

@@ -9,7 +9,7 @@
 namespace dnsboot::crypto {
 namespace {
 
-std::string hex_of(BytesView b) { return hex_encode(b); }
+[[maybe_unused]] std::string hex_of(BytesView b) { return hex_encode(b); }
 
 template <std::size_t N>
 std::string hex_of(const std::array<std::uint8_t, N>& a) {

@@ -1,0 +1,253 @@
+// dnsboot-lint — static zone-state analyzer. Checks DNSSEC/CDS/RFC 9615
+// hygiene without sending a single query: either over the synthetic
+// ecosystem's full server view (default), over one zone file (--zone), or
+// against its own ground truth (--self-check: every misconfiguration class
+// the generator injects must be caught, and a misconfiguration-free world
+// must lint clean).
+//
+// Usage:
+//   dnsboot-lint [--scale-denom N] [--seed S] [--no-pathologies]
+//                [--json FILE] [--quiet]
+//   dnsboot-lint --zone FILE --origin NAME [--now T]
+//   dnsboot-lint --self-check [--scale-denom N] [--seed S]
+//   dnsboot-lint --rules
+//
+// Exit codes: 0 = no error-severity findings (self-check passed);
+//             1 = error findings / self-check failure; 2 = usage; 3 = I/O.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "dns/zonefile.hpp"
+#include "ecosystem/builder.hpp"
+#include "lint/crosscheck.hpp"
+#include "lint/ecosystem_lint.hpp"
+#include "lint/report.hpp"
+#include "net/simnet.hpp"
+
+using namespace dnsboot;
+
+namespace {
+
+struct CliOptions {
+  double scale_denom = 100000;  // micro world: every pathology, quick lint
+  std::uint64_t seed = 1;
+  bool pathologies = true;
+  std::string json_path;
+  bool quiet = false;
+  std::string zone_path;    // --zone: lint one zone file instead
+  std::string origin_text;  // required with --zone
+  std::uint32_t now = 1'750'000'000;
+  bool self_check = false;
+  bool list_rules = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scale-denom N] [--seed S] [--no-pathologies] "
+               "[--json FILE] [--quiet]\n"
+               "       %s --zone FILE --origin NAME [--now T]\n"
+               "       %s --self-check [--scale-denom N] [--seed S]\n"
+               "       %s --rules\n",
+               argv0, argv0, argv0, argv0);
+}
+
+bool parse_cli(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scale-denom") == 0) {
+      const char* v = need_value("--scale-denom");
+      if (v == nullptr) return false;
+      options->scale_denom = std::atof(v);
+      if (options->scale_denom <= 0) return false;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need_value("--seed");
+      if (v == nullptr) return false;
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-pathologies") == 0) {
+      options->pathologies = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      const char* v = need_value("--json");
+      if (v == nullptr) return false;
+      options->json_path = v;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      options->quiet = true;
+    } else if (std::strcmp(argv[i], "--zone") == 0) {
+      const char* v = need_value("--zone");
+      if (v == nullptr) return false;
+      options->zone_path = v;
+    } else if (std::strcmp(argv[i], "--origin") == 0) {
+      const char* v = need_value("--origin");
+      if (v == nullptr) return false;
+      options->origin_text = v;
+    } else if (std::strcmp(argv[i], "--now") == 0) {
+      const char* v = need_value("--now");
+      if (v == nullptr) return false;
+      options->now = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--self-check") == 0) {
+      options->self_check = true;
+    } else if (std::strcmp(argv[i], "--rules") == 0) {
+      options->list_rules = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (!options->zone_path.empty() && options->origin_text.empty()) {
+    std::fprintf(stderr, "--zone requires --origin\n");
+    return false;
+  }
+  return true;
+}
+
+int list_rules() {
+  for (const lint::RuleInfo& rule : lint::all_rules()) {
+    std::printf("%s  %-24s  %-7s  %s\n", std::string(rule.code).c_str(),
+                std::string(rule.name).c_str(),
+                std::string(to_string(rule.severity)).c_str(),
+                std::string(rule.rationale).c_str());
+  }
+  return 0;
+}
+
+int emit(const lint::LintReport& report, const CliOptions& options) {
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 3;
+    }
+    out << lint::report_to_json(report);
+  }
+  if (options.quiet) {
+    // Summary line only (the last line of the text report).
+    std::string text = lint::report_to_text(report);
+    std::size_t cut = text.rfind('\n', text.size() - 2);
+    std::fputs(cut == std::string::npos ? text.c_str()
+                                        : text.c_str() + cut + 1,
+               stdout);
+  } else {
+    std::fputs(lint::report_to_text(report).c_str(), stdout);
+  }
+  return report.clean(lint::Severity::kError) ? 0 : 1;
+}
+
+int lint_zone_file(const CliOptions& options) {
+  std::ifstream in(options.zone_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", options.zone_path.c_str());
+    return 3;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto origin = dns::Name::from_text(options.origin_text);
+  if (!origin.ok()) {
+    std::fprintf(stderr, "bad origin: %s\n",
+                 origin.error().to_string().c_str());
+    return 2;
+  }
+  auto zone =
+      dns::parse_zone(buffer.str(), dns::ZoneFileOptions{*origin, 3600});
+  if (!zone.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", options.zone_path.c_str(),
+                 zone.error().to_string().c_str());
+    return 3;
+  }
+
+  lint::ZoneLintOptions zone_options;
+  zone_options.now = options.now;
+  return emit(lint::lint_zone(*zone, zone_options), options);
+}
+
+ecosystem::Ecosystem build_world(const ecosystem::EcosystemConfig& config,
+                                 net::SimNetwork& network) {
+  ecosystem::EcosystemBuilder builder(network, config);
+  return builder.build();
+}
+
+int lint_world(const CliOptions& options) {
+  net::SimNetwork network(options.seed ^ 0xd15b007);
+  ecosystem::EcosystemConfig config;
+  config.seed = options.seed;
+  config.scale = 1.0 / options.scale_denom;
+  config.inject_pathologies = options.pathologies;
+  auto eco = build_world(config, network);
+  if (!options.quiet) {
+    std::printf("dnsboot-lint: %zu zones on %zu servers (scale 1/%.0f, "
+                "seed %llu)\n",
+                eco.truth.size(), eco.servers.size(), options.scale_denom,
+                static_cast<unsigned long long>(options.seed));
+  }
+  auto view = lint::collect_view(eco.servers, eco.now);
+  return emit(lint::lint_ecosystem(view), options);
+}
+
+int self_check(const CliOptions& options) {
+  bool pass = true;
+
+  // Positive half: the paper world with every pathology class injected —
+  // the linter must flag 100% of the zones in every class.
+  {
+    net::SimNetwork network(options.seed ^ 0xd15b007);
+    ecosystem::EcosystemConfig config;
+    config.seed = options.seed;
+    config.scale = 1.0 / options.scale_denom;
+    auto eco = build_world(config, network);
+    auto view = lint::collect_view(eco.servers, eco.now);
+    auto report = lint::lint_ecosystem(view);
+    auto check = lint::cross_check(eco, report);
+    std::printf("self-check: paper world, %zu zones, %zu findings\n",
+                eco.truth.size(), report.size());
+    for (const lint::CrossCheckClass& cls : check.classes) {
+      std::printf("  %-28s injected %3zu  caught %3zu  %s\n", cls.name.c_str(),
+                  cls.injected.size(), cls.caught(),
+                  cls.missed.empty() ? "ok" : "MISSED");
+      for (const std::string& zone : cls.missed) {
+        std::printf("    missed: %s\n", zone.c_str());
+      }
+    }
+    pass = pass && check.all_caught();
+  }
+
+  // Negative half: a misconfiguration-free world must lint clean.
+  {
+    net::SimNetwork network(options.seed ^ 0xc1ea9);
+    auto eco = build_world(lint::clean_world_config(options.seed), network);
+    auto view = lint::collect_view(eco.servers, eco.now);
+    auto report = lint::lint_ecosystem(view);
+    std::printf("self-check: clean world, %zu zones, %zu findings\n",
+                eco.truth.size(), report.size());
+    if (!report.empty()) {
+      std::fputs(lint::report_to_text(report).c_str(), stdout);
+      pass = false;
+    }
+  }
+
+  std::printf("self-check: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_cli(argc, argv, &options)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (options.list_rules) return list_rules();
+  if (options.self_check) return self_check(options);
+  if (!options.zone_path.empty()) return lint_zone_file(options);
+  return lint_world(options);
+}

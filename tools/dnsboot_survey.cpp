@@ -4,7 +4,7 @@
 //
 // Usage:
 //   dnsboot-survey [--scale-denom N] [--seed S] [--json FILE] [--csv FILE]
-//                  [--no-pathologies] [--no-signal-scan] [--quiet]
+//                  [--no-pathologies] [--no-signal-scan] [--lint] [--quiet]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +14,8 @@
 #include "analysis/survey.hpp"
 #include "base/strings.hpp"
 #include "ecosystem/builder.hpp"
+#include "lint/ecosystem_lint.hpp"
+#include "lint/report.hpp"
 
 using namespace dnsboot;
 
@@ -26,6 +28,7 @@ struct CliOptions {
   std::string csv_path;
   bool pathologies = true;
   bool signal_scan = true;
+  bool lint_preflight = false;
   bool quiet = false;
 };
 
@@ -33,7 +36,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale-denom N] [--seed S] [--json FILE] "
                "[--csv FILE] [--no-pathologies] [--no-signal-scan] "
-               "[--quiet]\n",
+               "[--lint] [--quiet]\n",
                argv0);
 }
 
@@ -67,6 +70,8 @@ bool parse_cli(int argc, char** argv, CliOptions* options) {
       options->pathologies = false;
     } else if (std::strcmp(argv[i], "--no-signal-scan") == 0) {
       options->signal_scan = false;
+    } else if (std::strcmp(argv[i], "--lint") == 0) {
+      options->lint_preflight = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       options->quiet = true;
     } else {
@@ -106,6 +111,21 @@ int main(int argc, char** argv) {
     std::printf("dnsboot-survey: %zu zones (scale 1/%.0f, seed %llu)\n",
                 eco.scan_targets.size(), options.scale_denom,
                 static_cast<unsigned long long>(options.seed));
+  }
+
+  if (options.lint_preflight) {
+    // Static preflight: lint every zone the servers publish before spending
+    // simulated traffic on the scan. Reported per rule; the scan proceeds
+    // either way (the point of the survey is to *measure* broken zones).
+    auto view = lint::collect_view(eco.servers, eco.now);
+    auto lint_report = lint::lint_ecosystem(view);
+    std::printf("lint preflight: %zu zone version(s), %zu finding(s)\n",
+                lint_report.zones_checked(), lint_report.size());
+    for (const auto& [rule, count] : lint_report.counts_by_rule()) {
+      const lint::RuleInfo& info = lint::rule_info(rule);
+      std::printf("  %s %-24s %zu\n", std::string(info.code).c_str(),
+                  std::string(info.name).c_str(), count);
+    }
   }
 
   analysis::SurveyRunOptions run_options;
