@@ -18,6 +18,14 @@ void AbColumn::operator+=(const AbColumn& other) {
 void SurveyAggregator::add(const ZoneReport& report) {
   Survey& s = survey_;
   ++s.total;
+  switch (report.scan_quality) {
+    case ScanQuality::kComplete: ++s.scan_complete; break;
+    case ScanQuality::kDegraded: ++s.scan_degraded; break;
+    case ScanQuality::kNotObserved: ++s.scan_not_observed; break;
+    case ScanQuality::kUnreachable: ++s.scan_unreachable; break;
+  }
+  s.probes_failed += report.failed_probes;
+  s.probes_failed_transient += report.transient_failures;
   if (!report.resolved) {
     ++s.unresolved;
     return;

@@ -79,6 +79,16 @@ struct Survey {
   std::uint64_t endpoints_available = 0;
   std::uint64_t pool_sampled_zones = 0;
   std::uint64_t multi_operator_zones = 0;
+
+  // Scan-robustness accounting: how much of the survey was actually
+  // observed, and how much of the shortfall is scan-side (transient) versus
+  // operator-side (permanent).
+  std::uint64_t scan_complete = 0;
+  std::uint64_t scan_degraded = 0;
+  std::uint64_t scan_not_observed = 0;  // transient: scan could not observe
+  std::uint64_t scan_unreachable = 0;   // permanent: delegation broken
+  std::uint64_t probes_failed = 0;
+  std::uint64_t probes_failed_transient = 0;
 };
 
 class SurveyAggregator {

@@ -243,6 +243,16 @@ std::string to_string(BootstrapEligibility eligibility) {
   return "?";
 }
 
+std::string to_string(ScanQuality quality) {
+  switch (quality) {
+    case ScanQuality::kComplete: return "complete";
+    case ScanQuality::kDegraded: return "degraded";
+    case ScanQuality::kNotObserved: return "not-observed";
+    case ScanQuality::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
 std::string to_string(AbStatus status) {
   switch (status) {
     case AbStatus::kNoSignal: return "no-signal";
@@ -265,6 +275,21 @@ ZoneReport analyze_zone(const scanner::ZoneObservation& obs,
   report.endpoints_queried = obs.endpoints.size();
   report.endpoints_available = obs.endpoints_before_sampling;
   report.pool_sampled = obs.pool_sampled;
+  report.failed_probes = obs.failed_probes;
+  report.transient_failures = obs.transient_failures;
+  report.scan_attempt = obs.scan_attempt;
+  if (obs.resolved) {
+    report.scan_quality =
+        obs.completeness == scanner::ZoneObservation::Completeness::kComplete
+            ? ScanQuality::kComplete
+            : ScanQuality::kDegraded;
+  } else {
+    // A transiently-failed resolution means the scan could not observe the
+    // zone; a permanent one means the operator's delegation is broken.
+    report.scan_quality = scanner::is_transient_failure(obs.failure)
+                              ? ScanQuality::kNotObserved
+                              : ScanQuality::kUnreachable;
+  }
   if (!obs.resolved) {
     report.operator_name = kUnknownOperator;
     return report;

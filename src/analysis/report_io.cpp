@@ -160,12 +160,28 @@ std::string survey_to_json(const SurveyRunResult& result) {
   w.field("retries", result.engine_stats.retries);
   w.field("timeouts", result.engine_stats.timeouts);
   w.field("tcp_fallbacks", result.engine_stats.tcp_fallbacks);
+  w.field("truncation_loops", result.engine_stats.truncation_loops);
+  w.field("fail_fast", result.engine_stats.fail_fast);
+  w.field("servfail_cache_hits", result.engine_stats.servfail_cache_hits);
+  w.field("budget_denied", result.engine_stats.budget_denied);
+  w.field("wasted_sends", result.engine_stats.wasted_sends());
   w.field("datagrams", result.datagrams);
   w.field("bytes_on_wire", result.bytes_on_wire);
   w.field("simulated_duration_us", result.simulated_duration);
   w.field("endpoints_queried", s.endpoints_queried);
   w.field("endpoints_available", s.endpoints_available);
   w.field("pool_sampled_zones", s.pool_sampled_zones);
+  w.close_object();
+
+  w.open_object("scan_quality");
+  w.field("complete", s.scan_complete);
+  w.field("degraded", s.scan_degraded);
+  w.field("not_observed", s.scan_not_observed);
+  w.field("unreachable", s.scan_unreachable);
+  w.field("probes_failed", s.probes_failed);
+  w.field("probes_failed_transient", s.probes_failed_transient);
+  w.field("zones_requeued", result.scanner_stats.zones_requeued);
+  w.field("zones_recovered", result.scanner_stats.zones_recovered);
   w.close_object();
 
   w.close();
@@ -177,7 +193,8 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
       "zone,tld,resolved,operator,multi_operator,dnssec,dnssec_reason,"
       "cds_present,cds_delete,cds_consistent,cds_matches_dnskey,"
       "cds_rrsig_valid,cds_query_failed,eligibility,signal_present,ab,"
-      "endpoints_queried,endpoints_available,pool_sampled\n";
+      "endpoints_queried,endpoints_available,pool_sampled,scan_quality,"
+      "failed_probes,scan_attempt\n";
   for (const auto& r : reports) {
     out += csv_escape(r.zone.to_text());
     out += ',';
@@ -216,6 +233,12 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
     out += std::to_string(r.endpoints_available);
     out += ',';
     out += r.pool_sampled ? '1' : '0';
+    out += ',';
+    out += to_string(r.scan_quality);
+    out += ',';
+    out += std::to_string(r.failed_probes);
+    out += ',';
+    out += std::to_string(r.scan_attempt);
     out += '\n';
   }
   return out;

@@ -26,6 +26,18 @@ struct CdsAnalysis {
   std::vector<dns::DsRdata> cds;
 };
 
+// Scan-side quality of the underlying observation — keeps "the operator
+// misconfigured this" separate from "the scan could not observe this"
+// (chaos worlds; paper §3's completeness discussion).
+enum class ScanQuality {
+  kComplete,     // every probe answered
+  kDegraded,     // resolved, but some probes failed (provenance on each)
+  kNotObserved,  // transient scan-side failure — retrying might have worked
+  kUnreachable,  // permanent failure: lame or missing delegation
+};
+
+std::string to_string(ScanQuality quality);
+
 // Where the zone lands in the Figure 1 funnel.
 enum class BootstrapEligibility {
   kUnresolved,
@@ -91,6 +103,12 @@ struct ZoneReport {
   std::size_t endpoints_queried = 0;
   std::size_t endpoints_available = 0;
   bool pool_sampled = false;
+
+  // Scan-robustness accounting (per-probe failure provenance rollup).
+  ScanQuality scan_quality = ScanQuality::kUnreachable;
+  std::size_t failed_probes = 0;
+  std::size_t transient_failures = 0;
+  int scan_attempt = 1;  // which scan pass produced the observation
 };
 
 // Run the complete analysis for one observation.

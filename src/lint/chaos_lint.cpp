@@ -1,0 +1,44 @@
+#include "lint/chaos_lint.hpp"
+
+#include <set>
+
+namespace dnsboot::lint {
+
+LintReport lint_chaos(
+    const std::vector<std::shared_ptr<server::AuthServer>>& servers,
+    const std::map<net::IpAddress, net::FaultProfile>& links) {
+  // Union of serving addresses per zone origin, across all servers (pools
+  // and secondaries both count: one live address keeps the zone observable).
+  std::map<std::string, std::set<net::IpAddress>> zone_addresses;
+  std::map<std::string, dns::Name> zone_names;
+  for (const auto& server : servers) {
+    if (server == nullptr) continue;
+    for (const auto& [origin, zone] : server->zones()) {
+      auto& addresses = zone_addresses[origin];
+      for (const auto& address : server->addresses()) {
+        addresses.insert(address);
+      }
+      zone_names.emplace(origin, zone->origin());
+    }
+  }
+
+  LintReport report;
+  for (const auto& [origin, addresses] : zone_addresses) {
+    report.note_zone_checked();
+    if (addresses.empty()) continue;  // no endpoints at all: a build problem
+    std::size_t dead = 0;
+    for (const auto& address : addresses) {
+      auto fault = links.find(address);
+      if (fault != links.end() && fault->second.permanently_dead()) ++dead;
+    }
+    if (dead == addresses.size()) {
+      const dns::Name& zone = zone_names.at(origin);
+      report.add(RuleId::kChaosUnobservable, zone, zone,
+                 "all " + std::to_string(dead) +
+                     " serving addresses are permanently blackholed");
+    }
+  }
+  return report;
+}
+
+}  // namespace dnsboot::lint

@@ -1,0 +1,23 @@
+// Chaos-profile static analysis (rule L106): given the link fault map a
+// chaos plan installed, find zones that are *structurally* unobservable —
+// every address of every server publishing them sits behind a permanent
+// blackhole. A chaos world should make scanning hard, not impossible: a
+// permanently dark zone turns every downstream "degraded" metric into noise.
+//
+// Takes net-level types (address -> FaultProfile) rather than an ecosystem
+// ChaosPlan so the lint library does not depend on the generator.
+#pragma once
+
+#include <map>
+
+#include "lint/findings.hpp"
+#include "net/simnet.hpp"
+#include "server/auth_server.hpp"
+
+namespace dnsboot::lint {
+
+LintReport lint_chaos(
+    const std::vector<std::shared_ptr<server::AuthServer>>& servers,
+    const std::map<net::IpAddress, net::FaultProfile>& links);
+
+}  // namespace dnsboot::lint

@@ -69,6 +69,11 @@ const std::vector<RuleInfo>& all_rules() {
        Severity::kError,
        "_dsboot trees disagree across nameservers (or with the in-zone CDS), "
        "so registries see conflicting signals (RFC 9615 §4.2, paper §4.4)"},
+      {RuleId::kChaosUnobservable, "L106", "chaos-unobservable",
+       Severity::kError,
+       "the fault profile permanently blackholes every endpoint serving the "
+       "zone, so no scan can ever observe it (chaos worlds must stay "
+       "measurable: every failure should be attributable, not structural)"},
   };
   return rules;
 }

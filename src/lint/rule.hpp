@@ -42,6 +42,7 @@ enum class RuleId {
   kSignalZoneCut,         // L103: signaling name crosses a foreign zone cut
   kSignalUnbootstrappable,// L104: signal RRs for an unsigned/invalid zone
   kSignalInconsistent,    // L105: _dsboot trees disagree across NSes
+  kChaosUnobservable,     // L106: fault profile blackholes a zone forever
 };
 
 struct RuleInfo {

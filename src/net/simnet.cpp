@@ -11,14 +11,13 @@ void SimNetwork::push_event(SimTime at, std::uint64_t timer_id,
 
 std::uint64_t SimNetwork::schedule(SimTime delay, TimerHandler fn) {
   std::uint64_t id = next_timer_id_++;
-  cancelled_[id] = false;
+  live_timers_.insert(id);
   push_event(now_ + delay, id, std::move(fn));
   return id;
 }
 
 void SimNetwork::cancel(std::uint64_t timer_id) {
-  auto it = cancelled_.find(timer_id);
-  if (it != cancelled_.end()) it->second = true;
+  live_timers_.erase(timer_id);
 }
 
 void SimNetwork::bind(const IpAddress& address, DatagramHandler handler) {
@@ -41,20 +40,65 @@ void SimNetwork::set_link_to(const IpAddress& destination,
   link_overrides_[destination] = model;
 }
 
-void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
-                      Bytes payload, bool tcp) {
-  ++datagrams_sent_;
-  bytes_sent_ += payload.size();
-  const LinkModel& link = link_for(destination);
-  if (rng_.chance(link.loss_rate)) {
-    ++datagrams_dropped_;
-    return;
+void SimNetwork::set_faults_to(const IpAddress& destination,
+                               const FaultProfile& profile) {
+  faults_to_[destination] = FaultRule{profile, 0};
+}
+
+void SimNetwork::set_faults_from(const IpAddress& source,
+                                 const FaultProfile& profile) {
+  faults_from_[source] = FaultRule{profile, 0};
+}
+
+void SimNetwork::clear_faults() {
+  faults_to_.clear();
+  faults_from_.clear();
+}
+
+const FaultProfile* SimNetwork::faults_to(const IpAddress& destination) const {
+  auto it = faults_to_.find(destination);
+  return it == faults_to_.end() ? nullptr : &it->second.profile;
+}
+
+bool SimNetwork::apply_fault_rule(FaultRule& rule, SimTime* extra_latency,
+                                  bool* duplicate, bool* corrupt) {
+  const FaultProfile& p = rule.profile;
+  // Drop classes, most to least absolute.
+  for (const auto& window : p.blackholes) {
+    if (window.contains(now_)) {
+      ++fault_stats_.blackholed;
+      return false;
+    }
   }
-  SimTime latency = link.base_latency;
-  if (link.jitter > 0) latency += rng_.next_below(link.jitter);
-  // TCP pays an extra round trip for the handshake.
-  if (tcp) latency += link.base_latency;
-  Datagram dgram{source, destination, std::move(payload), tcp};
+  if (p.flap_period > 0 &&
+      (now_ + p.flap_phase) % p.flap_period < p.flap_down) {
+    ++fault_stats_.flap_dropped;
+    return false;
+  }
+  bool in_burst = now_ < rule.burst_until;
+  if (!in_burst && p.burst_enter > 0 && rng_.chance(p.burst_enter)) {
+    rule.burst_until = now_ + p.burst_duration;
+    in_burst = true;
+  }
+  if (in_burst && rng_.chance(p.burst_loss)) {
+    ++fault_stats_.burst_dropped;
+    return false;
+  }
+  if (p.loss_rate > 0 && rng_.chance(p.loss_rate)) {
+    ++fault_stats_.fault_lost;
+    return false;
+  }
+  // Mutations on the surviving datagram.
+  if (p.reorder_rate > 0 && rng_.chance(p.reorder_rate)) {
+    *extra_latency += p.reorder_delay;
+    ++fault_stats_.reordered;
+  }
+  if (p.duplicate_rate > 0 && rng_.chance(p.duplicate_rate)) *duplicate = true;
+  if (p.corrupt_rate > 0 && rng_.chance(p.corrupt_rate)) *corrupt = true;
+  return true;
+}
+
+void SimNetwork::deliver(Datagram dgram, SimTime latency) {
   push_event(now_ + latency, 0, [this, dgram = std::move(dgram)]() {
     auto it = handlers_.find(dgram.destination);
     if (it == handlers_.end()) {
@@ -66,17 +110,64 @@ void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
   });
 }
 
+void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
+                      Bytes payload, bool tcp) {
+  ++datagrams_sent_;
+  bytes_sent_ += payload.size();
+  const LinkModel& link = link_for(destination);
+  if (rng_.chance(link.loss_rate)) {
+    ++datagrams_dropped_;
+    return;
+  }
+
+  SimTime extra_latency = 0;
+  bool duplicate = false;
+  bool corrupt = false;
+  for (auto* rules : {&faults_to_, &faults_from_}) {
+    const IpAddress& key = rules == &faults_to_ ? destination : source;
+    auto it = rules->find(key);
+    if (it == rules->end()) continue;
+    if (!apply_fault_rule(it->second, &extra_latency, &duplicate, &corrupt)) {
+      ++datagrams_dropped_;
+      return;
+    }
+  }
+  if (corrupt && !payload.empty()) {
+    // One random bit-flip: enough to break the DNS header checksum-free
+    // parse or a signature, as real corruption does.
+    std::size_t byte = rng_.next_below(payload.size());
+    payload[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    ++fault_stats_.corrupted;
+  }
+
+  SimTime latency = link.base_latency;
+  if (link.jitter > 0) latency += rng_.next_below(link.jitter);
+  // TCP pays an extra round trip for the handshake.
+  if (tcp) latency += link.base_latency;
+  latency += extra_latency;
+
+  Datagram dgram{source, destination, std::move(payload), tcp};
+  if (duplicate) {
+    // The copy takes its own (longer) path; it arrives strictly after the
+    // original so handlers see a classic stale duplicate.
+    SimTime dup_latency = latency + 1 * kMillisecond;
+    if (link.jitter > 0) dup_latency += rng_.next_below(link.jitter);
+    deliver(dgram, dup_latency);
+    ++fault_stats_.duplicated;
+  }
+  deliver(std::move(dgram), latency);
+}
+
 std::size_t SimNetwork::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (!events_.empty() && processed < max_events) {
     Event event = events_.top();
     events_.pop();
     now_ = event.at;
-    if (event.timer_id != 0) {
-      auto it = cancelled_.find(event.timer_id);
-      bool skip = (it != cancelled_.end() && it->second);
-      if (it != cancelled_.end()) cancelled_.erase(it);
-      if (skip) continue;
+    // A timer event fires only if its id is still live; erasing on drain
+    // keeps the bookkeeping bounded (it once grew monotonically).
+    if (event.timer_id != 0 && live_timers_.erase(event.timer_id) == 0) {
+      continue;
     }
     event.action();
     ++processed;
@@ -90,11 +181,8 @@ std::size_t SimNetwork::run_until(SimTime deadline) {
     Event event = events_.top();
     events_.pop();
     now_ = event.at;
-    if (event.timer_id != 0) {
-      auto it = cancelled_.find(event.timer_id);
-      bool skip = (it != cancelled_.end() && it->second);
-      if (it != cancelled_.end()) cancelled_.erase(it);
-      if (skip) continue;
+    if (event.timer_id != 0 && live_timers_.erase(event.timer_id) == 0) {
+      continue;
     }
     event.action();
     ++processed;

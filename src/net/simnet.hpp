@@ -5,12 +5,18 @@
 // scanner and the authoritative servers exchange real DNS wire-format
 // messages over it, while latency, jitter, loss and anycast behaviour are
 // modelled here. Everything is deterministic given the seed.
+//
+// Beyond the per-link LinkModel, the simulator is a scriptable
+// fault-injection harness: direction-keyed FaultProfiles add time-windowed
+// blackholes, periodic link flaps, bursty loss, duplication, reordering and
+// payload corruption — the fault classes a real scan meets (paper §3, §4.4).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "base/bytes.hpp"
@@ -25,6 +31,8 @@ using SimTime = std::uint64_t;
 inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000;
 inline constexpr SimTime kSecond = 1000 * 1000;
+// Sentinel for "never ends" in fault schedules.
+inline constexpr SimTime kSimTimeForever = UINT64_MAX;
 
 struct Datagram {
   IpAddress source;
@@ -43,6 +51,66 @@ struct LinkModel {
   double loss_rate = 0.0;                    // per-datagram drop probability
 };
 
+// Half-open interval of simulated time.
+struct TimeWindow {
+  SimTime start = 0;
+  SimTime end = kSimTimeForever;
+
+  bool contains(SimTime t) const { return t >= start && t < end; }
+  bool is_forever() const { return start == 0 && end == kSimTimeForever; }
+};
+
+// A scriptable fault schedule for one direction of one link. All probability
+// draws come from the network's seeded RNG, so a chaos run is reproducible.
+// Drop classes are evaluated in order: blackhole, flap, burst, uniform loss;
+// surviving datagrams may then be corrupted, reordered, or duplicated.
+struct FaultProfile {
+  // Independent per-datagram loss, on top of the LinkModel's rate.
+  double loss_rate = 0.0;
+
+  // Total loss inside any of these windows (route withdrawal / dead host).
+  std::vector<TimeWindow> blackholes;
+
+  // Periodic link flap: the link is down for the first `flap_down` of every
+  // `flap_period` (shifted by `flap_phase`). Disabled when period is 0.
+  SimTime flap_period = 0;
+  SimTime flap_down = 0;
+  SimTime flap_phase = 0;
+
+  // Bursty loss (congestion episodes): each surviving datagram enters a
+  // burst with probability `burst_enter`; for the next `burst_duration` of
+  // simulated time datagrams drop with probability `burst_loss`.
+  double burst_enter = 0.0;
+  SimTime burst_duration = 0;
+  double burst_loss = 1.0;
+
+  // Non-drop faults on delivered datagrams.
+  double duplicate_rate = 0.0;  // deliver a second, later copy
+  double reorder_rate = 0.0;    // hold the datagram back by reorder_delay
+  SimTime reorder_delay = 50 * kMillisecond;
+  double corrupt_rate = 0.0;    // flip one payload bit
+
+  // True when a blackhole window covers all of simulated time: no datagram
+  // in this direction can ever arrive (the lint L106 predicate).
+  bool permanently_dead() const {
+    for (const auto& window : blackholes) {
+      if (window.is_forever()) return true;
+    }
+    return false;
+  }
+};
+
+// Per-fault-class drop/mutation counters (chaos benches assert on these).
+struct FaultStats {
+  std::uint64_t blackholed = 0;
+  std::uint64_t flap_dropped = 0;
+  std::uint64_t burst_dropped = 0;
+  std::uint64_t fault_lost = 0;  // FaultProfile::loss_rate drops
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t duplicated = 0;
+};
+
 class SimNetwork {
  public:
   using DatagramHandler = std::function<void(const Datagram&)>;
@@ -55,6 +123,11 @@ class SimNetwork {
   // Run `fn` at now() + delay. Returns a timer id usable with cancel().
   std::uint64_t schedule(SimTime delay, TimerHandler fn);
   void cancel(std::uint64_t timer_id);
+
+  // Outstanding (scheduled, neither fired nor cancelled) timers. The
+  // bookkeeping must stay bounded by the number of live timers — long chaos
+  // runs schedule millions of timers over their lifetime.
+  std::size_t timer_bookkeeping_size() const { return live_timers_.size(); }
 
   // Attach a handler to an address. Binding an already-bound address
   // replaces the handler (used for fail-over in tests).
@@ -72,6 +145,16 @@ class SimNetwork {
   // Override the link model for datagrams *to* a given destination.
   void set_link_to(const IpAddress& destination, const LinkModel& model);
 
+  // Fault schedules are direction-keyed, which is what makes asymmetric
+  // loss expressible: a `to` rule affects datagrams addressed to the
+  // endpoint (queries), a `from` rule affects datagrams it originates
+  // (responses). Both rules apply when both match.
+  void set_faults_to(const IpAddress& destination, const FaultProfile& profile);
+  void set_faults_from(const IpAddress& source, const FaultProfile& profile);
+  void clear_faults();
+  // The installed to-direction rule for an endpoint, or nullptr.
+  const FaultProfile* faults_to(const IpAddress& destination) const;
+
   // Process events until the queue is empty or `max_events` fire.
   // Returns the number of events processed.
   std::size_t run(std::size_t max_events = SIZE_MAX);
@@ -84,6 +167,7 @@ class SimNetwork {
   std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
   std::uint64_t datagrams_unroutable() const { return datagrams_unroutable_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:
   struct Event {
@@ -98,17 +182,33 @@ class SimNetwork {
       return a.sequence > b.sequence;
     }
   };
+  // A fault rule plus its mutable burst state.
+  struct FaultRule {
+    FaultProfile profile;
+    SimTime burst_until = 0;  // end of the current burst episode, if any
+  };
 
   const LinkModel& link_for(const IpAddress& destination) const;
   void push_event(SimTime at, std::uint64_t timer_id, TimerHandler action);
+  // Evaluate one fault rule against a datagram about to be queued. Returns
+  // false when the datagram is dropped; otherwise accumulates extra latency
+  // and the mutation flags.
+  bool apply_fault_rule(FaultRule& rule, SimTime* extra_latency,
+                        bool* duplicate, bool* corrupt);
+  void deliver(Datagram dgram, SimTime latency);
 
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_timer_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
-  std::map<std::uint64_t, bool> cancelled_;  // timer_id -> cancelled
+  // Live-timer set: ids are inserted on schedule() and erased on cancel()
+  // or when the event drains, so the bookkeeping never outgrows the number
+  // of outstanding timers.
+  std::set<std::uint64_t> live_timers_;
   std::map<IpAddress, DatagramHandler> handlers_;
   std::map<IpAddress, LinkModel> link_overrides_;
+  std::map<IpAddress, FaultRule> faults_to_;
+  std::map<IpAddress, FaultRule> faults_from_;
   LinkModel default_link_;
   Rng rng_;
 
@@ -117,6 +217,7 @@ class SimNetwork {
   std::uint64_t datagrams_dropped_ = 0;
   std::uint64_t datagrams_unroutable_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  FaultStats fault_stats_;
 };
 
 }  // namespace dnsboot::net

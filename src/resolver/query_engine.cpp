@@ -1,5 +1,8 @@
 #include "resolver/query_engine.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace dnsboot::resolver {
 
 QueryEngine::QueryEngine(net::SimNetwork& network,
@@ -7,7 +10,9 @@ QueryEngine::QueryEngine(net::SimNetwork& network,
                          QueryEngineOptions options)
     : network_(network),
       local_address_(local_address),
-      options_(options) {
+      options_(options),
+      health_(options.health),
+      rng_(options.seed) {
   network_.bind(local_address_,
                 [this](const net::Datagram& dgram) { handle_datagram(dgram); });
 }
@@ -21,12 +26,67 @@ std::uint16_t QueryEngine::allocate_id() {
   return 0;  // exhausted (callers treat as overload)
 }
 
+net::SimTime QueryEngine::attempt_timeout(int attempt) const {
+  double t = static_cast<double>(options_.timeout) *
+             std::pow(options_.timeout_multiplier, attempt);
+  t = std::min(t, static_cast<double>(options_.timeout_cap));
+  return std::max<net::SimTime>(1, static_cast<net::SimTime>(t));
+}
+
+net::SimTime QueryEngine::next_backoff(Pending& p) {
+  if (options_.backoff_base == 0) return 0;
+  // Decorrelated jitter: delay = min(cap, uniform(base, 3 * prev)).
+  net::SimTime prev = std::max(p.prev_backoff, options_.backoff_base);
+  net::SimTime upper = 3 * prev;
+  net::SimTime delay = options_.backoff_base;
+  if (upper > options_.backoff_base) {
+    delay += rng_.next_below(upper - options_.backoff_base);
+  }
+  delay = std::min(delay, options_.backoff_cap);
+  p.prev_backoff = delay;
+  return delay;
+}
+
+bool QueryEngine::retry_budget_available() const {
+  if (options_.retry_budget_ratio <= 0) return true;
+  std::uint64_t budget = std::max<std::uint64_t>(
+      options_.retry_budget_floor,
+      static_cast<std::uint64_t>(options_.retry_budget_ratio *
+                                 static_cast<double>(stats_.queries)));
+  return stats_.retries < budget;
+}
+
 void QueryEngine::query(const net::IpAddress& server, const dns::Name& qname,
                         dns::RRType qtype, Callback callback) {
   ++stats_.queries;
+  // Fail-fast paths deliver their error through a zero-delay event rather
+  // than synchronously: a caller that issues the next query from its error
+  // callback would otherwise recurse once per fast-failing query.
+  auto fail = [this](Callback cb, Error error) {
+    network_.schedule(0, [cb = std::move(cb), error = std::move(error)] {
+      cb(std::move(error));
+    });
+  };
+  // RFC 9520: repeated identical questions against a SERVFAILing server are
+  // answered from the negative cache without touching the wire.
+  if (health_.servfail_cached(server, qname, qtype, network_.now())) {
+    ++stats_.servfail_cache_hits;
+    fail(std::move(callback),
+         Error{"query.servfail_cached",
+               "server recently answered SERVFAIL for this question"});
+    return;
+  }
+  // Open circuit: fail fast instead of burning attempts on a dead server.
+  if (!health_.allow(server, network_.now())) {
+    ++stats_.fail_fast;
+    fail(std::move(callback),
+         Error{"query.circuit_open",
+               "server circuit breaker is open (consecutive failures)"});
+    return;
+  }
   std::uint16_t id = allocate_id();
   if (id == 0) {
-    callback(Error{"query.overload", "no free query ids"});
+    fail(std::move(callback), Error{"query.overload", "no free query ids"});
     return;
   }
   Pending pending;
@@ -43,13 +103,18 @@ void QueryEngine::send_attempt(std::uint16_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   Pending& p = it->second;
+
+  // Backoff applies between attempts, never before the first.
+  net::SimTime backoff = p.attempt > 0 ? next_backoff(p) : 0;
+  net::SimTime timeout = attempt_timeout(p.attempt);
+  ++p.attempt;
   --p.attempts_left;
 
   // Pace sends per destination: the next slot is 1/qps after the previous.
   net::SimTime interval =
       static_cast<net::SimTime>(1e6 / options_.per_server_qps);
   net::SimTime& next_free = next_free_[p.server];
-  net::SimTime send_at = std::max(network_.now(), next_free);
+  net::SimTime send_at = std::max(network_.now() + backoff, next_free);
   next_free = send_at + interval;
   net::SimTime delay = send_at - network_.now();
 
@@ -59,25 +124,37 @@ void QueryEngine::send_attempt(std::uint16_t id) {
     auto entry = pending_.find(id);
     if (entry == pending_.end()) return;  // answered while queued
     ++stats_.sends;
+    entry->second.sent_at = network_.now();
     network_.send(local_address_, entry->second.server, wire,
                   entry->second.use_tcp);
   });
-  p.timeout_timer = network_.schedule(delay + options_.timeout,
+  p.timeout_timer = network_.schedule(delay + timeout,
                                       [this, id] { handle_timeout(id); });
+}
+
+void QueryEngine::finish(std::uint16_t id, Result<dns::Message> result) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  network_.cancel(it->second.timeout_timer);
+  Callback callback = std::move(it->second.callback);
+  pending_.erase(it);
+  callback(std::move(result));
 }
 
 void QueryEngine::handle_timeout(std::uint16_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
+  health_.record_failure(it->second.server, network_.now());
   if (it->second.attempts_left > 0) {
-    ++stats_.retries;
-    send_attempt(id);
-    return;
+    if (retry_budget_available()) {
+      ++stats_.retries;
+      send_attempt(id);
+      return;
+    }
+    ++stats_.budget_denied;
   }
   ++stats_.timeouts;
-  Callback callback = std::move(it->second.callback);
-  pending_.erase(it);
-  callback(Error{"query.timeout", "no response after all attempts"});
+  finish(id, Error{"query.timeout", "no response after all attempts"});
 }
 
 void QueryEngine::handle_datagram(const net::Datagram& dgram) {
@@ -92,27 +169,53 @@ void QueryEngine::handle_datagram(const net::Datagram& dgram) {
     return;
   }
   // Guard against spoofed/crossed answers: source and question must match.
-  const Pending& p = it->second;
+  // With a wrapped ID space this tuple check is what keeps a stale duplicate
+  // from completing an unrelated fresh query that reused the ID.
+  Pending& p = it->second;
   if (dgram.source != p.server || message->questions.size() != 1 ||
       !(message->questions[0].name == p.qname) ||
       message->questions[0].type != p.qtype) {
     ++stats_.mismatched;
     return;
   }
-  // Truncated UDP answer: retry the same query over TCP (RFC 1035 §4.2.2).
-  if (message->header.tc && !p.use_tcp) {
-    ++stats_.tcp_fallbacks;
-    network_.cancel(p.timeout_timer);
-    it->second.use_tcp = true;
-    ++it->second.attempts_left;  // the TCP retry is not a lost attempt
-    send_attempt(message->header.id);
+  if (message->header.tc) {
+    if (!p.use_tcp) {
+      // Truncated UDP answer: retry the same query over TCP (RFC 1035
+      // §4.2.2).
+      ++stats_.tcp_fallbacks;
+      network_.cancel(p.timeout_timer);
+      p.use_tcp = true;
+      ++p.attempts_left;  // the TCP retry is not a lost attempt
+      send_attempt(message->header.id);
+      return;
+    }
+    if (!dgram.tcp) {
+      // A duplicate of the truncated UDP answer arriving after the TCP
+      // fallback started; completing the query with it would hand the
+      // caller an empty message.
+      ++stats_.mismatched;
+      return;
+    }
+    // A TCP answer that is still truncated can never resolve: fail the
+    // query instead of looping.
+    ++stats_.truncation_loops;
+    health_.record_failure(p.server, network_.now());
+    finish(message->header.id,
+           Error{"query.truncation_loop", "TCP response still truncated"});
     return;
   }
   ++stats_.responses;
-  network_.cancel(p.timeout_timer);
-  Callback callback = std::move(it->second.callback);
-  pending_.erase(it);
-  callback(std::move(message).take());
+  net::SimTime rtt =
+      network_.now() >= p.sent_at ? network_.now() - p.sent_at : 0;
+  if (message->header.rcode == dns::Rcode::kServFail) {
+    // SERVFAIL is an answer to the caller but a failure signal for health
+    // tracking (RFC 9520).
+    health_.record_servfail(p.server, p.qname, p.qtype, network_.now());
+    health_.record_failure(p.server, network_.now());
+  } else {
+    health_.record_success(p.server, network_.now(), rtt);
+  }
+  finish(message->header.id, std::move(message).take());
 }
 
 }  // namespace dnsboot::resolver

@@ -6,6 +6,12 @@
 // pacing (the paper limits itself to 50 qps per NS, §3). The engine paces
 // sends per destination address, matches responses by message ID, and
 // retries on timeout.
+//
+// The retry policy is adaptive (ZDNS-style): per-attempt timeout schedules,
+// exponential backoff with decorrelated jitter, a global retry budget, and a
+// per-server health tracker (EWMA + circuit breaker + RFC 9520 SERVFAIL
+// cache). Every knob defaults to the seed's fixed 2s × 3 policy; chaos scans
+// opt in.
 #pragma once
 
 #include <deque>
@@ -14,13 +20,37 @@
 
 #include "dns/message.hpp"
 #include "net/simnet.hpp"
+#include "resolver/health.hpp"
 
 namespace dnsboot::resolver {
 
 struct QueryEngineOptions {
-  net::SimTime timeout = 2 * net::kSecond;  // per attempt
+  net::SimTime timeout = 2 * net::kSecond;  // first-attempt timeout
   int attempts = 3;                         // total tries per query
   double per_server_qps = 50.0;             // paper's scan limit (§3)
+
+  // Per-attempt timeout schedule: timeout_i = min(cap, timeout * mult^i).
+  // 1.0 reproduces the seed's fixed schedule.
+  double timeout_multiplier = 1.0;
+  net::SimTime timeout_cap = 8 * net::kSecond;
+
+  // Decorrelated-jitter backoff before each retry:
+  //   delay_i = min(backoff_cap, uniform(backoff_base, 3 * delay_{i-1})).
+  // 0 disables backoff (the seed retries immediately on timeout).
+  net::SimTime backoff_base = 0;
+  net::SimTime backoff_cap = 2 * net::kSecond;
+
+  // Retry budget: across the engine's lifetime at most
+  // max(floor, ratio * logical_queries) retries are spent; queries beyond
+  // the budget fail after their first attempt. ratio 0 disables budgeting.
+  double retry_budget_ratio = 0.0;
+  std::uint64_t retry_budget_floor = 100;
+
+  // Jitter RNG seed (deterministic runs).
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+
+  // Per-server health tracking (breaker + SERVFAIL cache); off by default.
+  HealthOptions health;
 };
 
 struct QueryEngineStats {
@@ -31,6 +61,16 @@ struct QueryEngineStats {
   std::uint64_t retries = 0;
   std::uint64_t mismatched = 0;     // responses that matched no pending query
   std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
+  std::uint64_t truncation_loops = 0;  // TCP answers still truncated
+  std::uint64_t fail_fast = 0;         // rejected by an open circuit
+  std::uint64_t servfail_cache_hits = 0;  // answered from the RFC 9520 cache
+  std::uint64_t budget_denied = 0;        // retries denied by the budget
+
+  // Sends that never produced a matched response — the waste metric the
+  // chaos bench compares across retry policies.
+  std::uint64_t wasted_sends() const {
+    return sends >= responses ? sends - responses : 0;
+  }
 };
 
 class QueryEngine {
@@ -46,6 +86,7 @@ class QueryEngine {
              dns::RRType qtype, Callback callback);
 
   const QueryEngineStats& stats() const { return stats_; }
+  const ServerHealthTracker& health() const { return health_; }
   std::size_t in_flight() const { return pending_.size(); }
 
  private:
@@ -55,14 +96,21 @@ class QueryEngine {
     dns::RRType qtype;
     Callback callback;
     int attempts_left = 0;
+    int attempt = 0;  // attempts started (0 before the first send)
     std::uint64_t timeout_timer = 0;
     bool use_tcp = false;  // set after a truncated (TC=1) UDP response
+    net::SimTime sent_at = 0;        // when the last datagram left (for RTT)
+    net::SimTime prev_backoff = 0;   // decorrelated-jitter state
   };
 
   void send_attempt(std::uint16_t id);
   void handle_datagram(const net::Datagram& dgram);
   void handle_timeout(std::uint16_t id);
+  void finish(std::uint16_t id, Result<dns::Message> result);
   std::uint16_t allocate_id();
+  net::SimTime attempt_timeout(int attempt) const;
+  net::SimTime next_backoff(Pending& p);
+  bool retry_budget_available() const;
 
   net::SimNetwork& network_;
   net::IpAddress local_address_;
@@ -72,6 +120,8 @@ class QueryEngine {
   // Rate pacing: earliest time the next datagram may leave for a server.
   std::map<net::IpAddress, net::SimTime> next_free_;
   QueryEngineStats stats_;
+  ServerHealthTracker health_;
+  Rng rng_;
 };
 
 }  // namespace dnsboot::resolver

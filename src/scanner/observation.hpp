@@ -13,6 +13,35 @@
 
 namespace dnsboot::scanner {
 
+// Why a probe failed — structured provenance, so the analysis can separate
+// "operator misconfigured" (permanent rcodes like FORMERR) from "scan could
+// not observe" (transient faults a later pass may recover from).
+enum class ProbeFailure {
+  kNone,            // usable answer (includes NOERROR-empty and NXDOMAIN)
+  kTimeout,         // every attempt timed out
+  kFormErr,
+  kServFail,
+  kRefused,
+  kNotImp,
+  kTruncationLoop,  // TCP fallback answer was still truncated
+  kCircuitOpen,     // engine failed fast: server circuit breaker open
+  kServfailCached,  // answered from the RFC 9520 negative cache
+  kOverload,        // engine out of query ids
+  kOther,
+};
+
+std::string to_string(ProbeFailure failure);
+
+// Failures a later scan pass may plausibly recover from. SERVFAIL/REFUSED
+// count as transient because the fault model produces them from flapping and
+// rate-limited servers; persistent ones simply fail again on the retry.
+bool is_transient(ProbeFailure failure);
+
+// Same question for a zone/signal resolution-failure string: true for
+// scan-side failures (engine errors, unreachable delegations), false for
+// permanent findings (NXDOMAIN, undelegated, over-long signaling names).
+bool is_transient_failure(const std::string& failure);
+
 // Result of one (endpoint, qname, qtype) probe.
 struct RRsetProbe {
   dns::Name ns;               // NS hostname the endpoint belongs to
@@ -29,6 +58,7 @@ struct RRsetProbe {
   };
   Outcome outcome = Outcome::kTimeout;
   dns::Rcode rcode = dns::Rcode::kNoError;
+  ProbeFailure failure = ProbeFailure::kNone;
   dnssec::SignedRRset rrset;  // filled for kAnswer
 };
 
@@ -68,6 +98,19 @@ struct ZoneObservation {
   bool resolved = false;
   std::string failure;  // when !resolved
 
+  // Scan-side quality of this observation. Degraded zones are emitted and
+  // analyzed anyway; the failure provenance on each probe says what is
+  // missing and why.
+  enum class Completeness {
+    kComplete,  // every probe produced a usable answer
+    kDegraded,  // resolved, but some probes failed
+    kFailed,    // delegation could not be resolved at all
+  };
+  Completeness completeness = Completeness::kFailed;
+  int scan_attempt = 1;                // which pass produced this (1-based)
+  std::size_t failed_probes = 0;       // probes with failure != kNone
+  std::size_t transient_failures = 0;  // subset a requeue may recover
+
   // Parent-side view (TLD referral).
   std::vector<dns::Name> parent_ns;
   dnssec::SignedRRset parent_ds;
@@ -87,6 +130,8 @@ struct ZoneObservation {
   // Convenience accessors used by the analysis.
   std::vector<const RRsetProbe*> probes_of(dns::RRType qtype) const;
 };
+
+std::string to_string(ZoneObservation::Completeness completeness);
 
 // Snapshot of the shared infrastructure the chains hang from; captured once
 // per scan so validation is reproducible offline.

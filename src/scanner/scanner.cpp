@@ -16,6 +16,84 @@ std::string to_string(RRsetProbe::Outcome outcome) {
   return "?";
 }
 
+std::string to_string(ProbeFailure failure) {
+  switch (failure) {
+    case ProbeFailure::kNone: return "none";
+    case ProbeFailure::kTimeout: return "timeout";
+    case ProbeFailure::kFormErr: return "formerr";
+    case ProbeFailure::kServFail: return "servfail";
+    case ProbeFailure::kRefused: return "refused";
+    case ProbeFailure::kNotImp: return "notimp";
+    case ProbeFailure::kTruncationLoop: return "truncation-loop";
+    case ProbeFailure::kCircuitOpen: return "circuit-open";
+    case ProbeFailure::kServfailCached: return "servfail-cached";
+    case ProbeFailure::kOverload: return "overload";
+    case ProbeFailure::kOther: return "other";
+  }
+  return "?";
+}
+
+bool is_transient(ProbeFailure failure) {
+  switch (failure) {
+    case ProbeFailure::kTimeout:
+    case ProbeFailure::kServFail:
+    case ProbeFailure::kRefused:
+    case ProbeFailure::kTruncationLoop:
+    case ProbeFailure::kCircuitOpen:
+    case ProbeFailure::kServfailCached:
+    case ProbeFailure::kOverload:
+      return true;
+    case ProbeFailure::kNone:
+    case ProbeFailure::kFormErr:
+    case ProbeFailure::kNotImp:
+    case ProbeFailure::kOther:
+      return false;
+  }
+  return false;
+}
+
+std::string to_string(ZoneObservation::Completeness completeness) {
+  switch (completeness) {
+    case ZoneObservation::Completeness::kComplete: return "complete";
+    case ZoneObservation::Completeness::kDegraded: return "degraded";
+    case ZoneObservation::Completeness::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// Resolution-failure strings that a rescan may plausibly recover from:
+// engine-level errors and delegation dead-ends that chaos faults produce.
+// Permanent findings (NXDOMAIN, undelegated, names exceeding the 255-octet
+// limit) are not retried.
+bool is_transient_failure(const std::string& failure) {
+  return failure.rfind("query.", 0) == 0 ||
+         failure.rfind("resolve.unreachable", 0) == 0 ||
+         failure.rfind("resolve.glueless_dead_end", 0) == 0 ||
+         failure == "no nameserver address resolvable" ||
+         failure == "no signaling-zone nameserver resolvable";
+}
+
+namespace {
+
+int completeness_rank(ZoneObservation::Completeness completeness) {
+  switch (completeness) {
+    case ZoneObservation::Completeness::kComplete: return 2;
+    case ZoneObservation::Completeness::kDegraded: return 1;
+    case ZoneObservation::Completeness::kFailed: return 0;
+  }
+  return 0;
+}
+
+// Strict ordering: is `a` a better observation of the same zone than `b`?
+bool better_observation(const ZoneObservation& a, const ZoneObservation& b) {
+  int rank_a = completeness_rank(a.completeness);
+  int rank_b = completeness_rank(b.completeness);
+  if (rank_a != rank_b) return rank_a > rank_b;
+  return a.failed_probes < b.failed_probes;
+}
+
+}  // namespace
+
 std::vector<const RRsetProbe*> ZoneObservation::probes_of(
     dns::RRType qtype) const {
   std::vector<const RRsetProbe*> out;
@@ -68,7 +146,7 @@ Scanner::Scanner(net::SimNetwork& network, resolver::QueryEngine& engine,
 
 void Scanner::scan(std::vector<dns::Name> zones, ZoneCallback on_zone) {
   on_zone_ = std::move(on_zone);
-  for (auto& zone : zones) queue_.push_back(std::move(zone));
+  for (auto& zone : zones) queue_.emplace_back(std::move(zone), 1);
   capture_root_dnskey();
   start_next_zones();
 }
@@ -77,10 +155,10 @@ void Scanner::run() { network_.run(); }
 
 void Scanner::start_next_zones() {
   while (active_zones_ < options_.max_concurrent_zones && !queue_.empty()) {
-    dns::Name zone = std::move(queue_.front());
+    auto [zone, attempt] = std::move(queue_.front());
     queue_.pop_front();
     ++active_zones_;
-    start_zone(zone);
+    start_zone(zone, attempt);
   }
 }
 
@@ -134,7 +212,26 @@ RRsetProbe Scanner::make_probe_result(const dns::Name& ns,
   probe.qname = qname;
   probe.qtype = qtype;
   if (!response.ok()) {
-    probe.outcome = RRsetProbe::Outcome::kTimeout;
+    // Engine-level failure: record the structured provenance so the
+    // analysis can tell "scan could not observe" from operator behavior.
+    const std::string& code = response.error().code;
+    if (code == "query.circuit_open") {
+      probe.outcome = RRsetProbe::Outcome::kError;
+      probe.failure = ProbeFailure::kCircuitOpen;
+    } else if (code == "query.servfail_cached") {
+      probe.outcome = RRsetProbe::Outcome::kError;
+      probe.rcode = dns::Rcode::kServFail;
+      probe.failure = ProbeFailure::kServfailCached;
+    } else if (code == "query.truncation_loop") {
+      probe.outcome = RRsetProbe::Outcome::kError;
+      probe.failure = ProbeFailure::kTruncationLoop;
+    } else if (code == "query.overload") {
+      probe.outcome = RRsetProbe::Outcome::kError;
+      probe.failure = ProbeFailure::kOverload;
+    } else {
+      probe.outcome = RRsetProbe::Outcome::kTimeout;
+      probe.failure = ProbeFailure::kTimeout;
+    }
     return probe;
   }
   const dns::Message& message = response.value();
@@ -167,6 +264,23 @@ RRsetProbe Scanner::make_probe_result(const dns::Name& ns,
       break;
     default:
       probe.outcome = RRsetProbe::Outcome::kError;
+      switch (message.header.rcode) {
+        case dns::Rcode::kFormErr:
+          probe.failure = ProbeFailure::kFormErr;
+          break;
+        case dns::Rcode::kServFail:
+          probe.failure = ProbeFailure::kServFail;
+          break;
+        case dns::Rcode::kRefused:
+          probe.failure = ProbeFailure::kRefused;
+          break;
+        case dns::Rcode::kNotImp:
+          probe.failure = ProbeFailure::kNotImp;
+          break;
+        default:
+          probe.failure = ProbeFailure::kOther;
+          break;
+      }
       break;
   }
   return probe;
@@ -200,9 +314,10 @@ void Scanner::apply_pool_sampling(ZoneObservation& obs) {
   if (!sampled.empty()) obs.endpoints = std::move(sampled);
 }
 
-void Scanner::start_zone(const dns::Name& zone) {
+void Scanner::start_zone(const dns::Name& zone, int attempt) {
   auto task = std::make_shared<ZoneTask>();
   task->obs.zone = zone;
+  task->obs.scan_attempt = attempt;
   task->obs.tld = zone.parent();
   capture_tld(task->obs.tld);
 
@@ -461,11 +576,92 @@ void Scanner::run_signal_task(std::shared_ptr<ZoneTask> task,
       });
 }
 
+void Scanner::finalize_completeness(ZoneObservation& obs) const {
+  obs.failed_probes = 0;
+  obs.transient_failures = 0;
+  auto count = [&obs](const RRsetProbe& probe) {
+    if (probe.failure == ProbeFailure::kNone) return;
+    ++obs.failed_probes;
+    if (is_transient(probe.failure)) ++obs.transient_failures;
+  };
+  for (const auto& probe : obs.probes) count(probe);
+  for (const auto& signal : obs.signals) {
+    if (signal.resolved) {
+      for (const auto& probe : signal.dnskey_probes) count(probe);
+      for (const auto& probe : signal.cds_probes) count(probe);
+      for (const auto& probe : signal.cdnskey_probes) count(probe);
+    } else if (is_transient_failure(signal.failure)) {
+      // Scan-side signaling-zone resolution failure; a rescan retries the
+      // delegation. Permanent reasons (e.g. the signaling name exceeding
+      // the 255-octet limit) are findings, not scan failures.
+      ++obs.failed_probes;
+      ++obs.transient_failures;
+    }
+  }
+  if (!obs.resolved) {
+    obs.completeness = ZoneObservation::Completeness::kFailed;
+  } else if (obs.failed_probes == 0) {
+    obs.completeness = ZoneObservation::Completeness::kComplete;
+  } else {
+    obs.completeness = ZoneObservation::Completeness::kDegraded;
+  }
+}
+
+void Scanner::deliver_zone(ZoneObservation obs) {
+  const std::string key = obs.zone.canonical_text();
+  auto best = pending_best_.find(key);
+  if (best != pending_best_.end()) {
+    if (better_observation(obs, best->second)) {
+      // The rescan strictly improved on the stashed observation.
+      ++stats_.zones_recovered;
+    } else {
+      obs = std::move(best->second);
+    }
+    pending_best_.erase(best);
+  }
+  switch (obs.completeness) {
+    case ZoneObservation::Completeness::kComplete:
+      ++stats_.zones_complete;
+      break;
+    case ZoneObservation::Completeness::kDegraded:
+      ++stats_.zones_degraded;
+      break;
+    case ZoneObservation::Completeness::kFailed:
+      ++stats_.zones_failed;
+      break;
+  }
+  if (on_zone_) on_zone_(std::move(obs));
+}
+
 void Scanner::zone_finished(std::shared_ptr<ZoneTask> task) {
   ++stats_.zones_scanned;
-  if (!task->obs.resolved) ++stats_.zones_failed;
-  if (on_zone_) on_zone_(std::move(task->obs));
+  finalize_completeness(task->obs);
+  ZoneObservation obs = std::move(task->obs);
+  const bool transient = obs.resolved
+                             ? obs.transient_failures > 0
+                             : is_transient_failure(obs.failure);
+  if (obs.completeness != ZoneObservation::Completeness::kComplete &&
+      transient && obs.scan_attempt < options_.max_scan_attempts) {
+    // Hold the observation back and rescan the zone after the main queue
+    // drains; the better of the two observations is delivered then.
+    const dns::Name zone = obs.zone;
+    const int next_attempt = obs.scan_attempt + 1;
+    const std::string key = obs.zone.canonical_text();
+    auto best = pending_best_.find(key);
+    if (best == pending_best_.end()) {
+      pending_best_.emplace(key, std::move(obs));
+    } else if (better_observation(obs, best->second)) {
+      best->second = std::move(obs);
+    }
+    requeue_.emplace_back(zone, next_attempt);
+    ++stats_.zones_requeued;
+  } else {
+    deliver_zone(std::move(obs));
+  }
   --active_zones_;
+  if (active_zones_ == 0 && queue_.empty() && !requeue_.empty()) {
+    std::swap(queue_, requeue_);
+  }
   start_next_zones();
 }
 

@@ -33,15 +33,25 @@ struct ScannerOptions {
   // only performed when signal CDS records were actually found.
   bool probe_signal_zone_cuts = true;
 
+  // Bounded end-of-scan requeue: zones whose observation carries transient
+  // failures are rescanned (after the main queue drains) up to this many
+  // total passes, and the best observation per zone is delivered once.
+  // 1 = no requeue (the seed behavior).
+  int max_scan_attempts = 1;
+
   std::uint64_t seed = 0x5ca11ab1e;
 };
 
 struct ScannerStats {
-  std::uint64_t zones_scanned = 0;
-  std::uint64_t zones_failed = 0;
+  std::uint64_t zones_scanned = 0;  // zone scans finished (requeues count)
+  std::uint64_t zones_failed = 0;   // delivered with unresolved delegation
   std::uint64_t signal_probes = 0;
   std::uint64_t pool_zones_sampled = 0;
   std::uint64_t pool_zones_full = 0;
+  std::uint64_t zones_complete = 0;   // delivered fully observed
+  std::uint64_t zones_degraded = 0;   // delivered with failed probes
+  std::uint64_t zones_requeued = 0;   // rescans queued by the requeue pass
+  std::uint64_t zones_recovered = 0;  // requeue strictly improved the result
 };
 
 class Scanner {
@@ -66,8 +76,10 @@ class Scanner {
   struct SignalTask;
 
   void start_next_zones();
-  void start_zone(const dns::Name& zone);
+  void start_zone(const dns::Name& zone, int attempt);
   void zone_finished(std::shared_ptr<ZoneTask> task);
+  void finalize_completeness(ZoneObservation& obs) const;
+  void deliver_zone(ZoneObservation obs);
   void apply_pool_sampling(ZoneObservation& obs);
   void probe_endpoints(std::shared_ptr<ZoneTask> task);
   void start_signal_probes(std::shared_ptr<ZoneTask> task);
@@ -91,7 +103,13 @@ class Scanner {
   // engine/resolver queues).
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 
-  std::deque<dns::Name> queue_;
+  // (zone, attempt) pairs; requeue_ collects rescans until the main queue
+  // drains, bounding the extra passes to max_scan_attempts - 1 per zone.
+  std::deque<std::pair<dns::Name, int>> queue_;
+  std::deque<std::pair<dns::Name, int>> requeue_;
+  // Best observation so far for zones held back for a rescan (keyed by
+  // canonical zone text); delivery is keep-better and exactly-once.
+  std::map<std::string, ZoneObservation> pending_best_;
   std::size_t active_zones_ = 0;
   ZoneCallback on_zone_;
   ScannerStats stats_;

@@ -1,5 +1,6 @@
 #include "server/auth_server.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "dnssec/nsec3.hpp"
@@ -336,24 +337,92 @@ std::vector<dns::Message> AuthServer::handle_axfr(const dns::Message& query) {
   return out;
 }
 
+// Evaluate the chaos fault gates for one incoming query. Returns the extra
+// service delay to apply, and fills `short_circuit` with a SERVFAIL/REFUSED
+// response when a gate fires.
+net::SimTime AuthServer::fault_gate(const dns::Message& query,
+                                    net::SimTime now,
+                                    std::optional<dns::Message>* short_circuit) {
+  const ServerFaultProfile& faults = config_.faults;
+
+  net::SimTime delay = 0;
+  if (slow_queries_seen_ < faults.slow_start_queries) {
+    ++slow_queries_seen_;
+    if (faults.slow_start_penalty > 0) {
+      delay = faults.slow_start_penalty;
+      ++slow_start_penalized_;
+    }
+  }
+
+  if (faults.flap_period > 0 && now % faults.flap_period < faults.flap_fail) {
+    dns::Message response = dns::Message::make_response(query);
+    response.header.rcode = dns::Rcode::kServFail;
+    *short_circuit = std::move(response);
+    ++flap_servfails_;
+    return delay;
+  }
+
+  if (faults.rate_limit_qps > 0) {
+    if (!rl_initialized_) {
+      rl_tokens_ = faults.rate_limit_burst;
+      rl_initialized_ = true;
+    } else {
+      double refill = static_cast<double>(now - rl_last_refill_) *
+                      faults.rate_limit_qps / 1e6;
+      rl_tokens_ = std::min(faults.rate_limit_burst, rl_tokens_ + refill);
+    }
+    rl_last_refill_ = now;
+    if (rl_tokens_ < 1.0) {
+      dns::Message response = dns::Message::make_response(query);
+      response.header.rcode = dns::Rcode::kRefused;
+      *short_circuit = std::move(response);
+      ++rate_limited_;
+      return delay;
+    }
+    rl_tokens_ -= 1.0;
+  }
+  return delay;
+}
+
 void AuthServer::attach(net::SimNetwork& network,
                         const net::IpAddress& address) {
+  addresses_.push_back(address);
   network.bind(address, [this, &network](const net::Datagram& dgram) {
     auto query = dns::Message::decode(dgram.payload);
     if (!query.ok()) return;  // garbage in, silence out (as UDP would)
+
+    // Chaos gates first: a slow, flapping, or rate-limited server fails the
+    // same way for AXFR streams as for plain queries.
+    std::optional<dns::Message> short_circuit;
+    net::SimTime delay =
+        fault_gate(query.value(), network.now(), &short_circuit);
+    auto send_wire = [&network, delay, source = dgram.source,
+                      destination = dgram.destination](Bytes wire, bool tcp) {
+      if (delay == 0) {
+        network.send(destination, source, std::move(wire), tcp);
+        return;
+      }
+      network.schedule(delay, [&network, source, destination,
+                               wire = std::move(wire), tcp] {
+        network.send(destination, source, wire, tcp);
+      });
+    };
+    if (short_circuit.has_value()) {
+      send_wire(short_circuit->encode(), dgram.tcp);
+      return;
+    }
+
     if (!query->questions.empty() &&
         query->questions[0].type == dns::RRType::kAXFR) {
       // Zone transfers run over TCP (RFC 5936 §4.2); refuse UDP attempts.
       if (!dgram.tcp) {
         dns::Message refusal = dns::Message::make_response(query.value());
         refusal.header.rcode = dns::Rcode::kRefused;
-        network.send(dgram.destination, dgram.source, refusal.encode(),
-                     /*tcp=*/false);
+        send_wire(refusal.encode(), /*tcp=*/false);
         return;
       }
       for (auto& response : handle_axfr(query.value())) {
-        network.send(dgram.destination, dgram.source, response.encode(),
-                     /*tcp=*/true);
+        send_wire(response.encode(), /*tcp=*/true);
       }
       return;
     }
@@ -378,7 +447,7 @@ void AuthServer::attach(net::SimNetwork& network,
         wire = truncated.encode();
       }
     }
-    network.send(dgram.destination, dgram.source, std::move(wire), dgram.tcp);
+    send_wire(std::move(wire), dgram.tcp);
   });
 }
 

@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -28,6 +29,28 @@ enum class ServerBehavior {
   kCompliant,
   kLegacyFormerr,
   kParkingWildcard,
+};
+
+// Per-server fault profile for chaos worlds. All knobs default to off; the
+// gates are evaluated in order slow-start -> flap -> rate-limit before the
+// normal query path, deterministically under the server's seed.
+struct ServerFaultProfile {
+  // Slow start: the first `slow_start_queries` queries are answered with an
+  // extra `slow_start_penalty` of service latency (cold caches / thundering
+  // herd after a restart).
+  net::SimTime slow_start_penalty = 0;
+  std::uint64_t slow_start_queries = 0;
+
+  // Rate limiting: a token bucket of `rate_limit_burst` tokens refilled at
+  // `rate_limit_qps`; queries arriving with the bucket empty draw REFUSED.
+  // 0 qps disables the limiter.
+  double rate_limit_qps = 0.0;
+  double rate_limit_burst = 10.0;
+
+  // Flapping: SERVFAIL to every query during the first `flap_fail` of every
+  // `flap_period` (a periodically-wedged backend). Disabled when period is 0.
+  net::SimTime flap_period = 0;
+  net::SimTime flap_fail = 0;
 };
 
 struct ServerConfig {
@@ -47,6 +70,9 @@ struct ServerConfig {
   bool allow_axfr = false;
   // Records per AXFR response message (the simulated stream framing).
   std::size_t axfr_chunk_records = 2000;
+
+  // Chaos fault profile (off by default; see apply_chaos()).
+  ServerFaultProfile faults;
 };
 
 class AuthServer {
@@ -54,6 +80,9 @@ class AuthServer {
   AuthServer(ServerConfig config, std::uint64_t seed);
 
   const ServerConfig& config() const { return config_; }
+  // Install a fault profile after construction (the chaos planner does this
+  // on servers the ecosystem builder already created).
+  void set_faults(const ServerFaultProfile& faults) { config_.faults = faults; }
 
   // Serve a zone. Zones are shared (an operator's servers all serve the same
   // zone objects).
@@ -81,9 +110,19 @@ class AuthServer {
   // many times (anycast pool: every pool address answers identically).
   void attach(net::SimNetwork& network, const net::IpAddress& address);
 
+  // Every address this server has been attached to, in attach order. The
+  // chaos planner and the L106 lint walk these to reason about reachability.
+  const std::vector<net::IpAddress>& addresses() const { return addresses_; }
+
   std::uint64_t queries_handled() const { return queries_handled_; }
+  // Fault-profile outcome counters.
+  std::uint64_t rate_limited() const { return rate_limited_; }
+  std::uint64_t flap_servfails() const { return flap_servfails_; }
+  std::uint64_t slow_start_penalized() const { return slow_start_penalized_; }
 
  private:
+  net::SimTime fault_gate(const dns::Message& query, net::SimTime now,
+                          std::optional<dns::Message>* short_circuit);
   dns::Message respond_from_zone(const dns::Message& query,
                                  const dns::Zone& zone);
   dns::Message respond_parking(const dns::Message& query);
@@ -96,7 +135,18 @@ class AuthServer {
   Rng rng_;
   // Keyed by canonical origin text for longest-suffix lookup.
   std::map<std::string, std::shared_ptr<const dns::Zone>> zones_;
+  std::vector<net::IpAddress> addresses_;
   std::uint64_t queries_handled_ = 0;
+
+  // Fault-profile state (shared across all attached addresses — the pool is
+  // one server identity).
+  double rl_tokens_ = 0.0;
+  net::SimTime rl_last_refill_ = 0;
+  bool rl_initialized_ = false;
+  std::uint64_t slow_queries_seen_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  std::uint64_t flap_servfails_ = 0;
+  std::uint64_t slow_start_penalized_ = 0;
 };
 
 }  // namespace dnsboot::server

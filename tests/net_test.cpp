@@ -183,5 +183,253 @@ TEST(SimNetwork, JitterStaysWithinBound) {
   EXPECT_TRUE(saw_jitter);
 }
 
+TEST(SimNetwork, TimerBookkeepingStaysBounded) {
+  // Regression: cancel() used to record cancelled ids in a tombstone map that
+  // grew for the lifetime of the run. The bookkeeping must track only live
+  // timers: ids leave the set when they fire or are cancelled.
+  SimNetwork net(1);
+  EXPECT_EQ(net.timer_bookkeeping_size(), 0u);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(net.schedule(10 + i, [] {}));
+  }
+  EXPECT_EQ(net.timer_bookkeeping_size(), 1000u);
+  // Cancel every other timer; the set shrinks immediately.
+  for (std::size_t i = 0; i < ids.size(); i += 2) net.cancel(ids[i]);
+  EXPECT_EQ(net.timer_bookkeeping_size(), 500u);
+  // Cancelling an unknown or already-cancelled id is a no-op.
+  net.cancel(ids[0]);
+  net.cancel(999999);
+  EXPECT_EQ(net.timer_bookkeeping_size(), 500u);
+  net.run();
+  EXPECT_EQ(net.timer_bookkeeping_size(), 0u);
+
+  // Long-run shape: repeated schedule/fire cycles never accumulate state.
+  for (int round = 0; round < 100; ++round) {
+    auto keep = net.schedule(1, [] {});
+    auto drop = net.schedule(2, [] {});
+    net.cancel(drop);
+    (void)keep;
+    net.run();
+    EXPECT_EQ(net.timer_bookkeeping_size(), 0u);
+  }
+}
+
+TEST(SimNetwork, CancelledTimerDoesNotFireAfterIdReuseWindow) {
+  SimNetwork net(1);
+  int fired = 0;
+  auto id = net.schedule(10, [&] { ++fired; });
+  net.schedule(5, [&] { net.cancel(id); });
+  // A later timer with the same deadline still fires normally.
+  net.schedule(10, [&] { ++fired; });
+  net.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimNetwork, BlackholeWindowDropsOnlyInsideWindow) {
+  SimNetwork net(3);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.blackholes.push_back(TimeWindow{10 * kSecond, 20 * kSecond});
+  net.set_faults_to(server, profile);
+  std::vector<SimTime> arrivals;
+  net.bind(server, [&](const Datagram&) { arrivals.push_back(net.now()); });
+  // One datagram before, one inside, one after the window.
+  net.schedule(5 * kSecond, [&] { net.send(client, server, Bytes{0}); });
+  net.schedule(15 * kSecond, [&] { net.send(client, server, Bytes{0}); });
+  net.schedule(25 * kSecond, [&] { net.send(client, server, Bytes{0}); });
+  net.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 5 * kSecond + kMillisecond);
+  EXPECT_EQ(arrivals[1], 25 * kSecond + kMillisecond);
+  EXPECT_EQ(net.fault_stats().blackholed, 1u);
+}
+
+TEST(SimNetwork, LinkFlapDropsPeriodically) {
+  SimNetwork net(3);
+  net.set_default_link(LinkModel{0, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.flap_period = 10 * kSecond;  // down [0, 2s) of every 10 s
+  profile.flap_down = 2 * kSecond;
+  net.set_faults_to(server, profile);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  // One send per second for 20 s: seconds 0,1,10,11 fall in down windows.
+  for (int s = 0; s < 20; ++s) {
+    net.schedule(static_cast<SimTime>(s) * kSecond + 1,
+                 [&] { net.send(client, server, Bytes{0}); });
+  }
+  net.run();
+  EXPECT_EQ(delivered, 16);
+  EXPECT_EQ(net.fault_stats().flap_dropped, 4u);
+}
+
+TEST(SimNetwork, FlapPhaseShiftsDownWindow) {
+  SimNetwork net(3);
+  net.set_default_link(LinkModel{0, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  FaultProfile profile;
+  profile.flap_period = 10 * kSecond;
+  profile.flap_down = 2 * kSecond;
+  profile.flap_phase = 5 * kSecond;  // down windows start at 5 s, 15 s, ...
+  net.set_faults_to(server, profile);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  auto client = IpAddress::synthetic_v4(2);
+  net.schedule(1 * kSecond, [&] { net.send(client, server, Bytes{0}); });
+  net.schedule(6 * kSecond, [&] { net.send(client, server, Bytes{0}); });
+  net.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(SimNetwork, BurstLossDropsRunsOfDatagrams) {
+  SimNetwork net(11);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.burst_enter = 0.02;
+  profile.burst_duration = 20 * kMillisecond;  // total loss inside the burst
+  net.set_faults_to(server, profile);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  // One datagram per millisecond: a burst swallows a ~20-datagram run.
+  for (int i = 0; i < 2000; ++i) {
+    net.schedule(static_cast<SimTime>(i) * kMillisecond,
+                 [&] { net.send(client, server, Bytes{0}); });
+  }
+  net.run();
+  EXPECT_GT(net.fault_stats().burst_dropped, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) +
+                net.fault_stats().burst_dropped,
+            2000u);
+  // Bursts drop meaningful runs, not isolated datagrams.
+  EXPECT_GE(net.fault_stats().burst_dropped, 20u);
+}
+
+TEST(SimNetwork, DuplicationDeliversSecondCopy) {
+  SimNetwork net(5);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.duplicate_rate = 1.0;
+  net.set_faults_to(server, profile);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  net.send(client, server, Bytes{7});
+  net.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.fault_stats().duplicated, 1u);
+}
+
+TEST(SimNetwork, ReorderingDelaysDatagramPastLaterOne) {
+  SimNetwork net(5);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.reorder_rate = 1.0;
+  profile.reorder_delay = 100 * kMillisecond;
+  net.set_faults_to(server, profile);
+  std::vector<int> order;
+  net.bind(server, [&](const Datagram& d) { order.push_back(d.payload[0]); });
+  net.send(client, server, Bytes{1});
+  // Without faults the second datagram (sent later) arrives second.
+  net.clear_faults();
+  net.schedule(10 * kMillisecond, [&] { net.send(client, server, Bytes{2}); });
+  net.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // the reordered datagram was held back
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(SimNetwork, CorruptionFlipsExactlyOneBit) {
+  SimNetwork net(5);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.corrupt_rate = 1.0;
+  net.set_faults_to(server, profile);
+  Bytes received;
+  net.bind(server, [&](const Datagram& d) { received = d.payload; });
+  Bytes sent{0x00, 0xff, 0x55, 0xaa};
+  net.send(client, server, sent);
+  net.run();
+  ASSERT_EQ(received.size(), sent.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    std::uint8_t diff = sent[i] ^ received[i];
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(net.fault_stats().corrupted, 1u);
+}
+
+TEST(SimNetwork, AsymmetricLossIsDirectionKeyed) {
+  // Queries toward the server are blackholed; responses from it are clean —
+  // and vice versa for a second server. Direction-keyed rules never leak
+  // onto the other half of the path.
+  SimNetwork net(9);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server_a = IpAddress::synthetic_v4(1);
+  auto server_b = IpAddress::synthetic_v4(2);
+  auto client = IpAddress::synthetic_v4(3);
+  FaultProfile dead;
+  dead.blackholes.push_back(TimeWindow{});  // forever
+  net.set_faults_to(server_a, dead);    // queries to A die
+  net.set_faults_from(server_b, dead);  // responses from B die
+
+  int a_received = 0, b_received = 0, client_received = 0;
+  net.bind(server_a, [&](const Datagram&) { ++a_received; });
+  net.bind(server_b, [&](const Datagram& d) {
+    ++b_received;
+    net.send(d.destination, d.source, Bytes{1});
+  });
+  net.bind(client, [&](const Datagram&) { ++client_received; });
+  net.send(client, server_a, Bytes{0});
+  net.send(client, server_b, Bytes{0});
+  net.run();
+  EXPECT_EQ(a_received, 0);       // to-rule dropped the query
+  EXPECT_EQ(b_received, 1);       // B's query direction is clean
+  EXPECT_EQ(client_received, 0);  // from-rule dropped B's response
+}
+
+TEST(SimNetwork, FaultLossStacksWithLinkLoss) {
+  SimNetwork net(13);
+  net.set_default_link(LinkModel{kMillisecond, 0, 0.0});
+  auto server = IpAddress::synthetic_v4(1);
+  auto client = IpAddress::synthetic_v4(2);
+  FaultProfile profile;
+  profile.loss_rate = 0.3;
+  net.set_faults_to(server, profile);
+  int delivered = 0;
+  net.bind(server, [&](const Datagram&) { ++delivered; });
+  for (int i = 0; i < 2000; ++i) net.send(client, server, Bytes{0});
+  net.run();
+  // ~70% survival, well away from both 100% and 50%.
+  EXPECT_GT(delivered, 1250);
+  EXPECT_LT(delivered, 1550);
+  EXPECT_EQ(net.fault_stats().fault_lost,
+            2000u - static_cast<std::uint64_t>(delivered));
+}
+
+TEST(FaultProfile, PermanentlyDeadPredicate) {
+  FaultProfile profile;
+  EXPECT_FALSE(profile.permanently_dead());
+  profile.blackholes.push_back(TimeWindow{10, 20});
+  EXPECT_FALSE(profile.permanently_dead());
+  profile.blackholes.push_back(TimeWindow{});  // [0, forever)
+  EXPECT_TRUE(profile.permanently_dead());
+}
+
 }  // namespace
 }  // namespace dnsboot::net

@@ -170,6 +170,322 @@ TEST(QueryEngine, IgnoresSpoofedSource) {
   EXPECT_GE(engine.stats().mismatched, 1u);
 }
 
+// --- Adaptive retry policy --------------------------------------------------------
+
+TEST(QueryEngine, InterAttemptGapsGrowWithEscalatingTimeouts) {
+  EngineFixture fx;
+  // A sinkhole that records arrival times and never answers.
+  auto sink = net::IpAddress::synthetic_v4(50);
+  std::vector<net::SimTime> arrivals;
+  fx.network.bind(sink,
+                  [&](const net::Datagram&) { arrivals.push_back(fx.network.now()); });
+  QueryEngineOptions options;
+  options.timeout = 100 * net::kMillisecond;
+  options.timeout_multiplier = 2.0;
+  options.timeout_cap = net::kSecond;
+  options.backoff_base = 10 * net::kMillisecond;
+  options.backoff_cap = 50 * net::kMillisecond;
+  options.attempts = 4;
+  QueryEngine engine(fx.network, fx.client, options);
+  engine.query(sink, name_of("www.example.com."), dns::RRType::kA,
+               [](Result<dns::Message>) {});
+  fx.network.run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  // Gap i = escalating timeout + jittered backoff; with the timeout doubling
+  // each attempt the gaps are strictly increasing.
+  std::vector<net::SimTime> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GT(gaps[1], gaps[0]);
+  EXPECT_GT(gaps[2], gaps[1]);
+  // First gap >= first timeout + minimum backoff.
+  EXPECT_GE(gaps[0], 110 * net::kMillisecond);
+}
+
+TEST(QueryEngine, BackoffIsDeterministicUnderSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    EngineFixture fx;
+    auto sink = net::IpAddress::synthetic_v4(50);
+    std::vector<net::SimTime> arrivals;
+    fx.network.bind(sink, [&](const net::Datagram&) {
+      arrivals.push_back(fx.network.now());
+    });
+    QueryEngineOptions options;
+    options.timeout = 100 * net::kMillisecond;
+    options.backoff_base = 10 * net::kMillisecond;
+    options.backoff_cap = 500 * net::kMillisecond;
+    options.attempts = 4;
+    options.seed = seed;
+    QueryEngine engine(fx.network, fx.client, options);
+    engine.query(sink, name_of("www.example.com."), dns::RRType::kA,
+                 [](Result<dns::Message>) {});
+    fx.network.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));  // the jitter really is seeded
+}
+
+TEST(HealthTracker, CircuitOpensHalfOpensAndCloses) {
+  HealthOptions options;
+  options.enable_circuit_breaker = true;
+  options.failure_threshold = 3;
+  options.open_cooldown = net::kSecond;
+  options.half_open_successes = 2;
+  ServerHealthTracker tracker(options);
+  auto server = net::IpAddress::synthetic_v4(1);
+
+  EXPECT_EQ(tracker.state(server), CircuitState::kClosed);
+  tracker.record_failure(server, 0);
+  tracker.record_failure(server, 10);
+  EXPECT_EQ(tracker.state(server), CircuitState::kClosed);
+  tracker.record_failure(server, 20);
+  EXPECT_EQ(tracker.state(server), CircuitState::kOpen);
+  EXPECT_EQ(tracker.stats().circuit_opens, 1u);
+
+  // While open: reject; fail-fast is counted.
+  EXPECT_FALSE(tracker.allow(server, 100));
+  EXPECT_EQ(tracker.stats().fail_fast, 1u);
+
+  // After the cooldown the circuit half-opens and admits a probe.
+  EXPECT_TRUE(tracker.allow(server, 20 + net::kSecond));
+  EXPECT_EQ(tracker.state(server), CircuitState::kHalfOpen);
+  EXPECT_EQ(tracker.stats().half_open_probes, 1u);
+
+  // Two successful probes close it.
+  tracker.record_success(server, 20 + net::kSecond, 5 * net::kMillisecond);
+  EXPECT_EQ(tracker.state(server), CircuitState::kHalfOpen);
+  tracker.record_success(server, 21 + net::kSecond, 5 * net::kMillisecond);
+  EXPECT_EQ(tracker.state(server), CircuitState::kClosed);
+  EXPECT_EQ(tracker.stats().circuit_closes, 1u);
+  EXPECT_TRUE(tracker.allow(server, 22 + net::kSecond));
+}
+
+TEST(HealthTracker, FailedProbeReopensCircuit) {
+  HealthOptions options;
+  options.enable_circuit_breaker = true;
+  options.failure_threshold = 2;
+  options.open_cooldown = net::kSecond;
+  ServerHealthTracker tracker(options);
+  auto server = net::IpAddress::synthetic_v4(1);
+  tracker.record_failure(server, 0);
+  tracker.record_failure(server, 0);
+  EXPECT_EQ(tracker.state(server), CircuitState::kOpen);
+  EXPECT_TRUE(tracker.allow(server, net::kSecond));  // half-open probe
+  tracker.record_failure(server, net::kSecond);
+  EXPECT_EQ(tracker.state(server), CircuitState::kOpen);
+  EXPECT_EQ(tracker.stats().circuit_reopens, 1u);
+  // The re-opened circuit rejects again until the next cooldown.
+  EXPECT_FALSE(tracker.allow(server, net::kSecond + 10));
+}
+
+TEST(HealthTracker, EwmaTracksRttAndLoss) {
+  ServerHealthTracker tracker(HealthOptions{});
+  auto server = net::IpAddress::synthetic_v4(1);
+  EXPECT_EQ(tracker.ewma_rtt(server), 0.0);
+  tracker.record_success(server, 0, 10 * net::kMillisecond);
+  EXPECT_NEAR(tracker.ewma_rtt(server), 10.0 * net::kMillisecond, 1.0);
+  tracker.record_success(server, 0, 20 * net::kMillisecond);
+  EXPECT_GT(tracker.ewma_rtt(server), 10.0 * net::kMillisecond);
+  EXPECT_LT(tracker.ewma_rtt(server), 20.0 * net::kMillisecond);
+  // Loss estimate rises on failures, falls back on successes.
+  tracker.record_failure(server, 0);
+  double lossy = tracker.ewma_loss(server);
+  EXPECT_GT(lossy, 0.0);
+  tracker.record_success(server, 0, 10 * net::kMillisecond);
+  EXPECT_LT(tracker.ewma_loss(server), lossy);
+}
+
+TEST(HealthTracker, ServfailCacheHonoursTtl) {
+  HealthOptions options;
+  options.enable_servfail_cache = true;
+  options.servfail_ttl = net::kSecond;
+  ServerHealthTracker tracker(options);
+  auto server = net::IpAddress::synthetic_v4(1);
+  auto qname = name_of("www.example.com.");
+  EXPECT_FALSE(tracker.servfail_cached(server, qname, dns::RRType::kA, 0));
+  tracker.record_servfail(server, qname, dns::RRType::kA, 0);
+  EXPECT_TRUE(tracker.servfail_cached(server, qname, dns::RRType::kA, 500));
+  // A different question or server misses.
+  EXPECT_FALSE(tracker.servfail_cached(server, qname, dns::RRType::kAAAA, 500));
+  EXPECT_FALSE(tracker.servfail_cached(net::IpAddress::synthetic_v4(2), qname,
+                                       dns::RRType::kA, 500));
+  // Expired after the TTL.
+  EXPECT_FALSE(
+      tracker.servfail_cached(server, qname, dns::RRType::kA, net::kSecond));
+}
+
+TEST(QueryEngine, CircuitOpenFailsFastWithDistinctError) {
+  EngineFixture fx;
+  auto dead = net::IpAddress::synthetic_v4(99);
+  QueryEngineOptions options;
+  options.timeout = 50 * net::kMillisecond;
+  options.attempts = 1;
+  options.health.enable_circuit_breaker = true;
+  options.health.failure_threshold = 2;
+  QueryEngine engine(fx.network, fx.client, options);
+  std::vector<std::string> errors;
+  auto issue = [&] {
+    engine.query(dead, name_of("www.example.com."), dns::RRType::kA,
+                 [&](Result<dns::Message> result) {
+                   ASSERT_FALSE(result.ok());
+                   errors.push_back(result.error().code);
+                 });
+    fx.network.run();
+  };
+  issue();
+  issue();  // second timeout trips the breaker
+  issue();  // rejected without touching the wire
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0], "query.timeout");
+  EXPECT_EQ(errors[1], "query.timeout");
+  EXPECT_EQ(errors[2], "query.circuit_open");
+  EXPECT_EQ(engine.stats().fail_fast, 1u);
+  EXPECT_EQ(engine.stats().sends, 2u);  // the third query never hit the wire
+  EXPECT_EQ(engine.health().state(dead), CircuitState::kOpen);
+}
+
+TEST(QueryEngine, ServfailAnswersFeedNegativeCache) {
+  EngineFixture fx;
+  // A server that always SERVFAILs.
+  server::ServerConfig config;
+  config.id = "wedged";
+  config.transient_servfail_rate = 1.0;
+  auto wedged = std::make_shared<server::AuthServer>(config, 1);
+  auto wedged_addr = net::IpAddress::synthetic_v4(60);
+  wedged->attach(fx.network, wedged_addr);
+
+  QueryEngineOptions options;
+  options.health.enable_servfail_cache = true;
+  options.health.servfail_ttl = 10 * net::kSecond;
+  QueryEngine engine(fx.network, fx.client, options);
+  bool got_servfail = false;
+  engine.query(wedged_addr, name_of("www.example.com."), dns::RRType::kA,
+               [&](Result<dns::Message> result) {
+                 ASSERT_TRUE(result.ok());  // SERVFAIL is still an answer
+                 got_servfail = result->header.rcode == dns::Rcode::kServFail;
+               });
+  fx.network.run();
+  EXPECT_TRUE(got_servfail);
+
+  // The identical question inside the TTL is answered from the cache.
+  bool cached = false;
+  engine.query(wedged_addr, name_of("www.example.com."), dns::RRType::kA,
+               [&](Result<dns::Message> result) {
+                 ASSERT_FALSE(result.ok());
+                 EXPECT_EQ(result.error().code, "query.servfail_cached");
+                 cached = true;
+               });
+  fx.network.run();
+  EXPECT_TRUE(cached);
+  EXPECT_EQ(engine.stats().servfail_cache_hits, 1u);
+  EXPECT_EQ(engine.stats().sends, 1u);
+
+  // A different qtype is not covered by the cache entry.
+  bool fresh = false;
+  engine.query(wedged_addr, name_of("www.example.com."), dns::RRType::kAAAA,
+               [&](Result<dns::Message> result) {
+                 ASSERT_TRUE(result.ok());
+                 fresh = true;
+               });
+  fx.network.run();
+  EXPECT_TRUE(fresh);
+}
+
+TEST(QueryEngine, RetryBudgetCapsGlobalRetries) {
+  EngineFixture fx;
+  auto dead = net::IpAddress::synthetic_v4(99);
+  QueryEngineOptions options;
+  options.timeout = 50 * net::kMillisecond;
+  options.attempts = 5;
+  options.per_server_qps = 10000;
+  options.retry_budget_ratio = 0.2;
+  options.retry_budget_floor = 3;
+  QueryEngine engine(fx.network, fx.client, options);
+  int failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    engine.query(dead, name_of("www.example.com."), dns::RRType::kA,
+                 [&](Result<dns::Message> result) {
+                   EXPECT_FALSE(result.ok());
+                   ++failed;
+                 });
+  }
+  fx.network.run();
+  EXPECT_EQ(failed, 20);
+  // Unbudgeted, 20 queries x 5 attempts would be 80 retries; the budget is
+  // max(3, 0.2 * 20) = 4.
+  EXPECT_LE(engine.stats().retries, 4u);
+  EXPECT_GT(engine.stats().budget_denied, 0u);
+  EXPECT_LE(engine.stats().sends, 24u);
+}
+
+TEST(QueryEngine, AdaptivePolicyWastesFewerSendsThanFixedRetries) {
+  // Same seed, same dead endpoint mixed with a live one: the adaptive policy
+  // (breaker + budget) must spend strictly fewer sends on the dead server
+  // than the seed's fixed-retry policy.
+  auto run_policy = [](bool adaptive) {
+    EngineFixture fx;
+    auto dead = net::IpAddress::synthetic_v4(99);
+    QueryEngineOptions options;
+    options.timeout = 50 * net::kMillisecond;
+    options.attempts = 3;
+    options.per_server_qps = 10000;
+    if (adaptive) {
+      options.health.enable_circuit_breaker = true;
+      options.health.failure_threshold = 3;
+      options.retry_budget_ratio = 0.5;
+      options.retry_budget_floor = 5;
+    }
+    QueryEngine engine(fx.network, fx.client, options);
+    int done = 0;
+    // Stagger the queries past each other's timeouts, as a scan does: the
+    // breaker can only act on failures that have already happened.
+    for (int i = 0; i < 30; ++i) {
+      fx.network.schedule(
+          static_cast<net::SimTime>(i) * 300 * net::kMillisecond, [&] {
+            engine.query(dead, name_of("www.example.com."), dns::RRType::kA,
+                         [&](Result<dns::Message>) { ++done; });
+            engine.query(fx.server_addr, name_of("www.example.com."),
+                         dns::RRType::kA, [&](Result<dns::Message>) { ++done; });
+          });
+    }
+    fx.network.run();
+    EXPECT_EQ(done, 60);
+    return engine.stats();
+  };
+  auto fixed = run_policy(false);
+  auto adaptive = run_policy(true);
+  EXPECT_LT(adaptive.wasted_sends(), fixed.wasted_sends());
+  EXPECT_GT(adaptive.fail_fast, 0u);
+  // Both policies answered every live-server query.
+  EXPECT_EQ(adaptive.responses, fixed.responses);
+}
+
+TEST(QueryEngine, IdExhaustionReportsOverload) {
+  EngineFixture fx;
+  auto dead = net::IpAddress::synthetic_v4(99);
+  QueryEngineOptions options;
+  options.timeout = 60 * net::kSecond;  // keep every query pending
+  options.attempts = 1;
+  options.per_server_qps = 1e9;
+  QueryEngine engine(fx.network, fx.client, options);
+  int overloaded = 0;
+  for (int i = 0; i < 0x10000 + 10; ++i) {
+    engine.query(dead, name_of("www.example.com."), dns::RRType::kA,
+                 [&](Result<dns::Message> result) {
+                   if (!result.ok() &&
+                       result.error().code == "query.overload") {
+                     ++overloaded;
+                   }
+                 });
+  }
+  // Drain only the zero-delay overload deliveries, not the 60 s timeouts.
+  fx.network.run_until(fx.network.now() + 1);
+  EXPECT_EQ(engine.in_flight(), 0xffffu);  // ids 1..65535 all pending
+  EXPECT_EQ(overloaded, 11);               // the rest were refused
+}
+
 // --- DelegationResolver -----------------------------------------------------------
 
 // A miniature hand-built tree: root -> com -> example.com, with the zone's

@@ -124,6 +124,123 @@ TEST(Transport, QueryEngineFallsBackToTcp) {
   EXPECT_EQ(engine.stats().timeouts, 0u);
 }
 
+TEST(Transport, TcpFallbackLostYieldsSingleTimeout) {
+  // The truncated UDP answer arrives, then the link to the server goes dark
+  // before the TCP retry: the engine must deliver exactly one callback (the
+  // timeout), never a second completion for the same query.
+  Fixture fx;
+  net::FaultProfile dead;
+  dead.blackholes.push_back(net::TimeWindow{5 * net::kMillisecond,
+                                            net::kSimTimeForever});
+  fx.network.set_faults_to(fx.server_addr, dead);
+  resolver::QueryEngine engine(fx.network, fx.client_addr,
+                               resolver::QueryEngineOptions{});
+  int callbacks = 0;
+  engine.query(fx.server_addr, name_of("big.fat.example."), dns::RRType::kTXT,
+               [&](Result<dns::Message> result) {
+                 ++callbacks;
+                 ASSERT_FALSE(result.ok());
+                 EXPECT_EQ(result.error().code, "query.timeout");
+               });
+  fx.network.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(engine.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 1u);
+  EXPECT_EQ(engine.stats().responses, 0u);
+}
+
+TEST(Transport, StaleTruncatedDuplicateIgnoredAfterFallback) {
+  // The network duplicates the truncated UDP answer. The first copy triggers
+  // the TCP fallback; the late copy must not complete the query with an
+  // empty message — the TCP answer does, exactly once.
+  Fixture fx;
+  net::FaultProfile duplicating;
+  duplicating.duplicate_rate = 1.0;
+  fx.network.set_faults_from(fx.server_addr, duplicating);
+  resolver::QueryEngine engine(fx.network, fx.client_addr,
+                               resolver::QueryEngineOptions{});
+  int callbacks = 0;
+  engine.query(fx.server_addr, name_of("big.fat.example."), dns::RRType::kTXT,
+               [&](Result<dns::Message> result) {
+                 ++callbacks;
+                 ASSERT_TRUE(result.ok());
+                 EXPECT_FALSE(result->header.tc);
+                 EXPECT_EQ(result->answers.size(), 80u);
+               });
+  fx.network.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(engine.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+  // The stale truncated duplicate (and the duplicated TCP answer) were
+  // rejected rather than delivered.
+  EXPECT_GE(engine.stats().mismatched, 1u);
+}
+
+TEST(Transport, TcpStillTruncatedFailsInsteadOfLooping) {
+  // A broken server that truncates even over TCP: the engine must fail the
+  // query with a distinct error instead of bouncing between transports.
+  net::SimNetwork network(82);
+  network.set_default_link(net::LinkModel{net::kMillisecond, 0, 0.0});
+  auto server_addr = net::IpAddress::synthetic_v4(1);
+  auto client_addr = net::IpAddress::synthetic_v4(2);
+  network.bind(server_addr, [&](const net::Datagram& dgram) {
+    auto query = dns::Message::decode(dgram.payload);
+    if (!query.ok()) return;
+    dns::Message response;
+    response.header.id = query->header.id;
+    response.header.qr = true;
+    response.header.tc = true;  // truncated regardless of transport
+    response.questions = query->questions;
+    network.send(dgram.destination, dgram.source, response.encode(),
+                 dgram.tcp);
+  });
+  resolver::QueryEngine engine(network, client_addr,
+                               resolver::QueryEngineOptions{});
+  int callbacks = 0;
+  engine.query(server_addr, name_of("big.fat.example."), dns::RRType::kTXT,
+               [&](Result<dns::Message> result) {
+                 ++callbacks;
+                 ASSERT_FALSE(result.ok());
+                 EXPECT_EQ(result.error().code, "query.truncation_loop");
+               });
+  network.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(engine.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().truncation_loops, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+}
+
+TEST(Transport, TcpFallbackUnderLossStillCompletes) {
+  // 30% loss toward the server: UDP attempts may be lost, but with retries
+  // the truncation -> TCP path still completes and the counters stay
+  // coherent (every query accounted for as response or timeout).
+  Fixture fx;
+  net::FaultProfile lossy;
+  lossy.loss_rate = 0.30;
+  fx.network.set_faults_to(fx.server_addr, lossy);
+  resolver::QueryEngineOptions options;
+  options.attempts = 6;
+  resolver::QueryEngine engine(fx.network, fx.client_addr, options);
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 20; ++i) {
+    engine.query(fx.server_addr, name_of("big.fat.example."),
+                 dns::RRType::kTXT, [&](Result<dns::Message> result) {
+                   if (result.ok()) {
+                     EXPECT_EQ(result->answers.size(), 80u);
+                     ++ok;
+                   } else {
+                     ++failed;
+                   }
+                 });
+  }
+  fx.network.run();
+  EXPECT_EQ(ok + failed, 20);
+  EXPECT_GT(ok, 10);  // most queries survive 30% loss with 6 attempts
+  EXPECT_EQ(engine.stats().responses, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(engine.stats().timeouts, static_cast<std::uint64_t>(failed));
+  EXPECT_GE(engine.stats().tcp_fallbacks, static_cast<std::uint64_t>(ok));
+}
+
 TEST(Transport, AxfrOverUdpIsRefused) {
   Fixture fx(/*allow_axfr=*/true);
   dns::Message query = dns::Message::make_query(

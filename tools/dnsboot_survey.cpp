@@ -5,6 +5,13 @@
 // Usage:
 //   dnsboot-survey [--scale-denom N] [--seed S] [--json FILE] [--csv FILE]
 //                  [--no-pathologies] [--no-signal-scan] [--lint] [--quiet]
+//                  [--chaos off|mild|hostile] [--chaos-seed S]
+//                  [--scan-attempts N]
+//
+// With --chaos, the built world gets a deterministic fault schedule (lossy,
+// flapping, blackholed links; slow, rate-limited, SERVFAIL-flapping servers)
+// and the scan switches to the resilient policy: adaptive timeouts, jittered
+// backoff, per-server circuit breakers, and an end-of-scan requeue pass.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +21,8 @@
 #include "analysis/survey.hpp"
 #include "base/strings.hpp"
 #include "ecosystem/builder.hpp"
+#include "ecosystem/chaos.hpp"
+#include "lint/chaos_lint.hpp"
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
 
@@ -30,13 +39,17 @@ struct CliOptions {
   bool signal_scan = true;
   bool lint_preflight = false;
   bool quiet = false;
+  std::string chaos = "off";
+  std::uint64_t chaos_seed = 0xc4a05;
+  int scan_attempts = 0;  // 0 = derived from the chaos preset
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale-denom N] [--seed S] [--json FILE] "
                "[--csv FILE] [--no-pathologies] [--no-signal-scan] "
-               "[--lint] [--quiet]\n",
+               "[--lint] [--quiet] [--chaos off|mild|hostile] "
+               "[--chaos-seed S] [--scan-attempts N]\n",
                argv0);
 }
 
@@ -72,6 +85,24 @@ bool parse_cli(int argc, char** argv, CliOptions* options) {
       options->signal_scan = false;
     } else if (std::strcmp(argv[i], "--lint") == 0) {
       options->lint_preflight = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      const char* v = need_value("--chaos");
+      if (v == nullptr) return false;
+      options->chaos = v;
+      if (options->chaos != "off" && options->chaos != "mild" &&
+          options->chaos != "hostile") {
+        std::fprintf(stderr, "--chaos must be off, mild or hostile\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+      const char* v = need_value("--chaos-seed");
+      if (v == nullptr) return false;
+      options->chaos_seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scan-attempts") == 0) {
+      const char* v = need_value("--scan-attempts");
+      if (v == nullptr) return false;
+      options->scan_attempts = std::atoi(v);
+      if (options->scan_attempts < 1) return false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       options->quiet = true;
     } else {
@@ -113,12 +144,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(options.seed));
   }
 
+  // Chaos world: install the fault schedule before any traffic flows.
+  ecosystem::ChaosPlan chaos_plan;
+  const bool chaos = options.chaos != "off";
+  if (chaos) {
+    ecosystem::ChaosOptions chaos_options =
+        ecosystem::chaos_preset(options.chaos);
+    chaos_options.seed = options.chaos_seed;
+    chaos_plan = ecosystem::apply_chaos(network, eco, chaos_options);
+    if (!options.quiet) {
+      std::printf(
+          "chaos '%s': %llu faulted endpoints (%llu blackholed, "
+          "%llu flapping), %llu faulted servers\n",
+          options.chaos.c_str(),
+          static_cast<unsigned long long>(chaos_plan.endpoints_faulted),
+          static_cast<unsigned long long>(chaos_plan.endpoints_blackholed),
+          static_cast<unsigned long long>(chaos_plan.endpoints_flapping),
+          static_cast<unsigned long long>(chaos_plan.servers_faulted));
+    }
+  }
+
   if (options.lint_preflight) {
     // Static preflight: lint every zone the servers publish before spending
     // simulated traffic on the scan. Reported per rule; the scan proceeds
     // either way (the point of the survey is to *measure* broken zones).
     auto view = lint::collect_view(eco.servers, eco.now);
     auto lint_report = lint::lint_ecosystem(view);
+    // L106: a chaos plan must never make a zone structurally unobservable.
+    lint_report.merge(lint::lint_chaos(eco.servers, chaos_plan.links));
     std::printf("lint preflight: %zu zone version(s), %zu finding(s)\n",
                 lint_report.zones_checked(), lint_report.size());
     for (const auto& [rule, count] : lint_report.counts_by_rule()) {
@@ -131,6 +184,22 @@ int main(int argc, char** argv) {
   analysis::SurveyRunOptions run_options;
   run_options.scanner.scan_signal_zones = options.signal_scan;
   run_options.keep_reports = !options.csv_path.empty();
+  if (chaos) {
+    // Resilient retry policy: escalating per-attempt timeouts, decorrelated
+    // jitter between retries, a retry budget, per-server breakers with the
+    // RFC 9520 SERVFAIL cache, and a second scan pass for transient losers.
+    run_options.engine.attempts = 4;
+    run_options.engine.timeout_multiplier = 2.0;
+    run_options.engine.backoff_base = 50 * net::kMillisecond;
+    run_options.engine.backoff_cap = 2 * net::kSecond;
+    run_options.engine.retry_budget_ratio = 1.5;
+    run_options.engine.health.enable_circuit_breaker = true;
+    run_options.engine.health.enable_servfail_cache = true;
+    run_options.scanner.max_scan_attempts = 2;
+  }
+  if (options.scan_attempts > 0) {
+    run_options.scanner.max_scan_attempts = options.scan_attempts;
+  }
   auto result = analysis::run_survey(network, eco.hints, eco.scan_targets,
                                      eco.ns_domain_to_operator, eco.now,
                                      run_options);
@@ -148,6 +217,28 @@ int main(int argc, char** argv) {
                 format_count(s.islands).c_str(),
                 format_count(s.with_cds).c_str(),
                 format_count(s.ab_total.with_signal).c_str());
+    if (chaos) {
+      double zones = static_cast<double>(s.total);
+      std::printf(
+          "robustness: complete %s (%s%%), degraded %s, not-observed %s, "
+          "unreachable %s; requeued %s, recovered %s\n",
+          format_count(s.scan_complete).c_str(),
+          format_percent(s.scan_complete / zones).c_str(),
+          format_count(s.scan_degraded).c_str(),
+          format_count(s.scan_not_observed).c_str(),
+          format_count(s.scan_unreachable).c_str(),
+          format_count(result.scanner_stats.zones_requeued).c_str(),
+          format_count(result.scanner_stats.zones_recovered).c_str());
+      std::printf(
+          "engine: %s sends (%s wasted), %s retries, fail-fast %s, "
+          "servfail-cache hits %s, budget-denied %s\n",
+          format_count(result.engine_stats.sends).c_str(),
+          format_count(result.engine_stats.wasted_sends()).c_str(),
+          format_count(result.engine_stats.retries).c_str(),
+          format_count(result.engine_stats.fail_fast).c_str(),
+          format_count(result.engine_stats.servfail_cache_hits).c_str(),
+          format_count(result.engine_stats.budget_denied).c_str());
+    }
   }
 
   if (!options.json_path.empty()) {
