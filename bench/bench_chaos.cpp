@@ -5,6 +5,9 @@
 // rejections, and the per-fault-class drop counters from the simulator.
 #include "survey_common.hpp"
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "ecosystem/chaos.hpp"
 
 namespace {
@@ -26,10 +29,14 @@ struct ChaosResult {
   std::uint64_t budget_denied = 0;
   double simulated_hours = 0;
   net::FaultStats faults;
+  std::uint64_t queries = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0;
 };
 
 ChaosResult run_once(double scale, const std::string& preset, bool adaptive,
                      int scan_attempts) {
+  auto wall_start = std::chrono::steady_clock::now();
   net::SimNetwork network(20250705);
   network.set_default_link(
       net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
@@ -68,7 +75,31 @@ ChaosResult run_once(double scale, const std::string& preset, bool adaptive,
   out.budget_denied = result.engine_stats.budget_denied;
   out.simulated_hours = result.simulated_duration / (3600.0 * net::kSecond);
   out.faults = network.fault_stats();
+  out.queries = result.engine_stats.queries;
+  out.events = network.events_processed();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
   return out;
+}
+
+void add_json_run(dnsboot::bench::BenchJson& json, const char* label,
+                  const ChaosResult& r) {
+  double wall_sec = r.wall_ms / 1000.0;
+  json.begin_object()
+      .add("run", label)
+      .add("threads", std::uint64_t{1})
+      .add("zones", r.zones)
+      .add("wall_ms", r.wall_ms)
+      .add("zones_per_sec", wall_sec > 0 ? r.zones / wall_sec : 0.0)
+      .add("events_per_sec",
+           wall_sec > 0 ? static_cast<double>(r.events) / wall_sec : 0.0)
+      .add("queries", r.queries)
+      .add("sends", r.sends)
+      .add("wasted_sends", r.wasted)
+      .add("complete", r.complete)
+      .add("degraded", r.degraded)
+      .end_object();
 }
 
 void report(const char* label, const ChaosResult& r) {
@@ -130,5 +161,16 @@ int main() {
               static_cast<unsigned long long>(adaptive2.faults.corrupted),
               static_cast<unsigned long long>(adaptive2.faults.reordered),
               static_cast<unsigned long long>(adaptive2.faults.duplicated));
+
+  dnsboot::bench::BenchJson json("chaos");
+  json.begin_array("runs");
+  add_json_run(json, "hostile_fixed_1pass", fixed);
+  add_json_run(json, "hostile_adaptive_1pass", adaptive1);
+  add_json_run(json, "hostile_adaptive_2pass", adaptive2);
+  json.end_array();
+  if (!json.write()) {
+    std::fprintf(stderr, "cannot write bench json\n");
+    return 1;
+  }
   return 0;
 }

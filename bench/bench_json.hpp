@@ -1,0 +1,117 @@
+// Machine-readable bench output. Every survey-style bench writes a
+// BENCH_<name>.json next to its human-readable tables so the repo's perf
+// trajectory can be tracked (and gated in CI) without log scraping.
+//
+// The builder is append-only and supports flat fields plus one level of
+// array-of-objects nesting — all the bench schema needs. Keys are emitted in
+// insertion order so diffs between runs stay line-stable.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dnsboot::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    stack_.push_back(false);
+    add("bench", name_);
+  }
+
+  BenchJson& add(const std::string& key, const std::string& value) {
+    member(key);
+    out_ += quote(value);
+    return *this;
+  }
+  BenchJson& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  BenchJson& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    member(key);
+    out_ += buf;
+    return *this;
+  }
+  BenchJson& add(const std::string& key, std::uint64_t value) {
+    member(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  BenchJson& add(const std::string& key, int value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  BenchJson& add(const std::string& key, bool value) {
+    member(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  BenchJson& begin_array(const std::string& key) {
+    member(key);
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  BenchJson& end_array() {
+    out_ += ']';
+    stack_.pop_back();
+    return *this;
+  }
+  BenchJson& begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  BenchJson& end_object() {
+    out_ += '}';
+    stack_.pop_back();
+    return *this;
+  }
+
+  std::string to_json() const { return "{" + out_ + "}\n"; }
+  std::string default_path() const { return "BENCH_" + name_ + ".json"; }
+
+  // Write to `path` (default BENCH_<name>.json in the working directory)
+  // and report where it went. Returns false on I/O failure.
+  bool write(const std::string& path = "") const {
+    const std::string target = path.empty() ? default_path() : path;
+    std::ofstream file(target, std::ios::binary);
+    if (!file) return false;
+    file << to_json();
+    if (!file) return false;
+    std::printf("wrote %s\n", target.c_str());
+    return true;
+  }
+
+ private:
+  void comma() {
+    if (stack_.back()) out_ += ", ";
+    stack_.back() = true;
+  }
+  void member(const std::string& key) {
+    comma();
+    out_ += quote(key);
+    out_ += ": ";
+  }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::string out_;
+  std::vector<bool> stack_;  // need-comma flag per nesting level
+};
+
+}  // namespace dnsboot::bench

@@ -3,6 +3,9 @@
 // pool-sampling policy, and the 50 qps/NS rate limit's effect on scan time.
 #include "survey_common.hpp"
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "scanner/targets.hpp"
 
 namespace {
@@ -16,10 +19,13 @@ struct AblationResult {
   std::uint64_t zones = 0;
   std::uint64_t endpoints_queried = 0;
   std::uint64_t endpoints_available = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0;
 };
 
 AblationResult run_once(double scale, bool pool_sampling, double qps,
                         bool signal_scan) {
+  auto wall_start = std::chrono::steady_clock::now();
   net::SimNetwork network(99);
   network.set_default_link(
       net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
@@ -43,7 +49,28 @@ AblationResult run_once(double scale, bool pool_sampling, double qps,
   out.zones = eco.scan_targets.size();
   out.endpoints_queried = result.survey.endpoints_queried;
   out.endpoints_available = result.survey.endpoints_available;
+  out.events = network.events_processed();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
   return out;
+}
+
+void add_json_run(dnsboot::bench::BenchJson& json, const char* label,
+                  const AblationResult& r) {
+  double wall_sec = r.wall_ms / 1000.0;
+  json.begin_object()
+      .add("run", label)
+      .add("threads", std::uint64_t{1})
+      .add("zones", r.zones)
+      .add("wall_ms", r.wall_ms)
+      .add("zones_per_sec", wall_sec > 0 ? r.zones / wall_sec : 0.0)
+      .add("events_per_sec",
+           wall_sec > 0 ? static_cast<double>(r.events) / wall_sec : 0.0)
+      .add("queries", r.queries)
+      .add("datagrams", r.datagrams)
+      .add("simulated_days", r.simulated_days)
+      .end_object();
 }
 
 void report(const char* label, const AblationResult& r) {
@@ -139,6 +166,18 @@ int main() {
                     tld, acquisition.failure.c_str());
       }
     }
+  }
+
+  dnsboot::bench::BenchJson json("scanner");
+  json.begin_array("runs");
+  add_json_run(json, "baseline", baseline);
+  add_json_run(json, "no_pool_sampling", no_sampling);
+  add_json_run(json, "no_rate_limit", fast_limit);
+  add_json_run(json, "no_signal_scan", no_signal);
+  json.end_array();
+  if (!json.write()) {
+    std::fprintf(stderr, "cannot write bench json\n");
+    return 1;
   }
   return 0;
 }

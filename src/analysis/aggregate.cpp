@@ -15,6 +15,68 @@ void AbColumn::operator+=(const AbColumn& other) {
   signal_correct += other.signal_correct;
 }
 
+void OperatorRow::operator+=(const OperatorRow& other) {
+  if (name.empty()) name = other.name;
+  domains += other.domains;
+  unsigned_zones += other.unsigned_zones;
+  secured += other.secured;
+  invalid += other.invalid;
+  islands += other.islands;
+  with_cds += other.with_cds;
+}
+
+void Survey::operator+=(const Survey& other) {
+  total += other.total;
+  unresolved += other.unresolved;
+  unsigned_zones += other.unsigned_zones;
+  secured += other.secured;
+  invalid += other.invalid;
+  islands += other.islands;
+
+  with_cds += other.with_cds;
+  cds_query_failed += other.cds_query_failed;
+  unsigned_with_cds += other.unsigned_with_cds;
+  unsigned_with_cds_delete += other.unsigned_with_cds_delete;
+  secured_with_cds_delete += other.secured_with_cds_delete;
+  island_with_cds += other.island_with_cds;
+  island_with_cds_delete += other.island_with_cds_delete;
+  island_cds_consistent += other.island_cds_consistent;
+  island_cds_inconsistent += other.island_cds_inconsistent;
+  island_cds_inconsistent_multi_op += other.island_cds_inconsistent_multi_op;
+  cds_no_matching_dnskey += other.cds_no_matching_dnskey;
+  cds_invalid_rrsig += other.cds_invalid_rrsig;
+
+  for (const auto& [eligibility, count] : other.funnel) {
+    funnel[eligibility] += count;
+  }
+
+  for (const auto& [op, column] : other.ab_by_operator) {
+    ab_by_operator[op] += column;
+  }
+  ab_total += other.ab_total;
+  violation_zone_cut += other.violation_zone_cut;
+  violation_not_under_every_ns += other.violation_not_under_every_ns;
+  violation_chain_invalid += other.violation_chain_invalid;
+  violation_inconsistent += other.violation_inconsistent;
+  violation_mismatch += other.violation_mismatch;
+
+  for (const auto& [op, row] : other.operators) {
+    operators[op] += row;
+  }
+
+  endpoints_queried += other.endpoints_queried;
+  endpoints_available += other.endpoints_available;
+  pool_sampled_zones += other.pool_sampled_zones;
+  multi_operator_zones += other.multi_operator_zones;
+
+  scan_complete += other.scan_complete;
+  scan_degraded += other.scan_degraded;
+  scan_not_observed += other.scan_not_observed;
+  scan_unreachable += other.scan_unreachable;
+  probes_failed += other.probes_failed;
+  probes_failed_transient += other.probes_failed_transient;
+}
+
 void SurveyAggregator::add(const ZoneReport& report) {
   Survey& s = survey_;
   ++s.total;
@@ -138,10 +200,10 @@ void SurveyAggregator::add(const ZoneReport& report) {
   if (report.pool_sampled) ++s.pool_sampled_zones;
 }
 
-std::vector<OperatorRow> SurveyAggregator::top_by_domains(
-    std::size_t n) const {
+std::vector<OperatorRow> top_rows_by_domains(const Survey& survey,
+                                             std::size_t n) {
   std::vector<OperatorRow> rows;
-  for (const auto& [name, row] : survey_.operators) {
+  for (const auto& [name, row] : survey.operators) {
     if (name != kUnknownOperator) rows.push_back(row);
   }
   std::sort(rows.begin(), rows.end(),
@@ -152,9 +214,9 @@ std::vector<OperatorRow> SurveyAggregator::top_by_domains(
   return rows;
 }
 
-std::vector<OperatorRow> SurveyAggregator::top_by_cds(std::size_t n) const {
+std::vector<OperatorRow> top_rows_by_cds(const Survey& survey, std::size_t n) {
   std::vector<OperatorRow> rows;
-  for (const auto& [name, row] : survey_.operators) {
+  for (const auto& [name, row] : survey.operators) {
     if (name != kUnknownOperator && row.with_cds > 0) rows.push_back(row);
   }
   std::sort(rows.begin(), rows.end(),
@@ -163,6 +225,15 @@ std::vector<OperatorRow> SurveyAggregator::top_by_cds(std::size_t n) const {
             });
   if (rows.size() > n) rows.resize(n);
   return rows;
+}
+
+std::vector<OperatorRow> SurveyAggregator::top_by_domains(
+    std::size_t n) const {
+  return top_rows_by_domains(survey_, n);
+}
+
+std::vector<OperatorRow> SurveyAggregator::top_by_cds(std::size_t n) const {
+  return top_rows_by_cds(survey_, n);
 }
 
 }  // namespace dnsboot::analysis

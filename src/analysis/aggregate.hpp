@@ -19,6 +19,9 @@ struct OperatorRow {
   std::uint64_t invalid = 0;
   std::uint64_t islands = 0;
   std::uint64_t with_cds = 0;
+
+  // Merge a shard's row into this one (`name` must match or be empty).
+  void operator+=(const OperatorRow& other);
 };
 
 // One Table 3 column.
@@ -89,7 +92,20 @@ struct Survey {
   std::uint64_t scan_unreachable = 0;   // permanent: delegation broken
   std::uint64_t probes_failed = 0;
   std::uint64_t probes_failed_transient = 0;
+
+  // Merge another survey into this one: every counter sums, the maps merge
+  // key-wise. Used by the sharded executor to fold per-shard surveys into
+  // one aggregate; merging in a fixed shard order keeps the result
+  // deterministic regardless of how many threads ran the shards.
+  void operator+=(const Survey& other);
 };
+
+// Table rows computed from an (already merged) survey. SurveyAggregator's
+// accessors delegate here so shard merges can recompute the tables from the
+// combined operator map.
+std::vector<OperatorRow> top_rows_by_domains(const Survey& survey,
+                                             std::size_t n);
+std::vector<OperatorRow> top_rows_by_cds(const Survey& survey, std::size_t n);
 
 class SurveyAggregator {
  public:

@@ -1,0 +1,111 @@
+#include "analysis/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "base/rng.hpp"
+
+namespace dnsboot::analysis {
+
+std::size_t shard_of(const dns::Name& zone, std::size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(fnv1a(zone.canonical_text()) % shards);
+}
+
+std::uint64_t shard_network_seed(std::uint64_t base_seed,
+                                 std::size_t shard_index, std::size_t shards) {
+  if (shards <= 1) return base_seed;
+  SplitMix64 mix(base_seed);
+  std::uint64_t derived = mix.next();
+  return derived ^
+         (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(shard_index) + 1));
+}
+
+namespace {
+
+// One shard's output, written by exactly one worker and read only after all
+// workers have joined.
+struct ShardSlot {
+  SurveyRunResult result;
+  net::FaultStats faults;
+  std::uint64_t events = 0;
+};
+
+}  // namespace
+
+ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
+                                       const ShardedSurveyOptions& options) {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  const std::size_t threads =
+      std::clamp<std::size_t>(options.threads, 1, shards);
+
+  std::vector<ShardSlot> slots(shards);
+  std::atomic<std::size_t> next_shard{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t shard =
+          next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+
+      ShardWorld world =
+          factory(shard, shard_network_seed(options.base_network_seed, shard,
+                                            shards));
+      // Select this shard's zones, preserving population order. With one
+      // shard the full list is used as-is (legacy equivalence).
+      std::vector<dns::Name> mine;
+      const std::vector<dns::Name>* targets = &world.targets;
+      if (shards > 1) {
+        mine.reserve(world.targets.size() / shards + 1);
+        for (const dns::Name& zone : world.targets) {
+          if (shard_of(zone, shards) == shard) mine.push_back(zone);
+        }
+        targets = &mine;
+      }
+
+      ShardSlot& slot = slots[shard];
+      slot.result =
+          run_survey(*world.network, world.hints, *targets,
+                     world.ns_domain_to_operator, world.now, options.run);
+      slot.faults = world.network->fault_stats();
+      slot.events = world.network->events_processed();
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  ShardedSurveyResult out;
+  out.shards = shards;
+  out.threads = threads;
+  out.shard_durations.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    ShardSlot& slot = slots[shard];
+    out.merged.survey += slot.result.survey;
+    out.merged.reports.insert(
+        out.merged.reports.end(),
+        std::make_move_iterator(slot.result.reports.begin()),
+        std::make_move_iterator(slot.result.reports.end()));
+    out.merged.scanner_stats += slot.result.scanner_stats;
+    out.merged.engine_stats += slot.result.engine_stats;
+    out.merged.simulated_duration =
+        std::max(out.merged.simulated_duration, slot.result.simulated_duration);
+    out.merged.datagrams += slot.result.datagrams;
+    out.merged.bytes_on_wire += slot.result.bytes_on_wire;
+    out.fault_stats += slot.faults;
+    out.events_processed += slot.events;
+    out.shard_durations.push_back(slot.result.simulated_duration);
+  }
+  out.merged.top_by_domains = top_rows_by_domains(out.merged.survey, 20);
+  out.merged.top_by_cds = top_rows_by_cds(out.merged.survey, 20);
+  return out;
+}
+
+}  // namespace dnsboot::analysis

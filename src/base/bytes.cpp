@@ -73,7 +73,7 @@ void ByteWriter::raw(BytesView bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
-void ByteWriter::raw(const std::string& s) {
+void ByteWriter::raw(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 

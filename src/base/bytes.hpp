@@ -5,6 +5,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/result.hpp"
@@ -50,11 +51,16 @@ class ByteWriter {
   Bytes take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
+  // Pre-size the buffer (hot encode paths know their rough message size).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  // Drop the contents but keep the capacity, for buffer reuse.
+  void clear() { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void raw(BytesView bytes);
-  void raw(const std::string& s);
+  void raw(std::string_view s);
 
   // Overwrite a previously written big-endian u16 at `offset` (used to
   // back-patch RDLENGTH and section counts).

@@ -136,7 +136,7 @@ std::string base32hex_encode(BytesView data) {
   return out;
 }
 
-Result<Bytes> base32hex_decode(const std::string& text) {
+Result<Bytes> base32hex_decode(std::string_view text) {
   Bytes out;
   std::uint32_t acc = 0;
   int bits = 0;

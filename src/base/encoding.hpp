@@ -17,6 +17,6 @@ Result<Bytes> base64_decode(const std::string& text);
 
 // Base32 with the "extended hex" alphabet and no padding, as used for NSEC3.
 std::string base32hex_encode(BytesView data);
-Result<Bytes> base32hex_decode(const std::string& text);
+Result<Bytes> base32hex_decode(std::string_view text);
 
 }  // namespace dnsboot

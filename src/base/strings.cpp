@@ -5,22 +5,10 @@
 
 namespace dnsboot {
 
-char ascii_lower(char c) {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-
 std::string ascii_lower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = ascii_lower(c);
   return out;
-}
-
-bool ascii_iequals(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
-  }
-  return true;
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) {

@@ -8,9 +8,19 @@
 
 namespace dnsboot {
 
-char ascii_lower(char c);
+// Inline: called per octet on the name-comparison and canonicalization hot
+// paths (an out-of-line call per character dominated survey profiles).
+constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
 std::string ascii_lower(std::string_view s);
-bool ascii_iequals(std::string_view a, std::string_view b);
+constexpr bool ascii_iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
 bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);
 

@@ -1,43 +1,42 @@
 #include "dns/message.hpp"
 
-#include <map>
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
 
 namespace dnsboot::dns {
 namespace {
 
-// Compression context: canonical suffix text -> message offset.
+// Compression context: canonical suffix text -> message offset. Keys are
+// views into the names' cached canonical strings (every suffix of a name's
+// canonical text starting at a label boundary is the suffix name's
+// canonical text), so building the table allocates nothing per label. The
+// names must outlive the compressor — they are members of the Message being
+// encoded.
 class NameCompressor {
  public:
   void encode(const Name& name, ByteWriter& writer) {
-    const auto& labels = name.labels();
-    for (std::size_t skip = 0; skip < labels.size(); ++skip) {
-      Name suffix = suffix_from(labels, skip);
-      auto it = offsets_.find(suffix.canonical_text());
+    const std::string& canon = name.canonical_text();
+    std::size_t canon_pos = 0;
+    for (std::string_view label : name.labels()) {
+      std::string_view key(canon.data() + canon_pos, canon.size() - canon_pos);
+      auto it = offsets_.find(key);
       if (it != offsets_.end()) {
         writer.u16(static_cast<std::uint16_t>(0xc000 | it->second));
         return;
       }
       if (writer.size() < 0x3fff) {
-        offsets_.emplace(suffix.canonical_text(),
-                         static_cast<std::uint16_t>(writer.size()));
+        offsets_.emplace(key, static_cast<std::uint16_t>(writer.size()));
       }
-      writer.u8(static_cast<std::uint8_t>(labels[skip].size()));
-      writer.raw(labels[skip]);
+      writer.u8(static_cast<std::uint8_t>(label.size()));
+      writer.raw(label);
+      canon_pos += canonical_label_width(label) + 1;
     }
     writer.u8(0);  // root
   }
 
  private:
-  static Name suffix_from(const std::vector<std::string>& labels,
-                          std::size_t skip) {
-    std::vector<std::string> tail(labels.begin() + static_cast<std::ptrdiff_t>(skip),
-                                  labels.end());
-    auto r = Name::from_labels(std::move(tail));
-    // Labels came from a valid Name; cannot fail.
-    return std::move(r).take();
-  }
-
-  std::map<std::string, std::uint16_t> offsets_;
+  std::unordered_map<std::string_view, std::uint16_t> offsets_;
 };
 
 void encode_record(const ResourceRecord& rr, ByteWriter& writer,
@@ -131,6 +130,12 @@ std::vector<ResourceRecord> Message::answers_of(const Name& name,
 
 Bytes Message::encode() const {
   ByteWriter w;
+  w.reserve(512);
+  encode_into(w);
+  return w.take();
+}
+
+void Message::encode_into(ByteWriter& w) const {
   w.u16(header.id);
   std::uint16_t flags = 0;
   if (header.qr) flags |= 0x8000;
@@ -157,7 +162,6 @@ Bytes Message::encode() const {
   for (const auto& rr : answers) encode_record(rr, w, compressor);
   for (const auto& rr : authorities) encode_record(rr, w, compressor);
   for (const auto& rr : additionals) encode_record(rr, w, compressor);
-  return w.take();
 }
 
 Result<Message> Message::decode(BytesView wire) {
@@ -180,6 +184,14 @@ Result<Message> Message::decode(BytesView wire) {
   DNSBOOT_TRY(ancount, r.u16());
   DNSBOOT_TRY(nscount, r.u16());
   DNSBOOT_TRY(arcount, r.u16());
+
+  // Pre-size the sections. Counts come off the wire, so cap the speculative
+  // reserve — a hostile header can claim 65535 records it never carries.
+  constexpr std::size_t kReserveCap = 512;
+  m.questions.reserve(std::min<std::size_t>(qdcount, kReserveCap));
+  m.answers.reserve(std::min<std::size_t>(ancount, kReserveCap));
+  m.authorities.reserve(std::min<std::size_t>(nscount, kReserveCap));
+  m.additionals.reserve(std::min<std::size_t>(arcount, kReserveCap));
 
   for (int i = 0; i < qdcount; ++i) {
     DNSBOOT_TRY(name, Name::decode(r));

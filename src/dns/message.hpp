@@ -58,6 +58,9 @@ struct Message {
   // Wire encoding with name compression for owner names and the
   // compression-eligible RDATA name fields.
   Bytes encode() const;
+  // Append the wire encoding to an existing writer (callers that reuse an
+  // encode buffer across messages: clear() + encode_into + take/copy).
+  void encode_into(ByteWriter& writer) const;
 
   static Result<Message> decode(BytesView wire);
 };

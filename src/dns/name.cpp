@@ -27,7 +27,117 @@ Status check_total_length(const std::vector<std::string>& labels) {
   return Status::ok_status();
 }
 
+// Escape one presentation-form character into `out`, lowercasing when
+// `lower` (the canonical form is the lower-cased escaped spelling).
+void append_escaped(std::string& out, char c, bool lower) {
+  if (c == '.' || c == '\\') {
+    out.push_back('\\');
+    out.push_back(c);
+  } else if (static_cast<unsigned char>(c) < 0x21 ||
+             static_cast<unsigned char>(c) > 0x7e) {
+    unsigned v = static_cast<unsigned char>(c);
+    out.push_back('\\');
+    out.push_back(static_cast<char>('0' + v / 100));
+    out.push_back(static_cast<char>('0' + (v / 10) % 10));
+    out.push_back(static_cast<char>('0' + v % 10));
+  } else {
+    out.push_back(lower ? ascii_lower(c) : c);
+  }
+}
+
+void append_canon_label(std::string& out, std::string_view label) {
+  // Fast path: labels are overwhelmingly plain lowercase LDH strings, which
+  // canonicalize to themselves — one bulk append instead of per-char escaping.
+  bool plain = true;
+  for (char c : label) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x21 || u > 0x7e || c == '.' || c == '\\' ||
+        (c >= 'A' && c <= 'Z')) {
+      plain = false;
+      break;
+    }
+  }
+  if (plain) {
+    out.append(label);
+  } else {
+    for (char c : label) append_escaped(out, c, /*lower=*/true);
+  }
+  out.push_back('.');
+}
+
+// Label start offsets within a flat buffer, for right-to-left comparisons. A
+// name has at most 127 labels (255-octet wire limit, 2 octets per label
+// minimum) and a flat buffer of at most 254 octets, so uint8_t offsets fit.
+std::size_t collect_label_offsets(std::string_view flat,
+                                  std::uint8_t (&out)[128]) {
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while (pos < flat.size()) {
+    out[n++] = static_cast<std::uint8_t>(pos);
+    pos += 1 + static_cast<unsigned char>(flat[pos]);
+  }
+  return n;
+}
+
 }  // namespace
+
+std::size_t canonical_label_width(std::string_view label) {
+  std::size_t width = 0;
+  for (char c : label) {
+    if (c == '.' || c == '\\') {
+      width += 2;
+    } else if (static_cast<unsigned char>(c) < 0x21 ||
+               static_cast<unsigned char>(c) > 0x7e) {
+      width += 4;
+    } else {
+      width += 1;
+    }
+  }
+  return width;
+}
+
+Name Name::build(const std::vector<std::string>& labels) {
+  Name out;
+  if (labels.empty()) return out;
+  std::size_t flat_size = 0;
+  for (const auto& l : labels) flat_size += 1 + l.size();
+  out.flat_.reserve(flat_size);
+  out.canon_.clear();
+  for (const auto& l : labels) {
+    out.flat_.push_back(static_cast<char>(l.size()));
+    out.flat_.append(l);
+    append_canon_label(out.canon_, l);
+  }
+  out.label_count_ = static_cast<std::uint8_t>(labels.size());
+  return out;
+}
+
+Name Name::from_parts(std::string flat, std::string canon,
+                      std::uint8_t count) {
+  Name out;
+  out.flat_ = std::move(flat);
+  out.canon_ = std::move(canon);
+  out.label_count_ = count;
+  return out;
+}
+
+std::size_t Name::flat_offset_of(std::size_t index,
+                                 std::size_t* canon_offset) const {
+  std::size_t flat_pos = 0;
+  std::size_t canon_pos = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    auto len = static_cast<unsigned char>(flat_[flat_pos]);
+    if (canon_offset != nullptr) {
+      canon_pos +=
+          canonical_label_width(std::string_view(flat_).substr(flat_pos + 1,
+                                                               len)) +
+          1;
+    }
+    flat_pos += 1 + len;
+  }
+  if (canon_offset != nullptr) *canon_offset = canon_pos;
+  return flat_pos;
+}
 
 Result<Name> Name::from_text(std::string_view text) {
   if (text.empty()) return Error{"name.empty", "empty name"};
@@ -72,17 +182,18 @@ Result<Name> Name::from_text(std::string_view text) {
     labels.push_back(std::move(current));
   }
   DNSBOOT_CHECK(check_total_length(labels));
-  return Name(std::move(labels));
+  return build(labels);
 }
 
 Result<Name> Name::from_labels(std::vector<std::string> labels) {
   for (const auto& l : labels) DNSBOOT_CHECK(check_label(l));
   DNSBOOT_CHECK(check_total_length(labels));
-  return Name(std::move(labels));
+  return build(labels);
 }
 
 Result<Name> Name::decode(ByteReader& reader) {
-  std::vector<std::string> labels;
+  std::string flat;
+  std::size_t count = 0;
   std::size_t wire_len = 1;
   // Position to restore after the first compression pointer.
   bool jumped = false;
@@ -118,121 +229,156 @@ Result<Name> Name::decode(ByteReader& reader) {
       return Error{"name.too_long", "decoded name exceeds 255 octets"};
     }
     DNSBOOT_TRY(raw, reader.bytes(len));
-    labels.emplace_back(raw.begin(), raw.end());
+    flat.push_back(static_cast<char>(len));
+    flat.append(raw.begin(), raw.end());
+    ++count;
   }
 
   if (jumped) DNSBOOT_CHECK(reader.seek(resume_at));
-  return Name(std::move(labels));
+
+  std::string canon;
+  if (count == 0) {
+    canon = ".";
+  } else {
+    for (std::string_view label : LabelsView(flat, count)) {
+      append_canon_label(canon, label);
+    }
+  }
+  return from_parts(std::move(flat), std::move(canon),
+                    static_cast<std::uint8_t>(count));
 }
 
 void Name::encode(ByteWriter& writer) const {
-  for (const auto& label : labels_) {
-    writer.u8(static_cast<std::uint8_t>(label.size()));
-    writer.raw(label);
-  }
+  writer.raw(flat_);
   writer.u8(0);
 }
 
 void Name::encode_canonical(ByteWriter& writer) const {
-  for (const auto& label : labels_) {
+  for (std::string_view label : labels()) {
     writer.u8(static_cast<std::uint8_t>(label.size()));
-    writer.raw(ascii_lower(label));
+    for (char c : label) writer.u8(static_cast<std::uint8_t>(ascii_lower(c)));
   }
   writer.u8(0);
 }
 
 std::string Name::to_text() const {
-  if (labels_.empty()) return ".";
+  if (is_root()) return ".";
   std::string out;
-  for (const auto& label : labels_) {
-    for (char c : label) {
-      if (c == '.' || c == '\\') {
-        out.push_back('\\');
-        out.push_back(c);
-      } else if (static_cast<unsigned char>(c) < 0x21 ||
-                 static_cast<unsigned char>(c) > 0x7e) {
-        unsigned v = static_cast<unsigned char>(c);
-        out.push_back('\\');
-        out.push_back(static_cast<char>('0' + v / 100));
-        out.push_back(static_cast<char>('0' + (v / 10) % 10));
-        out.push_back(static_cast<char>('0' + v % 10));
-      } else {
-        out.push_back(c);
-      }
-    }
+  out.reserve(canon_.size());
+  for (std::string_view label : labels()) {
+    for (char c : label) append_escaped(out, c, /*lower=*/false);
     out.push_back('.');
   }
   return out;
 }
 
-std::size_t Name::wire_length() const {
-  std::size_t total = 1;
-  for (const auto& l : labels_) total += l.size() + 1;
-  return total;
+Name Name::parent() const {
+  if (is_root()) return Name();
+  if (label_count_ == 1) return Name();
+  std::size_t canon_skip = 0;
+  std::size_t flat_skip = flat_offset_of(1, &canon_skip);
+  return from_parts(flat_.substr(flat_skip), canon_.substr(canon_skip),
+                    static_cast<std::uint8_t>(label_count_ - 1));
 }
 
-Name Name::parent() const {
-  if (labels_.empty()) return Name();
-  return Name(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+Name Name::suffix(std::size_t n) const {
+  if (n >= label_count_) return *this;
+  if (n == 0) return Name();
+  std::size_t canon_skip = 0;
+  std::size_t flat_skip = flat_offset_of(label_count_ - n, &canon_skip);
+  return from_parts(flat_.substr(flat_skip), canon_.substr(canon_skip),
+                    static_cast<std::uint8_t>(n));
 }
 
 Result<Name> Name::prepend(std::string_view label) const {
   DNSBOOT_CHECK(check_label(label));
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  DNSBOOT_CHECK(check_total_length(labels));
-  return Name(std::move(labels));
+  std::size_t new_wire = flat_.size() + 1 + label.size() + 1;
+  if (new_wire > kMaxNameWireLength) {
+    return Error{"name.too_long",
+                 "wire length " + std::to_string(new_wire) + " exceeds 255"};
+  }
+  std::string flat;
+  flat.reserve(1 + label.size() + flat_.size());
+  flat.push_back(static_cast<char>(label.size()));
+  flat.append(label);
+  flat.append(flat_);
+  std::string canon;
+  canon.reserve(canonical_label_width(label) + 1 + canon_.size());
+  append_canon_label(canon, label);
+  if (!is_root()) canon.append(canon_);
+  return from_parts(std::move(flat), std::move(canon),
+                    static_cast<std::uint8_t>(label_count_ + 1));
 }
 
 Result<Name> Name::concat(const Name& suffix) const {
-  std::vector<std::string> labels = labels_;
-  labels.insert(labels.end(), suffix.labels_.begin(), suffix.labels_.end());
-  DNSBOOT_CHECK(check_total_length(labels));
-  return Name(std::move(labels));
+  std::size_t new_wire = flat_.size() + suffix.flat_.size() + 1;
+  if (new_wire > kMaxNameWireLength) {
+    return Error{"name.too_long",
+                 "wire length " + std::to_string(new_wire) + " exceeds 255"};
+  }
+  std::size_t count = label_count_ + suffix.label_count_;
+  if (count == 0) return Name();
+  std::string flat = flat_ + suffix.flat_;
+  std::string canon;
+  if (!is_root()) canon.append(canon_);
+  if (!suffix.is_root()) canon.append(suffix.canon_);
+  return from_parts(std::move(flat), std::move(canon),
+                    static_cast<std::uint8_t>(count));
 }
 
 bool Name::is_under(const Name& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  auto it = labels_.end() - static_cast<std::ptrdiff_t>(ancestor.labels_.size());
-  for (const auto& al : ancestor.labels_) {
-    if (!ascii_iequals(*it, al)) return false;
-    ++it;
+  if (ancestor.label_count_ > label_count_) return false;
+  std::size_t pos = flat_offset_of(label_count_ - ancestor.label_count_);
+  std::string_view tail = std::string_view(flat_).substr(pos);
+  std::string_view anc = ancestor.flat_;
+  if (tail.size() != anc.size()) return false;
+  // Compare label by label: length bytes must match exactly, label octets
+  // case-insensitively.
+  while (!tail.empty()) {
+    auto len_a = static_cast<unsigned char>(tail[0]);
+    auto len_b = static_cast<unsigned char>(anc[0]);
+    if (len_a != len_b) return false;
+    if (!ascii_iequals(tail.substr(1, len_a), anc.substr(1, len_b))) {
+      return false;
+    }
+    tail.remove_prefix(1 + len_a);
+    anc.remove_prefix(1 + len_b);
   }
   return true;
 }
 
 bool Name::is_strictly_under(const Name& ancestor) const {
-  return labels_.size() > ancestor.labels_.size() && is_under(ancestor);
-}
-
-bool Name::operator==(const Name& other) const {
-  if (labels_.size() != other.labels_.size()) return false;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (!ascii_iequals(labels_[i], other.labels_[i])) return false;
-  }
-  return true;
+  return label_count_ > ancestor.label_count_ && is_under(ancestor);
 }
 
 std::strong_ordering Name::operator<=>(const Name& other) const {
+  // Equal names share a canonical spelling; one memcmp settles the common
+  // case (map lookups hit it once per find) before the label walk.
+  if (canon_ == other.canon_) return std::strong_ordering::equal;
   // RFC 4034 §6.1: compare label sequences right to left; absent labels sort
-  // first; labels compare as case-folded octet strings.
-  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  // first; labels compare as case-folded octet strings. Offset arrays are
+  // uninitialized PODs on purpose — only the first na/nb slots are written.
+  std::uint8_t mine[128];
+  std::uint8_t theirs[128];
+  std::size_t na = collect_label_offsets(flat_, mine);
+  std::size_t nb = collect_label_offsets(other.flat_, theirs);
+  std::size_t n = std::min(na, nb);
   for (std::size_t i = 1; i <= n; ++i) {
-    const std::string& a = labels_[labels_.size() - i];
-    const std::string& b = other.labels_[other.labels_.size() - i];
-    std::size_t m = std::min(a.size(), b.size());
+    std::size_t pa = mine[na - i];
+    std::size_t pb = theirs[nb - i];
+    std::size_t la = static_cast<unsigned char>(flat_[pa]);
+    std::size_t lb = static_cast<unsigned char>(other.flat_[pb]);
+    std::size_t m = std::min(la, lb);
     for (std::size_t j = 0; j < m; ++j) {
-      unsigned char ca = static_cast<unsigned char>(ascii_lower(a[j]));
-      unsigned char cb = static_cast<unsigned char>(ascii_lower(b[j]));
+      unsigned char ca =
+          static_cast<unsigned char>(ascii_lower(flat_[pa + 1 + j]));
+      unsigned char cb =
+          static_cast<unsigned char>(ascii_lower(other.flat_[pb + 1 + j]));
       if (ca != cb) return ca <=> cb;
     }
-    if (a.size() != b.size()) return a.size() <=> b.size();
+    if (la != lb) return la <=> lb;
   }
-  return labels_.size() <=> other.labels_.size();
+  return na <=> nb;
 }
-
-std::string Name::canonical_text() const { return ascii_lower(to_text()); }
 
 }  // namespace dnsboot::dns

@@ -4,10 +4,18 @@
 // sequence. Names compare case-insensitively and preserve their original
 // spelling. Wire-format decoding follows compression pointers with a hop
 // limit so malicious messages cannot loop the parser.
+//
+// Storage is flat: the labels live length-prefixed in one string (the
+// uncompressed wire form minus the root byte), and the canonical
+// (lower-cased, escaped) presentation text is computed once at construction.
+// A Name is immutable after construction, so copies are two string copies
+// and canonical_text() is a free lookup — the scanner keys most of its maps
+// on it. Short names stay entirely in SSO storage.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,8 +29,73 @@ inline constexpr std::size_t kMaxLabelLength = 63;
 // Maximum wire length of a name, including the root byte (RFC 1035 §3.1).
 inline constexpr std::size_t kMaxNameWireLength = 255;
 
+// Width of `label` in canonical presentation text, excluding the trailing
+// dot ('.' and '\\' escape to two characters, non-printables to four).
+std::size_t canonical_label_width(std::string_view label);
+
 class Name {
  public:
+  // Forward range over a name's labels as string_views into its wire-form
+  // storage. Views stay valid as long as the Name they came from.
+  class LabelsView {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = std::string_view;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const std::string_view*;
+      using reference = std::string_view;
+
+      iterator() = default;
+
+      std::string_view operator*() const {
+        auto len = static_cast<unsigned char>(data_[pos_]);
+        return std::string_view(data_ + pos_ + 1, len);
+      }
+      iterator& operator++() {
+        pos_ += 1 + static_cast<std::size_t>(
+                        static_cast<unsigned char>(data_[pos_]));
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator tmp = *this;
+        ++*this;
+        return tmp;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.pos_ == b.pos_;
+      }
+
+     private:
+      friend class LabelsView;
+      iterator(const char* data, std::size_t pos) : data_(data), pos_(pos) {}
+
+      const char* data_ = nullptr;
+      std::size_t pos_ = 0;
+    };
+
+    iterator begin() const { return iterator(data_.data(), 0); }
+    iterator end() const { return iterator(data_.data(), data_.size()); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    std::string_view front() const { return *begin(); }
+    std::string_view back() const { return (*this)[count_ - 1]; }
+    std::string_view operator[](std::size_t i) const {
+      iterator it = begin();
+      while (i-- > 0) ++it;
+      return *it;
+    }
+
+   private:
+    friend class Name;
+    LabelsView(std::string_view data, std::size_t count)
+        : data_(data), count_(count) {}
+
+    std::string_view data_;
+    std::size_t count_;
+  };
+
   // The root name ".".
   Name() = default;
 
@@ -48,14 +121,18 @@ class Name {
   // Presentation form, always absolute with trailing dot; "." for root.
   std::string to_text() const;
 
-  bool is_root() const { return labels_.empty(); }
-  std::size_t label_count() const { return labels_.size(); }
-  const std::vector<std::string>& labels() const { return labels_; }
+  bool is_root() const { return label_count_ == 0; }
+  std::size_t label_count() const { return label_count_; }
+  LabelsView labels() const { return LabelsView(flat_, label_count_); }
   // Wire-format length in bytes (sum of label lengths + length bytes + root).
-  std::size_t wire_length() const;
+  std::size_t wire_length() const { return flat_.size() + 1; }
 
   // Immediate parent ("example.com." -> "com."). Parent of root is root.
   Name parent() const;
+
+  // The name formed of this name's last `n` labels ("a.b.c." -> "b.c." for
+  // n=2); the whole name when n >= label_count().
+  Name suffix(std::size_t n) const;
 
   // New name with `label` prepended ("www" + "example.com." -> "www.example.com.").
   Result<Name> prepend(std::string_view label) const;
@@ -68,24 +145,38 @@ class Name {
   // Strictly below (not equal).
   bool is_strictly_under(const Name& ancestor) const;
 
-  // Case-insensitive equality.
-  bool operator==(const Name& other) const;
+  // Case-insensitive equality (canonical texts are injective, so this is a
+  // single string compare).
+  bool operator==(const Name& other) const { return canon_ == other.canon_; }
   bool operator!=(const Name& other) const { return !(*this == other); }
 
   // RFC 4034 §6.1 canonical ordering (by reversed label sequence, labels as
   // case-folded octet strings). Used for NSEC chains and sorted containers.
   std::strong_ordering operator<=>(const Name& other) const;
 
-  // Lower-cased presentation form; stable key for hashing/maps.
-  std::string canonical_text() const;
+  // Lower-cased presentation form; stable key for hashing/maps. Computed at
+  // construction — this accessor never allocates.
+  const std::string& canonical_text() const { return canon_; }
 
   // Append RFC 4034 §6.2 canonical wire form (lowercased, uncompressed).
   void encode_canonical(ByteWriter& writer) const;
 
  private:
-  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+  // Build from validated labels (lengths and totals already checked).
+  static Name build(const std::vector<std::string>& labels);
+  static Name from_parts(std::string flat, std::string canon,
+                         std::uint8_t count);
 
-  std::vector<std::string> labels_;
+  // Flat offset of label `index` (0 <= index <= label_count_); when
+  // `canon_offset` is non-null it receives the matching offset into canon_.
+  std::size_t flat_offset_of(std::size_t index,
+                             std::size_t* canon_offset = nullptr) const;
+
+  // Wire-form labels, length-prefixed, without the trailing root byte.
+  std::string flat_;
+  // Canonical presentation text with trailing dot; "." for the root.
+  std::string canon_ = ".";
+  std::uint8_t label_count_ = 0;
 };
 
 }  // namespace dnsboot::dns

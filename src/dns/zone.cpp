@@ -47,8 +47,14 @@ Status Zone::add_rrset(const RRset& rrset) {
 }
 
 void Zone::remove_rrset(const Name& name, RRType type) {
-  sets_.erase(NameTypeKey{name, type});
-  if (type != RRType::kRRSIG) signatures_.erase(NameTypeKey{name, type});
+  if (auto it = sets_.find(NameTypeRef{name, type}); it != sets_.end()) {
+    sets_.erase(it);
+  }
+  if (type == RRType::kRRSIG) return;
+  if (auto it = signatures_.find(NameTypeRef{name, type});
+      it != signatures_.end()) {
+    signatures_.erase(it);
+  }
 }
 
 void Zone::strip_dnssec() {
@@ -65,17 +71,20 @@ void Zone::strip_dnssec() {
 }
 
 void Zone::remove_signatures(const Name& name, RRType covered_type) {
-  signatures_.erase(NameTypeKey{name, covered_type});
+  if (auto it = signatures_.find(NameTypeRef{name, covered_type});
+      it != signatures_.end()) {
+    signatures_.erase(it);
+  }
 }
 
 const RRset* Zone::find_rrset(const Name& name, RRType type) const {
-  auto it = sets_.find(NameTypeKey{name, type});
+  auto it = sets_.find(NameTypeRef{name, type});
   return it == sets_.end() ? nullptr : &it->second;
 }
 
 std::vector<const RRset*> Zone::rrsets_at(const Name& name) const {
   std::vector<const RRset*> out;
-  auto it = sets_.lower_bound(NameTypeKey{name, RRType{0}});
+  auto it = sets_.lower_bound(NameTypeRef{name, RRType{0}});
   while (it != sets_.end() && it->first.name == name) {
     out.push_back(&it->second);
     ++it;
@@ -86,20 +95,20 @@ std::vector<const RRset*> Zone::rrsets_at(const Name& name) const {
 bool Zone::has_name(const Name& name) const {
   // A name exists if it owns data or is an empty non-terminal (some name at
   // or below it owns data).
-  auto it = sets_.lower_bound(NameTypeKey{name, RRType{0}});
+  auto it = sets_.lower_bound(NameTypeRef{name, RRType{0}});
   if (it != sets_.end() &&
       (it->first.name == name || it->first.name.is_under(name))) {
     return true;
   }
   // Signature-only nodes count too.
-  auto sit = signatures_.lower_bound(NameTypeKey{name, RRType{0}});
+  auto sit = signatures_.lower_bound(NameTypeRef{name, RRType{0}});
   return sit != signatures_.end() &&
          (sit->first.name == name || sit->first.name.is_under(name));
 }
 
 std::vector<ResourceRecord> Zone::signatures_covering(const Name& name,
                                                       RRType type) const {
-  auto it = signatures_.find(NameTypeKey{name, type});
+  auto it = signatures_.find(NameTypeRef{name, type});
   return it == signatures_.end() ? std::vector<ResourceRecord>{} : it->second;
 }
 

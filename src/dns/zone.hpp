@@ -77,16 +77,27 @@ class Zone {
   struct NameTypeKey {
     Name name;
     RRType type;
-    bool operator<(const NameTypeKey& other) const {
-      if (auto c = name <=> other.name; c != 0) return c < 0;
-      return type < other.type;
+  };
+  // Heterogeneous probe type: lookups compare against the caller's Name by
+  // reference instead of copying it into a temporary key (the copy showed up
+  // in survey profiles — every authoritative answer does several probes).
+  struct NameTypeRef {
+    const Name& name;
+    RRType type;
+  };
+  struct NameTypeLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (auto c = a.name <=> b.name; c != 0) return c < 0;
+      return a.type < b.type;
     }
   };
 
   Name origin_;
-  std::map<NameTypeKey, RRset> sets_;
+  std::map<NameTypeKey, RRset, NameTypeLess> sets_;
   // RRSIGs bucketed by (owner, covered type).
-  std::map<NameTypeKey, std::vector<ResourceRecord>> signatures_;
+  std::map<NameTypeKey, std::vector<ResourceRecord>, NameTypeLess> signatures_;
 };
 
 }  // namespace dnsboot::dns

@@ -238,10 +238,7 @@ Ecosystem EcosystemBuilder::build() {
 
     // Operator zones: one per registrable domain of the NS hostnames.
     for (const auto& host : op.ns_hosts) {
-      const auto& labels = host.labels();
-      std::vector<std::string> apex_labels(labels.end() - 2, labels.end());
-      dns::Name apex =
-          std::move(dns::Name::from_labels(apex_labels)).take();
+      dns::Name apex = host.suffix(2);
       const std::string key = apex.canonical_text();
       if (op.operator_zones.count(key) > 0) continue;
       auto zone = std::make_shared<dns::Zone>(apex);
@@ -261,10 +258,7 @@ Ecosystem EcosystemBuilder::build() {
     // Addresses per NS host, bound to the operator's server; host records go
     // into the operator zone that contains the host.
     for (const auto& host : op.ns_hosts) {
-      const auto& labels = host.labels();
-      std::vector<std::string> apex_labels(labels.end() - 2, labels.end());
-      dns::Name apex =
-          std::move(dns::Name::from_labels(apex_labels)).take();
+      dns::Name apex = host.suffix(2);
       auto zone = op.operator_zones[apex.canonical_text()];
       for (int i = 0; i < profile.addresses_per_ns; ++i) {
         net::IpAddress v4 = next_v4();
@@ -279,7 +273,7 @@ Ecosystem EcosystemBuilder::build() {
     // Delegate operator zones in their TLDs, with glue (in-bailiwick NSes).
     for (auto& [key, zone] : op.operator_zones) {
       const dns::Name& apex = zone->origin();
-      const std::string tld_label = apex.labels().back();
+      const std::string tld_label(apex.labels().back());
       auto tld_it = tlds.find(tld_label);
       if (tld_it == tlds.end()) continue;  // profile error; skip
       dns::Zone& tld_zone = *tld_it->second.zone;
@@ -604,10 +598,7 @@ Ecosystem EcosystemBuilder::build() {
         op.csync_ns_host = name_of("ns3." + profile.ns_domains[0] + ".");
         net::IpAddress csync_address = next_v4();
         op.server->attach(network_, csync_address);
-        const auto& host_labels = op.csync_ns_host.labels();
-        std::vector<std::string> host_apex(host_labels.end() - 2,
-                                           host_labels.end());
-        dns::Name apex = std::move(dns::Name::from_labels(host_apex)).take();
+        dns::Name apex = op.csync_ns_host.suffix(2);
         auto zone_it = op.operator_zones.find(apex.canonical_text());
         if (zone_it != op.operator_zones.end()) {
           (void)zone_it->second->add(make_rr(op.csync_ns_host, dns::RRType::kA,
@@ -633,10 +624,7 @@ Ecosystem EcosystemBuilder::build() {
               name_of("ns-alt." + profile.ns_domains[0] + ".");
           net::IpAddress alt_address = next_v4();
           op.alt_server->attach(network_, alt_address);
-          const auto& labels = op.alt_ns_host.labels();
-          std::vector<std::string> apex_labels(labels.end() - 2, labels.end());
-          dns::Name apex =
-              std::move(dns::Name::from_labels(apex_labels)).take();
+          dns::Name apex = op.alt_ns_host.suffix(2);
           auto zone_it = op.operator_zones.find(apex.canonical_text());
           if (zone_it != op.operator_zones.end()) {
             (void)zone_it->second->add(make_rr(op.alt_ns_host, dns::RRType::kA,
@@ -851,18 +839,14 @@ Ecosystem EcosystemBuilder::build() {
           auto signal_name_result = [&]() -> Result<dns::Name> {
             std::vector<std::string> labels;
             labels.push_back("_dsboot");
-            for (const auto& l : zone_name.labels()) labels.push_back(l);
+            for (std::string_view l : zone_name.labels()) labels.emplace_back(l);
             labels.push_back("_signal");
-            for (const auto& l : ns.labels()) labels.push_back(l);
+            for (std::string_view l : ns.labels()) labels.emplace_back(l);
             return dns::Name::from_labels(std::move(labels));
           }();
           if (!signal_name_result.ok()) continue;
           dns::Name signal_name = std::move(signal_name_result).take();
-          const auto& ns_labels = ns.labels();
-          std::vector<std::string> apex_labels(ns_labels.end() - 2,
-                                               ns_labels.end());
-          dns::Name apex =
-              std::move(dns::Name::from_labels(apex_labels)).take();
+          dns::Name apex = ns.suffix(2);
           auto zone_it = op.operator_zones.find(apex.canonical_text());
           if (zone_it == op.operator_zones.end()) continue;
           for (const auto& rd : cds_set) {

@@ -94,9 +94,9 @@ Result<dns::Name> signal_name_for(const dns::Name& zone_origin,
                                   const dns::Name& ns) {
   std::vector<std::string> labels;
   labels.push_back("_dsboot");
-  for (const std::string& label : zone_origin.labels()) labels.push_back(label);
+  for (std::string_view label : zone_origin.labels()) labels.emplace_back(label);
   labels.push_back("_signal");
-  for (const std::string& label : ns.labels()) labels.push_back(label);
+  for (std::string_view label : ns.labels()) labels.emplace_back(label);
   return dns::Name::from_labels(std::move(labels));
 }
 

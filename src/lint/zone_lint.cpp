@@ -35,7 +35,7 @@ std::vector<dns::RrsigRdata> signatures_of(const dns::Zone& zone,
 // RFC 9615 signaling names (_dsboot.<zone>._signal.<ns>) legitimately carry
 // CDS/CDNSKEY away from the apex.
 bool in_signal_tree(const dns::Name& name) {
-  for (const std::string& label : name.labels()) {
+  for (std::string_view label : name.labels()) {
     if (label == "_signal") return true;
   }
   return false;

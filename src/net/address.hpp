@@ -37,4 +37,19 @@ class IpAddress {
   bool is_v6_ = false;
 };
 
+// FNV-1a over the address bytes + family, for the unordered routing and
+// pacing tables on the datagram hot path.
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& address) const noexcept {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t b : address.bytes()) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    h ^= address.is_v6() ? 0x76u : 0x34u;
+    h *= 1099511628211ull;
+    return static_cast<std::size_t>(h);
+  }
+};
+
 }  // namespace dnsboot::net

@@ -1,18 +1,66 @@
 #include "net/simnet.hpp"
 
+#include <algorithm>
+
 namespace dnsboot::net {
 
-SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {
+  events_.reserve(1024);
+  slots_.reserve(1024);
+}
 
-void SimNetwork::push_event(SimTime at, std::uint64_t timer_id,
-                            TimerHandler action) {
-  events_.push(Event{at, next_sequence_++, timer_id, std::move(action)});
+void SimNetwork::push_event(Event event) {
+  EventRef ref{event.at, event.sequence, 0};
+  if (free_slots_.empty()) {
+    ref.slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(event));
+  } else {
+    ref.slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[ref.slot] = std::move(event);
+  }
+  events_.push_back(ref);
+  std::push_heap(events_.begin(), events_.end(), EventOrder{});
+}
+
+SimNetwork::Event SimNetwork::pop_event() {
+  std::pop_heap(events_.begin(), events_.end(), EventOrder{});
+  EventRef ref = events_.back();
+  events_.pop_back();
+  Event event = std::move(slots_[ref.slot]);
+  free_slots_.push_back(ref.slot);
+  return event;
+}
+
+bool SimNetwork::fire_event(Event& event) {
+  // A timer event fires only if its id is still live; erasing on drain
+  // keeps the bookkeeping bounded (it once grew monotonically).
+  if (event.timer_id != 0 && live_timers_.erase(event.timer_id) == 0) {
+    return false;
+  }
+  if (event.is_delivery) {
+    auto it = handlers_.find(event.dgram.destination);
+    if (it == handlers_.end()) {
+      ++datagrams_unroutable_;
+    } else {
+      ++datagrams_delivered_;
+      it->second(event.dgram);
+    }
+  } else {
+    event.action();
+  }
+  return true;
 }
 
 std::uint64_t SimNetwork::schedule(SimTime delay, TimerHandler fn) {
   std::uint64_t id = next_timer_id_++;
   live_timers_.insert(id);
-  push_event(now_ + delay, id, std::move(fn));
+  Event event;
+  event.at = now_ + delay;
+  event.sequence = next_sequence_++;
+  event.timer_id = id;
+  event.action = std::move(fn);
+  push_event(std::move(event));
   return id;
 }
 
@@ -99,15 +147,12 @@ bool SimNetwork::apply_fault_rule(FaultRule& rule, SimTime* extra_latency,
 }
 
 void SimNetwork::deliver(Datagram dgram, SimTime latency) {
-  push_event(now_ + latency, 0, [this, dgram = std::move(dgram)]() {
-    auto it = handlers_.find(dgram.destination);
-    if (it == handlers_.end()) {
-      ++datagrams_unroutable_;
-      return;
-    }
-    ++datagrams_delivered_;
-    it->second(dgram);
-  });
+  Event event;
+  event.at = now_ + latency;
+  event.sequence = next_sequence_++;
+  event.is_delivery = true;
+  event.dgram = std::move(dgram);
+  push_event(std::move(event));
 }
 
 void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
@@ -161,33 +206,23 @@ void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
 std::size_t SimNetwork::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (!events_.empty() && processed < max_events) {
-    Event event = events_.top();
-    events_.pop();
+    Event event = pop_event();
     now_ = event.at;
-    // A timer event fires only if its id is still live; erasing on drain
-    // keeps the bookkeeping bounded (it once grew monotonically).
-    if (event.timer_id != 0 && live_timers_.erase(event.timer_id) == 0) {
-      continue;
-    }
-    event.action();
-    ++processed;
+    if (fire_event(event)) ++processed;
   }
+  events_processed_ += processed;
   return processed;
 }
 
 std::size_t SimNetwork::run_until(SimTime deadline) {
   std::size_t processed = 0;
-  while (!events_.empty() && events_.top().at <= deadline) {
-    Event event = events_.top();
-    events_.pop();
+  while (!events_.empty() && events_.front().at <= deadline) {
+    Event event = pop_event();
     now_ = event.at;
-    if (event.timer_id != 0 && live_timers_.erase(event.timer_id) == 0) {
-      continue;
-    }
-    event.action();
-    ++processed;
+    if (fire_event(event)) ++processed;
   }
   if (now_ < deadline) now_ = deadline;
+  events_processed_ += processed;
   return processed;
 }
 

@@ -14,9 +14,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <queue>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/bytes.hpp"
@@ -109,6 +108,17 @@ struct FaultStats {
   std::uint64_t corrupted = 0;
   std::uint64_t reordered = 0;
   std::uint64_t duplicated = 0;
+
+  // Fold another network's counters in (shard merge).
+  void operator+=(const FaultStats& other) {
+    blackholed += other.blackholed;
+    flap_dropped += other.flap_dropped;
+    burst_dropped += other.burst_dropped;
+    fault_lost += other.fault_lost;
+    corrupted += other.corrupted;
+    reordered += other.reordered;
+    duplicated += other.duplicated;
+  }
 };
 
 class SimNetwork {
@@ -167,17 +177,39 @@ class SimNetwork {
   std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
   std::uint64_t datagrams_unroutable() const { return datagrams_unroutable_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  // Lifetime total of events fired (throughput benches report events/sec).
+  std::uint64_t events_processed() const { return events_processed_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
 
  private:
+  // Move-only: events carry either a timer closure or a Datagram payload.
+  // Datagram deliveries skip the std::function entirely — the run loop does
+  // the handler lookup itself, so queueing a delivery allocates nothing
+  // beyond the payload it already owns.
   struct Event {
+    SimTime at = 0;
+    std::uint64_t sequence = 0;  // FIFO tie-break for equal timestamps
+    std::uint64_t timer_id = 0;  // 0 for datagram deliveries
+    bool is_delivery = false;
+    Datagram dgram;      // valid when is_delivery
+    TimerHandler action; // valid otherwise
+
+    Event() = default;
+    Event(Event&&) = default;
+    Event& operator=(Event&&) = default;
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+  };
+  // What the heap actually sifts: a trivially-copyable stub pointing at the
+  // payload's slot. Heap swaps move 24 bytes instead of a full Event (whose
+  // std::function move is an indirect manager call per swap).
+  struct EventRef {
     SimTime at;
-    std::uint64_t sequence;  // FIFO tie-break for equal timestamps
-    std::uint64_t timer_id;  // 0 for datagram deliveries
-    TimerHandler action;
+    std::uint64_t sequence;
+    std::uint32_t slot;
   };
   struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const EventRef& a, const EventRef& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.sequence > b.sequence;
     }
@@ -189,7 +221,13 @@ class SimNetwork {
   };
 
   const LinkModel& link_for(const IpAddress& destination) const;
-  void push_event(SimTime at, std::uint64_t timer_id, TimerHandler action);
+  void push_event(Event event);
+  // Remove and return the earliest event (the (at, sequence) order is total,
+  // so the heap pop is deterministic).
+  Event pop_event();
+  // Fire one drained event; returns false for a cancelled timer (which does
+  // not count as processed).
+  bool fire_event(Event& event);
   // Evaluate one fault rule against a datagram about to be queued. Returns
   // false when the datagram is dropped; otherwise accumulates extra latency
   // and the mutation flags.
@@ -200,15 +238,20 @@ class SimNetwork {
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_timer_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  // Binary min-heap on (at, sequence). The (at, sequence) order is total, so
+  // pop order — and therefore the simulation — is independent of slot
+  // numbering. Payloads live in slots_ and are reused via a free list.
+  std::vector<EventRef> events_;
+  std::vector<Event> slots_;
+  std::vector<std::uint32_t> free_slots_;
   // Live-timer set: ids are inserted on schedule() and erased on cancel()
   // or when the event drains, so the bookkeeping never outgrows the number
   // of outstanding timers.
-  std::set<std::uint64_t> live_timers_;
-  std::map<IpAddress, DatagramHandler> handlers_;
-  std::map<IpAddress, LinkModel> link_overrides_;
-  std::map<IpAddress, FaultRule> faults_to_;
-  std::map<IpAddress, FaultRule> faults_from_;
+  std::unordered_set<std::uint64_t> live_timers_;
+  std::unordered_map<IpAddress, DatagramHandler, IpAddressHash> handlers_;
+  std::unordered_map<IpAddress, LinkModel, IpAddressHash> link_overrides_;
+  std::unordered_map<IpAddress, FaultRule, IpAddressHash> faults_to_;
+  std::unordered_map<IpAddress, FaultRule, IpAddressHash> faults_from_;
   LinkModel default_link_;
   Rng rng_;
 
@@ -217,6 +260,7 @@ class SimNetwork {
   std::uint64_t datagrams_dropped_ = 0;
   std::uint64_t datagrams_unroutable_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t events_processed_ = 0;
   FaultStats fault_stats_;
 };
 

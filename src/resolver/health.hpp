@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <tuple>
+#include <unordered_map>
 
 #include "dns/message.hpp"
 #include "net/simnet.hpp"
@@ -97,8 +98,9 @@ class ServerHealthTracker {
   void observe_loss(Entry& e, double sample);
 
   HealthOptions options_;
-  std::map<net::IpAddress, Entry> servers_;
-  // (server, qname, qtype) -> cache expiry.
+  std::unordered_map<net::IpAddress, Entry, net::IpAddressHash> servers_;
+  // (server, qname, qtype) -> cache expiry; tuple-keyed and cold, so an
+  // ordered map is fine here.
   std::map<std::tuple<net::IpAddress, std::string, dns::RRType>, net::SimTime>
       servfail_cache_;
   HealthStats stats_;

@@ -120,12 +120,14 @@ void QueryEngine::send_attempt(std::uint16_t id) {
 
   dns::Message query = dns::Message::make_query(id, p.qname, p.qtype);
   Bytes wire = query.encode();
-  network_.schedule(delay, [this, id, wire = std::move(wire)] {
+  // The closure fires exactly once, so the payload can be moved into the
+  // network instead of copied per send.
+  network_.schedule(delay, [this, id, wire = std::move(wire)]() mutable {
     auto entry = pending_.find(id);
     if (entry == pending_.end()) return;  // answered while queued
     ++stats_.sends;
     entry->second.sent_at = network_.now();
-    network_.send(local_address_, entry->second.server, wire,
+    network_.send(local_address_, entry->second.server, std::move(wire),
                   entry->second.use_tcp);
   });
   p.timeout_timer = network_.schedule(delay + timeout,

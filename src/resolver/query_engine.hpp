@@ -16,7 +16,7 @@
 
 #include <deque>
 #include <functional>
-#include <map>
+#include <unordered_map>
 
 #include "dns/message.hpp"
 #include "net/simnet.hpp"
@@ -71,6 +71,21 @@ struct QueryEngineStats {
   std::uint64_t wasted_sends() const {
     return sends >= responses ? sends - responses : 0;
   }
+
+  // Fold another engine's counters in (shard merge).
+  void operator+=(const QueryEngineStats& other) {
+    queries += other.queries;
+    sends += other.sends;
+    responses += other.responses;
+    timeouts += other.timeouts;
+    retries += other.retries;
+    mismatched += other.mismatched;
+    tcp_fallbacks += other.tcp_fallbacks;
+    truncation_loops += other.truncation_loops;
+    fail_fast += other.fail_fast;
+    servfail_cache_hits += other.servfail_cache_hits;
+    budget_denied += other.budget_denied;
+  }
 };
 
 class QueryEngine {
@@ -115,10 +130,11 @@ class QueryEngine {
   net::SimNetwork& network_;
   net::IpAddress local_address_;
   QueryEngineOptions options_;
-  std::map<std::uint16_t, Pending> pending_;
+  std::unordered_map<std::uint16_t, Pending> pending_;
   std::uint16_t next_id_ = 1;
   // Rate pacing: earliest time the next datagram may leave for a server.
-  std::map<net::IpAddress, net::SimTime> next_free_;
+  std::unordered_map<net::IpAddress, net::SimTime, net::IpAddressHash>
+      next_free_;
   QueryEngineStats stats_;
   ServerHealthTracker health_;
   Rng rng_;

@@ -107,17 +107,15 @@ Result<dns::Name> signaling_name(const dns::Name& child, const dns::Name& ns) {
   std::vector<std::string> labels;
   labels.reserve(child.label_count() + ns.label_count() + 2);
   labels.push_back("_dsboot");
-  for (const auto& l : child.labels()) labels.push_back(l);
+  for (std::string_view l : child.labels()) labels.emplace_back(l);
   labels.push_back("_signal");
-  for (const auto& l : ns.labels()) labels.push_back(l);
+  for (std::string_view l : ns.labels()) labels.emplace_back(l);
   return dns::Name::from_labels(std::move(labels));
 }
 
 dns::Name registrable_domain_of(const dns::Name& host) {
-  const auto& labels = host.labels();
-  if (labels.size() <= 2) return host;
-  std::vector<std::string> tail(labels.end() - 2, labels.end());
-  return std::move(dns::Name::from_labels(std::move(tail))).take();
+  if (host.label_count() <= 2) return host;
+  return host.suffix(2);
 }
 
 // --- task types -----------------------------------------------------------------
@@ -179,9 +177,8 @@ void Scanner::capture_root_dnskey() {
 }
 
 void Scanner::capture_tld(const dns::Name& tld) {
-  const std::string key = tld.canonical_text();
-  if (tld_capture_started_[key]) return;
-  tld_capture_started_[key] = true;
+  const std::string& key = tld.canonical_text();
+  if (!tld_capture_started_.emplace(key, true).second) return;
   std::weak_ptr<int> alive = alive_;
   resolver_.resolve_zone(
       tld, [this, alive, tld, key](Result<resolver::Delegation> result) {
@@ -420,7 +417,8 @@ void Scanner::run_signal_task(std::shared_ptr<ZoneTask> task,
   capture_tld(operator_zone.parent());
 
   // Cached operator-zone delegation (shared across all zones on the operator).
-  const std::string key = operator_zone.canonical_text();
+  // The key is the Name's interned canonical text — no re-stringify.
+  const std::string& key = operator_zone.canonical_text();
   auto finish_with_delegation =
       [this, task, signal](const Result<resolver::Delegation>& result) {
         if (!result.ok() || result->endpoints.empty()) {
@@ -608,8 +606,7 @@ void Scanner::finalize_completeness(ZoneObservation& obs) const {
 }
 
 void Scanner::deliver_zone(ZoneObservation obs) {
-  const std::string key = obs.zone.canonical_text();
-  auto best = pending_best_.find(key);
+  auto best = pending_best_.find(obs.zone.canonical_text());
   if (best != pending_best_.end()) {
     if (better_observation(obs, best->second)) {
       // The rescan strictly improved on the stashed observation.
@@ -643,17 +640,18 @@ void Scanner::zone_finished(std::shared_ptr<ZoneTask> task) {
   if (obs.completeness != ZoneObservation::Completeness::kComplete &&
       transient && obs.scan_attempt < options_.max_scan_attempts) {
     // Hold the observation back and rescan the zone after the main queue
-    // drains; the better of the two observations is delivered then.
-    const dns::Name zone = obs.zone;
+    // drains; the better of the two observations is delivered then. The
+    // observation moves (never copies) into the keep-better stash.
+    dns::Name zone = obs.zone;
     const int next_attempt = obs.scan_attempt + 1;
-    const std::string key = obs.zone.canonical_text();
+    std::string key = obs.zone.canonical_text();
     auto best = pending_best_.find(key);
     if (best == pending_best_.end()) {
-      pending_best_.emplace(key, std::move(obs));
+      pending_best_.emplace(std::move(key), std::move(obs));
     } else if (better_observation(obs, best->second)) {
       best->second = std::move(obs);
     }
-    requeue_.emplace_back(zone, next_attempt);
+    requeue_.emplace_back(std::move(zone), next_attempt);
     ++stats_.zones_requeued;
   } else {
     deliver_zone(std::move(obs));

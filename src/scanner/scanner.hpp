@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 
 #include "scanner/observation.hpp"
 
@@ -52,6 +53,19 @@ struct ScannerStats {
   std::uint64_t zones_degraded = 0;   // delivered with failed probes
   std::uint64_t zones_requeued = 0;   // rescans queued by the requeue pass
   std::uint64_t zones_recovered = 0;  // requeue strictly improved the result
+
+  // Fold another scanner's counters in (shard merge).
+  void operator+=(const ScannerStats& other) {
+    zones_scanned += other.zones_scanned;
+    zones_failed += other.zones_failed;
+    signal_probes += other.signal_probes;
+    pool_zones_sampled += other.pool_zones_sampled;
+    pool_zones_full += other.pool_zones_full;
+    zones_complete += other.zones_complete;
+    zones_degraded += other.zones_degraded;
+    zones_requeued += other.zones_requeued;
+    zones_recovered += other.zones_recovered;
+  }
 };
 
 class Scanner {
@@ -107,23 +121,26 @@ class Scanner {
   // drains, bounding the extra passes to max_scan_attempts - 1 per zone.
   std::deque<std::pair<dns::Name, int>> queue_;
   std::deque<std::pair<dns::Name, int>> requeue_;
-  // Best observation so far for zones held back for a rescan (keyed by
-  // canonical zone text); delivery is keep-better and exactly-once.
-  std::map<std::string, ZoneObservation> pending_best_;
+  // Best observation so far for zones held back for a rescan (keyed by the
+  // zone Name's cached canonical text); delivery is keep-better and
+  // exactly-once. None of these tables is ever iterated, so hashed lookup
+  // is safe for determinism.
+  std::unordered_map<std::string, ZoneObservation> pending_best_;
   std::size_t active_zones_ = 0;
   ZoneCallback on_zone_;
   ScannerStats stats_;
   InfrastructureSnapshot infra_;
-  std::map<std::string, bool> tld_capture_started_;
+  std::unordered_map<std::string, bool> tld_capture_started_;
   bool root_capture_started_ = false;
 
   // Cache of operator-zone delegations for signal probing (one operator
   // hosts many zones; resolving its zone once is the YoDNS dependency-tree
   // reuse).
-  std::map<std::string, std::shared_ptr<Result<resolver::Delegation>>>
+  std::unordered_map<std::string, std::shared_ptr<Result<resolver::Delegation>>>
       operator_delegations_;
-  std::map<std::string,
-           std::vector<std::function<void(const Result<resolver::Delegation>&)>>>
+  std::unordered_map<
+      std::string,
+      std::vector<std::function<void(const Result<resolver::Delegation>&)>>>
       operator_waiters_;
 };
 

@@ -1,0 +1,185 @@
+// Determinism tests for the sharded survey executor (DESIGN.md §9): the
+// merged report must be byte-identical for every thread count, one shard
+// must reproduce the legacy single-world pipeline exactly, and shard
+// assignment must partition the population.
+#include <gtest/gtest.h>
+
+#include "analysis/parallel.hpp"
+#include "analysis/report_io.hpp"
+#include "ecosystem/builder.hpp"
+#include "ecosystem/chaos.hpp"
+
+namespace {
+
+using namespace dnsboot;
+
+constexpr double kScale = 1.0 / 2000000;
+constexpr std::uint64_t kSeed = 11;
+constexpr std::uint64_t kBaseNetworkSeed = kSeed ^ 0xd15b007;
+constexpr std::uint64_t kChaosSeed = 0xc4a05;
+
+analysis::ShardWorld build_world(std::uint64_t net_seed,
+                                 const std::string& chaos_preset) {
+  analysis::ShardWorld world;
+  world.network = std::make_unique<net::SimNetwork>(net_seed);
+  world.network->set_default_link(
+      net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
+  ecosystem::EcosystemConfig config;
+  config.seed = kSeed;
+  config.scale = kScale;
+  ecosystem::EcosystemBuilder builder(*world.network, config);
+  auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+  if (chaos_preset != "off") {
+    ecosystem::ChaosOptions chaos_options =
+        ecosystem::chaos_preset(chaos_preset);
+    chaos_options.seed = kChaosSeed;
+    ecosystem::apply_chaos(*world.network, *eco, chaos_options);
+  }
+  world.hints = eco->hints;
+  world.targets = eco->scan_targets;
+  world.ns_domain_to_operator = eco->ns_domain_to_operator;
+  world.now = eco->now;
+  world.keepalive = std::move(eco);
+  return world;
+}
+
+analysis::ShardWorldFactory make_factory(const std::string& chaos = "off") {
+  return [chaos](std::size_t, std::uint64_t net_seed) {
+    return build_world(net_seed, chaos);
+  };
+}
+
+analysis::SurveyRunOptions run_options(bool chaos) {
+  analysis::SurveyRunOptions options;
+  options.keep_reports = true;
+  if (chaos) {
+    // The resilient policy dnsboot-survey uses under --chaos.
+    options.engine.attempts = 4;
+    options.engine.timeout_multiplier = 2.0;
+    options.engine.backoff_base = 50 * net::kMillisecond;
+    options.engine.backoff_cap = 2 * net::kSecond;
+    options.engine.retry_budget_ratio = 1.5;
+    options.engine.health.enable_circuit_breaker = true;
+    options.engine.health.enable_servfail_cache = true;
+    options.scanner.max_scan_attempts = 2;
+  }
+  return options;
+}
+
+analysis::ShardedSurveyResult run_sharded(std::size_t shards,
+                                          std::size_t threads,
+                                          const std::string& chaos = "off") {
+  analysis::ShardedSurveyOptions options;
+  options.run = run_options(chaos != "off");
+  options.shards = shards;
+  options.threads = threads;
+  options.base_network_seed = kBaseNetworkSeed;
+  return analysis::run_sharded_survey(make_factory(chaos), options);
+}
+
+TEST(ParallelSurveyTest, SingleShardReproducesLegacyPipelineByteForByte) {
+  // The legacy single-world pipeline, exactly as run_survey callers drive it.
+  analysis::ShardWorld world = build_world(kBaseNetworkSeed, "off");
+  auto legacy = analysis::run_survey(*world.network, world.hints,
+                                     world.targets, world.ns_domain_to_operator,
+                                     world.now, run_options(false));
+
+  auto sharded = run_sharded(/*shards=*/1, /*threads=*/1);
+  EXPECT_EQ(sharded.shards, 1u);
+  EXPECT_GT(legacy.survey.total, 0u);
+  EXPECT_EQ(analysis::survey_to_json(legacy),
+            analysis::survey_to_json(sharded.merged));
+  EXPECT_EQ(analysis::reports_to_csv(legacy.reports),
+            analysis::reports_to_csv(sharded.merged.reports));
+}
+
+TEST(ParallelSurveyTest, MergedReportIsThreadCountInvariant) {
+  auto one = run_sharded(/*shards=*/8, /*threads=*/1);
+  auto two = run_sharded(/*shards=*/8, /*threads=*/2);
+  auto eight = run_sharded(/*shards=*/8, /*threads=*/8);
+
+  const std::string baseline = analysis::survey_to_json(one.merged);
+  EXPECT_GT(one.merged.survey.total, 0u);
+  EXPECT_EQ(baseline, analysis::survey_to_json(two.merged));
+  EXPECT_EQ(baseline, analysis::survey_to_json(eight.merged));
+
+  // Per-zone reports concatenate in shard order: byte-identical CSVs.
+  const std::string csv = analysis::reports_to_csv(one.merged.reports);
+  EXPECT_FALSE(csv.empty());
+  EXPECT_EQ(csv, analysis::reports_to_csv(two.merged.reports));
+  EXPECT_EQ(csv, analysis::reports_to_csv(eight.merged.reports));
+
+  // Per-class aggregate counts, spelled out (the JSON identity already
+  // implies them; these keep the failure message readable).
+  for (const auto* r : {&two, &eight}) {
+    EXPECT_EQ(one.merged.survey.scan_complete, r->merged.survey.scan_complete);
+    EXPECT_EQ(one.merged.survey.scan_degraded, r->merged.survey.scan_degraded);
+    EXPECT_EQ(one.merged.survey.secured, r->merged.survey.secured);
+    EXPECT_EQ(one.merged.survey.unsigned_zones,
+              r->merged.survey.unsigned_zones);
+    EXPECT_EQ(one.merged.engine_stats.queries, r->merged.engine_stats.queries);
+    EXPECT_EQ(one.merged.scanner_stats.zones_scanned,
+              r->merged.scanner_stats.zones_scanned);
+    EXPECT_EQ(one.events_processed, r->events_processed);
+    EXPECT_EQ(one.shard_durations, r->shard_durations);
+  }
+}
+
+TEST(ParallelSurveyTest, HostileChaosMergesDeterministically) {
+  auto one = run_sharded(/*shards=*/8, /*threads=*/1, "hostile");
+  auto eight = run_sharded(/*shards=*/8, /*threads=*/8, "hostile");
+
+  EXPECT_EQ(analysis::survey_to_json(one.merged),
+            analysis::survey_to_json(eight.merged));
+
+  // Fault-class counters live outside the JSON report; they must merge
+  // deterministically too, and a hostile world must actually exercise them.
+  const net::FaultStats& a = one.fault_stats;
+  const net::FaultStats& b = eight.fault_stats;
+  EXPECT_EQ(a.blackholed, b.blackholed);
+  EXPECT_EQ(a.flap_dropped, b.flap_dropped);
+  EXPECT_EQ(a.burst_dropped, b.burst_dropped);
+  EXPECT_EQ(a.fault_lost, b.fault_lost);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.reordered, b.reordered);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_GT(a.blackholed + a.flap_dropped + a.burst_dropped + a.fault_lost,
+            0u);
+}
+
+TEST(ParallelSurveyTest, ShardAssignmentPartitionsThePopulation) {
+  analysis::ShardWorld world = build_world(kBaseNetworkSeed, "off");
+  ASSERT_GT(world.targets.size(), 0u);
+
+  const std::size_t shards = 8;
+  std::size_t assigned = 0;
+  std::vector<std::size_t> per_shard(shards, 0);
+  for (const dns::Name& zone : world.targets) {
+    std::size_t shard = analysis::shard_of(zone, shards);
+    ASSERT_LT(shard, shards);
+    ++per_shard[shard];
+    ++assigned;
+    // Stable: the same name always lands on the same shard.
+    EXPECT_EQ(shard, analysis::shard_of(zone, shards));
+  }
+  EXPECT_EQ(assigned, world.targets.size());
+  // The FNV hash should spread the population over all shards at this size.
+  for (std::size_t count : per_shard) EXPECT_GT(count, 0u);
+
+  // One shard routes everything to shard 0.
+  for (const dns::Name& zone : world.targets) {
+    EXPECT_EQ(analysis::shard_of(zone, 1), 0u);
+  }
+}
+
+TEST(ParallelSurveyTest, ShardSeedDerivation) {
+  // One shard passes the base seed through: the legacy-equivalence hinge.
+  EXPECT_EQ(analysis::shard_network_seed(1234, 0, 1), 1234u);
+  // Multi-shard seeds differ per shard and never collide with the base.
+  std::uint64_t s0 = analysis::shard_network_seed(1234, 0, 8);
+  std::uint64_t s1 = analysis::shard_network_seed(1234, 1, 8);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, 1234u);
+}
+
+}  // namespace

@@ -6,20 +6,28 @@
 //   dnsboot-survey [--scale-denom N] [--seed S] [--json FILE] [--csv FILE]
 //                  [--no-pathologies] [--no-signal-scan] [--lint] [--quiet]
 //                  [--chaos off|mild|hostile] [--chaos-seed S]
-//                  [--scan-attempts N]
+//                  [--scan-attempts N] [--threads N] [--shards N]
+//                  [--bench-json FILE]
 //
 // With --chaos, the built world gets a deterministic fault schedule (lossy,
 // flapping, blackholed links; slow, rate-limited, SERVFAIL-flapping servers)
 // and the scan switches to the resilient policy: adaptive timeouts, jittered
 // backoff, per-server circuit breakers, and an end-of-scan requeue pass.
+//
+// With --threads N the zone population is split into shards (default 8, or
+// --shards) and scanned by N workers, each in its own simulated world; the
+// merged report is identical for every thread count (DESIGN.md §9).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
+#include "analysis/parallel.hpp"
 #include "analysis/report_io.hpp"
 #include "analysis/survey.hpp"
 #include "base/strings.hpp"
+#include "bench/bench_json.hpp"
 #include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
 #include "lint/chaos_lint.hpp"
@@ -42,6 +50,9 @@ struct CliOptions {
   std::string chaos = "off";
   std::uint64_t chaos_seed = 0xc4a05;
   int scan_attempts = 0;  // 0 = derived from the chaos preset
+  std::size_t threads = 1;
+  std::size_t shards = 0;  // 0 = auto: 1 single-threaded, else 8
+  std::string bench_json_path;
 };
 
 void usage(const char* argv0) {
@@ -49,7 +60,8 @@ void usage(const char* argv0) {
                "usage: %s [--scale-denom N] [--seed S] [--json FILE] "
                "[--csv FILE] [--no-pathologies] [--no-signal-scan] "
                "[--lint] [--quiet] [--chaos off|mild|hostile] "
-               "[--chaos-seed S] [--scan-attempts N]\n",
+               "[--chaos-seed S] [--scan-attempts N] [--threads N] "
+               "[--shards N] [--bench-json FILE]\n",
                argv0);
 }
 
@@ -103,6 +115,22 @@ bool parse_cli(int argc, char** argv, CliOptions* options) {
       if (v == nullptr) return false;
       options->scan_attempts = std::atoi(v);
       if (options->scan_attempts < 1) return false;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = need_value("--threads");
+      if (v == nullptr) return false;
+      int n = std::atoi(v);
+      if (n < 1) return false;
+      options->threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = need_value("--shards");
+      if (v == nullptr) return false;
+      int n = std::atoi(v);
+      if (n < 1) return false;
+      options->shards = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+      const char* v = need_value("--bench-json");
+      if (v == nullptr) return false;
+      options->bench_json_path = v;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       options->quiet = true;
     } else {
@@ -129,29 +157,59 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  net::SimNetwork network(options.seed ^ 0xd15b007);
-  network.set_default_link(
-      net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
-  ecosystem::EcosystemConfig config;
-  config.seed = options.seed;
-  config.scale = 1.0 / options.scale_denom;
-  config.inject_pathologies = options.pathologies;
-  ecosystem::EcosystemBuilder builder(network, config);
-  auto eco = builder.build();
+  const bool chaos = options.chaos != "off";
+  const std::size_t shards =
+      options.shards != 0 ? options.shards : (options.threads > 1 ? 8 : 1);
+  const std::uint64_t base_network_seed = options.seed ^ 0xd15b007;
+
+  // Build one shard's world: a private SimNetwork seeded for that shard
+  // carrying an ecosystem (and chaos plan) that depends only on the
+  // ecosystem/chaos seeds — identical across shards. Called concurrently
+  // from the executor's workers for shards > 0.
+  auto build_world = [&options, chaos](std::uint64_t net_seed,
+                                       ecosystem::ChaosPlan* plan_out,
+                                       std::shared_ptr<ecosystem::Ecosystem>*
+                                           eco_out) -> analysis::ShardWorld {
+    analysis::ShardWorld world;
+    world.network = std::make_unique<net::SimNetwork>(net_seed);
+    world.network->set_default_link(
+        net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
+    ecosystem::EcosystemConfig config;
+    config.seed = options.seed;
+    config.scale = 1.0 / options.scale_denom;
+    config.inject_pathologies = options.pathologies;
+    ecosystem::EcosystemBuilder builder(*world.network, config);
+    auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+    if (chaos) {
+      ecosystem::ChaosOptions chaos_options =
+          ecosystem::chaos_preset(options.chaos);
+      chaos_options.seed = options.chaos_seed;
+      auto plan = ecosystem::apply_chaos(*world.network, *eco, chaos_options);
+      if (plan_out != nullptr) *plan_out = std::move(plan);
+    }
+    world.hints = eco->hints;
+    world.targets = eco->scan_targets;
+    world.ns_domain_to_operator = eco->ns_domain_to_operator;
+    world.now = eco->now;
+    if (eco_out != nullptr) *eco_out = eco;
+    world.keepalive = std::move(eco);
+    return world;
+  };
+
+  // Shard 0's world doubles as the preflight view (banner, chaos summary,
+  // lint); it is handed to the executor instead of being rebuilt.
+  ecosystem::ChaosPlan chaos_plan;
+  std::shared_ptr<ecosystem::Ecosystem> preflight_eco;
+  auto first_world = std::make_shared<analysis::ShardWorld>(build_world(
+      analysis::shard_network_seed(base_network_seed, 0, shards), &chaos_plan,
+      &preflight_eco));
   if (!options.quiet) {
     std::printf("dnsboot-survey: %zu zones (scale 1/%.0f, seed %llu)\n",
-                eco.scan_targets.size(), options.scale_denom,
+                first_world->targets.size(), options.scale_denom,
                 static_cast<unsigned long long>(options.seed));
   }
 
-  // Chaos world: install the fault schedule before any traffic flows.
-  ecosystem::ChaosPlan chaos_plan;
-  const bool chaos = options.chaos != "off";
   if (chaos) {
-    ecosystem::ChaosOptions chaos_options =
-        ecosystem::chaos_preset(options.chaos);
-    chaos_options.seed = options.chaos_seed;
-    chaos_plan = ecosystem::apply_chaos(network, eco, chaos_options);
     if (!options.quiet) {
       std::printf(
           "chaos '%s': %llu faulted endpoints (%llu blackholed, "
@@ -168,10 +226,11 @@ int main(int argc, char** argv) {
     // Static preflight: lint every zone the servers publish before spending
     // simulated traffic on the scan. Reported per rule; the scan proceeds
     // either way (the point of the survey is to *measure* broken zones).
-    auto view = lint::collect_view(eco.servers, eco.now);
+    auto view = lint::collect_view(preflight_eco->servers, preflight_eco->now);
     auto lint_report = lint::lint_ecosystem(view);
     // L106: a chaos plan must never make a zone structurally unobservable.
-    lint_report.merge(lint::lint_chaos(eco.servers, chaos_plan.links));
+    lint_report.merge(
+        lint::lint_chaos(preflight_eco->servers, chaos_plan.links));
     std::printf("lint preflight: %zu zone version(s), %zu finding(s)\n",
                 lint_report.zones_checked(), lint_report.size());
     for (const auto& [rule, count] : lint_report.counts_by_rule()) {
@@ -200,9 +259,27 @@ int main(int argc, char** argv) {
   if (options.scan_attempts > 0) {
     run_options.scanner.max_scan_attempts = options.scan_attempts;
   }
-  auto result = analysis::run_survey(network, eco.hints, eco.scan_targets,
-                                     eco.ns_domain_to_operator, eco.now,
-                                     run_options);
+
+  analysis::ShardedSurveyOptions sharded_options;
+  sharded_options.run = run_options;
+  sharded_options.shards = shards;
+  sharded_options.threads = options.threads;
+  sharded_options.base_network_seed = base_network_seed;
+  analysis::ShardWorldFactory factory =
+      [&build_world, first_world](std::size_t shard,
+                                  std::uint64_t net_seed) {
+        // Shard 0 reuses the preflight world (built with this exact seed);
+        // only one worker ever receives shard 0, so the move is safe.
+        if (shard == 0) return std::move(*first_world);
+        return build_world(net_seed, nullptr, nullptr);
+      };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto sharded = analysis::run_sharded_survey(factory, sharded_options);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  analysis::SurveyRunResult& result = sharded.merged;
 
   if (!options.quiet) {
     const analysis::Survey& s = result.survey;
@@ -238,6 +315,45 @@ int main(int argc, char** argv) {
           format_count(result.engine_stats.fail_fast).c_str(),
           format_count(result.engine_stats.servfail_cache_hits).c_str(),
           format_count(result.engine_stats.budget_denied).c_str());
+    }
+    const double wall_sec = wall_ms / 1000.0;
+    const double zones_per_sec =
+        wall_sec > 0 ? static_cast<double>(result.survey.total) / wall_sec
+                     : 0.0;
+    const double simulated_sec =
+        result.simulated_duration / static_cast<double>(net::kSecond);
+    std::printf(
+        "%zu shard(s) on %zu thread(s): wall %.2f s, %.1f zones/s, "
+        "simulated %.0f s (%.0fx wall)\n",
+        sharded.shards, sharded.threads, wall_sec, zones_per_sec,
+        simulated_sec, wall_sec > 0 ? simulated_sec / wall_sec : 0.0);
+  }
+
+  if (!options.bench_json_path.empty()) {
+    const double wall_sec = wall_ms / 1000.0;
+    bench::BenchJson bench_json("survey");
+    bench_json.add("threads", static_cast<std::uint64_t>(sharded.threads))
+        .add("shards", static_cast<std::uint64_t>(sharded.shards))
+        .add("seed", options.seed)
+        .add("scale_denom", options.scale_denom)
+        .add("chaos", options.chaos)
+        .add("zones", result.survey.total)
+        .add("wall_ms", wall_ms)
+        .add("zones_per_sec",
+             wall_sec > 0
+                 ? static_cast<double>(result.survey.total) / wall_sec
+                 : 0.0)
+        .add("events_per_sec",
+             wall_sec > 0
+                 ? static_cast<double>(sharded.events_processed) / wall_sec
+                 : 0.0)
+        .add("queries", result.engine_stats.queries)
+        .add("simulated_sec",
+             result.simulated_duration / static_cast<double>(net::kSecond));
+    if (!bench_json.write(options.bench_json_path)) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.bench_json_path.c_str());
+      return 1;
     }
   }
 
