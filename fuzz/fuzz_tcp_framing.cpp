@@ -1,0 +1,91 @@
+// libFuzzer entry point for the DNS-over-TCP stream reassembler
+// (src/net/wire/frame.hpp). Two passes over every input:
+//
+//  1. Treat the bytes as a raw TCP stream and feed them in chunk sizes
+//     derived from the data itself. Every emitted frame must respect the
+//     16-bit length limit, and the running byte accounting must balance:
+//     a reassembler never invents or loses stream bytes.
+//
+//  2. Round-trip: frame the input payload (truncated to the 16-bit limit)
+//     with append_tcp_frame, feed the encoding back one byte at a time, and
+//     require exactly one emitted frame that is byte-identical to the
+//     payload.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "net/wire/frame.hpp"
+
+namespace {
+
+void require(bool ok) {
+  if (!ok) std::abort();  // surfaced as a crash by libFuzzer / the driver
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using dnsboot::Bytes;
+  using dnsboot::BytesView;
+  using dnsboot::net::TcpFrameReassembler;
+
+  // Pass 1: arbitrary stream, adversarial chunking. The first byte of each
+  // chunk doubles as the next chunk-size seed, so the split points vary with
+  // the input without a separate header.
+  {
+    TcpFrameReassembler reassembler;
+    std::size_t offset = 0;
+    std::size_t frame_bytes = 0;
+    std::uint64_t frames = 0;
+    bool alive = true;
+    while (offset < size && alive) {
+      std::size_t chunk = 1 + static_cast<std::size_t>(data[offset] % 97);
+      if (chunk > size - offset) chunk = size - offset;
+      alive = reassembler.feed(
+          BytesView(data + offset, chunk), [&](BytesView frame) {
+            require(frame.size() <= 0xffff);
+            frame_bytes += 2 + frame.size();
+            ++frames;
+          });
+      offset += chunk;
+    }
+    require(reassembler.frames_emitted() == frames);
+    if (alive) {
+      // Conservation: every consumed byte is either part of an emitted
+      // frame (plus its prefix) or still buffered as the partial tail.
+      require(frame_bytes + reassembler.buffered() == offset);
+      require(reassembler.buffered() <= 2 + 0xffff);
+    } else {
+      require(reassembler.failed());
+      // A failed reassembler must swallow later feeds without emitting.
+      const std::uint8_t more[1] = {0};
+      require(!reassembler.feed(BytesView(more, 1),
+                                [&](BytesView) { require(false); }));
+    }
+  }
+
+  // Pass 2: encode → byte-at-a-time decode → exact payload match.
+  {
+    const std::size_t payload_size = size <= 0xffff ? size : 0xffff;
+    BytesView payload(data, payload_size);
+    Bytes stream;
+    require(dnsboot::net::append_tcp_frame(payload, &stream));
+    require(stream.size() == 2 + payload_size);
+
+    TcpFrameReassembler reassembler;
+    std::uint64_t frames = 0;
+    for (std::uint8_t byte : stream) {
+      require(reassembler.feed(BytesView(&byte, 1), [&](BytesView frame) {
+        ++frames;
+        require(frame.size() == payload_size);
+        for (std::size_t i = 0; i < payload_size; ++i) {
+          require(frame[i] == payload[i]);
+        }
+      }));
+    }
+    require(frames == 1);
+    require(reassembler.buffered() == 0);
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "analysis/survey.hpp"
+#include "net/simnet.hpp"
 
 namespace dnsboot::analysis {
 

@@ -165,9 +165,10 @@ std::string survey_to_json(const SurveyRunResult& result) {
   w.field("servfail_cache_hits", result.engine_stats.servfail_cache_hits);
   w.field("budget_denied", result.engine_stats.budget_denied);
   w.field("wasted_sends", result.engine_stats.wasted_sends());
-  w.field("datagrams", result.datagrams);
-  w.field("bytes_on_wire", result.bytes_on_wire);
-  w.field("simulated_duration_us", result.simulated_duration);
+  // Traffic volume and duration are transport-timing facts, not scan facts:
+  // they differ between the simulator and a real-socket run of the same
+  // seed, so they live in the tools' stdout/bench output, not the report
+  // (which must be byte-identical across transports — DESIGN.md §10).
   w.field("endpoints_queried", s.endpoints_queried);
   w.field("endpoints_available", s.endpoints_available);
   w.field("pool_sampled_zones", s.pool_sampled_zones);

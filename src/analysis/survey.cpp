@@ -1,11 +1,14 @@
 #include "analysis/survey.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "analysis/trust.hpp"
 
 namespace dnsboot::analysis {
 
 SurveyRunResult run_survey(
-    net::SimNetwork& network, const resolver::RootHints& hints,
+    net::Transport& network, const resolver::RootHints& hints,
     const std::vector<dns::Name>& targets,
     const std::map<std::string, std::string>& ns_domain_to_operator,
     std::uint32_t now, const SurveyRunOptions& options) {
@@ -31,6 +34,28 @@ SurveyRunResult run_survey(
   result.engine_stats = engine.stats();
   result.datagrams = network.datagrams_sent();
   result.bytes_on_wire = network.bytes_sent();
+
+  // Canonical observation order: observations complete in network-timing
+  // order, which differs between the simulator and real sockets (and, over
+  // the wire, between runs). Re-sorting into target order makes the report
+  // a pure function of the observations themselves, so a wire survey is
+  // byte-identical to the simulated one for the same seed.
+  std::unordered_map<std::string, std::size_t> target_rank;
+  target_rank.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    target_rank.emplace(targets[i].to_text(), i);
+  }
+  std::stable_sort(observations.begin(), observations.end(),
+                   [&target_rank](const scanner::ZoneObservation& a,
+                                  const scanner::ZoneObservation& b) {
+                     auto ra = target_rank.find(a.zone.to_text());
+                     auto rb = target_rank.find(b.zone.to_text());
+                     std::size_t ka =
+                         ra != target_rank.end() ? ra->second : SIZE_MAX;
+                     std::size_t kb =
+                         rb != target_rank.end() ? rb->second : SIZE_MAX;
+                     return ka < kb;
+                   });
 
   // Analysis phase: validate + classify offline, as the paper does from its
   // stored DNS messages.

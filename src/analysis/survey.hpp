@@ -31,7 +31,7 @@ struct SurveyRunResult {
 };
 
 SurveyRunResult run_survey(
-    net::SimNetwork& network, const resolver::RootHints& hints,
+    net::Transport& network, const resolver::RootHints& hints,
     const std::vector<dns::Name>& targets,
     const std::map<std::string, std::string>& ns_domain_to_operator,
     std::uint32_t now, const SurveyRunOptions& options = {});

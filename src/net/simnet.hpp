@@ -21,27 +21,9 @@
 #include "base/bytes.hpp"
 #include "base/rng.hpp"
 #include "net/address.hpp"
+#include "net/transport.hpp"
 
 namespace dnsboot::net {
-
-// Simulated time in microseconds since simulation start.
-using SimTime = std::uint64_t;
-
-inline constexpr SimTime kMicrosecond = 1;
-inline constexpr SimTime kMillisecond = 1000;
-inline constexpr SimTime kSecond = 1000 * 1000;
-// Sentinel for "never ends" in fault schedules.
-inline constexpr SimTime kSimTimeForever = UINT64_MAX;
-
-struct Datagram {
-  IpAddress source;
-  IpAddress destination;
-  Bytes payload;
-  // Transport marker: TCP carries arbitrarily large payloads (no server-side
-  // truncation); UDP is subject to the receiver's advertised limit. The
-  // simulator delivers both the same way — the flag only informs endpoints.
-  bool tcp = false;
-};
 
 // Per-path link characteristics.
 struct LinkModel {
@@ -121,18 +103,15 @@ struct FaultStats {
   }
 };
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
-  using DatagramHandler = std::function<void(const Datagram&)>;
-  using TimerHandler = std::function<void()>;
-
   explicit SimNetwork(std::uint64_t seed);
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   // Run `fn` at now() + delay. Returns a timer id usable with cancel().
-  std::uint64_t schedule(SimTime delay, TimerHandler fn);
-  void cancel(std::uint64_t timer_id);
+  std::uint64_t schedule(SimTime delay, TimerHandler fn) override;
+  void cancel(std::uint64_t timer_id) override;
 
   // Outstanding (scheduled, neither fired nor cancelled) timers. The
   // bookkeeping must stay bounded by the number of live timers — long chaos
@@ -141,15 +120,15 @@ class SimNetwork {
 
   // Attach a handler to an address. Binding an already-bound address
   // replaces the handler (used for fail-over in tests).
-  void bind(const IpAddress& address, DatagramHandler handler);
-  void unbind(const IpAddress& address);
-  bool is_bound(const IpAddress& address) const;
+  void bind(const IpAddress& address, DatagramHandler handler) override;
+  void unbind(const IpAddress& address) override;
+  bool is_bound(const IpAddress& address) const override;
 
   // Queue a datagram for delivery after the path's modelled latency. Lost
   // datagrams are silently dropped (the caller sees a timeout, as on a real
   // network).
   void send(const IpAddress& source, const IpAddress& destination,
-            Bytes payload, bool tcp = false);
+            Bytes payload, bool tcp = false) override;
 
   void set_default_link(const LinkModel& model) { default_link_ = model; }
   // Override the link model for datagrams *to* a given destination.
@@ -167,16 +146,18 @@ class SimNetwork {
 
   // Process events until the queue is empty or `max_events` fire.
   // Returns the number of events processed.
-  std::size_t run(std::size_t max_events = SIZE_MAX);
+  std::size_t run(std::size_t max_events = SIZE_MAX) override;
   // Process events with time <= deadline.
   std::size_t run_until(SimTime deadline);
 
   // Statistics (for the scanner feasibility bench, paper App. D).
-  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
-  std::uint64_t datagrams_delivered() const { return datagrams_delivered_; }
+  std::uint64_t datagrams_sent() const override { return datagrams_sent_; }
+  std::uint64_t datagrams_delivered() const override {
+    return datagrams_delivered_;
+  }
   std::uint64_t datagrams_dropped() const { return datagrams_dropped_; }
   std::uint64_t datagrams_unroutable() const { return datagrams_unroutable_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
   // Lifetime total of events fired (throughput benches report events/sec).
   std::uint64_t events_processed() const { return events_processed_; }
   const FaultStats& fault_stats() const { return fault_stats_; }

@@ -1,0 +1,54 @@
+#include "net/wire/address_map.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace dnsboot::net {
+
+std::string RealEndpoint::to_text() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (host >> 24) & 0xff,
+                (host >> 16) & 0xff, (host >> 8) & 0xff, host & 0xff, port);
+  return buf;
+}
+
+std::optional<RealEndpoint> parse_endpoint(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0, port = 0;
+  char trailing = 0;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u:%u%c", &a, &b, &c, &d, &port,
+                  &trailing) != 5) {
+    return std::nullopt;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255 || port == 0 || port > 65535) {
+    return std::nullopt;
+  }
+  return RealEndpoint{(a << 24) | (b << 16) | (c << 8) | d,
+                      static_cast<std::uint16_t>(port)};
+}
+
+bool WireAddressMap::add(const IpAddress& virtual_address) {
+  if (by_virtual_.find(virtual_address) != by_virtual_.end()) return true;
+  std::uint32_t port = base_.port + static_cast<std::uint32_t>(entries_.size());
+  if (port > 65535) return false;
+  RealEndpoint real{base_.host, static_cast<std::uint16_t>(port)};
+  entries_.emplace_back(virtual_address, real);
+  by_virtual_.emplace(virtual_address, real);
+  by_real_.emplace(real.key(), virtual_address);
+  return true;
+}
+
+std::optional<RealEndpoint> WireAddressMap::real_for(
+    const IpAddress& virtual_address) const {
+  auto it = by_virtual_.find(virtual_address);
+  if (it == by_virtual_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<IpAddress> WireAddressMap::virtual_for(
+    const RealEndpoint& real) const {
+  auto it = by_real_.find(real.key());
+  if (it == by_real_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dnsboot::net

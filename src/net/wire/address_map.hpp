@@ -1,0 +1,72 @@
+// WireAddressMap — the bridge between the simulation's address space and
+// real sockets.
+//
+// The ecosystem builder hands every nameserver a synthetic address
+// (10.x.y.z / fd00::…). Over the wire those endpoints become loopback
+// sockets: the map assigns each virtual address a real 127.0.0.1 port,
+// sequentially from a base port, in registration order. Both sides of a
+// wire run (dnsboot-serve and dnsboot-survey --wire) build the same
+// ecosystem from the same seed and register addresses in the same
+// deterministic order, so they derive identical maps with no port exchange
+// protocol — the seed *is* the shared configuration.
+//
+// Unknown real peers (a scanner's ephemeral client socket, an accepted TCP
+// connection) get transient "session" virtual addresses from the RFC 6598
+// CGNAT range 100.64.0.0/10, so server code keeps addressing replies by
+// IpAddress exactly as it does on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace dnsboot::net {
+
+// A real IPv4 UDP/TCP endpoint (host byte order).
+struct RealEndpoint {
+  std::uint32_t host = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const RealEndpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(host) << 16) | port;
+  }
+  std::string to_text() const;
+};
+
+// Parse "127.0.0.1:5300". Returns nullopt on malformed input.
+std::optional<RealEndpoint> parse_endpoint(const std::string& text);
+
+class WireAddressMap {
+ public:
+  WireAddressMap() = default;
+  explicit WireAddressMap(RealEndpoint base) : base_(base) {}
+
+  // Register a virtual address; it gets the next sequential port. Repeat
+  // registrations are idempotent. Returns false when the port space above
+  // the base is exhausted (the world is too large for one host:port range).
+  bool add(const IpAddress& virtual_address);
+
+  std::optional<RealEndpoint> real_for(const IpAddress& virtual_address) const;
+  std::optional<IpAddress> virtual_for(const RealEndpoint& real) const;
+
+  std::size_t size() const { return entries_.size(); }
+  RealEndpoint base() const { return base_; }
+  // Registration-ordered (virtual, real) pairs.
+  const std::vector<std::pair<IpAddress, RealEndpoint>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  RealEndpoint base_;
+  std::vector<std::pair<IpAddress, RealEndpoint>> entries_;
+  std::unordered_map<IpAddress, RealEndpoint, IpAddressHash> by_virtual_;
+  std::unordered_map<std::uint64_t, IpAddress> by_real_;
+};
+
+}  // namespace dnsboot::net

@@ -1,0 +1,200 @@
+#include "net/wire/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace dnsboot::net {
+
+namespace {
+
+SimTime monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * 1'000'000 +
+         static_cast<SimTime>(ts.tv_nsec) / 1'000;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoch_us_ = monotonic_us();
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    error_ = std::string("epoll_create1: ") + std::strerror(errno);
+    return;
+  }
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    error_ = std::string("eventfd: ") + std::strerror(errno);
+    return;
+  }
+  watch(wakeup_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t drain = 0;
+    while (read(wakeup_fd_, &drain, sizeof drain) == sizeof drain) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) close(wakeup_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+SimTime EventLoop::now() const { return monotonic_us() - epoch_us_; }
+
+std::uint64_t EventLoop::schedule(SimTime delay, TimerHandler fn) {
+  std::uint64_t id = next_timer_id_++;
+  TimerEntry entry{id, std::max(tick_of(now() + delay), current_tick_ + 1)};
+  timers_.emplace(id, std::move(fn));
+  ++live_timers_;
+  place(entry);
+  return id;
+}
+
+void EventLoop::cancel(std::uint64_t timer_id) {
+  // Lazy cancellation: drop the handler now, let the wheel entry drain when
+  // its slot comes around (same bounded-bookkeeping contract as SimNetwork).
+  if (timers_.erase(timer_id) > 0) --live_timers_;
+}
+
+void EventLoop::place(TimerEntry entry) {
+  std::uint64_t delta = entry.expiry_tick - current_tick_;
+  for (int level = 0; level < kLevels; ++level) {
+    if (delta < (1ull << (kWheelBits * (level + 1))) ||
+        level == kLevels - 1) {
+      std::size_t slot =
+          (entry.expiry_tick >> (kWheelBits * level)) & (kWheelSlots - 1);
+      wheel_[level][slot].push_back(entry);
+      return;
+    }
+  }
+}
+
+std::size_t EventLoop::advance(std::uint64_t target_tick) {
+  std::size_t fired = 0;
+  std::vector<TimerEntry> pending;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    // Cascade higher levels whenever this level's index wrapped to 0.
+    for (int level = 1; level < kLevels; ++level) {
+      if ((current_tick_ & ((1ull << (kWheelBits * level)) - 1)) != 0) break;
+      std::size_t slot =
+          (current_tick_ >> (kWheelBits * level)) & (kWheelSlots - 1);
+      pending.swap(wheel_[level][slot]);
+      for (TimerEntry& entry : pending) {
+        if (timers_.find(entry.id) == timers_.end()) continue;  // cancelled
+        place(entry);
+      }
+      pending.clear();
+    }
+    std::size_t slot = current_tick_ & (kWheelSlots - 1);
+    if (wheel_[0][slot].empty()) continue;
+    pending.swap(wheel_[0][slot]);
+    for (TimerEntry& entry : pending) {
+      auto it = timers_.find(entry.id);
+      if (it == timers_.end()) continue;  // cancelled
+      if (entry.expiry_tick > current_tick_) {
+        // A future round of this slot; put it back.
+        wheel_[0][slot].push_back(entry);
+        continue;
+      }
+      TimerHandler fn = std::move(it->second);
+      timers_.erase(it);
+      --live_timers_;
+      fn();
+      ++fired;
+    }
+    pending.clear();
+  }
+  return fired;
+}
+
+SimTime EventLoop::next_timer_delay() const {
+  if (live_timers_ == 0) return kSimTimeForever;
+  // Scan the level-0 window for the earliest live entry; if the next expiry
+  // lives higher up, wait only until the next cascade boundary — poll()
+  // re-evaluates after every advance, so progress is guaranteed.
+  for (std::uint64_t tick = current_tick_ + 1;
+       tick <= current_tick_ + kWheelSlots; ++tick) {
+    for (const TimerEntry& entry : wheel_[0][tick & (kWheelSlots - 1)]) {
+      if (entry.expiry_tick != tick) continue;
+      if (timers_.find(entry.id) == timers_.end()) continue;
+      SimTime expiry_us = tick << kTickShift;
+      SimTime now_us = now();
+      return expiry_us > now_us ? expiry_us - now_us : 0;
+    }
+  }
+  std::uint64_t boundary = (current_tick_ | (kWheelSlots - 1)) + 1;
+  SimTime boundary_us = boundary << kTickShift;
+  SimTime now_us = now();
+  return boundary_us > now_us ? boundary_us - now_us : 0;
+}
+
+std::size_t EventLoop::poll(SimTime max_wait) {
+  if (epoll_fd_ < 0) return 0;
+  SimTime wait = std::min(max_wait, next_timer_delay());
+  int timeout_ms;
+  if (wait == kSimTimeForever) {
+    timeout_ms = -1;
+  } else {
+    // Round up so we never spin a whole tick busy-waiting on a near timer.
+    timeout_ms = static_cast<int>(
+        std::min<SimTime>((wait + 999) / 1000, 60 * 1000));
+  }
+
+  epoll_event events[64];
+  int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  std::size_t dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    auto it = io_.find(fd);
+    if (it == io_.end()) continue;  // unwatched by an earlier handler
+    // Copy: the handler may watch()/unwatch() and invalidate the iterator.
+    IoHandler handler = it->second;
+    handler(events[i].events);
+    ++dispatched;
+  }
+  dispatched += advance(tick_of(now()));
+  return dispatched;
+}
+
+void EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  auto it = io_.find(fd);
+  if (it == io_.end()) {
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      if (error_.empty()) {
+        error_ = std::string("epoll_ctl add: ") + std::strerror(errno);
+      }
+      return;
+    }
+    io_.emplace(fd, std::move(handler));
+  } else {
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0 && error_.empty()) {
+      error_ = std::string("epoll_ctl mod: ") + std::strerror(errno);
+    }
+    it->second = std::move(handler);
+  }
+}
+
+void EventLoop::unwatch(int fd) {
+  if (io_.erase(fd) > 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::wakeup() {
+  std::uint64_t one = 1;
+  // Best-effort: a full eventfd counter already guarantees a wakeup.
+  [[maybe_unused]] ssize_t rc = write(wakeup_fd_, &one, sizeof one);
+}
+
+}  // namespace dnsboot::net

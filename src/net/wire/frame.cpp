@@ -1,0 +1,40 @@
+#include "net/wire/frame.hpp"
+
+namespace dnsboot::net {
+
+bool append_tcp_frame(BytesView payload, Bytes* out) {
+  if (payload.size() > 0xffff) return false;
+  out->push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  out->push_back(static_cast<std::uint8_t>(payload.size() & 0xff));
+  out->insert(out->end(), payload.begin(), payload.end());
+  return true;
+}
+
+bool TcpFrameReassembler::feed(BytesView data, const FrameHandler& on_frame) {
+  if (failed_) return false;
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+  while (true) {
+    std::size_t available = buffer_.size() - consumed_;
+    if (available < 2) break;
+    std::size_t length = (static_cast<std::size_t>(buffer_[consumed_]) << 8) |
+                         buffer_[consumed_ + 1];
+    if (available < 2 + length) break;
+    on_frame(BytesView(buffer_.data() + consumed_ + 2, length));
+    ++frames_emitted_;
+    consumed_ += 2 + length;
+  }
+  // Compact once the consumed prefix dominates, so the buffer never holds
+  // more than one partial frame plus the chunk that completed the last one.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 0xffff)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  if (buffer_.size() - consumed_ > max_buffered_) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dnsboot::net

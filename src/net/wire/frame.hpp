@@ -1,0 +1,53 @@
+// DNS-over-TCP stream framing (RFC 1035 §4.2.2): every message is prefixed
+// by a two-byte big-endian length. The reassembler turns an arbitrary
+// sequence of stream reads — partial frames, pipelined back-to-back
+// messages, one byte at a time — back into complete message payloads.
+//
+// Used by both sides of every TCP connection in the wire transport, and
+// fuzzed standalone (fuzz/fuzz_tcp_framing.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "base/bytes.hpp"
+
+namespace dnsboot::net {
+
+// Append the 2-byte length prefix + payload to `out`. Returns false (and
+// appends nothing) when the payload exceeds the 16-bit frame limit.
+bool append_tcp_frame(BytesView payload, Bytes* out);
+
+class TcpFrameReassembler {
+ public:
+  using FrameHandler = std::function<void(BytesView)>;
+
+  // `max_buffered` bounds memory held for incomplete data: a peer cannot
+  // balloon the buffer by pipelining faster than frames are consumed,
+  // because completed frames are handed out inside feed() — only one
+  // partial frame (≤ 2 + 65535 bytes) ever needs to wait. The cap exists
+  // for callers that lower it (tests) and as a hard stop against bugs.
+  explicit TcpFrameReassembler(std::size_t max_buffered = 2 + 65535)
+      : max_buffered_(max_buffered) {}
+
+  // Consume a chunk of stream bytes, invoking `on_frame` once per completed
+  // frame payload (possibly zero length — DNS decode rejects it upstream).
+  // Returns false once the connection should be torn down: the residual
+  // partial frame outgrew `max_buffered`. A failed reassembler stays
+  // failed; further feeds are no-ops.
+  bool feed(BytesView data, const FrameHandler& on_frame);
+
+  // Bytes held for the current incomplete frame.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+  bool failed() const { return failed_; }
+  std::uint64_t frames_emitted() const { return frames_emitted_; }
+
+ private:
+  Bytes buffer_;
+  std::size_t consumed_ = 0;
+  std::size_t max_buffered_;
+  bool failed_ = false;
+  std::uint64_t frames_emitted_ = 0;
+};
+
+}  // namespace dnsboot::net

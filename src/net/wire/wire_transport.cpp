@@ -1,0 +1,464 @@
+#include "net/wire/wire_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dnsboot::net {
+
+namespace {
+
+sockaddr_in to_sockaddr(const RealEndpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint.host);
+  addr.sin_port = htons(endpoint.port);
+  return addr;
+}
+
+RealEndpoint from_sockaddr(const sockaddr_in& addr) {
+  return RealEndpoint{ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port)};
+}
+
+int make_socket(int type) {
+  int fd = socket(AF_INET, type | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd >= 0 && type == SOCK_DGRAM) {
+    // Generous queues so a paced loopback survey never sheds datagrams to
+    // buffer pressure: UDP loss would surface as retries and break the
+    // wire-vs-simulated report identity the transport promises.
+    int size = 1 << 20;
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &size, sizeof size);
+    setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof size);
+  }
+  return fd;
+}
+
+}  // namespace
+
+WireTransport::WireTransport(WireAddressMap map, WireTransportOptions options)
+    : map_(std::move(map)), options_(options) {
+  recv_buffer_.resize(65535);
+}
+
+WireTransport::~WireTransport() {
+  // Tear sockets down while the loop still exists (members of this class
+  // are destroyed before base/loop members declared earlier would be —
+  // loop_ is declared before the containers, so unwatch explicitly first).
+  for (auto& [vaddr, conn] : tcp_conns_) {
+    if (conn->fd >= 0) {
+      loop_.unwatch(conn->fd);
+      close(conn->fd);
+    }
+  }
+  for (auto& [vaddr, endpoint] : endpoints_) {
+    if (endpoint->udp_fd >= 0) {
+      loop_.unwatch(endpoint->udp_fd);
+      close(endpoint->udp_fd);
+    }
+    if (endpoint->tcp_listen_fd >= 0) {
+      loop_.unwatch(endpoint->tcp_listen_fd);
+      close(endpoint->tcp_listen_fd);
+    }
+  }
+}
+
+void WireTransport::fail(const std::string& what) {
+  if (error_.empty()) {
+    error_ = what + ": " + std::strerror(errno);
+  }
+}
+
+void WireTransport::bind(const IpAddress& address, DatagramHandler handler) {
+  auto it = endpoints_.find(address);
+  if (it != endpoints_.end()) {
+    // Rebinding replaces the handler, as on the simulator.
+    it->second->handler = std::move(handler);
+    return;
+  }
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->vaddr = address;
+  endpoint->handler = std::move(handler);
+  if (auto real = map_.real_for(address)) {
+    endpoint->real = *real;
+    open_serving_sockets(endpoint.get());
+  } else {
+    open_client_socket(endpoint.get());
+  }
+  endpoints_.emplace(address, std::move(endpoint));
+}
+
+void WireTransport::open_serving_sockets(Endpoint* endpoint) {
+  endpoint->udp_fd = make_socket(SOCK_DGRAM);
+  if (endpoint->udp_fd < 0) return fail("socket(udp)");
+  int one = 1;
+  setsockopt(endpoint->udp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options_.reuse_port) {
+    setsockopt(endpoint->udp_fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one);
+  }
+  sockaddr_in addr = to_sockaddr(endpoint->real);
+  if (::bind(endpoint->udp_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    return fail("bind(udp " + endpoint->real.to_text() + ")");
+  }
+  watch_udp(endpoint);
+
+  endpoint->tcp_listen_fd = make_socket(SOCK_STREAM);
+  if (endpoint->tcp_listen_fd < 0) return fail("socket(tcp)");
+  setsockopt(endpoint->tcp_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+             sizeof one);
+  if (options_.reuse_port) {
+    setsockopt(endpoint->tcp_listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+               sizeof one);
+  }
+  if (::bind(endpoint->tcp_listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      listen(endpoint->tcp_listen_fd, 128) < 0) {
+    return fail("listen(tcp " + endpoint->real.to_text() + ")");
+  }
+  watch_listener(endpoint);
+}
+
+void WireTransport::open_client_socket(Endpoint* endpoint) {
+  endpoint->udp_fd = make_socket(SOCK_DGRAM);
+  if (endpoint->udp_fd < 0) return fail("socket(udp client)");
+  // Bind to the map's base host with an ephemeral port so replies and the
+  // servers' session bookkeeping see a stable local address.
+  sockaddr_in addr = to_sockaddr(RealEndpoint{map_.base().host, 0});
+  if (::bind(endpoint->udp_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    return fail("bind(udp client)");
+  }
+  socklen_t len = sizeof addr;
+  getsockname(endpoint->udp_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  endpoint->real = from_sockaddr(addr);
+  watch_udp(endpoint);
+}
+
+void WireTransport::watch_udp(Endpoint* endpoint) {
+  loop_.watch(endpoint->udp_fd, EPOLLIN, [this, endpoint](std::uint32_t) {
+    on_udp_readable(endpoint);
+  });
+}
+
+void WireTransport::watch_listener(Endpoint* endpoint) {
+  loop_.watch(endpoint->tcp_listen_fd, EPOLLIN,
+              [this, endpoint](std::uint32_t) { on_accept_ready(endpoint); });
+}
+
+void WireTransport::unbind(const IpAddress& address) {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) return;
+  Endpoint* endpoint = it->second.get();
+  if (endpoint->udp_fd >= 0) {
+    loop_.unwatch(endpoint->udp_fd);
+    close(endpoint->udp_fd);
+  }
+  if (endpoint->tcp_listen_fd >= 0) {
+    loop_.unwatch(endpoint->tcp_listen_fd);
+    close(endpoint->tcp_listen_fd);
+  }
+  // Drop connections owned by this endpoint.
+  for (auto conn_it = tcp_conns_.begin(); conn_it != tcp_conns_.end();) {
+    if (conn_it->second->local_vaddr == address) {
+      loop_.unwatch(conn_it->second->fd);
+      close(conn_it->second->fd);
+      conn_it = tcp_conns_.erase(conn_it);
+    } else {
+      ++conn_it;
+    }
+  }
+  endpoints_.erase(it);
+}
+
+bool WireTransport::is_bound(const IpAddress& address) const {
+  return endpoints_.find(address) != endpoints_.end();
+}
+
+IpAddress WireTransport::session_address_for(const RealEndpoint& real) {
+  auto it = udp_sessions_by_real_.find(real.key());
+  if (it != udp_sessions_by_real_.end()) return it->second;
+  std::uint64_t index = next_session_++;
+  // RFC 6598 shared space 100.64.0.0/10 — disjoint from the synthetic
+  // 10.0.0.0/8 server space and the scanner's 192.0.2.x, by construction.
+  IpAddress session = IpAddress::v4(
+      {100, static_cast<std::uint8_t>(64 + ((index >> 16) & 0x3f)),
+       static_cast<std::uint8_t>((index >> 8) & 0xff),
+       static_cast<std::uint8_t>(index & 0xff)});
+  udp_sessions_by_real_.emplace(real.key(), session);
+  udp_sessions_.emplace(session, real);
+  return session;
+}
+
+void WireTransport::deliver(const IpAddress& source,
+                            const IpAddress& destination, BytesView payload,
+                            bool tcp) {
+  auto it = endpoints_.find(destination);
+  if (it == endpoints_.end()) return;
+  ++datagrams_delivered_;
+  Datagram dgram;
+  dgram.source = source;
+  dgram.destination = destination;
+  dgram.payload.assign(payload.begin(), payload.end());
+  dgram.tcp = tcp;
+  it->second->handler(dgram);
+}
+
+void WireTransport::on_udp_readable(Endpoint* endpoint) {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    ssize_t n = recvfrom(endpoint->udp_fd, recv_buffer_.data(),
+                         recv_buffer_.size(), 0,
+                         reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) return;  // EAGAIN or transient error: wait for next wakeup
+    RealEndpoint real = from_sockaddr(peer);
+    IpAddress source;
+    if (auto mapped = map_.virtual_for(real)) {
+      source = *mapped;  // a serving endpoint answered us
+    } else {
+      source = session_address_for(real);  // unknown peer: session identity
+    }
+    deliver(source, endpoint->vaddr,
+            BytesView(recv_buffer_.data(), static_cast<std::size_t>(n)),
+            /*tcp=*/false);
+  }
+}
+
+void WireTransport::send(const IpAddress& source,
+                         const IpAddress& destination, Bytes payload,
+                         bool tcp) {
+  auto it = endpoints_.find(source);
+  if (it == endpoints_.end()) {
+    ++datagrams_unroutable_;
+    return;
+  }
+  Endpoint* endpoint = it->second.get();
+  ++datagrams_sent_;
+  bytes_sent_ += payload.size();
+
+  if (tcp) {
+    auto conn_it = tcp_conns_.find(destination);
+    TcpConn* conn =
+        conn_it != tcp_conns_.end() ? conn_it->second.get() : nullptr;
+    if (conn == nullptr) {
+      auto real = map_.real_for(destination);
+      if (!real) {
+        ++datagrams_unroutable_;
+        return;
+      }
+      conn = open_client_conn(source, destination, *real);
+      if (conn == nullptr) return;
+    }
+    queue_frame(conn, payload);
+    return;
+  }
+
+  RealEndpoint real;
+  if (auto mapped = map_.real_for(destination)) {
+    real = *mapped;
+  } else if (auto session = udp_sessions_.find(destination);
+             session != udp_sessions_.end()) {
+    real = session->second;
+  } else {
+    ++datagrams_unroutable_;
+    return;
+  }
+  sockaddr_in addr = to_sockaddr(real);
+  // Non-blocking best effort: a full socket buffer drops the datagram, the
+  // sender's retry logic treats it as network loss (exactly UDP semantics).
+  sendto(endpoint->udp_fd, payload.data(), payload.size(), 0,
+         reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+}
+
+WireTransport::TcpConn* WireTransport::open_client_conn(
+    const IpAddress& local_vaddr, const IpAddress& peer_vaddr,
+    const RealEndpoint& real) {
+  int fd = make_socket(SOCK_STREAM);
+  if (fd < 0) {
+    fail("socket(tcp client)");
+    return nullptr;
+  }
+  sockaddr_in addr = to_sockaddr(real);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno != EINPROGRESS) {
+    close(fd);
+    ++datagrams_unroutable_;
+    return nullptr;
+  }
+  auto conn = std::make_unique<TcpConn>();
+  conn->fd = fd;
+  conn->local_vaddr = local_vaddr;
+  conn->peer_vaddr = peer_vaddr;
+  conn->connecting = rc < 0;
+  TcpConn* raw = conn.get();
+  tcp_conns_.emplace(peer_vaddr, std::move(conn));
+  ++tcp_opened_;
+  loop_.watch(fd, EPOLLIN | EPOLLOUT,
+              [this, raw](std::uint32_t events) { on_conn_event(raw, events); });
+  return raw;
+}
+
+void WireTransport::on_accept_ready(Endpoint* endpoint) {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    int fd = accept4(endpoint->tcp_listen_fd,
+                     reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    // Every accepted stream is its own session peer, even when several come
+    // from one real address: allocate per-connection identities so two
+    // concurrent connections from one client never share reply routing.
+    std::uint64_t index = next_session_++;
+    IpAddress session = IpAddress::v4(
+        {100, static_cast<std::uint8_t>(64 + ((index >> 16) & 0x3f)),
+         static_cast<std::uint8_t>((index >> 8) & 0xff),
+         static_cast<std::uint8_t>(index & 0xff)});
+    auto conn = std::make_unique<TcpConn>();
+    conn->fd = fd;
+    conn->local_vaddr = endpoint->vaddr;
+    conn->peer_vaddr = session;
+    TcpConn* raw = conn.get();
+    tcp_conns_.emplace(session, std::move(conn));
+    ++tcp_accepted_;
+    loop_.watch(fd, EPOLLIN, [this, raw](std::uint32_t events) {
+      on_conn_event(raw, events);
+    });
+  }
+}
+
+void WireTransport::queue_frame(TcpConn* conn, BytesView payload) {
+  if (conn->broken) return;  // dropped like network loss; timeouts recover
+  if (!append_tcp_frame(payload, &conn->outbuf)) {
+    // Larger than the 16-bit frame limit: undeliverable over DNS TCP.
+    ++oversized_tcp_;
+    return;
+  }
+  if (!conn->connecting) flush_conn(conn);
+  update_conn_interest(conn);
+}
+
+void WireTransport::flush_conn(TcpConn* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    ssize_t n = write(conn->fd, conn->outbuf.data() + conn->out_off,
+                      conn->outbuf.size() - conn->out_off);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      // Mark broken instead of destroying: flush_conn can run nested inside
+      // feed() on this very connection. The epoll EPOLLERR/EPOLLHUP wakeup
+      // (or the caller's broken check) performs the actual close.
+      conn->broken = true;
+      conn->outbuf.clear();
+      conn->out_off = 0;
+      return;
+    }
+    conn->out_off += static_cast<std::size_t>(n);
+  }
+  conn->outbuf.clear();
+  conn->out_off = 0;
+}
+
+void WireTransport::update_conn_interest(TcpConn* conn) {
+  std::uint32_t events = EPOLLIN;
+  if (conn->connecting || conn->out_off < conn->outbuf.size()) {
+    events |= EPOLLOUT;
+  }
+  loop_.watch(conn->fd, events, [this, conn](std::uint32_t ready) {
+    on_conn_event(conn, ready);
+  });
+}
+
+void WireTransport::on_conn_event(TcpConn* conn, std::uint32_t events) {
+  if (conn->broken || (events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (conn->connecting) {
+      int err = 0;
+      socklen_t len = sizeof err;
+      getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close_conn(conn);
+        return;
+      }
+      conn->connecting = false;
+    }
+    flush_conn(conn);
+    if (conn->broken) {
+      close_conn(conn);
+      return;
+    }
+    update_conn_interest(conn);
+  }
+  if ((events & EPOLLIN) != 0) {
+    while (true) {
+      ssize_t n = read(conn->fd, recv_buffer_.data(), recv_buffer_.size());
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(conn);
+        return;
+      }
+      if (n == 0) {
+        close_conn(conn);
+        return;
+      }
+      IpAddress source = conn->peer_vaddr;
+      IpAddress destination = conn->local_vaddr;
+      bool ok = conn->reassembler.feed(
+          BytesView(recv_buffer_.data(), static_cast<std::size_t>(n)),
+          [this, &source, &destination](BytesView frame) {
+            deliver(source, destination, frame, /*tcp=*/true);
+          });
+      // The delivery handler can legally unbind/close this connection.
+      auto self = tcp_conns_.find(source);
+      if (self == tcp_conns_.end()) return;
+      if (!ok || conn->broken) {
+        close_conn(conn);
+        return;
+      }
+    }
+  }
+}
+
+void WireTransport::close_conn(TcpConn* conn) {
+  loop_.unwatch(conn->fd);
+  close(conn->fd);
+  tcp_conns_.erase(conn->peer_vaddr);  // destroys *conn
+}
+
+std::size_t WireTransport::pending_tcp_writes() const {
+  std::size_t pending = 0;
+  for (const auto& [vaddr, conn] : tcp_conns_) {
+    pending += conn->outbuf.size() - conn->out_off;
+  }
+  return pending;
+}
+
+std::size_t WireTransport::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && error().empty()) {
+    if (loop_.live_timers() == 0 && pending_tcp_writes() == 0) break;
+    processed += loop_.poll(options_.max_poll_wait);
+  }
+  return processed;
+}
+
+void WireTransport::run_forever() {
+  while (!stop_.load(std::memory_order_relaxed) && error().empty()) {
+    loop_.poll(options_.max_poll_wait);
+  }
+}
+
+void WireTransport::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.wakeup();
+}
+
+}  // namespace dnsboot::net

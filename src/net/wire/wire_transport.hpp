@@ -1,0 +1,158 @@
+// WireTransport — the Transport contract over real kernel sockets.
+//
+// Non-blocking UDP datagram sockets and TCP streams (2-byte length-prefix
+// framing, RFC 1035 §4.2.2) multiplexed on one epoll EventLoop. Endpoints
+// above (QueryEngine, AuthServer, Scanner) run unmodified: they bind
+// virtual addresses, send wire-format payloads, and schedule timers exactly
+// as they do on SimNetwork.
+//
+// Address model (see address_map.hpp): binding a virtual address that is in
+// the WireAddressMap opens *serving* sockets on its mapped real endpoint
+// (UDP + TCP listener, optionally SO_REUSEPORT so N worker transports
+// share the load); binding an unmapped virtual address opens a *client*
+// UDP socket on an ephemeral port. Real peers without a static mapping are
+// given transient session addresses so replies stay plain IpAddress sends.
+//
+// Threading: a WireTransport is single-threaded like SimNetwork. The only
+// cross-thread-safe entry point is stop(), which wakes run_forever().
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "net/wire/address_map.hpp"
+#include "net/wire/event_loop.hpp"
+#include "net/wire/frame.hpp"
+
+namespace dnsboot::net {
+
+struct WireTransportOptions {
+  // SO_REUSEPORT on serving sockets: N worker threads each run their own
+  // transport bound to the same real endpoints; the kernel spreads flows.
+  bool reuse_port = false;
+  // Upper bound for a single blocking poll inside run()/run_forever().
+  SimTime max_poll_wait = 50 * kMillisecond;
+};
+
+class WireTransport : public Transport {
+ public:
+  explicit WireTransport(WireAddressMap map, WireTransportOptions options = {});
+  ~WireTransport() override;
+  WireTransport(const WireTransport&) = delete;
+  WireTransport& operator=(const WireTransport&) = delete;
+
+  SimTime now() const override { return loop_.now(); }
+  std::uint64_t schedule(SimTime delay, TimerHandler fn) override {
+    return loop_.schedule(delay, std::move(fn));
+  }
+  void cancel(std::uint64_t timer_id) override { loop_.cancel(timer_id); }
+
+  void bind(const IpAddress& address, DatagramHandler handler) override;
+  void unbind(const IpAddress& address) override;
+  bool is_bound(const IpAddress& address) const override;
+
+  void send(const IpAddress& source, const IpAddress& destination,
+            Bytes payload, bool tcp = false) override;
+
+  // Drive until idle: no live timers and no queued TCP writes. Endpoint
+  // workloads hold a timeout timer per outstanding query, so this returns
+  // when the workload above has finished (same contract as SimNetwork).
+  std::size_t run(std::size_t max_events = SIZE_MAX) override;
+
+  // Serve until stop(). Used by dnsboot-serve workers; stop() is safe from
+  // another thread or a signal handler.
+  void run_forever();
+  void stop();
+
+  std::uint64_t datagrams_sent() const override { return datagrams_sent_; }
+  std::uint64_t datagrams_delivered() const override {
+    return datagrams_delivered_;
+  }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+  std::uint64_t datagrams_unroutable() const { return datagrams_unroutable_; }
+  std::uint64_t tcp_connections_opened() const { return tcp_opened_; }
+  std::uint64_t tcp_connections_accepted() const { return tcp_accepted_; }
+  std::uint64_t oversized_tcp_dropped() const { return oversized_tcp_; }
+
+  const WireAddressMap& address_map() const { return map_; }
+  // First fatal socket/loop error; empty when healthy. Callers check this
+  // after binding serving endpoints (ports may be taken).
+  const std::string& error() const {
+    return error_.empty() ? loop_.error() : error_;
+  }
+
+ private:
+  struct Endpoint {
+    IpAddress vaddr;
+    DatagramHandler handler;
+    int udp_fd = -1;
+    int tcp_listen_fd = -1;  // serving endpoints only
+    RealEndpoint real;       // bound real address
+  };
+  struct TcpConn {
+    int fd = -1;
+    IpAddress local_vaddr;  // endpoint this connection belongs to
+    IpAddress peer_vaddr;   // static (client-opened) or session (accepted)
+    Bytes outbuf;
+    std::size_t out_off = 0;
+    TcpFrameReassembler reassembler;
+    bool connecting = false;
+    // A fatal write error inside a nested send (while feed() is walking this
+    // connection's buffer) must not destroy the object mid-iteration; the
+    // flag defers teardown to the owning on_conn_event frame.
+    bool broken = false;
+  };
+
+  void open_serving_sockets(Endpoint* endpoint);
+  void open_client_socket(Endpoint* endpoint);
+  void watch_udp(Endpoint* endpoint);
+  void watch_listener(Endpoint* endpoint);
+  void on_udp_readable(Endpoint* endpoint);
+  void on_accept_ready(Endpoint* endpoint);
+  void on_conn_event(TcpConn* conn, std::uint32_t events);
+  void queue_frame(TcpConn* conn, BytesView payload);
+  void flush_conn(TcpConn* conn);
+  void update_conn_interest(TcpConn* conn);
+  void close_conn(TcpConn* conn);
+  TcpConn* open_client_conn(const IpAddress& local_vaddr,
+                            const IpAddress& peer_vaddr,
+                            const RealEndpoint& real);
+  IpAddress session_address_for(const RealEndpoint& real);
+  void deliver(const IpAddress& source, const IpAddress& destination,
+               BytesView payload, bool tcp);
+  void fail(const std::string& what);
+  std::size_t pending_tcp_writes() const;
+
+  WireAddressMap map_;
+  WireTransportOptions options_;
+  EventLoop loop_;
+  std::atomic<bool> stop_{false};
+
+  std::unordered_map<IpAddress, std::unique_ptr<Endpoint>, IpAddressHash>
+      endpoints_;
+  // Live TCP connections keyed by peer virtual address (static for client
+  // connections, session for accepted ones) — exactly the key send() has.
+  std::unordered_map<IpAddress, std::unique_ptr<TcpConn>, IpAddressHash>
+      tcp_conns_;
+  // Transient UDP peers: session vaddr -> real endpoint (reply routing) and
+  // real endpoint -> session vaddr (dedupe inbound).
+  std::unordered_map<IpAddress, RealEndpoint, IpAddressHash> udp_sessions_;
+  std::unordered_map<std::uint64_t, IpAddress> udp_sessions_by_real_;
+  std::uint64_t next_session_ = 0;
+
+  Bytes recv_buffer_;
+  std::string error_;
+
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_delivered_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t datagrams_unroutable_ = 0;
+  std::uint64_t tcp_opened_ = 0;
+  std::uint64_t tcp_accepted_ = 0;
+  std::uint64_t oversized_tcp_ = 0;
+};
+
+}  // namespace dnsboot::net

@@ -20,7 +20,7 @@ std::string to_string(ProcessingOutcome::Action action) {
   return "?";
 }
 
-CdsProcessor::CdsProcessor(net::SimNetwork& network,
+CdsProcessor::CdsProcessor(net::Transport& network,
                            resolver::QueryEngine& engine,
                            resolver::DelegationResolver& resolver,
                            ecosystem::TldHandle handle, RegistryConfig config)

@@ -60,7 +60,7 @@ class CdsProcessor {
  public:
   using Callback = std::function<void(ProcessingOutcome)>;
 
-  CdsProcessor(net::SimNetwork& network, resolver::QueryEngine& engine,
+  CdsProcessor(net::Transport& network, resolver::QueryEngine& engine,
                resolver::DelegationResolver& resolver,
                ecosystem::TldHandle handle, RegistryConfig config);
 
@@ -86,7 +86,7 @@ class CdsProcessor {
                            const analysis::ZoneReport& report);
   static Bytes cds_digest(const std::vector<dns::DsRdata>& cds);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   resolver::QueryEngine& engine_;
   resolver::DelegationResolver& resolver_;
   ecosystem::TldHandle handle_;

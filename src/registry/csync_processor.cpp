@@ -30,7 +30,7 @@ std::string to_string(CsyncOutcome::Action action) {
   return "?";
 }
 
-CsyncProcessor::CsyncProcessor(net::SimNetwork& network,
+CsyncProcessor::CsyncProcessor(net::Transport& network,
                                resolver::QueryEngine& engine,
                                resolver::DelegationResolver& resolver,
                                ecosystem::TldHandle handle, dns::Name tld,

@@ -30,7 +30,7 @@ class CsyncProcessor {
  public:
   using Callback = std::function<void(CsyncOutcome)>;
 
-  CsyncProcessor(net::SimNetwork& network, resolver::QueryEngine& engine,
+  CsyncProcessor(net::Transport& network, resolver::QueryEngine& engine,
                  resolver::DelegationResolver& resolver,
                  ecosystem::TldHandle handle, dns::Name tld,
                  std::uint32_t now);
@@ -44,7 +44,7 @@ class CsyncProcessor {
                       const scanner::ZoneObservation& obs,
                       const analysis::TrustContext& trust);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   resolver::QueryEngine& engine_;
   resolver::DelegationResolver& resolver_;
   ecosystem::TldHandle handle_;

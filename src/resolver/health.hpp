@@ -14,7 +14,7 @@
 #include <unordered_map>
 
 #include "dns/message.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
 
 namespace dnsboot::resolver {
 

@@ -5,7 +5,7 @@
 
 namespace dnsboot::resolver {
 
-QueryEngine::QueryEngine(net::SimNetwork& network,
+QueryEngine::QueryEngine(net::Transport& network,
                          net::IpAddress local_address,
                          QueryEngineOptions options)
     : network_(network),

@@ -18,8 +18,9 @@
 #include <functional>
 #include <unordered_map>
 
+#include "base/rng.hpp"
 #include "dns/message.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
 #include "resolver/health.hpp"
 
 namespace dnsboot::resolver {
@@ -92,7 +93,7 @@ class QueryEngine {
  public:
   using Callback = std::function<void(Result<dns::Message>)>;
 
-  QueryEngine(net::SimNetwork& network, net::IpAddress local_address,
+  QueryEngine(net::Transport& network, net::IpAddress local_address,
               QueryEngineOptions options);
 
   // Issue one query. The callback fires exactly once: with the decoded
@@ -127,7 +128,7 @@ class QueryEngine {
   net::SimTime next_backoff(Pending& p);
   bool retry_budget_available() const;
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   net::IpAddress local_address_;
   QueryEngineOptions options_;
   std::unordered_map<std::uint16_t, Pending> pending_;

@@ -133,7 +133,7 @@ struct Scanner::ZoneTask : std::enable_shared_from_this<Scanner::ZoneTask> {
 
 // --- scanner --------------------------------------------------------------------
 
-Scanner::Scanner(net::SimNetwork& network, resolver::QueryEngine& engine,
+Scanner::Scanner(net::Transport& network, resolver::QueryEngine& engine,
                  resolver::DelegationResolver& resolver,
                  ScannerOptions options)
     : network_(network),
@@ -630,8 +630,49 @@ void Scanner::deliver_zone(ZoneObservation obs) {
   if (on_zone_) on_zone_(std::move(obs));
 }
 
+namespace {
+
+// Probes complete in transport order: deterministic under the simulator, but
+// raced by the kernel over real sockets (DESIGN.md §10). Analysis picks
+// representatives positionally (first answering probe wins), so an
+// observation must present its probes in a canonical order for a wire scan
+// to classify identically to a simulated one. Sort by (qtype, endpoint, ns);
+// the stable sort keeps retransmit duplicates, if any, in arrival order.
+void canonicalize_probe_order(ZoneObservation& obs) {
+  auto probe_less = [](const RRsetProbe& a, const RRsetProbe& b) {
+    if (a.qtype != b.qtype) return a.qtype < b.qtype;
+    if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+    return a.ns.canonical_text() < b.ns.canonical_text();
+  };
+  std::stable_sort(obs.probes.begin(), obs.probes.end(), probe_less);
+  for (auto& signal : obs.signals) {
+    std::stable_sort(signal.dnskey_probes.begin(), signal.dnskey_probes.end(),
+                     probe_less);
+    std::stable_sort(signal.cds_probes.begin(), signal.cds_probes.end(),
+                     probe_less);
+    std::stable_sort(signal.cdnskey_probes.begin(),
+                     signal.cdnskey_probes.end(), probe_less);
+    // Cut probes were issued longest-name-first; restore that order.
+    std::stable_sort(signal.apparent_cuts.begin(), signal.apparent_cuts.end(),
+                     [](const dns::Name& a, const dns::Name& b) {
+                       if (a.label_count() != b.label_count()) {
+                         return a.label_count() > b.label_count();
+                       }
+                       return a.canonical_text() < b.canonical_text();
+                     });
+  }
+  // Signal tasks also finish in transport order.
+  std::stable_sort(obs.signals.begin(), obs.signals.end(),
+                   [](const SignalObservation& a, const SignalObservation& b) {
+                     return a.ns.canonical_text() < b.ns.canonical_text();
+                   });
+}
+
+}  // namespace
+
 void Scanner::zone_finished(std::shared_ptr<ZoneTask> task) {
   ++stats_.zones_scanned;
+  canonicalize_probe_order(task->obs);
   finalize_completeness(task->obs);
   ZoneObservation obs = std::move(task->obs);
   const bool transient = obs.resolved

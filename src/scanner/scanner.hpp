@@ -72,7 +72,7 @@ class Scanner {
  public:
   using ZoneCallback = std::function<void(ZoneObservation)>;
 
-  Scanner(net::SimNetwork& network, resolver::QueryEngine& engine,
+  Scanner(net::Transport& network, resolver::QueryEngine& engine,
           resolver::DelegationResolver& resolver, ScannerOptions options);
 
   // Enqueue zones for scanning. Observations are delivered via `on_zone`
@@ -107,7 +107,7 @@ class Scanner {
                                const dns::Name& qname, dns::RRType qtype,
                                const Result<dns::Message>& response);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   resolver::QueryEngine& engine_;
   resolver::DelegationResolver& resolver_;
   ScannerOptions options_;

@@ -20,7 +20,7 @@ struct TargetAcquirer::Transfer {
   bool failure_on_finalize = false;
 };
 
-TargetAcquirer::TargetAcquirer(net::SimNetwork& network,
+TargetAcquirer::TargetAcquirer(net::Transport& network,
                                net::IpAddress local_address,
                                resolver::DelegationResolver& resolver)
     : network_(network),

@@ -24,7 +24,7 @@ class TargetAcquirer {
  public:
   using Callback = std::function<void(TargetAcquisition)>;
 
-  TargetAcquirer(net::SimNetwork& network, net::IpAddress local_address,
+  TargetAcquirer(net::Transport& network, net::IpAddress local_address,
                  resolver::DelegationResolver& resolver);
   ~TargetAcquirer();
 
@@ -48,7 +48,7 @@ class TargetAcquirer {
   void handle_datagram(const net::Datagram& dgram);
   void finalize(std::uint16_t id);
 
-  net::SimNetwork& network_;
+  net::Transport& network_;
   net::IpAddress local_address_;
   resolver::DelegationResolver& resolver_;
   std::uint16_t next_id_ = 1;

@@ -384,9 +384,14 @@ net::SimTime AuthServer::fault_gate(const dns::Message& query,
   return delay;
 }
 
-void AuthServer::attach(net::SimNetwork& network,
+void AuthServer::attach(net::Transport& network,
                         const net::IpAddress& address) {
-  addresses_.push_back(address);
+  // Re-attaching an address (e.g. moving a built ecosystem from the
+  // simulator onto a wire transport) replaces the binding, not the record.
+  if (std::find(addresses_.begin(), addresses_.end(), address) ==
+      addresses_.end()) {
+    addresses_.push_back(address);
+  }
   network.bind(address, [this, &network](const net::Datagram& dgram) {
     auto query = dns::Message::decode(dgram.payload);
     if (!query.ok()) return;  // garbage in, silence out (as UDP would)

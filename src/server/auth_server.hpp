@@ -21,7 +21,7 @@
 #include "base/rng.hpp"
 #include "dns/message.hpp"
 #include "dns/zone.hpp"
-#include "net/simnet.hpp"
+#include "net/transport.hpp"
 
 namespace dnsboot::server {
 
@@ -108,7 +108,7 @@ class AuthServer {
 
   // Bind this server to an address on the simulated network. May be called
   // many times (anycast pool: every pool address answers identically).
-  void attach(net::SimNetwork& network, const net::IpAddress& address);
+  void attach(net::Transport& network, const net::IpAddress& address);
 
   // Every address this server has been attached to, in attach order. The
   // chaos planner and the L106 lint walk these to reason about reachability.

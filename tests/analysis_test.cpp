@@ -5,6 +5,7 @@
 
 #include "analysis/survey.hpp"
 #include "ecosystem/builder.hpp"
+#include "net/simnet.hpp"
 
 namespace dnsboot::analysis {
 namespace {

@@ -9,6 +9,7 @@
 #include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
 #include "lint/chaos_lint.hpp"
+#include "net/simnet.hpp"
 #include "scanner/scanner.hpp"
 
 namespace dnsboot {

@@ -1,0 +1,189 @@
+// Golden wire captures for the DNS message codec. Every other codec test in
+// the tree round-trips through our own encoder; these pin the decoder to
+// externally specified byte sequences — the RFC 1035 §4.1.4 compression
+// example, a standard EDNS0 query, and an RFC 9615 signaling-name CDS
+// response — so a codec regression cannot hide behind a symmetric
+// encode/decode bug.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dns/message.hpp"
+
+namespace dnsboot::dns {
+namespace {
+
+Bytes from_hex(const std::string& hex) {
+  Bytes out;
+  std::string digits;
+  for (char c : hex) {
+    if (std::isxdigit(static_cast<unsigned char>(c))) digits.push_back(c);
+  }
+  EXPECT_EQ(digits.size() % 2, 0u);
+  for (std::size_t i = 0; i + 1 < digits.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(
+        std::stoi(digits.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+Name name_of(const std::string& text) {
+  auto r = Name::from_text(text);
+  EXPECT_TRUE(r.ok()) << text;
+  return std::move(r).take();
+}
+
+// Decode → encode → decode: the re-encoding (whose compression choices are
+// our own) must describe the same message as the capture.
+Message reencode_and_redecode(const Message& message) {
+  auto wire = message.encode();
+  auto redecoded = Message::decode(wire);
+  EXPECT_TRUE(redecoded.ok());
+  return std::move(redecoded).take();
+}
+
+// RFC 1035 §4.1.4's compression scheme: F.ISI.ARPA spelled out in the
+// question, an answer owner that is a bare pointer to it, and a second
+// answer owner (FOO.F.ISI.ARPA) that prepends a label to the same pointer.
+//
+//   offset 12: 01 'F' 03 'ISI' 04 'ARPA' 00   (question name)
+//   answers:   C0 0C            → F.ISI.ARPA
+//              03 'FOO' C0 0C   → FOO.F.ISI.ARPA
+TEST(CodecGolden, Rfc1035CompressionPointers) {
+  const Bytes wire = from_hex(
+      "1234 8400 0001 0002 0000 0000"      // header: QR AA, 1 question, 2 answers
+      "0146 0349 5349 0441 5250 41 00"     // F.ISI.ARPA
+      "0001 0001"                          // QTYPE=A QCLASS=IN
+      "C00C"                               // owner: pointer to offset 12
+      "0001 0001 0000 0E10 0004 0A000034"  // A 3600 10.0.0.52
+      "0346 4F4F C00C"                     // owner: FOO + pointer
+      "0001 0001 0000 0E10 0004 0A000063"  // A 3600 10.0.0.99
+  );
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const Message& message = decoded.value();
+
+  EXPECT_EQ(message.header.id, 0x1234);
+  EXPECT_TRUE(message.header.qr);
+  EXPECT_TRUE(message.header.aa);
+  ASSERT_EQ(message.questions.size(), 1u);
+  EXPECT_EQ(message.questions[0].name, name_of("f.isi.arpa."));
+  EXPECT_EQ(message.questions[0].type, RRType::kA);
+
+  ASSERT_EQ(message.answers.size(), 2u);
+  EXPECT_EQ(message.answers[0].name, name_of("f.isi.arpa."));
+  EXPECT_EQ(message.answers[1].name, name_of("foo.f.isi.arpa."));
+  EXPECT_EQ(message.answers[0].ttl, 3600u);
+  const auto* a0 = std::get_if<ARdata>(&message.answers[0].rdata);
+  const auto* a1 = std::get_if<ARdata>(&message.answers[1].rdata);
+  ASSERT_NE(a0, nullptr);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_EQ(ipv4_to_text(a0->address), "10.0.0.52");
+  EXPECT_EQ(ipv4_to_text(a1->address), "10.0.0.99");
+
+  Message again = reencode_and_redecode(message);
+  EXPECT_EQ(again.answers.size(), 2u);
+  EXPECT_EQ(again.answers[1].name, name_of("foo.f.isi.arpa."));
+  // Our encoder compresses at least as well as the hand-built capture.
+  EXPECT_LE(message.encode().size(), wire.size());
+}
+
+// A DNSKEY query with an EDNS0 OPT additional advertising a 4096-byte UDP
+// payload and the DO bit — the exact shape the scanner's query engine puts
+// on the wire (OPT: root owner, TYPE=41, CLASS=udp size, TTL bit 15 = DO).
+TEST(CodecGolden, Edns0QueryWithDoBit) {
+  const Bytes wire = from_hex(
+      "BEEF 0000 0001 0000 0000 0001"          // header: query, 1 additional
+      "076578616D706C6503636F6D00 0030 0001"   // example.com DNSKEY IN
+      "00 0029 1000 0000 8000 0000"            // OPT, size 4096, DO
+  );
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const Message& message = decoded.value();
+
+  EXPECT_EQ(message.header.id, 0xBEEF);
+  EXPECT_FALSE(message.header.qr);
+  ASSERT_EQ(message.questions.size(), 1u);
+  EXPECT_EQ(message.questions[0].name, name_of("example.com."));
+  EXPECT_EQ(message.questions[0].type, RRType::kDNSKEY);
+
+  ASSERT_TRUE(message.has_edns());
+  EXPECT_TRUE(message.dnssec_ok());
+  ASSERT_EQ(message.additionals.size(), 1u);
+  EXPECT_EQ(message.additionals[0].name, Name::root());
+  // The OPT CLASS field carries the advertised UDP payload size.
+  EXPECT_EQ(static_cast<std::uint16_t>(message.additionals[0].klass), 4096);
+
+  Message again = reencode_and_redecode(message);
+  EXPECT_TRUE(again.has_edns());
+  EXPECT_TRUE(again.dnssec_ok());
+  EXPECT_EQ(static_cast<std::uint16_t>(again.additionals[0].klass), 4096);
+}
+
+// An authoritative CDS response at an RFC 9615 signaling name
+// (_dsboot.example.com._signal.ns1.provider.net.), as a bootstrapping
+// parent would receive it: key tag 12345, ECDSA-P256 (13), SHA-256 digest.
+TEST(CodecGolden, SignalingNameCdsResponse) {
+  const Bytes wire = from_hex(
+      "ABCD 8400 0001 0001 0000 0000"  // header: QR AA
+      "075F6473626F6F74"               // _dsboot
+      "076578616D706C65"               // example
+      "03636F6D"                       // com
+      "075F7369676E616C"               // _signal
+      "036E7331"                       // ns1
+      "0870726F7669646572"             // provider
+      "036E657400"                     // net, root
+      "003B 0001"                      // QTYPE=CDS QCLASS=IN
+      "C00C 003B 0001 0000012C 0024"   // owner ptr, CDS, TTL 300, RDLEN 36
+      "3039 0D 02"                     // tag 12345, alg 13, digest type 2
+      "000102030405060708090A0B0C0D0E0F"
+      "101112131415161718191A1B1C1D1E1F"  // 32-byte digest
+  );
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const Message& message = decoded.value();
+
+  const Name signal_name =
+      name_of("_dsboot.example.com._signal.ns1.provider.net.");
+  ASSERT_EQ(message.questions.size(), 1u);
+  EXPECT_EQ(message.questions[0].name, signal_name);
+  EXPECT_EQ(message.questions[0].type, RRType::kCDS);
+
+  auto cds_answers = message.answers_of(signal_name, RRType::kCDS);
+  ASSERT_EQ(cds_answers.size(), 1u);
+  EXPECT_EQ(cds_answers[0].ttl, 300u);
+  const auto* cds = std::get_if<DsRdata>(&cds_answers[0].rdata);
+  ASSERT_NE(cds, nullptr);
+  EXPECT_EQ(cds->key_tag, 12345);
+  EXPECT_EQ(cds->algorithm, 13);
+  EXPECT_EQ(cds->digest_type, 2);
+  ASSERT_EQ(cds->digest.size(), 32u);
+  EXPECT_EQ(cds->digest[0], 0x00);
+  EXPECT_EQ(cds->digest[31], 0x1F);
+  EXPECT_FALSE(cds->is_delete_sentinel());
+
+  Message again = reencode_and_redecode(message);
+  auto cds_again = again.answers_of(signal_name, RRType::kCDS);
+  ASSERT_EQ(cds_again.size(), 1u);
+  EXPECT_EQ(std::get<DsRdata>(cds_again[0].rdata), *cds);
+}
+
+// The RFC 8078 §4 CDS delete sentinel ("0 0 0 00") on the wire: a single
+// rdata byte. The decoder must classify it, and it must not read as a key
+// correspondence.
+TEST(CodecGolden, CdsDeleteSentinel) {
+  const Bytes wire = from_hex(
+      "0001 8400 0001 0001 0000 0000"
+      "076578616D706C65036F726700 003B 0001"  // example.org CDS IN
+      "C00C 003B 0001 00000E10 0005"          // RDLEN 5
+      "0000 00 00 00"                         // tag 0, alg 0, type 0, digest 00
+  );
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  const auto* cds = std::get_if<DsRdata>(&decoded->answers[0].rdata);
+  ASSERT_NE(cds, nullptr);
+  EXPECT_TRUE(cds->is_delete_sentinel());
+}
+
+}  // namespace
+}  // namespace dnsboot::dns

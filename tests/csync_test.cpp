@@ -1,6 +1,7 @@
 // CSYNC (RFC 7477) tests: child-to-parent NS synchronization end to end.
 #include <gtest/gtest.h>
 
+#include "net/simnet.hpp"
 #include "registry/csync_processor.hpp"
 
 namespace dnsboot::registry {

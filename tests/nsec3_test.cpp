@@ -7,6 +7,7 @@
 #include "dnssec/nsec3.hpp"
 #include "dnssec/signer.hpp"
 #include "dnssec/validator.hpp"
+#include "net/simnet.hpp"
 #include "server/auth_server.hpp"
 
 namespace dnsboot::dnssec {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "ecosystem/builder.hpp"
+#include "net/simnet.hpp"
 #include "scanner/scanner.hpp"
 
 namespace dnsboot {

@@ -2,6 +2,7 @@
 // TLD zone, and confirm on re-scan that the child's DNSSEC chain closed.
 #include <gtest/gtest.h>
 
+#include "net/simnet.hpp"
 #include "registry/cds_processor.hpp"
 
 namespace dnsboot::registry {

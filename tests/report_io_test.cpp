@@ -2,6 +2,7 @@
 
 #include "analysis/report_io.hpp"
 #include "ecosystem/builder.hpp"
+#include "net/simnet.hpp"
 
 namespace dnsboot::analysis {
 namespace {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ecosystem/profiles.hpp"
+#include "net/simnet.hpp"
 #include "scanner/scanner.hpp"
 
 namespace dnsboot {

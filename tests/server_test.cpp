@@ -3,6 +3,7 @@
 #include "base/rng.hpp"
 #include "dns/zonefile.hpp"
 #include "dnssec/signer.hpp"
+#include "net/simnet.hpp"
 #include "server/auth_server.hpp"
 
 namespace dnsboot::server {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ecosystem/builder.hpp"
+#include "net/simnet.hpp"
 #include "scanner/targets.hpp"
 
 namespace dnsboot::scanner {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dns/zonefile.hpp"
+#include "net/simnet.hpp"
 #include "resolver/query_engine.hpp"
 #include "server/auth_server.hpp"
 

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "dns/zonefile.hpp"
+#include "net/wire/address_map.hpp"
+#include "net/wire/event_loop.hpp"
+#include "net/wire/frame.hpp"
+#include "net/wire/wire_transport.hpp"
+#include "resolver/query_engine.hpp"
+#include "server/auth_server.hpp"
+
+namespace dnsboot::net {
+namespace {
+
+dns::Name name_of(const std::string& text) {
+  return std::move(dns::Name::from_text(text)).take();
+}
+
+// Each fixture gets its own loopback port range so tests never collide with
+// each other or with a concurrent run of the suite on the same machine.
+std::uint16_t next_base_port() {
+  static std::uint16_t next =
+      static_cast<std::uint16_t>(41000 + (getpid() % 4000));
+  std::uint16_t base = next;
+  next = static_cast<std::uint16_t>(next + 32);
+  return base;
+}
+
+// Drive the transport until `done` or a real-time budget expires. A short
+// guard timer keeps run(1) from declaring idle while we are still waiting
+// on the kernel.
+bool run_until(WireTransport& transport, const std::function<bool()>& done,
+               SimTime budget = 5 * kSecond) {
+  SimTime deadline = transport.now() + budget;
+  while (!done() && transport.now() < deadline) {
+    std::uint64_t guard = transport.schedule(20 * kMillisecond, [] {});
+    transport.run(1);
+    transport.cancel(guard);
+  }
+  return done();
+}
+
+// --- EventLoop -----------------------------------------------------------
+
+TEST(EventLoop, FiresTimerAfterDelay) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.error().empty());
+  bool fired = false;
+  loop.schedule(2 * kMillisecond, [&] { fired = true; });
+  SimTime start = loop.now();
+  while (!fired && loop.now() < start + kSecond) loop.poll(50 * kMillisecond);
+  EXPECT_TRUE(fired);
+  EXPECT_GE(loop.now() - start, 1 * kMillisecond);
+  EXPECT_EQ(loop.live_timers(), 0u);
+}
+
+TEST(EventLoop, FiresTimersInExpiryOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30 * kMillisecond, [&] { order.push_back(2); });
+  loop.schedule(5 * kMillisecond, [&] { order.push_back(1); });
+  SimTime start = loop.now();
+  while (order.size() < 2 && loop.now() < start + kSecond) {
+    loop.poll(50 * kMillisecond);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  std::uint64_t id = loop.schedule(5 * kMillisecond, [&] { fired = true; });
+  loop.cancel(id);
+  EXPECT_EQ(loop.live_timers(), 0u);
+  bool other = false;
+  loop.schedule(20 * kMillisecond, [&] { other = true; });
+  SimTime start = loop.now();
+  while (!other && loop.now() < start + kSecond) loop.poll(50 * kMillisecond);
+  EXPECT_TRUE(other);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, LongDelayCascadesThroughWheelLevels) {
+  // 400 ms of ticks crosses the 256-slot level-0 window (~262 ms), so this
+  // timer parks in level 1 and must cascade back down before firing.
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule(400 * kMillisecond, [&] { fired = true; });
+  SimTime start = loop.now();
+  while (!fired && loop.now() < start + 2 * kSecond) {
+    loop.poll(100 * kMillisecond);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GE(loop.now() - start, 390 * kMillisecond);
+}
+
+// --- TcpFrameReassembler -------------------------------------------------
+
+Bytes frame_bytes(const std::string& payload) {
+  Bytes out;
+  EXPECT_TRUE(append_tcp_frame(
+      BytesView(reinterpret_cast<const std::uint8_t*>(payload.data()),
+                payload.size()),
+      &out));
+  return out;
+}
+
+TEST(TcpFraming, AppendPrefixesLength) {
+  Bytes out = frame_bytes("abc");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[2], 'a');
+}
+
+TEST(TcpFraming, RejectsOversizedPayload) {
+  Bytes big(65536, 0xaa);
+  Bytes out;
+  EXPECT_FALSE(append_tcp_frame(BytesView(big.data(), big.size()), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TcpFraming, ReassemblesByteAtATime) {
+  TcpFrameReassembler reassembler;
+  Bytes stream = frame_bytes("hello");
+  std::vector<std::string> frames;
+  for (std::uint8_t byte : stream) {
+    ASSERT_TRUE(reassembler.feed(BytesView(&byte, 1), [&](BytesView frame) {
+      frames.emplace_back(frame.begin(), frame.end());
+    }));
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0], "hello");
+  EXPECT_EQ(reassembler.buffered(), 0u);
+}
+
+TEST(TcpFraming, ReassemblesPipelinedFrames) {
+  TcpFrameReassembler reassembler;
+  Bytes stream = frame_bytes("one");
+  Bytes second = frame_bytes("twotwo");
+  stream.insert(stream.end(), second.begin(), second.end());
+  // Split at an awkward boundary inside the second frame's length prefix.
+  std::vector<std::string> frames;
+  auto on_frame = [&](BytesView frame) {
+    frames.emplace_back(frame.begin(), frame.end());
+  };
+  ASSERT_TRUE(reassembler.feed(BytesView(stream.data(), 6), on_frame));
+  ASSERT_TRUE(reassembler.feed(
+      BytesView(stream.data() + 6, stream.size() - 6), on_frame));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "one");
+  EXPECT_EQ(frames[1], "twotwo");
+  EXPECT_EQ(reassembler.frames_emitted(), 2u);
+}
+
+TEST(TcpFraming, EmitsZeroLengthFrame) {
+  TcpFrameReassembler reassembler;
+  const std::uint8_t zero[2] = {0, 0};
+  int frames = 0;
+  ASSERT_TRUE(reassembler.feed(BytesView(zero, 2), [&](BytesView frame) {
+    EXPECT_EQ(frame.size(), 0u);
+    ++frames;
+  }));
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(TcpFraming, FailsWhenPartialFrameExceedsCap) {
+  TcpFrameReassembler reassembler(/*max_buffered=*/16);
+  Bytes chunk(17, 0xff);  // claims a 65535-byte frame, never completes
+  EXPECT_FALSE(reassembler.feed(BytesView(chunk.data(), chunk.size()),
+                                [](BytesView) { FAIL(); }));
+  EXPECT_TRUE(reassembler.failed());
+  // A failed reassembler stays failed.
+  const std::uint8_t byte = 0;
+  EXPECT_FALSE(reassembler.feed(BytesView(&byte, 1), [](BytesView) {}));
+}
+
+// --- WireAddressMap ------------------------------------------------------
+
+TEST(WireAddressMapTest, AssignsSequentialPortsInOrder) {
+  WireAddressMap map(RealEndpoint{0x7f000001, 5300});
+  IpAddress a = IpAddress::synthetic_v4(10);
+  IpAddress b = IpAddress::synthetic_v4(11);
+  ASSERT_TRUE(map.add(a));
+  ASSERT_TRUE(map.add(b));
+  EXPECT_EQ(map.real_for(a)->port, 5300);
+  EXPECT_EQ(map.real_for(b)->port, 5301);
+  EXPECT_EQ(map.virtual_for(RealEndpoint{0x7f000001, 5301}), b);
+  EXPECT_FALSE(map.virtual_for(RealEndpoint{0x7f000001, 5302}).has_value());
+}
+
+TEST(WireAddressMapTest, RepeatAddIsIdempotent) {
+  WireAddressMap map(RealEndpoint{0x7f000001, 6000});
+  IpAddress a = IpAddress::synthetic_v4(1);
+  ASSERT_TRUE(map.add(a));
+  ASSERT_TRUE(map.add(a));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.real_for(a)->port, 6000);
+}
+
+TEST(WireAddressMapTest, RefusesPortSpaceExhaustion) {
+  WireAddressMap map(RealEndpoint{0x7f000001, 65534});
+  EXPECT_TRUE(map.add(IpAddress::synthetic_v4(1)));   // 65534
+  EXPECT_TRUE(map.add(IpAddress::synthetic_v4(2)));   // 65535
+  EXPECT_FALSE(map.add(IpAddress::synthetic_v4(3)));  // would be 65536
+}
+
+TEST(WireAddressMapTest, ParsesEndpoints) {
+  auto ok = parse_endpoint("127.0.0.1:5300");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->host, 0x7f000001u);
+  EXPECT_EQ(ok->port, 5300);
+  EXPECT_EQ(ok->to_text(), "127.0.0.1:5300");
+  EXPECT_FALSE(parse_endpoint("127.0.0.1").has_value());
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:0").has_value());
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:70000").has_value());
+  EXPECT_FALSE(parse_endpoint("300.0.0.1:53").has_value());
+  EXPECT_FALSE(parse_endpoint("127.0.0.1:53x").has_value());
+}
+
+// --- WireTransport -------------------------------------------------------
+
+struct WireFixture {
+  IpAddress server_vaddr = IpAddress::synthetic_v4(100);
+  IpAddress client_vaddr = IpAddress::v4({192, 0, 2, 1});
+  std::uint16_t base_port = next_base_port();
+  WireAddressMap map{RealEndpoint{0x7f000001, base_port}};
+
+  WireFixture() { map.add(server_vaddr); }
+};
+
+TEST(WireTransportTest, UdpRoundTripBetweenEndpoints) {
+  WireFixture fx;
+  WireTransport transport(fx.map);
+  std::vector<Bytes> server_seen;
+  transport.bind(fx.server_vaddr, [&](const Datagram& dgram) {
+    EXPECT_FALSE(dgram.tcp);
+    server_seen.push_back(dgram.payload);
+    // Echo back, reversed, to wherever the query came from.
+    Bytes reply(dgram.payload.rbegin(), dgram.payload.rend());
+    transport.send(fx.server_vaddr, dgram.source, std::move(reply));
+  });
+  Bytes client_got;
+  IpAddress reply_source;
+  transport.bind(fx.client_vaddr, [&](const Datagram& dgram) {
+    client_got = dgram.payload;
+    reply_source = dgram.source;
+  });
+  ASSERT_TRUE(transport.error().empty()) << transport.error();
+
+  transport.send(fx.client_vaddr, fx.server_vaddr, Bytes{1, 2, 3});
+  ASSERT_TRUE(run_until(transport, [&] { return !client_got.empty(); }));
+  EXPECT_EQ(server_seen.size(), 1u);
+  EXPECT_EQ(client_got, (Bytes{3, 2, 1}));
+  // The reply's source is the server's virtual address: the reverse map
+  // restores simulator-identical addressing.
+  EXPECT_EQ(reply_source, fx.server_vaddr);
+  EXPECT_EQ(transport.datagrams_sent(), 2u);
+  EXPECT_EQ(transport.datagrams_delivered(), 2u);
+  EXPECT_EQ(transport.bytes_sent(), 6u);
+}
+
+TEST(WireTransportTest, SessionAddressIsStablePerPeer) {
+  WireFixture fx;
+  WireTransport transport(fx.map);
+  std::vector<IpAddress> sources;
+  transport.bind(fx.server_vaddr, [&](const Datagram& dgram) {
+    sources.push_back(dgram.source);
+  });
+  transport.bind(fx.client_vaddr, [](const Datagram&) {});
+  transport.send(fx.client_vaddr, fx.server_vaddr, Bytes{1});
+  transport.send(fx.client_vaddr, fx.server_vaddr, Bytes{2});
+  ASSERT_TRUE(run_until(transport, [&] { return sources.size() >= 2; }));
+  ASSERT_EQ(sources.size(), 2u);
+  // Same real socket, same session identity — retries and pacing depend on
+  // a stable peer address, and it lives in the CGNAT session range.
+  EXPECT_EQ(sources[0], sources[1]);
+  EXPECT_EQ(sources[0].bytes()[0], 100);
+}
+
+TEST(WireTransportTest, TcpQueryAndResponseOverOneConnection) {
+  WireFixture fx;
+  WireTransport transport(fx.map);
+  transport.bind(fx.server_vaddr, [&](const Datagram& dgram) {
+    EXPECT_TRUE(dgram.tcp);
+    Bytes reply = dgram.payload;
+    reply.push_back(0x99);
+    transport.send(fx.server_vaddr, dgram.source, std::move(reply),
+                   /*tcp=*/true);
+  });
+  std::vector<Bytes> replies;
+  std::vector<IpAddress> reply_sources;
+  transport.bind(fx.client_vaddr, [&](const Datagram& dgram) {
+    EXPECT_TRUE(dgram.tcp);
+    replies.push_back(dgram.payload);
+    reply_sources.push_back(dgram.source);
+  });
+
+  transport.send(fx.client_vaddr, fx.server_vaddr, Bytes{7, 8}, /*tcp=*/true);
+  transport.send(fx.client_vaddr, fx.server_vaddr, Bytes{9}, /*tcp=*/true);
+  ASSERT_TRUE(run_until(transport, [&] { return replies.size() >= 2; }));
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], (Bytes{7, 8, 0x99}));
+  EXPECT_EQ(replies[1], (Bytes{9, 0x99}));
+  // Both queries share one client connection.
+  EXPECT_EQ(transport.tcp_connections_opened(), 1u);
+  EXPECT_EQ(transport.tcp_connections_accepted(), 1u);
+  // TCP replies arrive from the server's virtual address, as on UDP.
+  EXPECT_EQ(reply_sources[0], fx.server_vaddr);
+}
+
+TEST(WireTransportTest, CountsUnroutableSends) {
+  WireFixture fx;
+  WireTransport transport(fx.map);
+  transport.bind(fx.client_vaddr, [](const Datagram&) {});
+  // Unknown source endpoint.
+  transport.send(IpAddress::synthetic_v4(77), fx.server_vaddr, Bytes{1});
+  // Known source, destination neither mapped nor a session.
+  transport.send(fx.client_vaddr, IpAddress::synthetic_v4(78), Bytes{1});
+  EXPECT_EQ(transport.datagrams_unroutable(), 2u);
+}
+
+TEST(WireTransportTest, BindErrorIsReported) {
+  WireFixture fx;
+  WireTransport first(fx.map);
+  first.bind(fx.server_vaddr, [](const Datagram&) {});
+  ASSERT_TRUE(first.error().empty()) << first.error();
+  // Same mapped real endpoint, no SO_REUSEPORT: the second bind must fail
+  // loudly rather than silently stealing or losing traffic.
+  WireTransport second(fx.map);
+  second.bind(fx.server_vaddr, [](const Datagram&) {});
+  EXPECT_FALSE(second.error().empty());
+}
+
+// --- Endpoint stack over the wire ----------------------------------------
+
+struct WireEngineFixture {
+  IpAddress server_vaddr = IpAddress::synthetic_v4(2);
+  IpAddress client_vaddr = IpAddress::v4({192, 0, 2, 1});
+  std::uint16_t base_port = next_base_port();
+  WireAddressMap map{RealEndpoint{0x7f000001, base_port}};
+  std::unique_ptr<WireTransport> transport;
+  std::shared_ptr<server::AuthServer> server;
+
+  explicit WireEngineFixture(int txt_records = 0) {
+    map.add(server_vaddr);
+    transport = std::make_unique<WireTransport>(map);
+    server::ServerConfig config;
+    config.id = "t";
+    server = std::make_shared<server::AuthServer>(config, 1);
+    std::string text =
+        "@ IN SOA ns1 hostmaster 1 7200 3600 1209600 300\n"
+        "@ IN NS ns1\n"
+        "www IN A 192.0.2.80\n";
+    for (int i = 0; i < txt_records; ++i) {
+      text += "big IN TXT \"payload-" + std::to_string(i) +
+              "-0123456789012345678901234567890123456789\"\n";
+    }
+    server->add_zone(std::make_shared<dns::Zone>(
+        std::move(dns::parse_zone(
+                      text, dns::ZoneFileOptions{name_of("example.com."), 60}))
+            .take()));
+    server->attach(*transport, server_vaddr);
+  }
+};
+
+TEST(WireTransportTest, QueryEngineResolvesOverRealSockets) {
+  WireEngineFixture fx;
+  resolver::QueryEngine engine(*fx.transport, fx.client_vaddr,
+                               resolver::QueryEngineOptions{});
+  bool answered = false;
+  engine.query(fx.server_vaddr, name_of("www.example.com."), dns::RRType::kA,
+               [&](Result<dns::Message> result) {
+                 ASSERT_TRUE(result.ok());
+                 EXPECT_EQ(result->answers.size(), 1u);
+                 answered = true;
+               });
+  // The engine holds a timeout timer per outstanding query, so plain run()
+  // drives the exchange to completion — the SimNetwork contract.
+  fx.transport->run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(engine.stats().responses, 1u);
+  EXPECT_EQ(engine.stats().timeouts, 0u);
+}
+
+TEST(WireTransportTest, TruncatedUdpFallsBackToTcpOverWire) {
+  // ~170 TXT records push the answer past the engine's 4096-byte EDNS
+  // buffer: the server answers TC=1 over UDP and the engine must complete
+  // the query over a real TCP connection.
+  WireEngineFixture fx(/*txt_records=*/170);
+  resolver::QueryEngine engine(*fx.transport, fx.client_vaddr,
+                               resolver::QueryEngineOptions{});
+  bool answered = false;
+  engine.query(fx.server_vaddr, name_of("big.example.com."), dns::RRType::kTXT,
+               [&](Result<dns::Message> result) {
+                 ASSERT_TRUE(result.ok());
+                 EXPECT_EQ(result->answers.size(), 170u);
+                 EXPECT_FALSE(result->header.tc);
+                 answered = true;
+               });
+  fx.transport->run();
+  EXPECT_TRUE(answered);
+  EXPECT_EQ(engine.stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(fx.transport->tcp_connections_opened(), 1u);
+}
+
+}  // namespace
+}  // namespace dnsboot::net

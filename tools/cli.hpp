@@ -1,0 +1,213 @@
+// Shared command-line flag parser for the dnsboot tools (dnsboot-survey,
+// dnsboot-lint, dnsboot-serve). One declaration per flag binds a --name to a
+// typed target variable; parse() consumes argv, validates, and on any
+// problem prints the offending flag plus an auto-generated usage block to
+// stderr — the caller exits 2. `--help` prints the same block to stdout.
+//
+// Header-only on purpose: the tools are single translation units and this
+// stays out of the libraries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dnsboot::cli {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string summary) : summary_(std::move(summary)) {}
+
+  // --name (no value): stores `value` into *target when present.
+  FlagParser& flag(const std::string& name, bool* target,
+                   const std::string& help, bool value = true) {
+    entries_.push_back({name, "", help,
+                        [target, value](const std::string&) {
+                          *target = value;
+                          return true;
+                        }});
+    return *this;
+  }
+
+  FlagParser& value(const std::string& name, std::string* target,
+                    const std::string& metavar, const std::string& help) {
+    entries_.push_back({name, metavar, help,
+                        [target](const std::string& text) {
+                          *target = text;
+                          return true;
+                        }});
+    return *this;
+  }
+
+  // --name VALUE drawn from a fixed set (e.g. --chaos off|mild|hostile).
+  FlagParser& choice(const std::string& name, std::string* target,
+                     std::vector<std::string> choices,
+                     const std::string& help) {
+    std::string metavar;
+    for (const std::string& c : choices) {
+      if (!metavar.empty()) metavar += '|';
+      metavar += c;
+    }
+    entries_.push_back({name, metavar, help,
+                        [target, choices = std::move(choices)](
+                            const std::string& text) {
+                          for (const std::string& c : choices) {
+                            if (text == c) {
+                              *target = text;
+                              return true;
+                            }
+                          }
+                          return false;
+                        }});
+    return *this;
+  }
+
+  // Numeric flags. `min` is inclusive; values that fail to parse or fall
+  // below it are rejected with the usage block.
+  FlagParser& value(const std::string& name, double* target,
+                    const std::string& help, double min) {
+    entries_.push_back({name, "N", help,
+                        [target, min](const std::string& text) {
+                          char* end = nullptr;
+                          double v = std::strtod(text.c_str(), &end);
+                          if (end == text.c_str() || *end != '\0' || v < min) {
+                            return false;
+                          }
+                          *target = v;
+                          return true;
+                        }});
+    return *this;
+  }
+
+  FlagParser& value(const std::string& name, std::uint64_t* target,
+                    const std::string& help, std::uint64_t min = 0) {
+    entries_.push_back({name, "N", help,
+                        [target, min](const std::string& text) {
+                          char* end = nullptr;
+                          std::uint64_t v =
+                              std::strtoull(text.c_str(), &end, 10);
+                          if (end == text.c_str() || *end != '\0' || v < min) {
+                            return false;
+                          }
+                          *target = v;
+                          return true;
+                        }});
+    return *this;
+  }
+
+  FlagParser& value(const std::string& name, std::uint32_t* target,
+                    const std::string& help, std::uint32_t min = 0) {
+    entries_.push_back({name, "N", help,
+                        [target, min](const std::string& text) {
+                          char* end = nullptr;
+                          std::uint64_t v =
+                              std::strtoull(text.c_str(), &end, 10);
+                          if (end == text.c_str() || *end != '\0' || v < min ||
+                              v > UINT32_MAX) {
+                            return false;
+                          }
+                          *target = static_cast<std::uint32_t>(v);
+                          return true;
+                        }});
+    return *this;
+  }
+
+  FlagParser& value(const std::string& name, int* target,
+                    const std::string& help, int min) {
+    entries_.push_back({name, "N", help,
+                        [target, min](const std::string& text) {
+                          char* end = nullptr;
+                          long v = std::strtol(text.c_str(), &end, 10);
+                          if (end == text.c_str() || *end != '\0' || v < min ||
+                              v > INT32_MAX) {
+                            return false;
+                          }
+                          *target = static_cast<int>(v);
+                          return true;
+                        }});
+    return *this;
+  }
+
+  // Returns false on any parse problem (after printing the usage block to
+  // stderr); the conventional caller response is `return 2`. A bare
+  // `--help`/`-h` prints usage to stdout and sets help_requested().
+  bool parse(int argc, char** argv) {
+    program_ = argc > 0 ? argv[0] : "dnsboot";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        help_requested_ = true;
+        print_usage(stdout);
+        return true;
+      }
+      const Entry* entry = nullptr;
+      for (const Entry& candidate : entries_) {
+        if (candidate.name == arg) {
+          entry = &candidate;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+        print_usage(stderr);
+        return false;
+      }
+      std::string text;
+      if (!entry->metavar.empty()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+          print_usage(stderr);
+          return false;
+        }
+        text = argv[++i];
+      }
+      if (!entry->set(text)) {
+        std::fprintf(stderr, "invalid value for %s: '%s'\n", arg.c_str(),
+                     text.c_str());
+        print_usage(stderr);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool help_requested() const { return help_requested_; }
+
+  void print_usage(std::FILE* out) const {
+    std::fprintf(out, "usage: %s [flags]\n%s\n\nflags:\n", program_.c_str(),
+                 summary_.c_str());
+    std::size_t width = 0;
+    for (const Entry& entry : entries_) {
+      std::size_t w = entry.name.size() +
+                      (entry.metavar.empty() ? 0 : entry.metavar.size() + 1);
+      if (w > width) width = w;
+    }
+    for (const Entry& entry : entries_) {
+      std::string left = entry.name;
+      if (!entry.metavar.empty()) {
+        left += ' ';
+        left += entry.metavar;
+      }
+      std::fprintf(out, "  %-*s  %s\n", static_cast<int>(width), left.c_str(),
+                   entry.help.c_str());
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string metavar;  // empty for presence flags
+    std::string help;
+    std::function<bool(const std::string&)> set;
+  };
+
+  std::string summary_;
+  std::string program_;
+  std::vector<Entry> entries_;
+  bool help_requested_ = false;
+};
+
+}  // namespace dnsboot::cli

@@ -16,12 +16,12 @@
 //             1 = error findings / self-check failure; 2 = usage; 3 = I/O.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <utility>
 
+#include "cli.hpp"
 #include "dns/zonefile.hpp"
 #include "ecosystem/builder.hpp"
 #include "lint/crosscheck.hpp"
@@ -46,68 +46,28 @@ struct CliOptions {
   bool list_rules = false;
 };
 
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--scale-denom N] [--seed S] [--no-pathologies] "
-               "[--json FILE] [--quiet]\n"
-               "       %s --zone FILE --origin NAME [--now T]\n"
-               "       %s --self-check [--scale-denom N] [--seed S]\n"
-               "       %s --rules\n",
-               argv0, argv0, argv0, argv0);
-}
-
-bool parse_cli(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--scale-denom") == 0) {
-      const char* v = need_value("--scale-denom");
-      if (v == nullptr) return false;
-      options->scale_denom = std::atof(v);
-      if (options->scale_denom <= 0) return false;
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      const char* v = need_value("--seed");
-      if (v == nullptr) return false;
-      options->seed = std::strtoull(v, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--no-pathologies") == 0) {
-      options->pathologies = false;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      const char* v = need_value("--json");
-      if (v == nullptr) return false;
-      options->json_path = v;
-    } else if (std::strcmp(argv[i], "--quiet") == 0) {
-      options->quiet = true;
-    } else if (std::strcmp(argv[i], "--zone") == 0) {
-      const char* v = need_value("--zone");
-      if (v == nullptr) return false;
-      options->zone_path = v;
-    } else if (std::strcmp(argv[i], "--origin") == 0) {
-      const char* v = need_value("--origin");
-      if (v == nullptr) return false;
-      options->origin_text = v;
-    } else if (std::strcmp(argv[i], "--now") == 0) {
-      const char* v = need_value("--now");
-      if (v == nullptr) return false;
-      options->now = static_cast<std::uint32_t>(std::strtoull(v, nullptr, 10));
-    } else if (std::strcmp(argv[i], "--self-check") == 0) {
-      options->self_check = true;
-    } else if (std::strcmp(argv[i], "--rules") == 0) {
-      options->list_rules = true;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return false;
-    }
-  }
-  if (!options->zone_path.empty() && options->origin_text.empty()) {
-    std::fprintf(stderr, "--zone requires --origin\n");
-    return false;
-  }
-  return true;
+cli::FlagParser make_parser(CliOptions* options) {
+  cli::FlagParser parser(
+      "dnsboot-lint — static DNSSEC/CDS/RFC 9615 hygiene checks over the\n"
+      "synthetic ecosystem (default), one zone file (--zone), or the\n"
+      "generator's own ground truth (--self-check)");
+  parser.value("--scale-denom", &options->scale_denom,
+               "world scale divisor (zones ~ 1/N of the paper's)", 1e-9);
+  parser.value("--seed", &options->seed, "ecosystem seed");
+  parser.flag("--no-pathologies", &options->pathologies,
+              "build a misconfiguration-free world", false);
+  parser.value("--json", &options->json_path, "FILE",
+               "write the lint report as JSON");
+  parser.flag("--quiet", &options->quiet, "summary line only");
+  parser.value("--zone", &options->zone_path, "FILE",
+               "lint one zone file (requires --origin)");
+  parser.value("--origin", &options->origin_text, "NAME",
+               "origin for --zone");
+  parser.value("--now", &options->now, "validation epoch for --zone");
+  parser.flag("--self-check", &options->self_check,
+              "verify the linter against injected ground truth");
+  parser.flag("--rules", &options->list_rules, "list lint rules and exit");
+  return parser;
 }
 
 int list_rules() {
@@ -242,8 +202,11 @@ int self_check(const CliOptions& options) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!parse_cli(argc, argv, &options)) {
-    usage(argv[0]);
+  cli::FlagParser parser = make_parser(&options);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+  if (!options.zone_path.empty() && options.origin_text.empty()) {
+    std::fprintf(stderr, "--zone requires --origin\n");
     return 2;
   }
   if (options.list_rules) return list_rules();

@@ -1,0 +1,235 @@
+// dnsboot-serve — serve a generated ecosystem authoritatively over real
+// UDP/TCP sockets (DESIGN.md §10).
+//
+// The ecosystem is built from --seed / --scale-denom exactly as
+// dnsboot-survey builds it, each nameserver address is mapped to a
+// sequential loopback port above --listen, and every AuthServer — with its
+// behaviour profile and fault gates intact — is re-attached to a
+// WireTransport. A dnsboot-survey --wire run started with the same seed
+// derives the identical map and scans this process over the kernel's
+// loopback stack:
+//
+//   dnsboot-serve  --scale-denom 20000 --seed 7 --listen 127.0.0.1:5300 &
+//   dnsboot-survey --scale-denom 20000 --seed 7 --wire 127.0.0.1:5300
+//
+// With --workers N, N threads each build their own world copy and bind the
+// same ports with SO_REUSEPORT (share-nothing: the kernel spreads flows, no
+// locks anywhere). --chaos injects the deterministic server-side fault
+// schedule (slow/flapping/rate-limited servers); link-level faults live in
+// the simulator and do not apply to real sockets.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.hpp"
+#include "ecosystem/builder.hpp"
+#include "ecosystem/chaos.hpp"
+#include "net/simnet.hpp"
+#include "net/wire/wire_transport.hpp"
+
+using namespace dnsboot;
+
+namespace {
+
+struct CliOptions {
+  double scale_denom = 20000;
+  std::uint64_t seed = 1;
+  std::string listen = "127.0.0.1:5300";
+  std::size_t workers = 1;
+  bool pathologies = true;
+  bool quiet = false;
+  std::string chaos = "off";
+  std::uint64_t chaos_seed = 0xc4a05;
+  std::uint64_t max_seconds = 0;  // 0 = serve until SIGINT/SIGTERM
+};
+
+cli::FlagParser make_parser(CliOptions* options) {
+  cli::FlagParser parser(
+      "dnsboot-serve — serve a generated ecosystem authoritatively on real\n"
+      "sockets; scan it with dnsboot-survey --wire and the same --seed");
+  parser.value("--scale-denom", &options->scale_denom,
+               "world scale divisor (zones ~ 1/N of the paper's)", 1e-9);
+  parser.value("--seed", &options->seed, "ecosystem seed");
+  parser.value("--listen", &options->listen, "HOST:PORT",
+               "base endpoint; nameserver N serves at PORT+N");
+  parser.value("--workers", &options->workers,
+               "SO_REUSEPORT worker threads, one world copy each", 1);
+  parser.flag("--no-pathologies", &options->pathologies,
+              "serve a misconfiguration-free world", false);
+  parser.flag("--quiet", &options->quiet, "suppress progress output");
+  parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
+                "inject the server-side fault schedule");
+  parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
+  parser.value("--max-seconds", &options->max_seconds,
+               "exit after this many seconds (0 = until SIGINT)");
+  return parser;
+}
+
+struct Worker {
+  // The builder wires servers onto a throwaway simulator; both it and the
+  // ecosystem stay alive for the zones and fault state the wire handlers
+  // reference.
+  std::unique_ptr<net::SimNetwork> buildnet;
+  std::shared_ptr<ecosystem::Ecosystem> eco;
+  std::unique_ptr<net::WireTransport> transport;
+  std::thread thread;
+};
+
+// Signal handling: stop() is an atomic store plus an eventfd write, both
+// async-signal-safe. The pointer list is finalized before the handler is
+// installed.
+std::vector<net::WireTransport*> g_transports;
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) {
+  g_stop.store(true);
+  for (net::WireTransport* transport : g_transports) transport->stop();
+}
+
+// Build one worker's world and bind its sockets. Returns false (with
+// `error` set) when anything fails; safe to call concurrently.
+bool setup_worker(const CliOptions& options, Worker* worker,
+                  std::string* error) {
+  // Same derived network seed as dnsboot-survey's build (shard 0 of 1 passes
+  // the base through unchanged), so both processes construct bit-identical
+  // worlds even if the builder ever draws from the network.
+  worker->buildnet =
+      std::make_unique<net::SimNetwork>(options.seed ^ 0xd15b007);
+  ecosystem::EcosystemConfig config;
+  config.seed = options.seed;
+  config.scale = 1.0 / options.scale_denom;
+  config.inject_pathologies = options.pathologies;
+  ecosystem::EcosystemBuilder builder(*worker->buildnet, config);
+  worker->eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+  if (options.chaos != "off") {
+    ecosystem::ChaosOptions chaos_options =
+        ecosystem::chaos_preset(options.chaos);
+    chaos_options.seed = options.chaos_seed;
+    ecosystem::apply_chaos(*worker->buildnet, *worker->eco, chaos_options);
+  }
+
+  auto base = net::parse_endpoint(options.listen);
+  if (!base) {
+    *error = "--listen requires HOST:PORT, got '" + options.listen + "'";
+    return false;
+  }
+  net::WireAddressMap map(*base);
+  for (const auto& server : worker->eco->servers) {
+    for (const auto& address : server->addresses()) {
+      if (!map.add(address)) {
+        *error = "world needs " + std::to_string(map.size()) +
+                 " ports above " + std::to_string(base->port) +
+                 "; pick a lower --listen port or a smaller scale";
+        return false;
+      }
+    }
+  }
+
+  net::WireTransportOptions transport_options;
+  transport_options.reuse_port = options.workers > 1;
+  worker->transport =
+      std::make_unique<net::WireTransport>(map, transport_options);
+  for (const auto& server : worker->eco->servers) {
+    for (const auto& address : server->addresses()) {
+      server->attach(*worker->transport, address);
+    }
+  }
+  if (!worker->transport->error().empty()) {
+    *error = "bind failed: " + worker->transport->error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  cli::FlagParser parser = make_parser(&options);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+
+  std::vector<Worker> workers(options.workers);
+  std::mutex error_mutex;
+  std::string first_error;
+  std::atomic<std::size_t> failures{0};
+
+  // Every worker builds its own identical world copy (the builders are
+  // deterministic in --seed) and binds the same ports via SO_REUSEPORT, so
+  // the serving threads share no mutable state at all.
+  {
+    std::vector<std::thread> builders;
+    builders.reserve(workers.size());
+    for (Worker& worker : workers) {
+      builders.emplace_back([&options, &worker, &error_mutex, &first_error,
+                             &failures] {
+        std::string error;
+        if (!setup_worker(options, &worker, &error)) {
+          failures.fetch_add(1);
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error.empty()) first_error = std::move(error);
+        }
+      });
+    }
+    for (std::thread& thread : builders) thread.join();
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "dnsboot-serve: %s\n", first_error.c_str());
+    return 1;
+  }
+
+  const net::WireAddressMap& map = workers[0].transport->address_map();
+  if (!options.quiet) {
+    std::printf(
+        "dnsboot-serve: %zu zones on %zu servers, %zu endpoints at "
+        "%s..%u, %zu worker(s)%s\n",
+        workers[0].eco->truth.size(), workers[0].eco->servers.size(),
+        map.size(), map.base().to_text().c_str(),
+        static_cast<unsigned>(map.base().port + map.size() - 1),
+        workers.size(),
+        options.chaos != "off" ? (", chaos " + options.chaos).c_str() : "");
+  }
+
+  for (Worker& worker : workers) {
+    g_transports.push_back(worker.transport.get());
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  for (Worker& worker : workers) {
+    worker.thread =
+        std::thread([&worker] { worker.transport->run_forever(); });
+  }
+
+  // Scripts wait for this line before starting the survey.
+  std::printf("dnsboot-serve: ready\n");
+  std::fflush(stdout);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options.max_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(options.max_seconds)) {
+      handle_signal(0);
+    }
+  }
+  for (Worker& worker : workers) worker.thread.join();
+
+  if (!options.quiet) {
+    std::uint64_t received = 0, answered = 0;
+    for (const Worker& worker : workers) {
+      received += worker.transport->datagrams_delivered();
+      answered += worker.transport->datagrams_sent();
+    }
+    std::printf("dnsboot-serve: done, %llu datagrams in, %llu out\n",
+                static_cast<unsigned long long>(received),
+                static_cast<unsigned long long>(answered));
+  }
+  return 0;
+}

@@ -17,10 +17,15 @@
 // With --threads N the zone population is split into shards (default 8, or
 // --shards) and scanned by N workers, each in its own simulated world; the
 // merged report is identical for every thread count (DESIGN.md §9).
+//
+// With --wire HOST:PORT the scan leaves the simulator entirely and runs
+// over real UDP/TCP sockets against a dnsboot-serve process started with
+// the same --seed and --scale-denom (DESIGN.md §10). Both sides derive the
+// identical virtual→real address map from the seed, and the resulting
+// report is byte-identical to the simulated run.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 
 #include "analysis/parallel.hpp"
@@ -28,11 +33,13 @@
 #include "analysis/survey.hpp"
 #include "base/strings.hpp"
 #include "bench/bench_json.hpp"
+#include "cli.hpp"
 #include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
 #include "lint/chaos_lint.hpp"
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
+#include "net/wire/wire_transport.hpp"
 
 using namespace dnsboot;
 
@@ -53,92 +60,46 @@ struct CliOptions {
   std::size_t threads = 1;
   std::size_t shards = 0;  // 0 = auto: 1 single-threaded, else 8
   std::string bench_json_path;
+  std::string wire;  // HOST:PORT of a dnsboot-serve base endpoint
+  double qps = 0;    // 0 = engine default (the paper's 50 qps per NS)
 };
 
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--scale-denom N] [--seed S] [--json FILE] "
-               "[--csv FILE] [--no-pathologies] [--no-signal-scan] "
-               "[--lint] [--quiet] [--chaos off|mild|hostile] "
-               "[--chaos-seed S] [--scan-attempts N] [--threads N] "
-               "[--shards N] [--bench-json FILE]\n",
-               argv0);
-}
-
-bool parse_cli(int argc, char** argv, CliOptions* options) {
-  for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a value\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--scale-denom") == 0) {
-      const char* v = need_value("--scale-denom");
-      if (v == nullptr) return false;
-      options->scale_denom = std::atof(v);
-      if (options->scale_denom <= 0) return false;
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      const char* v = need_value("--seed");
-      if (v == nullptr) return false;
-      options->seed = std::strtoull(v, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      const char* v = need_value("--json");
-      if (v == nullptr) return false;
-      options->json_path = v;
-    } else if (std::strcmp(argv[i], "--csv") == 0) {
-      const char* v = need_value("--csv");
-      if (v == nullptr) return false;
-      options->csv_path = v;
-    } else if (std::strcmp(argv[i], "--no-pathologies") == 0) {
-      options->pathologies = false;
-    } else if (std::strcmp(argv[i], "--no-signal-scan") == 0) {
-      options->signal_scan = false;
-    } else if (std::strcmp(argv[i], "--lint") == 0) {
-      options->lint_preflight = true;
-    } else if (std::strcmp(argv[i], "--chaos") == 0) {
-      const char* v = need_value("--chaos");
-      if (v == nullptr) return false;
-      options->chaos = v;
-      if (options->chaos != "off" && options->chaos != "mild" &&
-          options->chaos != "hostile") {
-        std::fprintf(stderr, "--chaos must be off, mild or hostile\n");
-        return false;
-      }
-    } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
-      const char* v = need_value("--chaos-seed");
-      if (v == nullptr) return false;
-      options->chaos_seed = std::strtoull(v, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--scan-attempts") == 0) {
-      const char* v = need_value("--scan-attempts");
-      if (v == nullptr) return false;
-      options->scan_attempts = std::atoi(v);
-      if (options->scan_attempts < 1) return false;
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      const char* v = need_value("--threads");
-      if (v == nullptr) return false;
-      int n = std::atoi(v);
-      if (n < 1) return false;
-      options->threads = static_cast<std::size_t>(n);
-    } else if (std::strcmp(argv[i], "--shards") == 0) {
-      const char* v = need_value("--shards");
-      if (v == nullptr) return false;
-      int n = std::atoi(v);
-      if (n < 1) return false;
-      options->shards = static_cast<std::size_t>(n);
-    } else if (std::strcmp(argv[i], "--bench-json") == 0) {
-      const char* v = need_value("--bench-json");
-      if (v == nullptr) return false;
-      options->bench_json_path = v;
-    } else if (std::strcmp(argv[i], "--quiet") == 0) {
-      options->quiet = true;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return false;
-    }
-  }
-  return true;
+cli::FlagParser make_parser(CliOptions* options) {
+  cli::FlagParser parser(
+      "dnsboot-survey — build the paper-calibrated synthetic Internet, run\n"
+      "the full bootstrapping scan + analysis, and write the results");
+  parser.value("--scale-denom", &options->scale_denom,
+               "world scale divisor (zones ~ 1/N of the paper's)", 1e-9);
+  parser.value("--seed", &options->seed, "ecosystem seed");
+  parser.value("--json", &options->json_path, "FILE",
+               "write the aggregate report as JSON");
+  parser.value("--csv", &options->csv_path, "FILE",
+               "write per-zone reports as CSV");
+  parser.flag("--no-pathologies", &options->pathologies,
+              "build a misconfiguration-free world", false);
+  parser.flag("--no-signal-scan", &options->signal_scan,
+              "skip the RFC 9615 signal-zone scan", false);
+  parser.flag("--lint", &options->lint_preflight,
+              "static lint preflight before scanning");
+  parser.flag("--quiet", &options->quiet, "suppress progress output");
+  parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
+                "inject a deterministic fault schedule");
+  parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
+  parser.value("--scan-attempts", &options->scan_attempts,
+               "scan passes per zone", 1);
+  parser.value("--threads", &options->threads, "scan worker threads", 1);
+  parser.value("--shards", &options->shards,
+               "zone shards (default: 1, or 8 with --threads)", 1);
+  parser.value("--bench-json", &options->bench_json_path, "FILE",
+               "write throughput metrics as bench JSON");
+  parser.value("--wire", &options->wire, "HOST:PORT",
+               "scan over real sockets against dnsboot-serve at this base "
+               "endpoint");
+  parser.value("--qps", &options->qps,
+               "per-nameserver query rate (default: the paper's 50; wire "
+               "scans run in real time, so pacing bounds wall clock)",
+               1e-9);
+  return parser;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -152,9 +113,28 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   CliOptions options;
-  if (!parse_cli(argc, argv, &options)) {
-    usage(argv[0]);
-    return 2;
+  cli::FlagParser parser = make_parser(&options);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+
+  std::optional<net::RealEndpoint> wire_base;
+  if (!options.wire.empty()) {
+    wire_base = net::parse_endpoint(options.wire);
+    if (!wire_base) {
+      std::fprintf(stderr, "--wire requires HOST:PORT, got '%s'\n",
+                   options.wire.c_str());
+      return 2;
+    }
+    if (options.chaos != "off") {
+      std::fprintf(stderr,
+                   "--chaos applies to the serving side; start dnsboot-serve "
+                   "with the fault schedule instead\n");
+      return 2;
+    }
+    if (options.threads > 1 || options.shards > 1) {
+      std::fprintf(stderr, "--wire scans from a single client worker\n");
+      return 2;
+    }
   }
 
   const bool chaos = options.chaos != "off";
@@ -259,6 +239,9 @@ int main(int argc, char** argv) {
   if (options.scan_attempts > 0) {
     run_options.scanner.max_scan_attempts = options.scan_attempts;
   }
+  if (options.qps > 0) {
+    run_options.engine.per_server_qps = options.qps;
+  }
 
   analysis::ShardedSurveyOptions sharded_options;
   sharded_options.run = run_options;
@@ -274,8 +257,45 @@ int main(int argc, char** argv) {
         return build_world(net_seed, nullptr, nullptr);
       };
 
+  analysis::ShardedSurveyResult sharded;
   const auto wall_start = std::chrono::steady_clock::now();
-  auto sharded = analysis::run_sharded_survey(factory, sharded_options);
+  if (!wire_base.has_value()) {
+    sharded = analysis::run_sharded_survey(factory, sharded_options);
+  } else {
+    // Real-socket scan: derive the same virtual→real map dnsboot-serve
+    // derived from this seed, then run the identical pipeline over a wire
+    // transport. Nothing serves locally — queries cross the kernel to the
+    // serve process at the mapped loopback ports.
+    net::WireAddressMap map(*wire_base);
+    for (const auto& server : preflight_eco->servers) {
+      for (const auto& address : server->addresses()) {
+        if (!map.add(address)) {
+          std::fprintf(stderr,
+                       "world needs %zu ports above %u; pick a lower --wire "
+                       "port or a smaller scale\n",
+                       map.size(), wire_base->port);
+          return 1;
+        }
+      }
+    }
+    net::WireTransport transport(map);
+    sharded.merged = analysis::run_survey(
+        transport, first_world->hints, first_world->targets,
+        first_world->ns_domain_to_operator, first_world->now, run_options);
+    sharded.shards = 1;
+    sharded.threads = 1;
+    sharded.events_processed = transport.datagrams_delivered();
+    if (!transport.error().empty()) {
+      std::fprintf(stderr, "wire transport: %s\n", transport.error().c_str());
+      return 1;
+    }
+    if (sharded.merged.engine_stats.responses == 0) {
+      std::fprintf(stderr,
+                   "no responses over the wire — is dnsboot-serve running at "
+                   "%s with the same --seed and --scale-denom?\n",
+                   wire_base->to_text().c_str());
+    }
+  }
   const double wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
@@ -322,11 +342,21 @@ int main(int argc, char** argv) {
                      : 0.0;
     const double simulated_sec =
         result.simulated_duration / static_cast<double>(net::kSecond);
-    std::printf(
-        "%zu shard(s) on %zu thread(s): wall %.2f s, %.1f zones/s, "
-        "simulated %.0f s (%.0fx wall)\n",
-        sharded.shards, sharded.threads, wall_sec, zones_per_sec,
-        simulated_sec, wall_sec > 0 ? simulated_sec / wall_sec : 0.0);
+    if (wire_base.has_value()) {
+      std::printf("wire scan via %s: wall %.2f s, %.1f zones/s\n",
+                  wire_base->to_text().c_str(), wall_sec, zones_per_sec);
+    } else {
+      std::printf(
+          "%zu shard(s) on %zu thread(s): wall %.2f s, %.1f zones/s, "
+          "simulated %.0f s (%.0fx wall)\n",
+          sharded.shards, sharded.threads, wall_sec, zones_per_sec,
+          simulated_sec, wall_sec > 0 ? simulated_sec / wall_sec : 0.0);
+    }
+    // Volume lives here (and in --bench-json), not in the JSON report,
+    // which stays transport-independent.
+    std::printf("traffic: %s datagrams, %s bytes\n",
+                format_count(result.datagrams).c_str(),
+                format_count(result.bytes_on_wire).c_str());
   }
 
   if (!options.bench_json_path.empty()) {
@@ -337,6 +367,9 @@ int main(int argc, char** argv) {
         .add("seed", options.seed)
         .add("scale_denom", options.scale_denom)
         .add("chaos", options.chaos)
+        .add("transport", wire_base.has_value() ? "wire" : "sim")
+        .add("datagrams", result.datagrams)
+        .add("bytes_on_wire", result.bytes_on_wire)
         .add("zones", result.survey.total)
         .add("wall_ms", wall_ms)
         .add("zones_per_sec",
