@@ -28,7 +28,13 @@ struct ChaosResult {
   std::uint64_t fail_fast = 0;
   std::uint64_t budget_denied = 0;
   double simulated_hours = 0;
-  net::FaultStats faults;
+  // Owned copy of the network's registry: a FaultStats view would dangle
+  // once run_once's SimNetwork dies, so the fault counters are read through
+  // fault() by metric name instead.
+  obs::MetricsRegistry net_metrics;
+  std::uint64_t fault(const char* name) const {
+    return net_metrics.counter_value(name);
+  }
   std::uint64_t queries = 0;
   std::uint64_t events = 0;
   double wall_ms = 0;
@@ -74,7 +80,7 @@ ChaosResult run_once(double scale, const std::string& preset, bool adaptive,
   out.fail_fast = result.engine_stats.fail_fast;
   out.budget_denied = result.engine_stats.budget_denied;
   out.simulated_hours = result.simulated_duration / (3600.0 * net::kSecond);
-  out.faults = network.fault_stats();
+  out.net_metrics = *network.metrics_registry();
   out.queries = result.engine_stats.queries;
   out.events = network.events_processed();
   out.wall_ms = std::chrono::duration<double, std::milli>(
@@ -154,13 +160,20 @@ int main() {
   std::printf("fault classes (adaptive, hostile): blackholed %llu, "
               "flap-dropped %llu, burst-dropped %llu, lost %llu, "
               "corrupted %llu, reordered %llu, duplicated %llu\n",
-              static_cast<unsigned long long>(adaptive2.faults.blackholed),
-              static_cast<unsigned long long>(adaptive2.faults.flap_dropped),
-              static_cast<unsigned long long>(adaptive2.faults.burst_dropped),
-              static_cast<unsigned long long>(adaptive2.faults.fault_lost),
-              static_cast<unsigned long long>(adaptive2.faults.corrupted),
-              static_cast<unsigned long long>(adaptive2.faults.reordered),
-              static_cast<unsigned long long>(adaptive2.faults.duplicated));
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_blackholed")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_flap_dropped")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_burst_dropped")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_lost")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_corrupted")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_reordered")),
+              static_cast<unsigned long long>(
+                  adaptive2.fault("dnsboot_net_fault_duplicated")));
 
   dnsboot::bench::BenchJson json("chaos");
   json.begin_array("runs");

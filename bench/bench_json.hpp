@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace dnsboot::bench {
 
 class BenchJson {
@@ -48,6 +50,23 @@ class BenchJson {
   BenchJson& add(const std::string& key, bool value) {
     member(key);
     out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  // Latency summary from an obs::Histogram as a nested object:
+  // "key": {"count": N, "sum": S, "p50": X, "p99": Y}. The registry is the
+  // one source of latency truth (DESIGN.md §11); benches just pick which
+  // histograms belong in their BENCH_*.json.
+  BenchJson& add_histogram(const std::string& key, const obs::Histogram& h) {
+    member(key);
+    out_ += '{';
+    stack_.push_back(false);
+    add("count", h.count());
+    add("sum", h.sum());
+    add("p50", h.quantile(0.50));
+    add("p99", h.quantile(0.99));
+    out_ += '}';
+    stack_.pop_back();
     return *this;
   }
 

@@ -36,6 +36,7 @@ struct RunMeasurement {
   std::uint64_t queries = 0;
   double simulated_sec = 0;
   std::string report_json;
+  obs::Histogram rtt_usec;  // merged dnsboot_engine_rtt_usec
 
   double zones_per_sec() const {
     return wall_ms > 0 ? zones / (wall_ms / 1000.0) : 0.0;
@@ -87,6 +88,10 @@ RunMeasurement run_once(double scale, std::uint64_t seed, std::size_t shards,
   m.simulated_sec =
       result.merged.simulated_duration / static_cast<double>(net::kSecond);
   m.report_json = analysis::survey_to_json(result.merged);
+  if (const obs::Histogram* rtt =
+          result.merged.metrics->find_histogram("dnsboot_engine_rtt_usec")) {
+    m.rtt_usec = *rtt;
+  }
   return m;
 }
 
@@ -186,6 +191,7 @@ int main(int argc, char** argv) {
         .add("events_per_sec", m.events_per_sec())
         .add("queries", m.queries)
         .add("simulated_sec", m.simulated_sec)
+        .add_histogram("rtt_usec", m.rtt_usec)
         .end_object();
   }
   json.end_array();

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Promtool-style lint for the Prometheus text exposition format 0.0.4, pure
+# bash+awk so CI needs no extra tooling. Reads one exposition from stdin (or
+# a file argument) and checks what a scraper would choke on:
+#   * every sample line parses as `name[{labels}] value`
+#   * every sample's base name was declared by a preceding # TYPE line
+#   * TYPE values are counter | gauge | histogram, declared at most once
+#   * counter samples are non-negative integers
+#   * every histogram has _bucket samples, a +Inf bucket, _sum and _count,
+#     buckets are cumulative (non-decreasing) and +Inf equals _count
+#
+# Usage: scripts/check_prometheus.sh [FILE]
+set -euo pipefail
+
+awk '
+function fail(msg) { printf "check_prometheus: line %d: %s\n", NR, msg; bad = 1 }
+function base(name) { sub(/\{.*/, "", name); return name }
+function strip_suffix(name) {
+  sub(/_bucket$/, "", name); sub(/_sum$/, "", name); sub(/_count$/, "", name)
+  return name
+}
+
+/^$/ { next }
+/^# TYPE / {
+  if (NF != 4) { fail("malformed TYPE line"); next }
+  if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+    fail("unknown type \"" $4 "\" for " $3)
+  if ($3 in type) fail("duplicate TYPE for " $3)
+  type[$3] = $4
+  next
+}
+/^# HELP / { next }
+/^#/ { fail("unrecognised comment"); next }
+{
+  if (NF != 2) { fail("sample is not `name value`: " $0); next }
+  name = $1; value = $2
+  if (value !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/)
+    fail("non-numeric value for " name)
+  b = base(name)
+  t = (b in type) ? type[b] : ""
+  if (t == "") {
+    # Histogram series appear as <base>_bucket/_sum/_count.
+    h = strip_suffix(b)
+    if (h in type && type[h] == "histogram") t = "histogram:" h
+    else { fail("sample " name " has no preceding # TYPE"); next }
+  }
+  if (t == "counter" && value !~ /^[0-9]+$/)
+    fail("counter " name " must be a non-negative integer")
+  if (index(t, "histogram:") == 1) {
+    h = substr(t, 11)
+    if (b == h "_bucket") {
+      if (name !~ /le="/) { fail("bucket without le label: " name); next }
+      if (value + 0 < last_bucket[h])
+        fail("non-cumulative bucket for " h)
+      last_bucket[h] = value + 0
+      if (name ~ /le="\+Inf"/) { inf[h] = value + 0; has_inf[h] = 1 }
+      has_bucket[h] = 1
+    } else if (b == h "_sum") { has_sum[h] = 1 }
+    else if (b == h "_count") { cnt[h] = value + 0; has_count[h] = 1 }
+  }
+}
+END {
+  for (h in type) {
+    if (type[h] != "histogram") continue
+    if (!(h in has_bucket)) fail("histogram " h " has no buckets")
+    if (!(h in has_inf)) fail("histogram " h " has no +Inf bucket")
+    if (!(h in has_sum)) fail("histogram " h " has no _sum")
+    if (!(h in has_count)) fail("histogram " h " has no _count")
+    if ((h in has_inf) && (h in has_count) && inf[h] != cnt[h])
+      fail("histogram " h ": +Inf bucket " inf[h] " != _count " cnt[h])
+  }
+  if (bad) exit 1
+}
+' "${1:-/dev/stdin}"
+echo "check_prometheus: OK"

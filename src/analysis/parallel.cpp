@@ -28,8 +28,6 @@ namespace {
 // workers have joined.
 struct ShardSlot {
   SurveyRunResult result;
-  net::FaultStats faults;
-  std::uint64_t events = 0;
 };
 
 }  // namespace
@@ -65,11 +63,12 @@ ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
       }
 
       ShardSlot& slot = slots[shard];
+      // run_survey folds the shard network's registry (fault counters,
+      // events, traffic) into slot.result.metrics, so the slot needs
+      // nothing beyond the result itself.
       slot.result =
           run_survey(*world.network, world.hints, *targets,
                      world.ns_domain_to_operator, world.now, options.run);
-      slot.faults = world.network->fault_stats();
-      slot.events = world.network->events_processed();
     }
   };
 
@@ -93,16 +92,20 @@ ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
         out.merged.reports.end(),
         std::make_move_iterator(slot.result.reports.begin()),
         std::make_move_iterator(slot.result.reports.end()));
-    out.merged.scanner_stats += slot.result.scanner_stats;
-    out.merged.engine_stats += slot.result.engine_stats;
+    // One generic merge replaces the old per-struct operator+= chains:
+    // every engine/scanner/network counter and histogram sums name-keyed,
+    // and the merged stats views (bound to out.merged.metrics) see the
+    // totals with no per-field code at all.
+    out.merged.metrics->merge(*slot.result.metrics);
     out.merged.simulated_duration =
         std::max(out.merged.simulated_duration, slot.result.simulated_duration);
     out.merged.datagrams += slot.result.datagrams;
     out.merged.bytes_on_wire += slot.result.bytes_on_wire;
-    out.fault_stats += slot.faults;
-    out.events_processed += slot.events;
     out.shard_durations.push_back(slot.result.simulated_duration);
   }
+  out.fault_stats = net::FaultStats(*out.merged.metrics);
+  out.events_processed =
+      out.merged.metrics->counter_value("dnsboot_net_events");
   out.merged.top_by_domains = top_rows_by_domains(out.merged.survey, 20);
   out.merged.top_by_cds = top_rows_by_cds(out.merged.survey, 20);
   return out;

@@ -16,10 +16,16 @@ SurveyRunResult run_survey(
 
   // Scan phase: collect raw observations.
   net::IpAddress scanner_address = net::IpAddress::v4({192, 0, 2, 251});
-  resolver::QueryEngine engine(network, scanner_address, options.engine);
+  resolver::QueryEngineOptions engine_options = options.engine;
+  if (engine_options.tracer == nullptr) engine_options.tracer = options.tracer;
+  scanner::ScannerOptions scanner_options = options.scanner;
+  if (scanner_options.tracer == nullptr) {
+    scanner_options.tracer = options.tracer;
+  }
+  resolver::QueryEngine engine(network, scanner_address, engine_options);
   resolver::DelegationResolver delegation_resolver(engine, hints);
   scanner::Scanner scanner(network, engine, delegation_resolver,
-                           options.scanner);
+                           scanner_options);
 
   std::vector<scanner::ZoneObservation> observations;
   observations.reserve(targets.size());
@@ -30,10 +36,29 @@ SurveyRunResult run_survey(
   scanner.run();
 
   result.simulated_duration = network.now() - started;
-  result.scanner_stats = scanner.stats();
-  result.engine_stats = engine.stats();
+  // Fold every component's registry into the run's: the result's stats
+  // views are bound to result.metrics, so merging (rather than assigning
+  // views, which would dangle once the components die) is what populates
+  // them. Distinct name prefixes (engine/scanner/net/wire) keep the merge
+  // collision-free.
+  result.metrics->merge(engine.metrics());
+  result.metrics->merge(scanner.metrics());
+  if (const obs::MetricsRegistry* net_metrics = network.metrics_registry()) {
+    result.metrics->merge(*net_metrics);
+  }
   result.datagrams = network.datagrams_sent();
   result.bytes_on_wire = network.bytes_sent();
+
+  if (options.tracer != nullptr) {
+    obs::TraceSpan span;
+    span.kind = "phase";
+    span.name = "scan";
+    span.start_usec = started;
+    span.end_usec = network.now();
+    span.attempts = targets.size();
+    span.status = "ok";
+    options.tracer->record(std::move(span));
+  }
 
   // Canonical observation order: observations complete in network-timing
   // order, which differs between the simulator and real sockets (and, over
@@ -59,6 +84,7 @@ SurveyRunResult run_survey(
 
   // Analysis phase: validate + classify offline, as the paper does from its
   // stored DNS messages.
+  const net::SimTime analysis_started = network.now();
   TrustContext trust(scanner.infrastructure(), hints.trust_anchor, now);
   OperatorIdentifier operators{
       std::map<std::string, std::string>(ns_domain_to_operator)};
@@ -71,6 +97,16 @@ SurveyRunResult run_survey(
   result.survey = aggregator.survey();
   result.top_by_domains = aggregator.top_by_domains(20);
   result.top_by_cds = aggregator.top_by_cds(20);
+  if (options.tracer != nullptr) {
+    obs::TraceSpan span;
+    span.kind = "phase";
+    span.name = "analysis";
+    span.start_usec = analysis_started;
+    span.end_usec = network.now();
+    span.attempts = observations.size();
+    span.status = "ok";
+    options.tracer->record(std::move(span));
+  }
   return result;
 }
 

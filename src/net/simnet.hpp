@@ -22,6 +22,7 @@
 #include "base/rng.hpp"
 #include "net/address.hpp"
 #include "net/transport.hpp"
+#include "obs/stats.hpp"
 
 namespace dnsboot::net {
 
@@ -82,26 +83,11 @@ struct FaultProfile {
 };
 
 // Per-fault-class drop/mutation counters (chaos benches assert on these).
-struct FaultStats {
-  std::uint64_t blackholed = 0;
-  std::uint64_t flap_dropped = 0;
-  std::uint64_t burst_dropped = 0;
-  std::uint64_t fault_lost = 0;  // FaultProfile::loss_rate drops
-  std::uint64_t corrupted = 0;
-  std::uint64_t reordered = 0;
-  std::uint64_t duplicated = 0;
-
-  // Fold another network's counters in (shard merge).
-  void operator+=(const FaultStats& other) {
-    blackholed += other.blackholed;
-    flap_dropped += other.flap_dropped;
-    burst_dropped += other.burst_dropped;
-    fault_lost += other.fault_lost;
-    corrupted += other.corrupted;
-    reordered += other.reordered;
-    duplicated += other.duplicated;
-  }
-};
+// Since PR 5 this is a registry-backed view (obs/stats.hpp): the fields
+// read like the old plain-uint64 struct, but the values live in the
+// network's MetricsRegistry as dnsboot_net_fault_* counters and merge via
+// MetricsRegistry::merge instead of a hand-written operator+=.
+using FaultStats = obs::FaultStats;
 
 class SimNetwork : public Transport {
  public:
@@ -161,6 +147,11 @@ class SimNetwork : public Transport {
   // Lifetime total of events fired (throughput benches report events/sec).
   std::uint64_t events_processed() const { return events_processed_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Every SimNetwork counter above, by metric name (dnsboot_net_*).
+  const obs::MetricsRegistry* metrics_registry() const override {
+    return &metrics_;
+  }
 
  private:
   // Move-only: events carry either a timer closure or a Datagram payload.
@@ -236,13 +227,19 @@ class SimNetwork : public Transport {
   LinkModel default_link_;
   Rng rng_;
 
-  std::uint64_t datagrams_sent_ = 0;
-  std::uint64_t datagrams_delivered_ = 0;
-  std::uint64_t datagrams_dropped_ = 0;
-  std::uint64_t datagrams_unroutable_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t events_processed_ = 0;
-  FaultStats fault_stats_;
+  // Declared before the counter views below: the views hold pointers into
+  // this registry, and members initialize in declaration order.
+  obs::MetricsRegistry metrics_;
+  obs::CounterRef datagrams_sent_{metrics_.counter("dnsboot_net_datagrams_sent")};
+  obs::CounterRef datagrams_delivered_{
+      metrics_.counter("dnsboot_net_datagrams_delivered")};
+  obs::CounterRef datagrams_dropped_{
+      metrics_.counter("dnsboot_net_datagrams_dropped")};
+  obs::CounterRef datagrams_unroutable_{
+      metrics_.counter("dnsboot_net_datagrams_unroutable")};
+  obs::CounterRef bytes_sent_{metrics_.counter("dnsboot_net_bytes_sent")};
+  obs::CounterRef events_processed_{metrics_.counter("dnsboot_net_events")};
+  FaultStats fault_stats_{metrics_};
 };
 
 }  // namespace dnsboot::net

@@ -16,6 +16,10 @@
 #include "base/bytes.hpp"
 #include "net/address.hpp"
 
+namespace dnsboot::obs {
+class MetricsRegistry;
+}  // namespace dnsboot::obs
+
 namespace dnsboot::net {
 
 // Time in microseconds. On the simulator this is simulated time since the
@@ -79,6 +83,13 @@ class Transport {
   virtual std::uint64_t datagrams_sent() const = 0;
   virtual std::uint64_t datagrams_delivered() const = 0;
   virtual std::uint64_t bytes_sent() const = 0;
+
+  // The transport's metrics registry (dnsboot_net_* / dnsboot_wire_*
+  // counters), merged into the survey's registry by run_survey. nullptr for
+  // transports that don't keep one.
+  virtual const obs::MetricsRegistry* metrics_registry() const {
+    return nullptr;
+  }
 };
 
 }  // namespace dnsboot::net

@@ -26,6 +26,7 @@
 #include "net/wire/address_map.hpp"
 #include "net/wire/event_loop.hpp"
 #include "net/wire/frame.hpp"
+#include "obs/stats.hpp"
 
 namespace dnsboot::net {
 
@@ -76,6 +77,13 @@ class WireTransport : public Transport {
   std::uint64_t tcp_connections_opened() const { return tcp_opened_; }
   std::uint64_t tcp_connections_accepted() const { return tcp_accepted_; }
   std::uint64_t oversized_tcp_dropped() const { return oversized_tcp_; }
+
+  // Every counter above, by metric name (dnsboot_wire_*). Counters are
+  // written only by the transport's own thread; a scrape thread may read
+  // concurrently (dnsboot-serve's /metrics does).
+  const obs::MetricsRegistry* metrics_registry() const override {
+    return &metrics_;
+  }
 
   const WireAddressMap& address_map() const { return map_; }
   // First fatal socket/loop error; empty when healthy. Callers check this
@@ -146,13 +154,20 @@ class WireTransport : public Transport {
   Bytes recv_buffer_;
   std::string error_;
 
-  std::uint64_t datagrams_sent_ = 0;
-  std::uint64_t datagrams_delivered_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-  std::uint64_t datagrams_unroutable_ = 0;
-  std::uint64_t tcp_opened_ = 0;
-  std::uint64_t tcp_accepted_ = 0;
-  std::uint64_t oversized_tcp_ = 0;
+  // Registry before its views (members initialize in declaration order).
+  obs::MetricsRegistry metrics_;
+  obs::CounterRef datagrams_sent_{
+      metrics_.counter("dnsboot_wire_datagrams_sent")};
+  obs::CounterRef datagrams_delivered_{
+      metrics_.counter("dnsboot_wire_datagrams_delivered")};
+  obs::CounterRef bytes_sent_{metrics_.counter("dnsboot_wire_bytes_sent")};
+  obs::CounterRef datagrams_unroutable_{
+      metrics_.counter("dnsboot_wire_datagrams_unroutable")};
+  obs::CounterRef tcp_opened_{metrics_.counter("dnsboot_wire_tcp_opened")};
+  obs::CounterRef tcp_accepted_{
+      metrics_.counter("dnsboot_wire_tcp_accepted")};
+  obs::CounterRef oversized_tcp_{
+      metrics_.counter("dnsboot_wire_oversized_tcp_dropped")};
 };
 
 }  // namespace dnsboot::net

@@ -1,0 +1,137 @@
+#include "obs/metrics_http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dnsboot::obs {
+
+namespace {
+
+// Read until the end of the request headers (or a small cap — we only need
+// the request line). Returns the first line.
+std::string read_request_line(int fd) {
+  std::string buffer;
+  char chunk[512];
+  while (buffer.size() < 4096) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) <= 0) break;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.find("\r\n") != std::string::npos) break;
+  }
+  auto eol = buffer.find("\r\n");
+  if (eol == std::string::npos) eol = buffer.find('\n');
+  return eol == std::string::npos ? buffer : buffer.substr(0, eol);
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out.append("HTTP/1.0 ").append(status).append("\r\n");
+  out.append("Content-Type: ").append(content_type).append("\r\n");
+  out.append("Content-Length: ").append(std::to_string(body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+bool MetricsHttpServer::start(std::uint16_t port, Collector collector) {
+  if (running_.load()) {
+    error_ = "already running";
+    return false;
+  }
+  collector_ = std::move(collector);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    error_ = std::string("bind/listen 127.0.0.1:") + std::to_string(port) +
+             ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  stopping_.store(false);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stopping_.load()) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);  // 100ms tick to notice stop()
+    if (ready <= 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    std::string request = read_request_line(client);
+    // "GET /metrics HTTP/1.x" — accept any HTTP version, exact path.
+    bool is_metrics = request.rfind("GET /metrics", 0) == 0 &&
+                      (request.size() == 12 || request[12] == ' ');
+    if (is_metrics) {
+      scrapes_.fetch_add(1, std::memory_order_relaxed);
+      send_all(client,
+               http_response("200 OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             collector_ ? collector_() : std::string()));
+    } else {
+      send_all(client, http_response("404 Not Found", "text/plain",
+                                     "only GET /metrics is served\n"));
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace dnsboot::obs

@@ -1,0 +1,51 @@
+// A deliberately tiny HTTP/1.0 listener whose only job is answering
+// `GET /metrics` with the Prometheus text exposition (DESIGN.md §11). Not a
+// general HTTP server: one thread, one request per connection, bounded
+// request read, everything else answered 404. Good enough for a scraper on
+// loopback; dnsboot-serve owns one when --metrics-port is given.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace dnsboot::obs {
+
+class MetricsHttpServer {
+ public:
+  // Called per scrape; returns the full Prometheus exposition body.
+  using Collector = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Bind 127.0.0.1:port (port 0 picks an ephemeral one — see port()) and
+  // start the serving thread. Returns false with error() set on failure.
+  bool start(std::uint16_t port, Collector collector);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+  const std::string& error() const { return error_; }
+  std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+
+  Collector collector_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+}  // namespace dnsboot::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace dnsboot::obs {
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TraceSpan::to_json() const {
+  std::string out;
+  out.reserve(128);
+  out.append("{\"seq\":").append(std::to_string(seq));
+  out.append(",\"kind\":");
+  append_escaped(&out, kind);
+  out.append(",\"name\":");
+  append_escaped(&out, name);
+  out.append(",\"start_usec\":").append(std::to_string(start_usec));
+  out.append(",\"end_usec\":").append(std::to_string(end_usec));
+  out.append(",\"attempts\":").append(std::to_string(attempts));
+  out.append(",\"status\":");
+  append_escaped(&out, status);
+  if (!detail.empty()) {
+    out.append(",\"detail\":");
+    append_escaped(&out, detail);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Tracer::Tracer(TracerOptions options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+}
+
+bool Tracer::sample() {
+  if (options_.sample_every == 0) return false;
+  const std::uint64_t n =
+      candidates_.fetch_add(1, std::memory_order_relaxed);
+  return n % options_.sample_every == 0;
+}
+
+void Tracer::record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  span.seq = recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(span));
+    if (ring_.size() == options_.capacity) next_ = 0;
+  } else {
+    // Full: overwrite the oldest slot (the cursor) and advance.
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % options_.capacity;
+    wrapped_ = true;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceSpan> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (!wrapped_ || ring_.size() < options_.capacity) {
+    out = ring_;
+  } else {
+    // next_ points at the oldest span once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  for (const TraceSpan& span : snapshot()) {
+    out.append(span.to_json());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dnsboot::obs

@@ -95,6 +95,8 @@ void QueryEngine::query(const net::IpAddress& server, const dns::Name& qname,
   pending.qtype = qtype;
   pending.callback = std::move(callback);
   pending.attempts_left = options_.attempts;
+  pending.issued_at = network_.now();
+  pending.traced = options_.tracer != nullptr && options_.tracer->sample();
   pending_.emplace(id, std::move(pending));
   send_attempt(id);
 }
@@ -138,6 +140,21 @@ void QueryEngine::finish(std::uint16_t id, Result<dns::Message> result) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   network_.cancel(it->second.timeout_timer);
+  if (it->second.traced) {
+    // One span per sampled logical query: issue → final callback, covering
+    // every retry and the TCP fallback in between.
+    obs::TraceSpan span;
+    span.kind = "query";
+    span.name = it->second.qname.to_text() + " " +
+                dns::to_string(it->second.qtype);
+    span.detail = it->second.server.to_text();
+    span.start_usec = it->second.issued_at;
+    span.end_usec = network_.now();
+    span.attempts = static_cast<std::uint64_t>(it->second.attempt);
+    span.status = result.ok() ? (it->second.use_tcp ? "ok_tcp" : "ok")
+                              : result.error().code;
+    options_.tracer->record(std::move(span));
+  }
   Callback callback = std::move(it->second.callback);
   pending_.erase(it);
   callback(std::move(result));
@@ -209,6 +226,7 @@ void QueryEngine::handle_datagram(const net::Datagram& dgram) {
   ++stats_.responses;
   net::SimTime rtt =
       network_.now() >= p.sent_at ? network_.now() - p.sent_at : 0;
+  rtt_histogram_.observe(rtt);
   if (message->header.rcode == dns::Rcode::kServFail) {
     // SERVFAIL is an answer to the caller but a failure signal for health
     // tracking (RFC 9520).

@@ -21,6 +21,8 @@
 #include "base/rng.hpp"
 #include "dns/message.hpp"
 #include "net/transport.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "resolver/health.hpp"
 
 namespace dnsboot::resolver {
@@ -52,42 +54,17 @@ struct QueryEngineOptions {
 
   // Per-server health tracking (breaker + SERVFAIL cache); off by default.
   HealthOptions health;
+
+  // Optional query-lifecycle tracing (obs/trace.hpp): every finished query
+  // is a sampling candidate; sampled ones record a "query" span covering
+  // issue → final callback with the attempt count and outcome. Not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
-struct QueryEngineStats {
-  std::uint64_t queries = 0;        // logical queries issued by callers
-  std::uint64_t sends = 0;          // datagrams sent (includes retries)
-  std::uint64_t responses = 0;      // matched responses
-  std::uint64_t timeouts = 0;       // logical queries that exhausted retries
-  std::uint64_t retries = 0;
-  std::uint64_t mismatched = 0;     // responses that matched no pending query
-  std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
-  std::uint64_t truncation_loops = 0;  // TCP answers still truncated
-  std::uint64_t fail_fast = 0;         // rejected by an open circuit
-  std::uint64_t servfail_cache_hits = 0;  // answered from the RFC 9520 cache
-  std::uint64_t budget_denied = 0;        // retries denied by the budget
-
-  // Sends that never produced a matched response — the waste metric the
-  // chaos bench compares across retry policies.
-  std::uint64_t wasted_sends() const {
-    return sends >= responses ? sends - responses : 0;
-  }
-
-  // Fold another engine's counters in (shard merge).
-  void operator+=(const QueryEngineStats& other) {
-    queries += other.queries;
-    sends += other.sends;
-    responses += other.responses;
-    timeouts += other.timeouts;
-    retries += other.retries;
-    mismatched += other.mismatched;
-    tcp_fallbacks += other.tcp_fallbacks;
-    truncation_loops += other.truncation_loops;
-    fail_fast += other.fail_fast;
-    servfail_cache_hits += other.servfail_cache_hits;
-    budget_denied += other.budget_denied;
-  }
-};
+// Registry-backed counter view (obs/stats.hpp): fields read like the old
+// plain-uint64 struct but live in the engine's MetricsRegistry as
+// dnsboot_engine_* counters; shard merging is MetricsRegistry::merge.
+using QueryEngineStats = obs::QueryEngineStats;
 
 class QueryEngine {
  public:
@@ -104,6 +81,9 @@ class QueryEngine {
   const QueryEngineStats& stats() const { return stats_; }
   const ServerHealthTracker& health() const { return health_; }
   std::size_t in_flight() const { return pending_.size(); }
+  // The engine's dnsboot_engine_* counters and RTT histogram; run_survey
+  // merges this into the survey-wide registry.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct Pending {
@@ -117,6 +97,8 @@ class QueryEngine {
     bool use_tcp = false;  // set after a truncated (TC=1) UDP response
     net::SimTime sent_at = 0;        // when the last datagram left (for RTT)
     net::SimTime prev_backoff = 0;   // decorrelated-jitter state
+    net::SimTime issued_at = 0;      // when the logical query was issued
+    bool traced = false;             // sampled for a trace span
   };
 
   void send_attempt(std::uint16_t id);
@@ -136,7 +118,10 @@ class QueryEngine {
   // Rate pacing: earliest time the next datagram may leave for a server.
   std::unordered_map<net::IpAddress, net::SimTime, net::IpAddressHash>
       next_free_;
-  QueryEngineStats stats_;
+  // Registry before its views (members initialize in declaration order).
+  obs::MetricsRegistry metrics_;
+  QueryEngineStats stats_{metrics_};
+  obs::Histogram& rtt_histogram_{metrics_.histogram("dnsboot_engine_rtt_usec")};
   ServerHealthTracker health_;
   Rng rng_;
 };

@@ -129,6 +129,8 @@ struct Scanner::ZoneTask : std::enable_shared_from_this<Scanner::ZoneTask> {
   ZoneObservation obs;
   std::size_t outstanding = 0;
   std::size_t signals_outstanding = 0;
+  net::SimTime started_at = 0;
+  bool traced = false;  // sampled for a "zone" trace span
 };
 
 // --- scanner --------------------------------------------------------------------
@@ -316,6 +318,8 @@ void Scanner::start_zone(const dns::Name& zone, int attempt) {
   task->obs.zone = zone;
   task->obs.scan_attempt = attempt;
   task->obs.tld = zone.parent();
+  task->started_at = network_.now();
+  task->traced = options_.tracer != nullptr && options_.tracer->sample();
   capture_tld(task->obs.tld);
 
   std::weak_ptr<int> alive = alive_;
@@ -674,6 +678,30 @@ void Scanner::zone_finished(std::shared_ptr<ZoneTask> task) {
   ++stats_.zones_scanned;
   canonicalize_probe_order(task->obs);
   finalize_completeness(task->obs);
+  zone_histogram_.observe(network_.now() >= task->started_at
+                              ? network_.now() - task->started_at
+                              : 0);
+  if (task->traced) {
+    obs::TraceSpan span;
+    span.kind = "zone";
+    span.name = task->obs.zone.to_text();
+    span.start_usec = task->started_at;
+    span.end_usec = network_.now();
+    span.attempts = static_cast<std::uint64_t>(task->obs.scan_attempt);
+    switch (task->obs.completeness) {
+      case ZoneObservation::Completeness::kComplete:
+        span.status = "complete";
+        break;
+      case ZoneObservation::Completeness::kDegraded:
+        span.status = "degraded";
+        break;
+      case ZoneObservation::Completeness::kFailed:
+        span.status = "failed";
+        break;
+    }
+    if (!task->obs.failure.empty()) span.detail = task->obs.failure;
+    options_.tracer->record(std::move(span));
+  }
   ZoneObservation obs = std::move(task->obs);
   const bool transient = obs.resolved
                              ? obs.transient_failures > 0

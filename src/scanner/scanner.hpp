@@ -8,6 +8,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "scanner/observation.hpp"
 
 namespace dnsboot::scanner {
@@ -41,32 +43,17 @@ struct ScannerOptions {
   int max_scan_attempts = 1;
 
   std::uint64_t seed = 0x5ca11ab1e;
+
+  // Optional zone-lifecycle tracing (obs/trace.hpp): every started zone
+  // scan is a sampling candidate; sampled ones record a "zone" span from
+  // scan start to delivery with the outcome class. Not owned.
+  obs::Tracer* tracer = nullptr;
 };
 
-struct ScannerStats {
-  std::uint64_t zones_scanned = 0;  // zone scans finished (requeues count)
-  std::uint64_t zones_failed = 0;   // delivered with unresolved delegation
-  std::uint64_t signal_probes = 0;
-  std::uint64_t pool_zones_sampled = 0;
-  std::uint64_t pool_zones_full = 0;
-  std::uint64_t zones_complete = 0;   // delivered fully observed
-  std::uint64_t zones_degraded = 0;   // delivered with failed probes
-  std::uint64_t zones_requeued = 0;   // rescans queued by the requeue pass
-  std::uint64_t zones_recovered = 0;  // requeue strictly improved the result
-
-  // Fold another scanner's counters in (shard merge).
-  void operator+=(const ScannerStats& other) {
-    zones_scanned += other.zones_scanned;
-    zones_failed += other.zones_failed;
-    signal_probes += other.signal_probes;
-    pool_zones_sampled += other.pool_zones_sampled;
-    pool_zones_full += other.pool_zones_full;
-    zones_complete += other.zones_complete;
-    zones_degraded += other.zones_degraded;
-    zones_requeued += other.zones_requeued;
-    zones_recovered += other.zones_recovered;
-  }
-};
+// Registry-backed counter view (obs/stats.hpp): fields read like the old
+// plain-uint64 struct but live in the scanner's MetricsRegistry as
+// dnsboot_scanner_* counters; shard merging is MetricsRegistry::merge.
+using ScannerStats = obs::ScannerStats;
 
 class Scanner {
  public:
@@ -84,6 +71,9 @@ class Scanner {
 
   const ScannerStats& stats() const { return stats_; }
   const InfrastructureSnapshot& infrastructure() const { return infra_; }
+  // The scanner's dnsboot_scanner_* counters and per-zone scan-duration
+  // histogram; run_survey merges this into the survey-wide registry.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
   struct ZoneTask;
@@ -128,7 +118,11 @@ class Scanner {
   std::unordered_map<std::string, ZoneObservation> pending_best_;
   std::size_t active_zones_ = 0;
   ZoneCallback on_zone_;
-  ScannerStats stats_;
+  // Registry before its views (members initialize in declaration order).
+  obs::MetricsRegistry metrics_;
+  ScannerStats stats_{metrics_};
+  obs::Histogram& zone_histogram_{
+      metrics_.histogram("dnsboot_scanner_zone_usec")};
   InfrastructureSnapshot infra_;
   std::unordered_map<std::string, bool> tld_capture_started_;
   bool root_capture_started_ = false;

@@ -38,7 +38,22 @@ bool legacy_known_type(dns::RRType type) {
 }  // namespace
 
 AuthServer::AuthServer(ServerConfig config, std::uint64_t seed)
-    : config_(std::move(config)), rng_(seed) {}
+    : config_(std::move(config)), rng_(seed) {
+  // Pre-create the whole rcode family now so the serve-mode scrape thread
+  // only ever reads the registry maps, never racing an insertion.
+  rcode_counters_.reserve(7);
+  for (int rcode = 0; rcode <= 5; ++rcode) {
+    rcode_counters_.push_back(&metrics_.counter(
+        "dnsboot_server_responses", "rcode", std::to_string(rcode)));
+  }
+  rcode_counters_.push_back(
+      &metrics_.counter("dnsboot_server_responses", "rcode", "other"));
+}
+
+void AuthServer::count_response(dns::Rcode rcode) {
+  const std::size_t index = static_cast<std::size_t>(rcode);
+  rcode_counters_[index < 6 ? index : 6]->add(1);
+}
 
 void AuthServer::add_zone(std::shared_ptr<const dns::Zone> zone) {
   zones_[zone->origin().canonical_text()] = std::move(zone);
@@ -412,7 +427,28 @@ void AuthServer::attach(net::Transport& network,
         network.send(destination, source, wire, tcp);
       });
     };
+    // Request span for sampled queries: receipt → response handed to the
+    // transport (including any fault-gate service delay).
+    const bool traced = tracer_ != nullptr && tracer_->sample();
+    auto trace_request = [this, &network, &query, delay,
+                          received = network.now(),
+                          traced](dns::Rcode rcode) {
+      count_response(rcode);
+      if (!traced) return;
+      obs::TraceSpan span;
+      span.kind = "request";
+      span.name = query->questions.empty()
+                      ? std::string("<no question>")
+                      : query->questions[0].name.to_text() + " " +
+                            dns::to_string(query->questions[0].type);
+      span.detail = config_.id;
+      span.start_usec = received;
+      span.end_usec = network.now() + delay;
+      span.status = dns::to_string(rcode);
+      tracer_->record(std::move(span));
+    };
     if (short_circuit.has_value()) {
+      trace_request(short_circuit->header.rcode);
       send_wire(short_circuit->encode(), dgram.tcp);
       return;
     }
@@ -423,15 +459,19 @@ void AuthServer::attach(net::Transport& network,
       if (!dgram.tcp) {
         dns::Message refusal = dns::Message::make_response(query.value());
         refusal.header.rcode = dns::Rcode::kRefused;
+        trace_request(refusal.header.rcode);
         send_wire(refusal.encode(), /*tcp=*/false);
         return;
       }
-      for (auto& response : handle_axfr(query.value())) {
+      std::vector<dns::Message> stream = handle_axfr(query.value());
+      if (!stream.empty()) trace_request(stream.front().header.rcode);
+      for (auto& response : stream) {
         send_wire(response.encode(), /*tcp=*/true);
       }
       return;
     }
     dns::Message response = handle(query.value());
+    trace_request(response.header.rcode);
     Bytes wire = response.encode();
     if (!dgram.tcp) {
       // UDP size limit: the client's EDNS-advertised buffer, or the

@@ -22,6 +22,8 @@
 #include "dns/message.hpp"
 #include "dns/zone.hpp"
 #include "net/transport.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace dnsboot::server {
 
@@ -120,6 +122,16 @@ class AuthServer {
   std::uint64_t flap_servfails() const { return flap_servfails_; }
   std::uint64_t slow_start_penalized() const { return slow_start_penalized_; }
 
+  // The server's dnsboot_server_* counters, including the per-rcode
+  // response family (all family members are pre-created at construction, so
+  // a scrape thread never races a map insertion). dnsboot-serve merges each
+  // worker's server registries into its /metrics exposition.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // Optional request tracing: sampled incoming queries record a "request"
+  // span (receipt → response send, status = rcode). Not owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   net::SimTime fault_gate(const dns::Message& query, net::SimTime now,
                           std::optional<dns::Message>* short_circuit);
@@ -130,13 +142,27 @@ class AuthServer {
                               bool dnssec_ok,
                               std::vector<dns::ResourceRecord>* section);
   void maybe_corrupt_signatures(dns::Message& response);
+  // Bump the dnsboot_server_responses{rcode=...} family member.
+  void count_response(dns::Rcode rcode);
 
   ServerConfig config_;
   Rng rng_;
   // Keyed by canonical origin text for longest-suffix lookup.
   std::map<std::string, std::shared_ptr<const dns::Zone>> zones_;
   std::vector<net::IpAddress> addresses_;
-  std::uint64_t queries_handled_ = 0;
+
+  // Registry before its views (members initialize in declaration order).
+  obs::MetricsRegistry metrics_;
+  obs::CounterRef queries_handled_{metrics_.counter("dnsboot_server_queries")};
+  obs::CounterRef rate_limited_{
+      metrics_.counter("dnsboot_server_rate_limited")};
+  obs::CounterRef flap_servfails_{
+      metrics_.counter("dnsboot_server_flap_servfails")};
+  obs::CounterRef slow_start_penalized_{
+      metrics_.counter("dnsboot_server_slow_start_penalized")};
+  // Per-rcode response family, pre-bound for rcodes 0..5 plus "other".
+  std::vector<obs::Counter*> rcode_counters_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Fault-profile state (shared across all attached addresses — the pool is
   // one server identity).
@@ -144,9 +170,6 @@ class AuthServer {
   net::SimTime rl_last_refill_ = 0;
   bool rl_initialized_ = false;
   std::uint64_t slow_queries_seen_ = 0;
-  std::uint64_t rate_limited_ = 0;
-  std::uint64_t flap_servfails_ = 0;
-  std::uint64_t slow_start_penalized_ = 0;
 };
 
 }  // namespace dnsboot::server

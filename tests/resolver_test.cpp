@@ -453,14 +453,16 @@ TEST(QueryEngine, AdaptivePolicyWastesFewerSendsThanFixedRetries) {
     }
     fx.network.run();
     EXPECT_EQ(done, 60);
-    return engine.stats();
+    // The engine dies with this scope; snapshot its registry so the stats
+    // survive (a bare stats() copy would be a dangling view).
+    return obs::StatsSnapshot<QueryEngineStats>(engine.metrics());
   };
   auto fixed = run_policy(false);
   auto adaptive = run_policy(true);
-  EXPECT_LT(adaptive.wasted_sends(), fixed.wasted_sends());
-  EXPECT_GT(adaptive.fail_fast, 0u);
+  EXPECT_LT(adaptive->wasted_sends(), fixed->wasted_sends());
+  EXPECT_GT(adaptive->fail_fast, 0u);
   // Both policies answered every live-server query.
-  EXPECT_EQ(adaptive.responses, fixed.responses);
+  EXPECT_EQ(adaptive->responses, fixed->responses);
 }
 
 TEST(QueryEngine, IdExhaustionReportsOverload) {

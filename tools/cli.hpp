@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -209,5 +210,47 @@ class FlagParser {
   std::vector<Entry> entries_;
   bool help_requested_ = false;
 };
+
+// The output surface every tool shares (DESIGN.md §11): one struct, one
+// flag-declaration helper, so `--json`, `--metrics-json`, `--trace` and
+// `--quiet` mean the same thing in dnsboot-survey, dnsboot-serve and
+// dnsboot-lint instead of each main growing its own variants.
+struct OutputOptions {
+  std::string json_path;          // --json FILE: the tool's primary report
+  std::string metrics_json_path;  // --metrics-json FILE: registry dump
+  std::string trace_path;         // --trace FILE: sampled spans as JSONL
+  bool quiet = false;             // --quiet: suppress progress output
+};
+
+// Which of the shared flags a tool exposes (dnsboot-serve has no report
+// JSON; only dnsboot-survey traces) and the tool-specific help strings.
+struct OutputFlagSet {
+  bool with_json = true;
+  bool with_trace = false;
+  std::string json_help = "write the report as JSON";
+  std::string quiet_help = "suppress progress output";
+};
+
+inline void add_output_flags(FlagParser& parser, OutputOptions* out,
+                             const OutputFlagSet& set = {}) {
+  if (set.with_json) {
+    parser.value("--json", &out->json_path, "FILE", set.json_help);
+  }
+  parser.value("--metrics-json", &out->metrics_json_path, "FILE",
+               "write the metrics registry as one-line JSON");
+  if (set.with_trace) {
+    parser.value("--trace", &out->trace_path, "FILE",
+                 "write sampled trace spans as JSONL");
+  }
+  parser.flag("--quiet", &out->quiet, set.quiet_help);
+}
+
+// Shared "write whole file or complain" helper for the tools' outputs.
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
 
 }  // namespace dnsboot::cli

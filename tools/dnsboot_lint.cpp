@@ -7,7 +7,7 @@
 //
 // Usage:
 //   dnsboot-lint [--scale-denom N] [--seed S] [--no-pathologies]
-//                [--json FILE] [--quiet]
+//                [--json FILE] [--metrics-json FILE] [--quiet]
 //   dnsboot-lint --zone FILE --origin NAME [--now T]
 //   dnsboot-lint --self-check [--scale-denom N] [--seed S]
 //   dnsboot-lint --rules
@@ -28,6 +28,7 @@
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
 #include "net/simnet.hpp"
+#include "obs/metrics.hpp"
 
 using namespace dnsboot;
 
@@ -37,8 +38,7 @@ struct CliOptions {
   double scale_denom = 100000;  // micro world: every pathology, quick lint
   std::uint64_t seed = 1;
   bool pathologies = true;
-  std::string json_path;
-  bool quiet = false;
+  cli::OutputOptions output;
   std::string zone_path;    // --zone: lint one zone file instead
   std::string origin_text;  // required with --zone
   std::uint32_t now = 1'750'000'000;
@@ -56,9 +56,10 @@ cli::FlagParser make_parser(CliOptions* options) {
   parser.value("--seed", &options->seed, "ecosystem seed");
   parser.flag("--no-pathologies", &options->pathologies,
               "build a misconfiguration-free world", false);
-  parser.value("--json", &options->json_path, "FILE",
-               "write the lint report as JSON");
-  parser.flag("--quiet", &options->quiet, "summary line only");
+  cli::OutputFlagSet output_flags;
+  output_flags.json_help = "write the lint report as JSON";
+  output_flags.quiet_help = "summary line only";
+  cli::add_output_flags(parser, &options->output, output_flags);
   parser.value("--zone", &options->zone_path, "FILE",
                "lint one zone file (requires --origin)");
   parser.value("--origin", &options->origin_text, "NAME",
@@ -81,15 +82,35 @@ int list_rules() {
 }
 
 int emit(const lint::LintReport& report, const CliOptions& options) {
-  if (!options.json_path.empty()) {
-    std::ofstream out(options.json_path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+  if (!options.output.json_path.empty()) {
+    if (!cli::write_file(options.output.json_path,
+                         lint::report_to_json(report))) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.output.json_path.c_str());
       return 3;
     }
-    out << lint::report_to_json(report);
   }
-  if (options.quiet) {
+  if (!options.output.metrics_json_path.empty()) {
+    // The lint "registry": zones checked, total findings, and a per-rule
+    // labeled family — the same shape the survey metrics dump has, so one
+    // consumer script reads both.
+    obs::MetricsRegistry metrics;
+    metrics.counter("dnsboot_lint_zones_checked")
+        .add(report.zones_checked());
+    metrics.counter("dnsboot_lint_findings_total").add(report.size());
+    for (const auto& [rule, count] : report.counts_by_rule()) {
+      metrics.counter("dnsboot_lint_findings", "rule",
+                      lint::rule_info(rule).code)
+          .add(count);
+    }
+    if (!cli::write_file(options.output.metrics_json_path,
+                         metrics.to_json())) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.output.metrics_json_path.c_str());
+      return 3;
+    }
+  }
+  if (options.output.quiet) {
     // Summary line only (the last line of the text report).
     std::string text = lint::report_to_text(report);
     std::size_t cut = text.rfind('\n', text.size() - 2);
@@ -143,7 +164,7 @@ int lint_world(const CliOptions& options) {
   config.scale = 1.0 / options.scale_denom;
   config.inject_pathologies = options.pathologies;
   auto eco = build_world(config, network);
-  if (!options.quiet) {
+  if (!options.output.quiet) {
     std::printf("dnsboot-lint: %zu zones on %zu servers (scale 1/%.0f, "
                 "seed %llu)\n",
                 eco.truth.size(), eco.servers.size(), options.scale_denom,

@@ -32,6 +32,9 @@
 #include "ecosystem/chaos.hpp"
 #include "net/simnet.hpp"
 #include "net/wire/wire_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_http.hpp"
+#include "server/auth_server.hpp"
 
 using namespace dnsboot;
 
@@ -43,10 +46,11 @@ struct CliOptions {
   std::string listen = "127.0.0.1:5300";
   std::size_t workers = 1;
   bool pathologies = true;
-  bool quiet = false;
+  cli::OutputOptions output;
   std::string chaos = "off";
   std::uint64_t chaos_seed = 0xc4a05;
-  std::uint64_t max_seconds = 0;  // 0 = serve until SIGINT/SIGTERM
+  std::uint64_t max_seconds = 0;   // 0 = serve until SIGINT/SIGTERM
+  std::uint32_t metrics_port = 0;  // 0 = no /metrics listener
 };
 
 cli::FlagParser make_parser(CliOptions* options) {
@@ -62,12 +66,16 @@ cli::FlagParser make_parser(CliOptions* options) {
                "SO_REUSEPORT worker threads, one world copy each", 1);
   parser.flag("--no-pathologies", &options->pathologies,
               "serve a misconfiguration-free world", false);
-  parser.flag("--quiet", &options->quiet, "suppress progress output");
+  cli::OutputFlagSet output_flags;
+  output_flags.with_json = false;  // the serve "report" IS the metrics dump
+  cli::add_output_flags(parser, &options->output, output_flags);
   parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
                 "inject the server-side fault schedule");
   parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
   parser.value("--max-seconds", &options->max_seconds,
                "exit after this many seconds (0 = until SIGINT)");
+  parser.value("--metrics-port", &options->metrics_port,
+               "serve Prometheus GET /metrics on 127.0.0.1:N (0 = off)");
   return parser;
 }
 
@@ -147,6 +155,24 @@ bool setup_worker(const CliOptions& options, Worker* worker,
   return true;
 }
 
+// One merged snapshot of every worker's observable state: the wire
+// transport's traffic counters plus each AuthServer's request/rcode
+// counters. Safe to call from the scrape thread while workers serve —
+// registry reads are relaxed-atomic and all metric creation happened at
+// construction time (DESIGN.md §11).
+obs::MetricsRegistry collect_metrics(const std::vector<Worker>& workers) {
+  obs::MetricsRegistry merged;
+  for (const Worker& worker : workers) {
+    if (const obs::MetricsRegistry* m = worker.transport->metrics_registry()) {
+      merged.merge(*m);
+    }
+    for (const auto& server : worker.eco->servers) {
+      merged.merge(server->metrics());
+    }
+  }
+  return merged;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,7 +211,7 @@ int main(int argc, char** argv) {
   }
 
   const net::WireAddressMap& map = workers[0].transport->address_map();
-  if (!options.quiet) {
+  if (!options.output.quiet) {
     std::printf(
         "dnsboot-serve: %zu zones on %zu servers, %zu endpoints at "
         "%s..%u, %zu worker(s)%s\n",
@@ -206,6 +232,21 @@ int main(int argc, char** argv) {
         std::thread([&worker] { worker.transport->run_forever(); });
   }
 
+  obs::MetricsHttpServer metrics_server;
+  if (options.metrics_port != 0) {
+    if (!metrics_server.start(
+            static_cast<std::uint16_t>(options.metrics_port),
+            [&workers] { return collect_metrics(workers).to_prometheus(); })) {
+      std::fprintf(stderr, "dnsboot-serve: metrics listener: %s\n",
+                   metrics_server.error().c_str());
+      handle_signal(0);
+      for (Worker& worker : workers) worker.thread.join();
+      return 1;
+    }
+    std::printf("dnsboot-serve: metrics at http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(metrics_server.port()));
+  }
+
   // Scripts wait for this line before starting the survey.
   std::printf("dnsboot-serve: ready\n");
   std::fflush(stdout);
@@ -220,16 +261,34 @@ int main(int argc, char** argv) {
     }
   }
   for (Worker& worker : workers) worker.thread.join();
+  metrics_server.stop();
 
-  if (!options.quiet) {
-    std::uint64_t received = 0, answered = 0;
-    for (const Worker& worker : workers) {
-      received += worker.transport->datagrams_delivered();
-      answered += worker.transport->datagrams_sent();
+  // Final registry dump — every exit path (SIGINT, SIGTERM, --max-seconds)
+  // funnels through the stop flag to here, so the last scrape's worth of
+  // counters is never lost with the process.
+  const obs::MetricsRegistry final_metrics = collect_metrics(workers);
+  if (!options.output.metrics_json_path.empty()) {
+    if (!cli::write_file(options.output.metrics_json_path,
+                         final_metrics.to_json())) {
+      std::fprintf(stderr, "dnsboot-serve: cannot write %s\n",
+                   options.output.metrics_json_path.c_str());
+      return 1;
     }
-    std::printf("dnsboot-serve: done, %llu datagrams in, %llu out\n",
-                static_cast<unsigned long long>(received),
-                static_cast<unsigned long long>(answered));
+    if (!options.output.quiet) {
+      std::printf("wrote %s\n", options.output.metrics_json_path.c_str());
+    }
+  }
+  if (!options.output.quiet) {
+    std::printf(
+        "dnsboot-serve: done, %llu datagrams in, %llu out, %llu queries "
+        "handled, %llu scrapes\n",
+        static_cast<unsigned long long>(
+            final_metrics.counter_value("dnsboot_wire_datagrams_delivered")),
+        static_cast<unsigned long long>(
+            final_metrics.counter_value("dnsboot_wire_datagrams_sent")),
+        static_cast<unsigned long long>(
+            final_metrics.counter_value("dnsboot_server_queries")),
+        static_cast<unsigned long long>(metrics_server.scrapes()));
   }
   return 0;
 }

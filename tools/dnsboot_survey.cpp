@@ -7,7 +7,8 @@
 //                  [--no-pathologies] [--no-signal-scan] [--lint] [--quiet]
 //                  [--chaos off|mild|hostile] [--chaos-seed S]
 //                  [--scan-attempts N] [--threads N] [--shards N]
-//                  [--bench-json FILE]
+//                  [--bench-json FILE] [--metrics-json FILE]
+//                  [--trace FILE] [--trace-sample N]
 //
 // With --chaos, the built world gets a deterministic fault schedule (lossy,
 // flapping, blackholed links; slow, rate-limited, SERVFAIL-flapping servers)
@@ -26,7 +27,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "analysis/parallel.hpp"
 #include "analysis/report_io.hpp"
@@ -40,6 +40,7 @@
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
 #include "net/wire/wire_transport.hpp"
+#include "obs/trace.hpp"
 
 using namespace dnsboot;
 
@@ -48,12 +49,11 @@ namespace {
 struct CliOptions {
   double scale_denom = 4000;
   std::uint64_t seed = 1;
-  std::string json_path;
+  cli::OutputOptions output;
   std::string csv_path;
   bool pathologies = true;
   bool signal_scan = true;
   bool lint_preflight = false;
-  bool quiet = false;
   std::string chaos = "off";
   std::uint64_t chaos_seed = 0xc4a05;
   int scan_attempts = 0;  // 0 = derived from the chaos preset
@@ -62,6 +62,7 @@ struct CliOptions {
   std::string bench_json_path;
   std::string wire;  // HOST:PORT of a dnsboot-serve base endpoint
   double qps = 0;    // 0 = engine default (the paper's 50 qps per NS)
+  std::uint64_t trace_sample = 64;  // trace every Nth candidate span
 };
 
 cli::FlagParser make_parser(CliOptions* options) {
@@ -71,8 +72,12 @@ cli::FlagParser make_parser(CliOptions* options) {
   parser.value("--scale-denom", &options->scale_denom,
                "world scale divisor (zones ~ 1/N of the paper's)", 1e-9);
   parser.value("--seed", &options->seed, "ecosystem seed");
-  parser.value("--json", &options->json_path, "FILE",
-               "write the aggregate report as JSON");
+  cli::OutputFlagSet output_flags;
+  output_flags.with_trace = true;
+  output_flags.json_help = "write the aggregate report as JSON";
+  cli::add_output_flags(parser, &options->output, output_flags);
+  parser.value("--trace-sample", &options->trace_sample,
+               "trace every Nth span candidate (1 = all, 0 = off)");
   parser.value("--csv", &options->csv_path, "FILE",
                "write per-zone reports as CSV");
   parser.flag("--no-pathologies", &options->pathologies,
@@ -81,7 +86,6 @@ cli::FlagParser make_parser(CliOptions* options) {
               "skip the RFC 9615 signal-zone scan", false);
   parser.flag("--lint", &options->lint_preflight,
               "static lint preflight before scanning");
-  parser.flag("--quiet", &options->quiet, "suppress progress output");
   parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
                 "inject a deterministic fault schedule");
   parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
@@ -100,13 +104,6 @@ cli::FlagParser make_parser(CliOptions* options) {
                "scans run in real time, so pacing bounds wall clock)",
                1e-9);
   return parser;
-}
-
-bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -183,14 +180,14 @@ int main(int argc, char** argv) {
   auto first_world = std::make_shared<analysis::ShardWorld>(build_world(
       analysis::shard_network_seed(base_network_seed, 0, shards), &chaos_plan,
       &preflight_eco));
-  if (!options.quiet) {
+  if (!options.output.quiet) {
     std::printf("dnsboot-survey: %zu zones (scale 1/%.0f, seed %llu)\n",
                 first_world->targets.size(), options.scale_denom,
                 static_cast<unsigned long long>(options.seed));
   }
 
   if (chaos) {
-    if (!options.quiet) {
+    if (!options.output.quiet) {
       std::printf(
           "chaos '%s': %llu faulted endpoints (%llu blackholed, "
           "%llu flapping), %llu faulted servers\n",
@@ -223,6 +220,16 @@ int main(int argc, char** argv) {
   analysis::SurveyRunOptions run_options;
   run_options.scanner.scan_signal_zones = options.signal_scan;
   run_options.keep_reports = !options.csv_path.empty();
+  // One tracer shared by every shard's engine/scanner (the ring is
+  // mutex-protected; the sampling counter is atomic). Only wired when the
+  // user asked for a trace file — a null tracer costs the hot paths nothing.
+  std::optional<obs::Tracer> tracer;
+  if (!options.output.trace_path.empty()) {
+    obs::TracerOptions tracer_options;
+    tracer_options.sample_every = options.trace_sample;
+    tracer.emplace(tracer_options);
+    run_options.tracer = &*tracer;
+  }
   if (chaos) {
     // Resilient retry policy: escalating per-attempt timeouts, decorrelated
     // jitter between retries, a retry budget, per-server breakers with the
@@ -282,6 +289,9 @@ int main(int argc, char** argv) {
     sharded.merged = analysis::run_survey(
         transport, first_world->hints, first_world->targets,
         first_world->ns_domain_to_operator, first_world->now, run_options);
+    // `merged` was replaced wholesale, so the fault view must be rebound to
+    // the registry the new result owns (see ShardedSurveyResult).
+    sharded.fault_stats = net::FaultStats(*sharded.merged.metrics);
     sharded.shards = 1;
     sharded.threads = 1;
     sharded.events_processed = transport.datagrams_delivered();
@@ -301,7 +311,7 @@ int main(int argc, char** argv) {
                              .count();
   analysis::SurveyRunResult& result = sharded.merged;
 
-  if (!options.quiet) {
+  if (!options.output.quiet) {
     const analysis::Survey& s = result.survey;
     double total = static_cast<double>(s.total - s.unresolved);
     std::printf("unsigned %s (%s%%), secured %s (%s%%), invalid %s, "
@@ -383,6 +393,14 @@ int main(int argc, char** argv) {
         .add("queries", result.engine_stats.queries)
         .add("simulated_sec",
              result.simulated_duration / static_cast<double>(net::kSecond));
+    if (const obs::Histogram* rtt =
+            result.metrics->find_histogram("dnsboot_engine_rtt_usec")) {
+      bench_json.add_histogram("rtt_usec", *rtt);
+    }
+    if (const obs::Histogram* zone =
+            result.metrics->find_histogram("dnsboot_scanner_zone_usec")) {
+      bench_json.add_histogram("zone_usec", *zone);
+    }
     if (!bench_json.write(options.bench_json_path)) {
       std::fprintf(stderr, "cannot write %s\n",
                    options.bench_json_path.c_str());
@@ -390,24 +408,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!options.json_path.empty()) {
-    if (!write_file(options.json_path, analysis::survey_to_json(result))) {
-      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+  if (!options.output.json_path.empty()) {
+    if (!cli::write_file(options.output.json_path, analysis::survey_to_json(result))) {
+      std::fprintf(stderr, "cannot write %s\n", options.output.json_path.c_str());
       return 1;
     }
-    if (!options.quiet) {
-      std::printf("wrote %s\n", options.json_path.c_str());
+    if (!options.output.quiet) {
+      std::printf("wrote %s\n", options.output.json_path.c_str());
     }
   }
   if (!options.csv_path.empty()) {
-    if (!write_file(options.csv_path,
+    if (!cli::write_file(options.csv_path,
                     analysis::reports_to_csv(result.reports))) {
       std::fprintf(stderr, "cannot write %s\n", options.csv_path.c_str());
       return 1;
     }
-    if (!options.quiet) {
+    if (!options.output.quiet) {
       std::printf("wrote %s (%zu rows)\n", options.csv_path.c_str(),
                   result.reports.size());
+    }
+  }
+  if (!options.output.metrics_json_path.empty()) {
+    if (!cli::write_file(options.output.metrics_json_path,
+                         result.metrics->to_json())) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.output.metrics_json_path.c_str());
+      return 1;
+    }
+    if (!options.output.quiet) {
+      std::printf("wrote %s\n", options.output.metrics_json_path.c_str());
+    }
+  }
+  if (tracer.has_value()) {
+    if (!cli::write_file(options.output.trace_path, tracer->to_jsonl())) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.output.trace_path.c_str());
+      return 1;
+    }
+    if (!options.output.quiet) {
+      std::printf(
+          "wrote %s (%llu spans of %llu candidates, %llu dropped)\n",
+          options.output.trace_path.c_str(),
+          static_cast<unsigned long long>(tracer->recorded()),
+          static_cast<unsigned long long>(tracer->candidates()),
+          static_cast<unsigned long long>(tracer->dropped()));
     }
   }
   return 0;
