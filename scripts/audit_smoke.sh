@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Concurrency-audit smoke (DESIGN.md §12), the CI gate for dnsboot-audit:
+#   1. --rules must list every registered rule code A001..A006;
+#   2. --self-check must pass its per-rule positive/negative fixtures;
+#   3. a tree scan over src/ and tools/ must come back clean (exit 0,
+#      "0 finding(s)") and the --json report must have the expected shape;
+#   4. the auditor must actually detect: a seeded violation file fires the
+#      expected rule (exit 1), and an audit-allow waiver silences it again.
+#
+# Usage: scripts/audit_smoke.sh [BUILD_DIR]
+#   BUILD_DIR    cmake build tree holding tools/ (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+script_dir=$(cd "$(dirname "$0")" && pwd)
+repo_root=$(cd "$script_dir/.." && pwd)
+
+audit="$build_dir/tools/dnsboot-audit"
+if [[ ! -x "$audit" ]]; then
+  echo "audit_smoke: missing $audit (build the dnsboot-audit target first)" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+fail() {
+  echo "audit_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+# --- 1. rule registry ------------------------------------------------------
+rules_out=$("$audit" --rules)
+for code in A001 A002 A003 A004 A005 A006; do
+  grep -q "$code" <<<"$rules_out" || fail "--rules is missing $code"
+done
+echo "audit_smoke: rule registry lists A001..A006"
+
+# --- 2. fixture self-check -------------------------------------------------
+"$audit" --self-check >"$workdir/selfcheck.txt" \
+  || fail "--self-check reported failures:$(cat "$workdir/selfcheck.txt")"
+grep -q "PASS" "$workdir/selfcheck.txt" || fail "--self-check printed no PASS"
+echo "audit_smoke: self-check fixtures pass"
+
+# --- 3. clean tree scan + JSON shape ---------------------------------------
+(cd "$repo_root" && "$audit" --json "$workdir/report.json" src tools) \
+  >"$workdir/scan.txt" || fail "tree scan found violations:
+$(cat "$workdir/scan.txt")"
+grep -q "0 finding(s)" "$workdir/scan.txt" || fail "scan summary not clean"
+for key in '"files_checked"' '"findings"' '"summary"'; do
+  grep -q "$key" "$workdir/report.json" || fail "JSON report missing $key"
+done
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "$workdir/report.json" 2>/dev/null \
+  || fail "JSON report does not parse"
+echo "audit_smoke: tree scan clean, JSON report well-formed"
+
+# --- 4. seeded violation fires, waiver silences ----------------------------
+mkdir "$workdir/bad"
+cat >"$workdir/bad/clocky.cpp" <<'EOF'
+#include <ctime>
+long stamp() { return time(nullptr); }
+EOF
+if "$audit" "$workdir/bad" >"$workdir/bad.txt"; then
+  fail "seeded A002 violation was not detected"
+fi
+grep -q "A002" "$workdir/bad.txt" || fail "violation did not cite A002"
+
+cat >"$workdir/bad/clocky.cpp" <<'EOF'
+#include <ctime>
+// audit-allow: A002 smoke-test fixture, wall clock intended
+long stamp() { return time(nullptr); }
+EOF
+"$audit" "$workdir/bad" >/dev/null \
+  || fail "audit-allow waiver did not silence the finding"
+echo "audit_smoke: seeded violation detected, waiver honoured"
+
+echo "audit_smoke: PASS"

@@ -43,7 +43,7 @@ ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
 
   auto worker = [&] {
     for (;;) {
-      const std::size_t shard =
+      const std::size_t shard =  // audit-allow: A004 RMW work-stealing index
           next_shard.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shards) return;
 

@@ -1,0 +1,393 @@
+#include "audit/auditor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "audit/source.hpp"
+
+namespace dnsboot::audit {
+
+namespace {
+
+// Identifiers that look like calls but are control flow / operators — never
+// function-definition candidates for the scope tracker.
+bool is_keyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",           "while",  "switch",    "catch",
+      "return", "sizeof",        "alignof","new",       "delete",
+      "throw",  "static_assert", "assert", "defined",   "constexpr",
+      "decltype", "noexcept",    "alignas","requires"};
+  return kKeywords.count(text) > 0;
+}
+
+// Wall-clock / PRNG functions banned when called unqualified or via std::
+// (member calls `x.time(...)` are someone else's API and stay legal).
+bool is_banned_call(const std::string& text) {
+  static const std::set<std::string> kCalls = {
+      "time",    "clock",   "rand",        "srand",  "random",
+      "srandom", "drand48", "lrand48",     "mrand48","gettimeofday",
+      "localtime", "gmtime"};
+  return kCalls.count(text) > 0;
+}
+
+// Nondeterministic types banned in any position. steady_clock and
+// CLOCK_MONOTONIC are the allowed time sources; every random engine is out
+// (seeded determinism in this repo flows from SplitMix/Xoshiro in
+// base/rng, never from std::random).
+bool is_banned_type(const std::string& text) {
+  static const std::set<std::string> kTypes = {
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "knuth_b",       "ranlux24",     "ranlux48",
+      "system_clock",  "high_resolution_clock"};
+  return kTypes.count(text) > 0;
+}
+
+bool is_std_mutex_type(const std::string& text) {
+  static const std::set<std::string> kMutexes = {
+      "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+      "recursive_timed_mutex"};
+  return kMutexes.count(text) > 0;
+}
+
+// Does this enclosing-function name produce externally visible bytes?
+bool is_serializer_name(const std::string& name) {
+  static const std::array<const char*, 9> kMarkers = {
+      "to_json", "to_jsonl", "to_text", "to_csv", "serialize",
+      "report",  "render",   "dump",    "emit"};
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (const char* marker : kMarkers) {
+    if (lower.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool word_at(const std::string& code, std::size_t at, std::size_t len) {
+  auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  if (at > 0 && is_word(code[at - 1])) return false;
+  if (at + len < code.size() && is_word(code[at + len])) return false;
+  return true;
+}
+
+bool contains_word(const std::string& code, const std::string& word) {
+  std::size_t at = 0;
+  while ((at = code.find(word, at)) != std::string::npos) {
+    if (word_at(code, at, word.size())) return true;
+    at += word.size();
+  }
+  return false;
+}
+
+// Atomic member functions that *write*; a relaxed load is always benign.
+const std::array<const char*, 9> kAtomicWriteOps = {
+    "store",       "fetch_add", "fetch_sub",
+    "fetch_and",   "fetch_or",  "fetch_xor",
+    "exchange",    "compare_exchange_weak", "compare_exchange_strong"};
+
+// Tracks "which function body are we inside" across a token walk. Pure
+// heuristic — good enough for this codebase's style (clang-format, no
+// function-try-blocks) and every miss is waivable.
+class ScopeTracker {
+ public:
+  // Feed tokens in order; call before inspecting current_function() at i.
+  void step(const std::vector<Token>& tokens, std::size_t i) {
+    const Token& tok = tokens[i];
+    const Token* prev = i > 0 ? &tokens[i - 1] : nullptr;
+    if (tok.text == "(") {
+      if (paren_depth_ == 0 && !in_init_list_) {
+        candidate_ = prev != nullptr && prev->ident && !is_keyword(prev->text)
+                         ? prev->text
+                         : std::string();
+      }
+      ++paren_depth_;
+    } else if (tok.text == ")") {
+      if (paren_depth_ > 0 && --paren_depth_ == 0) armed_ = true;
+    } else if (paren_depth_ == 0 && (tok.text == ";" || tok.text == "=")) {
+      armed_ = false;
+      in_init_list_ = false;
+      candidate_.clear();
+    } else if (paren_depth_ == 0 && tok.text == ":" && armed_) {
+      in_init_list_ = true;  // constructor member-initializer list
+    } else if (tok.text == "{") {
+      bool brace_init = armed_ && in_init_list_ && prev != nullptr &&
+                        (prev->ident || prev->text == ">");
+      if (brace_init) {
+        stack_.push_back(current_function());  // b_{...}: stay armed
+      } else if (armed_) {
+        stack_.push_back(candidate_.empty() ? current_function()
+                                            : candidate_);
+        armed_ = false;
+        in_init_list_ = false;
+        candidate_.clear();
+      } else {
+        // class/namespace/initializer braces inherit the enclosing state
+        // (so a lambda body still counts as "inside" its function).
+        stack_.push_back(current_function());
+      }
+    } else if (tok.text == "}") {
+      if (!stack_.empty()) stack_.pop_back();
+    }
+  }
+
+  // Name of the innermost function body we are inside, "" at type or
+  // namespace scope.
+  const std::string& current_function() const {
+    static const std::string empty;
+    return stack_.empty() ? empty : stack_.back();
+  }
+
+ private:
+  std::vector<std::string> stack_;
+  std::string candidate_;
+  int paren_depth_ = 0;
+  bool armed_ = false;         // just closed a parameter/argument list
+  bool in_init_list_ = false;  // between ctor ')' and its body '{'
+};
+
+// Skip a template argument list starting at tokens[i] == "<"; returns the
+// index one past the matching ">", and reports whether the *first* argument
+// contains a raw pointer. `>` never merges with `>` in this token stream,
+// so depth counting is exact.
+std::size_t scan_template_args(const std::vector<Token>& tokens,
+                               std::size_t i, bool* first_arg_pointer) {
+  int depth = 0;
+  bool in_first = true;
+  *first_arg_pointer = false;
+  for (; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return i + 1;
+    } else if (t == "," && depth == 1) {
+      in_first = false;
+    } else if (t == "*" && depth == 1 && in_first) {
+      *first_arg_pointer = true;
+    } else if (t == "(" || t == ")" || t == ";") {
+      // Comparison operator, not a template list — bail out.
+      return i;
+    }
+  }
+  return i;
+}
+
+struct MutexDecl {
+  std::string name;
+  std::size_t line;
+};
+
+}  // namespace
+
+AuditReport audit_source(const std::string& path, std::string_view text,
+                         const AuditOptions& options) {
+  AuditReport report;
+  report.note_file_checked();
+  SourceFile file = lex_source(path, text);
+  std::vector<Token> tokens = tokenize(file);
+
+  auto add = [&](RuleId rule, std::size_t line, std::string detail) {
+    if (file.waived(rule_info(rule).code, line)) return;
+    report.add(rule, path, line, std::move(detail));
+  };
+
+  // ---- pass A: declaration collection --------------------------------------
+  // Names declared with an unordered container type in this file (members,
+  // locals or parameters — iteration order is equally unstable for all).
+  std::set<std::string> unordered_names;
+  // Names referenced by a GUARDED_BY()/PT_GUARDED_BY() annotation.
+  std::set<std::string> guarded_by_args;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if ((t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset") &&
+        tokens[i + 1].text == "<") {
+      bool pointer_key = false;
+      std::size_t j = scan_template_args(tokens, i + 1, &pointer_key);
+      while (j < tokens.size() &&
+             (tokens[j].text == "&" || tokens[j].text == "*" ||
+              tokens[j].text == "const")) {
+        ++j;
+      }
+      if (j < tokens.size() && tokens[j].ident) {
+        unordered_names.insert(tokens[j].text);
+      }
+    } else if ((t == "GUARDED_BY" || t == "PT_GUARDED_BY") &&
+               tokens[i + 1].text == "(" && i + 2 < tokens.size() &&
+               tokens[i + 2].ident) {
+      guarded_by_args.insert(tokens[i + 2].text);
+    }
+  }
+
+  // ---- pass B: scope-aware token rules -------------------------------------
+  ScopeTracker scopes;
+  std::vector<MutexDecl> project_mutex_members;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    scopes.step(tokens, i);
+    const Token& tok = tokens[i];
+    if (!tok.ident) continue;
+    const Token* prev = i > 0 ? &tokens[i - 1] : nullptr;
+    const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+
+    // A002: banned nondeterminism sources.
+    if (is_banned_call(tok.text) && next != nullptr && next->text == "(" &&
+        (prev == nullptr || (prev->text != "." && prev->text != "->"))) {
+      add(RuleId::kBannedNondeterminism, tok.line,
+          "call to " + tok.text +
+              "() — wall-clock/PRNG source; use the seeded rng or the "
+              "monotonic clock");
+    }
+    if (is_banned_type(tok.text)) {
+      add(RuleId::kBannedNondeterminism, tok.line,
+          "use of std::" + tok.text +
+              " — nondeterministic source; only seeded engines and "
+              "steady_clock are allowed");
+    }
+    if ((tok.text == "map" || tok.text == "set" || tok.text == "multimap" ||
+         tok.text == "multiset") &&
+        prev != nullptr && prev->text == "::" && next != nullptr &&
+        next->text == "<") {
+      bool pointer_key = false;
+      scan_template_args(tokens, i + 1, &pointer_key);
+      if (pointer_key) {
+        add(RuleId::kBannedNondeterminism, tok.line,
+            "std::" + tok.text +
+                " keyed by a raw pointer — iteration order is allocation "
+                "order, which varies across runs");
+      }
+    }
+
+    // A003: raw std::mutex member (locals inside a function are fine — they
+    // cannot be annotated but also cannot be a cross-TU contract).
+    if (is_std_mutex_type(tok.text) && prev != nullptr && prev->text == "::" &&
+        i >= 2 && tokens[i - 2].text == "std" && next != nullptr &&
+        next->ident && scopes.current_function().empty()) {
+      add(RuleId::kRawMutexMember, tok.line,
+          "raw std::" + tok.text + " member `" + next->text +
+              "` — declare a base::Mutex and annotate the guarded fields "
+              "with GUARDED_BY");
+    }
+    // A003 (annotated half): a base::Mutex member nobody GUARDED_BY-refers
+    // to protects nothing — either dead or the annotations are missing.
+    if (tok.text == "Mutex" && next != nullptr && next->ident &&
+        i + 2 < tokens.size() &&
+        (tokens[i + 2].text == "{" || tokens[i + 2].text == ";" ||
+         tokens[i + 2].text == "=") &&
+        scopes.current_function().empty()) {
+      project_mutex_members.push_back({next->text, tok.line});
+    }
+
+    // A005: volatile (the sig_atomic_t signal-flag idiom is the exemption).
+    if (tok.text == "volatile") {
+      bool sig_atomic =
+          (next != nullptr && next->text == "sig_atomic_t") ||
+          (i + 3 < tokens.size() && tokens[i + 1].text == "std" &&
+           tokens[i + 2].text == "::" &&
+           tokens[i + 3].text == "sig_atomic_t");
+      if (!sig_atomic) {
+        add(RuleId::kVolatileQualifier, tok.line,
+            "volatile is not a synchronization primitive — use std::atomic "
+            "(volatile std::sig_atomic_t signal flags are exempt)");
+      }
+    }
+
+    // A006: detached threads.
+    if (tok.text == "detach" && prev != nullptr &&
+        (prev->text == "." || prev->text == "->") && next != nullptr &&
+        next->text == "(") {
+      add(RuleId::kThreadDetach, tok.line,
+          "thread detach() — detached threads race shutdown; scope and "
+          "join every thread");
+    }
+
+    // A001: range-for over an unordered container inside a serializer.
+    if (tok.text == "for" && next != nullptr && next->text == "(" &&
+        is_serializer_name(scopes.current_function())) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].text == "(") {
+          ++depth;
+        } else if (tokens[j].text == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (tokens[j].text == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close > colon) {
+        std::string range_ident;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (tokens[j].ident) range_ident = tokens[j].text;
+        }
+        if (!range_ident.empty() && unordered_names.count(range_ident) > 0) {
+          add(RuleId::kUnorderedSerialization, tok.line,
+              "range-for over unordered container `" + range_ident +
+                  "` inside serializer `" + scopes.current_function() +
+                  "` — output bytes depend on hash order");
+        }
+      }
+    }
+  }
+
+  for (const MutexDecl& decl : project_mutex_members) {
+    if (guarded_by_args.count(decl.name) == 0) {
+      add(RuleId::kRawMutexMember, decl.line,
+          "base::Mutex member `" + decl.name +
+              "` has no GUARDED_BY(" + decl.name +
+              ") field in this file — annotate what it protects");
+    }
+  }
+
+  // ---- pass C: relaxed atomic writes (line window) -------------------------
+  bool relaxed_blessed = false;
+  for (const std::string& suffix : options.relaxed_write_allowlist) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      relaxed_blessed = true;
+      break;
+    }
+  }
+  if (!relaxed_blessed) {
+    for (std::size_t line = 1; line <= file.lines.size(); ++line) {
+      if (!contains_word(file.code(line), "memory_order_relaxed")) continue;
+      // The call this ordering belongs to starts on this line or shortly
+      // above (clang-format wraps arguments, not member accesses further).
+      std::size_t anchor = 0;
+      const char* op = nullptr;
+      for (std::size_t back = 0; back < 3 && line > back; ++back) {
+        for (const char* candidate : kAtomicWriteOps) {
+          if (contains_word(file.code(line - back), candidate)) {
+            anchor = line - back;
+            op = candidate;
+            break;
+          }
+        }
+        if (anchor != 0) break;
+      }
+      if (anchor == 0) continue;  // a relaxed load — always benign
+      add(RuleId::kRelaxedAtomicWrite, anchor,
+          std::string("relaxed atomic write (") + op +
+              ") outside the blessed single-writer counter pattern — use "
+              "acq/rel ordering or add an audit-allow waiver stating the "
+              "happens-before argument");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace dnsboot::audit

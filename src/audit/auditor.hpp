@@ -1,0 +1,90 @@
+// The auditor proper: run every A0xx rule over one source file (or a whole
+// tree via tools/dnsboot_audit.cpp) and collect findings. Same output
+// vocabulary as src/lint: Finding pins a rule to path:line, AuditReport
+// aggregates findings plus coverage counters.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "audit/rules.hpp"
+
+namespace dnsboot::audit {
+
+struct Finding {
+  RuleId rule = RuleId::kUnorderedSerialization;
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string detail;    // free-form context ("std::mutex member `mu_`")
+
+  Severity severity() const { return rule_info(rule).severity; }
+};
+
+class AuditReport {
+ public:
+  void add(RuleId rule, std::string path, std::size_t line,
+           std::string detail) {
+    findings_.push_back({rule, std::move(path), line, std::move(detail)});
+  }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool empty() const { return findings_.empty(); }
+  std::size_t size() const { return findings_.size(); }
+
+  // True when no finding reaches `at_least` (default: any finding at all).
+  bool clean(Severity at_least = Severity::kWarning) const {
+    for (const Finding& f : findings_) {
+      if (f.severity() >= at_least) return false;
+    }
+    return true;
+  }
+
+  std::size_t count(RuleId rule) const {
+    std::size_t n = 0;
+    for (const Finding& f : findings_) n += (f.rule == rule) ? 1 : 0;
+    return n;
+  }
+
+  std::map<RuleId, std::size_t> counts_by_rule() const {
+    std::map<RuleId, std::size_t> counts;
+    for (const Finding& f : findings_) ++counts[f.rule];
+    return counts;
+  }
+
+  void merge(AuditReport other) {
+    findings_.insert(findings_.end(),
+                     std::make_move_iterator(other.findings_.begin()),
+                     std::make_move_iterator(other.findings_.end()));
+    files_checked_ += other.files_checked_;
+  }
+
+  std::size_t files_checked() const { return files_checked_; }
+  void note_file_checked() { ++files_checked_; }
+
+ private:
+  std::vector<Finding> findings_;
+  std::size_t files_checked_ = 0;
+};
+
+struct AuditOptions {
+  // Files (matched by path suffix) where a relaxed atomic *write* is the
+  // blessed pattern itself: the single-writer counter (obs/metrics.hpp) and
+  // the verify layer that checks it — the checker cannot be written in
+  // terms of itself.
+  std::vector<std::string> relaxed_write_allowlist = {
+      "src/obs/metrics.hpp",
+      "src/base/verify.hpp",
+      "src/base/verify.cpp",
+  };
+};
+
+// Audit one file's text. `path` is used for reporting and for the
+// allowlist suffix match.
+AuditReport audit_source(const std::string& path, std::string_view text,
+                         const AuditOptions& options = {});
+
+}  // namespace dnsboot::audit

@@ -1,0 +1,91 @@
+#include "audit/report.hpp"
+
+namespace dnsboot::audit {
+namespace {
+
+void append_escaped(std::string& out, const std::string& value) {
+  out += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string report_to_text(const AuditReport& report) {
+  std::string out;
+  for (const Finding& finding : report.findings()) {
+    const RuleInfo& rule = rule_info(finding.rule);
+    out += to_string(rule.severity);
+    out += ' ';
+    out += rule.code;
+    out += ' ';
+    out += rule.name;
+    out += ' ';
+    out += finding.path;
+    out += ':' + std::to_string(finding.line);
+    out += ": ";
+    out += finding.detail;
+    out += '\n';
+  }
+
+  out += "checked " + std::to_string(report.files_checked()) + " file(s), " +
+         std::to_string(report.size()) + " finding(s)";
+  const auto counts = report.counts_by_rule();
+  if (!counts.empty()) {
+    out += " (";
+    bool first = true;
+    for (const auto& [rule, count] : counts) {
+      if (!first) out += ", ";
+      first = false;
+      const RuleInfo& info = rule_info(rule);
+      out += info.code;
+      out += ' ';
+      out.append(info.name);
+      out += ": " + std::to_string(count);
+    }
+    out += ')';
+  }
+  out += '\n';
+  return out;
+}
+
+std::string report_to_json(const AuditReport& report) {
+  std::string out = "{\"files_checked\":";
+  out += std::to_string(report.files_checked());
+  out += ",\"findings\":[";
+  bool first = true;
+  for (const Finding& finding : report.findings()) {
+    if (!first) out += ',';
+    first = false;
+    const RuleInfo& rule = rule_info(finding.rule);
+    out += "{\"rule\":";
+    append_escaped(out, std::string(rule.code));
+    out += ",\"name\":";
+    append_escaped(out, std::string(rule.name));
+    out += ",\"severity\":";
+    append_escaped(out, std::string(to_string(rule.severity)));
+    out += ",\"path\":";
+    append_escaped(out, finding.path);
+    out += ",\"line\":";
+    out += std::to_string(finding.line);
+    out += ",\"detail\":";
+    append_escaped(out, finding.detail);
+    out += '}';
+  }
+  out += "],\"summary\":{";
+  first = true;
+  for (const auto& [rule, count] : report.counts_by_rule()) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, std::string(rule_info(rule).code));
+    out += ':';
+    out += std::to_string(count);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dnsboot::audit

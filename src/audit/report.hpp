@@ -1,0 +1,20 @@
+// Text and JSON renderers for audit reports — dnsboot-audit's output layer,
+// mirroring src/lint/report.hpp.
+#pragma once
+
+#include <string>
+
+#include "audit/auditor.hpp"
+
+namespace dnsboot::audit {
+
+// Human-readable report: one line per finding
+// ("error A003 raw-mutex-member src/foo.hpp:12: <detail>") followed by a
+// per-rule summary block.
+std::string report_to_text(const AuditReport& report);
+
+// Machine-readable report:
+// {"files_checked":N,"findings":[...],"summary":{...}}.
+std::string report_to_json(const AuditReport& report);
+
+}  // namespace dnsboot::audit

@@ -1,0 +1,228 @@
+#include "audit/selfcheck.hpp"
+
+#include <cstdio>
+
+#include "audit/auditor.hpp"
+#include "audit/report.hpp"
+
+namespace dnsboot::audit {
+
+namespace {
+
+// --- A001 ------------------------------------------------------------------
+constexpr const char* kA001Fire = R"cpp(
+#include <string>
+#include <unordered_map>
+struct Index {
+  std::unordered_map<std::string, int> by_name;
+  std::string to_json() const {
+    std::string out;
+    for (const auto& [k, v] : by_name) {
+      out += k + std::to_string(v);
+    }
+    return out;
+  }
+};
+)cpp";
+
+constexpr const char* kA001Silent = R"cpp(
+#include <map>
+#include <string>
+struct Index {
+  std::map<std::string, int> by_name;
+  std::string to_json() const {
+    std::string out;
+    for (const auto& [k, v] : by_name) {
+      out += k + std::to_string(v);
+    }
+    return out;
+  }
+};
+)cpp";
+
+// --- A002 ------------------------------------------------------------------
+constexpr const char* kA002Fire = R"cpp(
+#include <ctime>
+unsigned long seed_from_wall_clock() {
+  return static_cast<unsigned long>(time(nullptr));
+}
+)cpp";
+
+constexpr const char* kA002Silent = R"cpp(
+#include <chrono>
+#include <time.h>
+long monotonic_us(const std::chrono::steady_clock::time_point& since) {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)since;
+  return ts.tv_sec * 1000000 + ts.tv_nsec / 1000;
+}
+)cpp";
+
+constexpr const char* kA002PointerKey = R"cpp(
+#include <set>
+struct Node;
+struct Graph {
+  std::set<const Node*> visited;
+};
+)cpp";
+
+// --- A003 ------------------------------------------------------------------
+constexpr const char* kA003Fire = R"cpp(
+#include <mutex>
+#include <vector>
+class Queue {
+ public:
+  void push(int v);
+ private:
+  std::mutex mu_;
+  std::vector<int> items_;
+};
+)cpp";
+
+constexpr const char* kA003Silent = R"cpp(
+#include <mutex>
+void once_guarded_init() {
+  std::mutex local_scratch;
+  local_scratch.lock();
+  local_scratch.unlock();
+}
+)cpp";
+
+constexpr const char* kA003Unguarded = R"cpp(
+#include "base/mutex.hpp"
+class Queue {
+ private:
+  base::Mutex mu_{"Queue::mu_"};
+  int depth_ = 0;
+};
+)cpp";
+
+constexpr const char* kA003Guarded = R"cpp(
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+class Queue {
+ private:
+  base::Mutex mu_{"Queue::mu_"};
+  int depth_ GUARDED_BY(mu_) = 0;
+};
+)cpp";
+
+// --- A004 ------------------------------------------------------------------
+constexpr const char* kA004Fire = R"cpp(
+#include <atomic>
+struct Counter {
+  std::atomic<long> value{0};
+  void bump() {
+    value.store(value.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+};
+)cpp";
+
+constexpr const char* kA004Silent = R"cpp(
+#include <atomic>
+struct Counter {
+  std::atomic<long> value{0};
+  long read() const { return value.load(std::memory_order_relaxed); }
+};
+)cpp";
+
+constexpr const char* kA004Waived = R"cpp(
+#include <atomic>
+struct Counter {
+  std::atomic<long> value{0};
+  void bump() {
+    // audit-allow: A004 single-writer counter; reader tolerates lag
+    value.store(value.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+};
+)cpp";
+
+// --- A005 ------------------------------------------------------------------
+constexpr const char* kA005Fire = R"cpp(
+struct Shared {
+  volatile int ready = 0;
+};
+)cpp";
+
+constexpr const char* kA005Silent = R"cpp(
+#include <csignal>
+volatile std::sig_atomic_t g_stop_requested = 0;
+void on_signal(int) { g_stop_requested = 1; }
+)cpp";
+
+// --- A006 ------------------------------------------------------------------
+constexpr const char* kA006Fire = R"cpp(
+#include <thread>
+void fire_and_forget(void (*work)()) {
+  std::thread t(work);
+  t.detach();
+}
+)cpp";
+
+constexpr const char* kA006Silent = R"cpp(
+#include <thread>
+void run_and_join(void (*work)()) {
+  std::thread t(work);
+  t.join();
+}
+)cpp";
+
+}  // namespace
+
+const std::vector<SelfCheckCase>& self_check_cases() {
+  static const std::vector<SelfCheckCase> cases = {
+      {"a001-unordered-in-serializer", RuleId::kUnorderedSerialization,
+       kA001Fire, true},
+      {"a001-ordered-map", RuleId::kUnorderedSerialization, kA001Silent,
+       false},
+      {"a002-wall-clock", RuleId::kBannedNondeterminism, kA002Fire, true},
+      {"a002-monotonic-clock", RuleId::kBannedNondeterminism, kA002Silent,
+       false},
+      {"a002-pointer-keyed-set", RuleId::kBannedNondeterminism,
+       kA002PointerKey, true},
+      {"a003-raw-mutex-member", RuleId::kRawMutexMember, kA003Fire, true},
+      {"a003-local-mutex", RuleId::kRawMutexMember, kA003Silent, false},
+      {"a003-unguarded-base-mutex", RuleId::kRawMutexMember, kA003Unguarded,
+       true},
+      {"a003-guarded-base-mutex", RuleId::kRawMutexMember, kA003Guarded,
+       false},
+      {"a004-relaxed-store", RuleId::kRelaxedAtomicWrite, kA004Fire, true},
+      {"a004-relaxed-load", RuleId::kRelaxedAtomicWrite, kA004Silent, false},
+      {"a004-waived-store", RuleId::kRelaxedAtomicWrite, kA004Waived, false},
+      {"a005-volatile-flag", RuleId::kVolatileQualifier, kA005Fire, true},
+      {"a005-sig-atomic", RuleId::kVolatileQualifier, kA005Silent, false},
+      {"a006-detach", RuleId::kThreadDetach, kA006Fire, true},
+      {"a006-join", RuleId::kThreadDetach, kA006Silent, false},
+  };
+  return cases;
+}
+
+bool run_self_check(bool quiet) {
+  bool pass = true;
+  for (const SelfCheckCase& check : self_check_cases()) {
+    AuditReport report = audit_source(
+        std::string("selfcheck/") + check.name + ".cpp", check.source);
+    bool fired = report.count(check.rule) > 0;
+    // A fixture must not trip rules it was not aimed at, either.
+    std::size_t stray = report.size() - report.count(check.rule);
+    bool ok = fired == check.should_fire && stray == 0;
+    pass = pass && ok;
+    if (!quiet || !ok) {
+      std::printf("  %-30s expected %-6s  got %-6s%s  %s\n", check.name,
+                  check.should_fire ? "fire" : "silent",
+                  fired ? "fire" : "silent",
+                  stray != 0 ? " (+stray)" : "", ok ? "ok" : "FAIL");
+    }
+    if (!ok && !report.empty()) {
+      std::fputs(report_to_text(report).c_str(), stdout);
+    }
+  }
+  std::printf("self-check: %zu fixture(s), %s\n", self_check_cases().size(),
+              pass ? "PASS" : "FAIL");
+  return pass;
+}
+
+}  // namespace dnsboot::audit

@@ -1,0 +1,28 @@
+// Built-in ground truth for dnsboot-audit --self-check: one positive (must
+// fire) and one negative (must stay silent) fixture per rule, compiled into
+// the binary so the check needs no filesystem. tests/audit_test.cpp walks
+// the same cases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/rules.hpp"
+
+namespace dnsboot::audit {
+
+struct SelfCheckCase {
+  const char* name;    // "a004-relaxed-store" — doubles as the fixture path
+  RuleId rule;         // the rule under test
+  const char* source;  // fixture source text
+  bool should_fire;    // true: rule must report >=1 finding; false: zero
+};
+
+const std::vector<SelfCheckCase>& self_check_cases();
+
+// Run every case; prints one line per case (quiet=false) plus a PASS/FAIL
+// summary. Returns true when every positive fires and every negative is
+// silent — and when no fixture trips a rule it was not aimed at.
+bool run_self_check(bool quiet);
+
+}  // namespace dnsboot::audit

@@ -1,0 +1,260 @@
+#include "audit/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dnsboot::audit {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Pull every "audit-allow: A001[, A002 ...]" directive out of one comment's
+// text and register the codes at `line`.
+void extract_waivers(const std::string& comment, std::size_t line,
+                     SourceFile* out) {
+  static constexpr std::string_view kMarker = "audit-allow:";
+  std::size_t at = 0;
+  while ((at = comment.find(kMarker, at)) != std::string::npos) {
+    std::size_t i = at + kMarker.size();
+    // Codes: "A" + 3 digits, separated by spaces or commas; the first
+    // token that is not a code ends the list (it is the reason text).
+    while (i < comment.size()) {
+      while (i < comment.size() &&
+             (comment[i] == ' ' || comment[i] == ',' || comment[i] == '\t')) {
+        ++i;
+      }
+      if (i + 4 <= comment.size() && comment[i] == 'A' &&
+          std::isdigit(static_cast<unsigned char>(comment[i + 1])) != 0 &&
+          std::isdigit(static_cast<unsigned char>(comment[i + 2])) != 0 &&
+          std::isdigit(static_cast<unsigned char>(comment[i + 3])) != 0 &&
+          (i + 4 == comment.size() || !ident_char(comment[i + 4]))) {
+        out->waivers[comment.substr(i, 4)].push_back(line);
+        i += 4;
+        continue;
+      }
+      break;
+    }
+    at += kMarker.size();
+  }
+}
+
+}  // namespace
+
+bool SourceFile::waived(std::string_view rule_code, std::size_t line) const {
+  auto it = waivers.find(std::string(rule_code));
+  if (it == waivers.end()) return false;
+  for (std::size_t waiver_line : it->second) {
+    if (line == waiver_line || line == waiver_line + 1) return true;
+  }
+  return false;
+}
+
+SourceFile lex_source(std::string path, std::string_view text) {
+  SourceFile out;
+  out.path = std::move(path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string line_code;
+  std::string comment;           // text of the comment currently open
+  std::size_t comment_line = 0;  // line the comment started on
+  std::string raw_delim;         // ")delim\"" terminator of a raw string
+  bool prev_continuation = false;
+  std::size_t line_no = 1;
+
+  auto flush_line = [&] {
+    SourceLine line;
+    line.code = line_code;
+    std::size_t first = line.code.find_first_not_of(" \t");
+    bool hash = first != std::string::npos && line.code[first] == '#';
+    line.preprocessor = hash || prev_continuation;
+    prev_continuation =
+        line.preprocessor && !line.code.empty() && line.code.back() == '\\';
+    out.lines.push_back(std::move(line));
+    line_code.clear();
+    ++line_no;
+  };
+  auto close_comment = [&] {
+    extract_waivers(comment, comment_line, &out);
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        close_comment();
+        state = State::kCode;
+      }
+      if (state == State::kBlockComment) comment.push_back('\n');
+      // Unterminated ordinary literals do not span lines in valid C++;
+      // recover rather than blanking the rest of the file.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment_line = line_no;
+          line_code.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment_line = line_no;
+          line_code.append("  ");
+          ++i;
+        } else if (c == '"') {
+          // Raw string: R"delim( ... )delim" — only recognized when the
+          // quote directly follows R / u8R / LR / uR / UR.
+          bool raw = !line_code.empty() && line_code.back() == 'R' &&
+                     (line_code.size() < 2 ||
+                      !ident_char(line_code[line_code.size() - 2]) ||
+                      line_code[line_code.size() - 2] == '8' ||
+                      line_code[line_code.size() - 2] == 'u' ||
+                      line_code[line_code.size() - 2] == 'L' ||
+                      line_code[line_code.size() - 2] == 'U');
+          if (raw) {
+            raw_delim.clear();
+            raw_delim.push_back(')');
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(' && text[j] != '\n') {
+              raw_delim.push_back(text[j]);
+              ++j;
+            }
+            raw_delim.push_back('"');
+            state = State::kRawString;
+            line_code.push_back(' ');
+            // The delimiter chars themselves are blanked as we pass them.
+          } else {
+            state = State::kString;
+            line_code.push_back(' ');
+          }
+        } else if (c == '\'') {
+          // Only a char literal when not a digit separator (1'000'000) or
+          // part of an identifier-adjacent position.
+          if (!line_code.empty() && ident_char(line_code.back())) {
+            line_code.push_back(' ');  // separator: blank, stay in code
+          } else {
+            state = State::kChar;
+            line_code.push_back(' ');
+          }
+        } else {
+          line_code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comment.push_back(c);
+        line_code.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          close_comment();
+          state = State::kCode;
+          line_code.append("  ");
+          ++i;
+        } else {
+          comment.push_back(c);
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          line_code.append("  ");
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          line_code.push_back(' ');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          line_code.append("  ");
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          line_code.push_back(' ');
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 0; j < raw_delim.size() && i < text.size();
+               ++j, ++i) {
+            if (text[i] == '\n') {
+              flush_line();
+            } else {
+              line_code.push_back(' ');
+            }
+          }
+          --i;  // the for-loop increment advances past the last char
+          state = State::kCode;
+        } else {
+          line_code.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    close_comment();
+  }
+  if (!line_code.empty()) flush_line();
+  return out;
+}
+
+std::vector<Token> tokenize(const SourceFile& file) {
+  std::vector<Token> tokens;
+  for (std::size_t line_no = 1; line_no <= file.lines.size(); ++line_no) {
+    const SourceLine& line = file.lines[line_no - 1];
+    if (line.preprocessor) continue;
+    const std::string& code = line.code;
+    for (std::size_t i = 0; i < code.size();) {
+      char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (ident_char(c)) {
+        std::size_t j = i;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        bool is_ident =
+            std::isdigit(static_cast<unsigned char>(code[i])) == 0;
+        tokens.push_back({code.substr(i, j - i), line_no, is_ident});
+        i = j;
+        continue;
+      }
+      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        tokens.push_back({"::", line_no, false});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+        tokens.push_back({"->", line_no, false});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({std::string(1, c), line_no, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace dnsboot::audit

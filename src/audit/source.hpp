@@ -1,0 +1,58 @@
+// Source model for dnsboot-audit, the project's concurrency/determinism
+// source auditor (DESIGN.md §12). lex_source() runs a lightweight C++
+// scanner over one translation unit's text and produces a line-oriented
+// view with comments, string/char literals and raw strings blanked out, so
+// the rule matchers in auditor.cpp never trip over tokens inside literals
+// or prose.
+//
+// The scanner also extracts waivers: a comment containing
+//   audit-allow: A004 <reason>
+// suppresses the named rule(s) on the comment's own line and the line
+// after it — close enough to attach a waiver either trailing the offending
+// statement or on its own line directly above, and narrow enough that a
+// waiver cannot silence a whole file.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsboot::audit {
+
+struct SourceLine {
+  std::string code;           // literal/comment bytes replaced with spaces
+  bool preprocessor = false;  // #directive line (or its \ continuation)
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<SourceLine> lines;  // lines[i] is source line i + 1
+
+  // rule code ("A004") -> 1-based lines carrying an audit-allow comment.
+  std::map<std::string, std::vector<std::size_t>> waivers;
+
+  // Is `rule_code` waived at `line` (waiver on the line or the one above)?
+  bool waived(std::string_view rule_code, std::size_t line) const;
+
+  const std::string& code(std::size_t line) const {
+    static const std::string empty;
+    return line >= 1 && line <= lines.size() ? lines[line - 1].code : empty;
+  }
+};
+
+// One token of blanked code: an identifier (including keywords), a number,
+// or punctuation ("::" and "->" kept whole, all else single-char).
+struct Token {
+  std::string text;
+  std::size_t line = 0;  // 1-based
+  bool ident = false;
+};
+
+SourceFile lex_source(std::string path, std::string_view text);
+
+// Tokens of every non-preprocessor line, in order.
+std::vector<Token> tokenize(const SourceFile& file);
+
+}  // namespace dnsboot::audit

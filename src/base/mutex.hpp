@@ -1,0 +1,70 @@
+// base::Mutex / base::MutexLock — the project's annotated mutex
+// (DESIGN.md §12). A thin std::mutex wrapper that carries the clang
+// capability attributes (so `-Wthread-safety` can check GUARDED_BY /
+// REQUIRES contracts — libstdc++'s raw std::mutex carries none) and, under
+// DNSBOOT_VERIFY, feeds every acquisition into the lockdep lock-order graph
+// (base/verify.hpp).
+//
+// House rule, enforced by dnsboot-audit A003: classes hold base::Mutex
+// members, never raw std::mutex, and every member the mutex protects is
+// annotated GUARDED_BY(that mutex).
+#pragma once
+
+#include <mutex>
+
+#include "base/thread_annotations.hpp"
+#if defined(DNSBOOT_VERIFY)
+#include "base/verify.hpp"
+#endif
+
+namespace dnsboot::base {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  // `name` labels lockdep reports; use the owning class ("Tracer::mutex_").
+  explicit Mutex(const char* name = "mutex") : name_(name) {}
+  ~Mutex() {
+#if defined(DNSBOOT_VERIFY)
+    verify::lock_destroyed(this);
+#endif
+  }
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() {
+#if defined(DNSBOOT_VERIFY)
+    verify::lock_acquiring(this, name_);
+#endif
+    mu_.lock();
+#if defined(DNSBOOT_VERIFY)
+    verify::lock_acquired(this);
+#endif
+  }
+
+  void unlock() RELEASE() {
+#if defined(DNSBOOT_VERIFY)
+    verify::lock_released(this);
+#endif
+    mu_.unlock();
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;  // audit-allow: A003 the one blessed raw mutex: base::Mutex wraps it
+  const char* name_;
+};
+
+// RAII holder, the only way call sites take a base::Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace dnsboot::base

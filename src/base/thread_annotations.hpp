@@ -1,0 +1,82 @@
+// Clang thread-safety annotation macros (DESIGN.md §12) — the compile-time
+// layer of the concurrency contract. Under clang, `-Wthread-safety` turns
+// these into a static lock-discipline checker: every GUARDED_BY member must
+// only be touched with its mutex held, ACQUIRE/RELEASE functions must pair,
+// and REQUIRES callers are verified at every call site. Under GCC the
+// macros expand to nothing and the same contracts are enforced at runtime
+// by the DNSBOOT_VERIFY verifiers (base/verify.hpp) and statically by
+// dnsboot-audit rule A003.
+//
+// Convention: annotations reference dnsboot::base::Mutex (base/mutex.hpp),
+// never raw std::mutex — libstdc++'s std::mutex carries no capability
+// attribute, so clang cannot analyze it (and dnsboot-audit rejects raw
+// std::mutex members outright, rule A003).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DNSBOOT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DNSBOOT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock (mutexes, capability wrappers).
+#ifndef CAPABILITY
+#define CAPABILITY(x) DNSBOOT_THREAD_ANNOTATION(capability(x))
+#endif
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor (base::MutexLock).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY DNSBOOT_THREAD_ANNOTATION(scoped_lockable)
+#endif
+
+// Data member readable/writable only with the given capability held.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) DNSBOOT_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+// Pointer member whose *pointee* is protected by the capability.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) DNSBOOT_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+
+// Function that must be called with the capability held / not held.
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  DNSBOOT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) DNSBOOT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+
+// Function that acquires / releases the capability (Mutex::lock/unlock).
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  DNSBOOT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) \
+  DNSBOOT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  DNSBOOT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+
+// Static lock-order declaration (clang checks it like lockdep does at
+// runtime): this capability must be acquired after / before the named ones.
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  DNSBOOT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  DNSBOOT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#endif
+
+// Escape hatch for functions the analysis cannot model; every use needs a
+// comment explaining why it is sound.
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DNSBOOT_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif

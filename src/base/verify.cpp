@@ -1,0 +1,160 @@
+#include "base/verify.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/thread_annotations.hpp"
+
+namespace dnsboot::verify {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_thread_tag{1};
+thread_local std::uint64_t t_thread_tag = 0;
+
+void default_failure_handler(const char* check, const std::string& detail) {
+  std::fprintf(stderr, "dnsboot verify: %s: %s\n", check, detail.c_str());
+  std::abort();
+}
+
+std::atomic<FailureHandler> g_handler{&default_failure_handler};
+
+// The lock-order graph. Nodes are live base::Mutex instances (by address),
+// edges are "held while acquiring" pairs. The registry's own mutex is a raw
+// std::mutex on purpose: instrumenting it with base::Mutex would recurse
+// into these very hooks.
+struct LockDep {
+  std::mutex mu;  // audit-allow: A003 the lockdep registry cannot instrument itself
+  std::unordered_map<const void*, std::string> names;          // guarded by mu
+  // audit-allow: A002 verifier-internal edge set, never serialized
+  std::unordered_map<const void*, std::set<const void*>> after;  // guarded by mu
+  std::size_t edges = 0;                                       // guarded by mu
+};
+
+LockDep& lockdep() {
+  static LockDep* graph = new LockDep;  // leaked: outlives static dtor order
+  return *graph;
+}
+
+// Locks this thread currently holds, oldest first.
+thread_local std::vector<const void*> t_held;
+
+// Is `to` reachable from `from` in the current edge set? (Called with
+// LockDep::mu held; the graph is small — DFS is plenty.)
+bool reachable(const LockDep& graph, const void* from, const void* to) {
+  if (from == to) return true;
+  std::vector<const void*> stack{from};
+  // audit-allow: A002 DFS visited set; cycle existence is order-independent
+  std::set<const void*> seen;
+  while (!stack.empty()) {
+    const void* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    auto it = graph.after.find(node);
+    if (it == graph.after.end()) continue;
+    for (const void* next : it->second) {
+      if (next == to) return true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::string lock_label(const LockDep& graph, const void* lock) {
+  auto it = graph.names.find(lock);
+  std::string label = it != graph.names.end() ? it->second : "mutex";
+  char address[32];
+  std::snprintf(address, sizeof(address), "@%p", lock);
+  return label + address;
+}
+
+}  // namespace
+
+std::uint64_t thread_tag() {
+  if (t_thread_tag == 0) {
+    t_thread_tag = g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_tag;
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  return g_handler.exchange(handler != nullptr ? handler
+                                               : &default_failure_handler);
+}
+
+void fail(const char* check, const std::string& detail) {
+  g_handler.load()(check, detail);
+}
+
+void lock_acquiring(const void* lock, const char* name) {
+  LockDep& graph = lockdep();
+  std::lock_guard<std::mutex> guard(graph.mu);
+  graph.names[lock] = name;
+  for (const void* held : t_held) {
+    if (held == lock) {
+      fail("lockdep-recursive",
+           "re-acquiring " + lock_label(graph, lock) +
+               " already held by this thread");
+      return;
+    }
+    // About to add edge held -> lock. A path lock ->* held means the
+    // reverse order has been observed before: a potential deadlock.
+    if (reachable(graph, lock, held)) {
+      fail("lockdep-cycle",
+           "acquiring " + lock_label(graph, lock) + " while holding " +
+               lock_label(graph, held) +
+               " inverts a previously observed lock order");
+      return;  // do not record the inverted edge; keep the graph acyclic
+    }
+    if (graph.after[held].insert(lock).second) ++graph.edges;
+  }
+}
+
+void lock_acquired(const void* lock) { t_held.push_back(lock); }
+
+void lock_released(const void* lock) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void lock_destroyed(const void* lock) {
+  LockDep& graph = lockdep();
+  std::lock_guard<std::mutex> guard(graph.mu);
+  graph.names.erase(lock);
+  auto it = graph.after.find(lock);
+  if (it != graph.after.end()) {
+    graph.edges -= it->second.size();
+    graph.after.erase(it);
+  }
+  for (auto& [from, to] : graph.after) {
+    (void)from;
+    graph.edges -= to.erase(lock);
+  }
+}
+
+std::size_t lock_order_edges() {
+  LockDep& graph = lockdep();
+  std::lock_guard<std::mutex> guard(graph.mu);
+  return graph.edges;
+}
+
+void SingleWriter::report_cross_thread(const void* site, std::uint64_t owner,
+                                       std::uint64_t me) {
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "counter %p first written by thread %llu, now written by "
+                "thread %llu without an ownership handoff",
+                site, static_cast<unsigned long long>(owner),
+                static_cast<unsigned long long>(me));
+  fail("counter-single-writer", detail);
+}
+
+}  // namespace dnsboot::verify

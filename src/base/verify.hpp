@@ -1,0 +1,78 @@
+// Debug-build concurrency verifiers (DESIGN.md §12) — the runtime layer of
+// the concurrency contract, compiled in under the DNSBOOT_VERIFY CMake
+// option (ON by default outside Release builds).
+//
+// Three checkers share this header:
+//   * lockdep — a global lock-order graph. Every base::Mutex acquisition
+//     adds held→acquiring edges; an edge that closes a cycle (the classic
+//     AB/BA deadlock) fails at acquisition time, on the first run that
+//     merely *could* deadlock, instead of the unlucky run that does.
+//   * single-writer — obs::Counter tags itself with the first thread that
+//     writes it and fails on a write from any other thread, enforcing the
+//     metrics registry's "one owning writer per counter" contract
+//     (obs/metrics.hpp) that makes relaxed non-RMW adds sound.
+//   * reactor guard — net::EventLoop fails on re-entrant poll() and on
+//     cross-thread mutation while a poll is in flight (event_loop.hpp).
+//
+// All violations funnel through fail(), whose default handler prints the
+// check and aborts. Tests install a recording handler instead
+// (set_failure_handler), so violation paths are assertable without death
+// tests under any sanitizer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dnsboot::verify {
+
+// Small dense id for the calling thread (1-based, assigned on first use).
+// Used for verifier bookkeeping and failure messages; never for ordering.
+std::uint64_t thread_tag();
+
+// Violation sink. The handler may return (tests); production code must not
+// assume fail() diverges.
+using FailureHandler = void (*)(const char* check, const std::string& detail);
+FailureHandler set_failure_handler(FailureHandler handler);  // returns previous
+void fail(const char* check, const std::string& detail);
+
+// ---- lockdep ---------------------------------------------------------------
+// Instance-addressed hooks called by base::Mutex under DNSBOOT_VERIFY.
+// lock_acquiring runs *before* the blocking lock() so a would-be deadlock is
+// reported instead of deadlocking the verifier's own test.
+void lock_acquiring(const void* lock, const char* name);
+void lock_acquired(const void* lock);
+void lock_released(const void* lock);
+void lock_destroyed(const void* lock);
+// Number of distinct lock-order edges observed so far (test introspection).
+std::size_t lock_order_edges();
+
+// ---- single-writer ---------------------------------------------------------
+// Embedded by obs::Counter under DNSBOOT_VERIFY. First write claims the
+// counter for the writing thread; later writes from other threads fail.
+// reset() releases the claim at a documented ownership-handoff seam (e.g.
+// WireTransport::run_forever entry), where a happens-before edge exists.
+class SingleWriter {
+ public:
+  void on_write(const void* site) {
+    const std::uint64_t me = thread_tag();
+    std::uint64_t seen = writer_.load(std::memory_order_relaxed);
+    if (seen == 0 &&
+        writer_.compare_exchange_strong(seen, me,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+    if (seen != me) report_cross_thread(site, seen, me);
+  }
+  void reset() { writer_.store(0, std::memory_order_relaxed); }
+  std::uint64_t writer() const {
+    return writer_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static void report_cross_thread(const void* site, std::uint64_t owner,
+                                  std::uint64_t me);
+  std::atomic<std::uint64_t> writer_{0};
+};
+
+}  // namespace dnsboot::verify

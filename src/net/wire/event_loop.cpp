@@ -9,7 +9,56 @@
 #include <cerrno>
 #include <cstring>
 
+#if defined(DNSBOOT_VERIFY)
+#include "base/verify.hpp"
+#endif
+
 namespace dnsboot::net {
+
+#if defined(DNSBOOT_VERIFY)
+// RAII poll ownership: claims poll_owner_ for the duration of one poll()
+// pass, failing on re-entry (same thread) or concurrent polling (another
+// thread). Releases only if this frame made the claim, so a returning
+// failure handler (tests) leaves the outer frame's claim intact.
+class EventLoopPollScope {
+ public:
+  explicit EventLoopPollScope(EventLoop& loop) : loop_(loop) {
+    const std::uint64_t me = verify::thread_tag();
+    std::uint64_t expected = 0;
+    // audit-allow: A004 CAS claim; verifier state needs no ordering
+    claimed_ = loop_.poll_owner_.compare_exchange_strong(
+        expected, me, std::memory_order_relaxed);
+    if (!claimed_) {
+      verify::fail(expected == me ? "reactor-reentrancy"
+                                  : "loop-concurrent-poll",
+                   expected == me
+                       ? "poll() re-entered from inside a dispatched handler"
+                       : "poll() entered while another thread is polling "
+                         "this loop");
+    }
+  }
+  ~EventLoopPollScope() {
+    // audit-allow: A004 releasing the verifier claim needs no ordering
+    if (claimed_) loop_.poll_owner_.store(0, std::memory_order_relaxed);
+  }
+  EventLoopPollScope(const EventLoopPollScope&) = delete;
+  EventLoopPollScope& operator=(const EventLoopPollScope&) = delete;
+
+ private:
+  EventLoop& loop_;
+  bool claimed_ = false;
+};
+
+void EventLoop::verify_not_mid_poll(const char* op) const {
+  const std::uint64_t owner = poll_owner_.load(std::memory_order_relaxed);
+  if (owner != 0 && owner != verify::thread_tag()) {
+    verify::fail("loop-cross-thread",
+                 std::string(op) +
+                     " called from another thread while a poll is in "
+                     "flight (only wakeup() is cross-thread-safe)");
+  }
+}
+#endif
 
 namespace {
 
@@ -49,6 +98,9 @@ EventLoop::~EventLoop() {
 SimTime EventLoop::now() const { return monotonic_us() - epoch_us_; }
 
 std::uint64_t EventLoop::schedule(SimTime delay, TimerHandler fn) {
+#if defined(DNSBOOT_VERIFY)
+  verify_not_mid_poll("schedule()");
+#endif
   std::uint64_t id = next_timer_id_++;
   TimerEntry entry{id, std::max(tick_of(now() + delay), current_tick_ + 1)};
   timers_.emplace(id, std::move(fn));
@@ -58,6 +110,9 @@ std::uint64_t EventLoop::schedule(SimTime delay, TimerHandler fn) {
 }
 
 void EventLoop::cancel(std::uint64_t timer_id) {
+#if defined(DNSBOOT_VERIFY)
+  verify_not_mid_poll("cancel()");
+#endif
   // Lazy cancellation: drop the handler now, let the wheel entry drain when
   // its slot comes around (same bounded-bookkeeping contract as SimNetwork).
   if (timers_.erase(timer_id) > 0) --live_timers_;
@@ -137,6 +192,9 @@ SimTime EventLoop::next_timer_delay() const {
 }
 
 std::size_t EventLoop::poll(SimTime max_wait) {
+#if defined(DNSBOOT_VERIFY)
+  EventLoopPollScope poll_scope(*this);
+#endif
   if (epoll_fd_ < 0) return 0;
   SimTime wait = std::min(max_wait, next_timer_delay());
   int timeout_ms;
@@ -165,6 +223,9 @@ std::size_t EventLoop::poll(SimTime max_wait) {
 }
 
 void EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
+#if defined(DNSBOOT_VERIFY)
+  verify_not_mid_poll("watch()");
+#endif
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -186,6 +247,9 @@ void EventLoop::watch(int fd, std::uint32_t events, IoHandler handler) {
 }
 
 void EventLoop::unwatch(int fd) {
+#if defined(DNSBOOT_VERIFY)
+  verify_not_mid_poll("unwatch()");
+#endif
   if (io_.erase(fd) > 0) {
     epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   }

@@ -9,9 +9,14 @@
 //
 // Single-threaded by design — one loop per worker thread, share-nothing
 // (the SO_REUSEPORT model). The only cross-thread entry point is wakeup(),
-// which is async-signal-safe and wakes a blocking poll().
+// which is async-signal-safe and wakes a blocking poll(). Under
+// DNSBOOT_VERIFY that contract is enforced at runtime: re-entering poll()
+// from inside a dispatched callback fails ("reactor-reentrancy"), as does
+// mutating the loop (schedule/cancel/watch/unwatch) from another thread
+// while a poll is in flight ("loop-cross-thread") — see base/verify.hpp.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -93,6 +98,17 @@ class EventLoop {
 
   std::unordered_map<int, IoHandler> io_;
   std::string error_;
+
+#if defined(DNSBOOT_VERIFY)
+  // Reactor guard state: the verify::thread_tag() of the thread currently
+  // inside poll(), 0 when idle. Mutators compare against it; poll() uses it
+  // to detect re-entry. Setup-then-run handoff (build the loop on one
+  // thread, run it on another) is legal — ownership is only asserted while
+  // a poll is actually in flight.
+  friend class EventLoopPollScope;
+  void verify_not_mid_poll(const char* op) const;
+  std::atomic<std::uint64_t> poll_owner_{0};
+#endif
 };
 
 }  // namespace dnsboot::net

@@ -451,12 +451,20 @@ std::size_t WireTransport::run(std::size_t max_events) {
 }
 
 void WireTransport::run_forever() {
+  // Ownership handoff seam: dnsboot-serve builds each transport on a
+  // builder thread and serves it on a worker thread; the std::thread
+  // constructor provides the happens-before edge. Release any single-writer
+  // claims made during setup so the DNSBOOT_VERIFY checker tags the serving
+  // thread as the counters' writer from here on (no-op otherwise).
+  metrics_.verify_reset_writers();
+  // audit-allow: A004 standalone stop flag; the eventfd wakeup is the sync
   while (!stop_.load(std::memory_order_relaxed) && error().empty()) {
     loop_.poll(options_.max_poll_wait);
   }
 }
 
 void WireTransport::stop() {
+  // audit-allow: A004 standalone stop flag; the eventfd wakeup is the sync
   stop_.store(true, std::memory_order_relaxed);
   loop_.wakeup();
 }

@@ -134,6 +134,13 @@ class WireTransport : public Transport {
   void fail(const std::string& what);
   std::size_t pending_tcp_writes() const;
 
+  // Threading contract (enforced under DNSBOOT_VERIFY): everything below is
+  // owned by the thread that calls run()/run_forever()/poll_once(). A
+  // transport may be *built* on one thread and *run* on another — that
+  // handoff is the run_forever() entry, which re-tags the metrics counters
+  // (MetricsRegistry::verify_reset_writers) and is where loop ownership is
+  // first asserted. stop_ is the one cross-thread flag; the eventfd wakeup
+  // inside EventLoop provides the ordering.
   WireAddressMap map_;
   WireTransportOptions options_;
   EventLoop loop_;

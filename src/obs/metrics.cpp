@@ -118,6 +118,23 @@ void Histogram::merge(const Histogram& other) {
   }
 }
 
+void Histogram::verify_reset_writers() {
+  for (Counter& c : counts_) c.verify_reset_writer();
+  count_.verify_reset_writer();
+  sum_.verify_reset_writer();
+}
+
+void MetricsRegistry::verify_reset_writers() {
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter.verify_reset_writer();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    (void)name;
+    histogram.verify_reset_writers();
+  }
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {

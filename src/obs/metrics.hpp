@@ -26,6 +26,10 @@
 #include <string_view>
 #include <vector>
 
+#if defined(DNSBOOT_VERIFY)
+#include "base/verify.hpp"
+#endif
+
 namespace dnsboot::obs {
 
 // Monotonically increasing event count. Single-writer: add() is a relaxed
@@ -34,23 +38,46 @@ namespace dnsboot::obs {
 // still torn-read-free for a concurrent scrape thread. Each counter has one
 // owning writer (a component on its own thread); cross-thread aggregation
 // happens by merging registry copies, never by concurrent add().
+//
+// Under DNSBOOT_VERIFY that contract is enforced: the first add() tags the
+// counter with its writer thread and any later add() from another thread
+// fails (verify.hpp), unless the owning component declared an ownership
+// handoff via verify_reset_writer() at a point with a happens-before edge.
 class Counter {
  public:
   Counter() = default;
+  // Copies are snapshots: they take the value, not the writer claim.
   Counter(const Counter& other) : value_(other.get()) {}
   Counter& operator=(const Counter& other) {
     value_.store(other.get(), std::memory_order_relaxed);
+#if defined(DNSBOOT_VERIFY)
+    writer_.reset();
+#endif
     return *this;
   }
 
   void add(std::uint64_t n) {
+#if defined(DNSBOOT_VERIFY)
+    writer_.on_write(this);
+#endif
     value_.store(value_.load(std::memory_order_relaxed) + n,
                  std::memory_order_relaxed);
   }
   std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
 
+  // Release the single-writer claim at a documented handoff seam (no-op
+  // without DNSBOOT_VERIFY). See MetricsRegistry::verify_reset_writers().
+  void verify_reset_writer() {
+#if defined(DNSBOOT_VERIFY)
+    writer_.reset();
+#endif
+  }
+
  private:
   std::atomic<std::uint64_t> value_{0};
+#if defined(DNSBOOT_VERIFY)
+  verify::SingleWriter writer_;
+#endif
 };
 
 // Point-in-time value (uptime, worker count, queue depth). Set-style.
@@ -101,6 +128,9 @@ class Histogram {
   // of one name share them); mismatched bounds fold count/sum only.
   void merge(const Histogram& other);
 
+  // Handoff seam for the DNSBOOT_VERIFY single-writer check (no-op without).
+  void verify_reset_writers();
+
  private:
   std::vector<std::uint64_t> bounds_;
   std::vector<Counter> counts_;  // bounds_.size() + 1 (the +Inf bucket)
@@ -149,6 +179,13 @@ class MetricsRegistry {
   bool empty() const {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
+
+  // Release every counter's single-writer claim (DNSBOOT_VERIFY only,
+  // otherwise a no-op). Call exactly at ownership-handoff seams — points
+  // with a real happens-before edge between the old and new writer thread,
+  // like WireTransport::run_forever() entry after setup on a builder
+  // thread. Anywhere else this call would mask genuine races.
+  void verify_reset_writers();
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;

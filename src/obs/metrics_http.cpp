@@ -121,6 +121,7 @@ void MetricsHttpServer::serve_loop() {
     bool is_metrics = request.rfind("GET /metrics", 0) == 0 &&
                       (request.size() == 12 || request[12] == ' ');
     if (is_metrics) {
+      // audit-allow: A004 single-writer: only this serving thread increments
       scrapes_.fetch_add(1, std::memory_order_relaxed);
       send_all(client,
                http_response("200 OK",

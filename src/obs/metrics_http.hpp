@@ -32,17 +32,23 @@ class MetricsHttpServer {
   std::uint16_t port() const { return port_; }
   const std::string& error() const { return error_; }
   std::uint64_t scrapes() const {
+    // audit-allow: A004 single-writer count (serve thread); readers tolerate lag
     return scrapes_.load(std::memory_order_relaxed);
   }
 
  private:
   void serve_loop();
 
+  // Threading contract (no mutex on purpose): collector_, listen_fd_ and
+  // port_/error_ are written by start() strictly before the serving thread
+  // exists (the std::thread constructor is the happens-before edge) and are
+  // immutable while it runs; stop() closes listen_fd_ only after join().
+  // The atomics are the only state both threads touch concurrently.
   Collector collector_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> scrapes_{0};
+  std::atomic<std::uint64_t> scrapes_{0};  // written by serve_loop() only
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::string error_;

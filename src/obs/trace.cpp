@@ -66,13 +66,14 @@ Tracer::Tracer(TracerOptions options) : options_(options) {
 
 bool Tracer::sample() {
   if (options_.sample_every == 0) return false;
-  const std::uint64_t n =
+  const std::uint64_t n =  // audit-allow: A004 RMW sample counter, any thread
       candidates_.fetch_add(1, std::memory_order_relaxed);
   return n % options_.sample_every == 0;
 }
 
 void Tracer::record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
+  // audit-allow: A004 RMW under mutex_; relaxed is for lock-free readers
   span.seq = recorded_.fetch_add(1, std::memory_order_relaxed);
   if (ring_.size() < options_.capacity) {
     ring_.push_back(std::move(span));
@@ -82,12 +83,13 @@ void Tracer::record(TraceSpan span) {
     ring_[next_] = std::move(span);
     next_ = (next_ + 1) % options_.capacity;
     wrapped_ = true;
+    // audit-allow: A004 RMW under mutex_; relaxed is for lock-free readers
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::vector<TraceSpan> Tracer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::vector<TraceSpan> out;
   out.reserve(ring_.size());
   if (!wrapped_ || ring_.size() < options_.capacity) {

@@ -15,9 +15,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace dnsboot::obs {
 
@@ -69,15 +71,21 @@ class Tracer {
   const TracerOptions& options() const { return options_; }
 
  private:
-  TracerOptions options_;
+  TracerOptions options_;  // immutable after construction
+  // Sampling/accounting counters: relaxed RMW atomics, safe from any thread
+  // (fetch_add is a full read-modify-write; order does not matter here).
   std::atomic<std::uint64_t> candidates_{0};
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};
 
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> ring_;  // fixed capacity once full
-  std::size_t next_ = 0;         // ring cursor (insertion point when full)
-  bool wrapped_ = false;
+  // The ring and its cursor are the only multi-writer state in the tracer;
+  // everything below is touched with mutex_ held (enforced by clang
+  // -Wthread-safety via the annotations, and by lockdep under
+  // DNSBOOT_VERIFY).
+  mutable base::Mutex mutex_{"Tracer::mutex_"};
+  std::vector<TraceSpan> ring_ GUARDED_BY(mutex_);  // fixed capacity once full
+  std::size_t next_ GUARDED_BY(mutex_) = 0;  // insertion point when full
+  bool wrapped_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dnsboot::obs

@@ -152,6 +152,11 @@ class AuthServer {
   std::vector<net::IpAddress> addresses_;
 
   // Registry before its views (members initialize in declaration order).
+  // Single-writer contract (enforced under DNSBOOT_VERIFY): an AuthServer
+  // handles queries on exactly one serving thread, and only handle_query()
+  // writes these counters — construction binds the refs but writes nothing,
+  // so the first write claims them for the serving thread. Scrapers read
+  // through registry copies, never through these references.
   obs::MetricsRegistry metrics_;
   obs::CounterRef queries_handled_{metrics_.counter("dnsboot_server_queries")};
   obs::CounterRef rate_limited_{

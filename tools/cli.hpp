@@ -132,6 +132,17 @@ class FlagParser {
     return *this;
   }
 
+  // Accept bare (non ``--``) arguments into *target, e.g. the file list of
+  // dnsboot-audit. Without this, a bare argument is a usage error.
+  FlagParser& positionals(std::vector<std::string>* target,
+                          const std::string& metavar,
+                          const std::string& help) {
+    positionals_ = target;
+    positional_metavar_ = metavar;
+    positional_help_ = help;
+    return *this;
+  }
+
   // Returns false on any parse problem (after printing the usage block to
   // stderr); the conventional caller response is `return 2`. A bare
   // `--help`/`-h` prints usage to stdout and sets help_requested().
@@ -143,6 +154,10 @@ class FlagParser {
         help_requested_ = true;
         print_usage(stdout);
         return true;
+      }
+      if (positionals_ != nullptr && arg.rfind("--", 0) != 0) {
+        positionals_->push_back(arg);
+        continue;
       }
       const Entry* entry = nullptr;
       for (const Entry& candidate : entries_) {
@@ -178,8 +193,15 @@ class FlagParser {
   bool help_requested() const { return help_requested_; }
 
   void print_usage(std::FILE* out) const {
-    std::fprintf(out, "usage: %s [flags]\n%s\n\nflags:\n", program_.c_str(),
+    std::fprintf(out, "usage: %s [flags]%s%s\n%s\n\n", program_.c_str(),
+                 positionals_ != nullptr ? " " : "",
+                 positionals_ != nullptr ? positional_metavar_.c_str() : "",
                  summary_.c_str());
+    if (positionals_ != nullptr) {
+      std::fprintf(out, "  %s  %s\n\n", positional_metavar_.c_str(),
+                   positional_help_.c_str());
+    }
+    std::fprintf(out, "flags:\n");
     std::size_t width = 0;
     for (const Entry& entry : entries_) {
       std::size_t w = entry.name.size() +
@@ -208,6 +230,9 @@ class FlagParser {
   std::string summary_;
   std::string program_;
   std::vector<Entry> entries_;
+  std::vector<std::string>* positionals_ = nullptr;
+  std::string positional_metavar_;
+  std::string positional_help_;
   bool help_requested_ = false;
 };
 

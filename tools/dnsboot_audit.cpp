@@ -1,0 +1,157 @@
+// dnsboot-audit — the project's concurrency/determinism source auditor
+// (DESIGN.md §12). Lexes C++ sources (comments/literals stripped) and
+// enforces the repo's contracts with rules A001–A006: no unordered
+// iteration in serializers, no wall-clock/PRNG/pointer-keyed ordering, no
+// raw std::mutex members (base::Mutex + GUARDED_BY instead), relaxed
+// atomic writes only in the blessed single-writer pattern or under an
+// explicit `// audit-allow: A00x reason` waiver, no volatile-as-sync, no
+// detached threads.
+//
+// Usage:
+//   dnsboot-audit [PATH...]        audit files/trees (default: src tools)
+//   dnsboot-audit --self-check     built-in fixtures: each rule must fire
+//                                  on its positive case and stay silent on
+//                                  its negative case
+//   dnsboot-audit --rules          list the rule registry
+//
+// Exit codes: 0 = no error-severity findings (self-check passed);
+//             1 = error findings / self-check failure; 2 = usage; 3 = I/O.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "audit/report.hpp"
+#include "audit/selfcheck.hpp"
+#include "cli.hpp"
+
+using namespace dnsboot;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> paths;  // files or directory roots
+  cli::OutputOptions output;
+  bool self_check = false;
+  bool list_rules = false;
+};
+
+cli::FlagParser make_parser(CliOptions* options) {
+  cli::FlagParser parser(
+      "dnsboot-audit — concurrency/determinism source audit (rules "
+      "A001-A006)\nover C++ files or trees; defaults to `src tools` when "
+      "no path is given");
+  parser.positionals(&options->paths, "[PATH...]",
+                     "files or directories to audit (default: src tools)");
+  cli::OutputFlagSet output_flags;
+  output_flags.json_help = "write the audit report as JSON";
+  output_flags.quiet_help = "findings and summary only";
+  cli::add_output_flags(parser, &options->output, output_flags);
+  parser.flag("--self-check", &options->self_check,
+              "verify every rule against built-in positive/negative "
+              "fixtures");
+  parser.flag("--rules", &options->list_rules, "list audit rules and exit");
+  return parser;
+}
+
+int list_rules() {
+  for (const audit::RuleInfo& rule : audit::all_rules()) {
+    std::printf("%s  %-26s  %-7s  %s\n", std::string(rule.code).c_str(),
+                std::string(rule.name).c_str(),
+                std::string(to_string(rule.severity)).c_str(),
+                std::string(rule.rationale).c_str());
+  }
+  return 0;
+}
+
+bool auditable_extension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+// Expand files/directories into a sorted, deduplicated file list — sorted
+// so the report (and its JSON) is byte-stable regardless of readdir order.
+bool collect_files(const std::vector<std::string>& paths,
+                   std::vector<std::string>* files) {
+  namespace fs = std::filesystem;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    fs::file_status status = fs::status(path, ec);
+    if (ec || status.type() == fs::file_type::not_found) {
+      std::fprintf(stderr, "dnsboot-audit: cannot stat %s\n", path.c_str());
+      return false;
+    }
+    if (fs::is_directory(status)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && auditable_extension(it->path())) {
+          files->push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "dnsboot-audit: cannot walk %s: %s\n",
+                     path.c_str(), ec.message().c_str());
+        return false;
+      }
+    } else {
+      files->push_back(fs::path(path).generic_string());
+    }
+  }
+  std::sort(files->begin(), files->end());
+  files->erase(std::unique(files->begin(), files->end()), files->end());
+  return true;
+}
+
+int audit_paths(const CliOptions& options) {
+  std::vector<std::string> roots = options.paths;
+  if (roots.empty()) roots = {"src", "tools"};
+  std::vector<std::string> files;
+  if (!collect_files(roots, &files)) return 3;
+  if (files.empty()) {
+    std::fprintf(stderr, "dnsboot-audit: no auditable files under the "
+                         "given paths\n");
+    return 3;
+  }
+
+  audit::AuditReport report;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "dnsboot-audit: cannot read %s\n", file.c_str());
+      return 3;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    report.merge(audit::audit_source(file, buffer.str()));
+  }
+
+  if (!options.output.json_path.empty()) {
+    if (!cli::write_file(options.output.json_path,
+                         audit::report_to_json(report))) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.output.json_path.c_str());
+      return 3;
+    }
+  }
+  std::fputs(audit::report_to_text(report).c_str(), stdout);
+  return report.clean(audit::Severity::kError) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  cli::FlagParser parser = make_parser(&options);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+  if (options.list_rules) return list_rules();
+  if (options.self_check) {
+    return audit::run_self_check(options.output.quiet) ? 0 : 1;
+  }
+  return audit_paths(options);
+}
