@@ -75,6 +75,7 @@ void Survey::operator+=(const Survey& other) {
   scan_unreachable += other.scan_unreachable;
   probes_failed += other.probes_failed;
   probes_failed_transient += other.probes_failed_transient;
+  zones_under_attack += other.zones_under_attack;
 }
 
 void SurveyAggregator::add(const ZoneReport& report) {
@@ -88,6 +89,7 @@ void SurveyAggregator::add(const ZoneReport& report) {
   }
   s.probes_failed += report.failed_probes;
   s.probes_failed_transient += report.transient_failures;
+  if (report.under_attack) ++s.zones_under_attack;
   if (!report.resolved) {
     ++s.unresolved;
     return;

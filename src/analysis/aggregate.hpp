@@ -92,6 +92,7 @@ struct Survey {
   std::uint64_t scan_unreachable = 0;   // permanent: delegation broken
   std::uint64_t probes_failed = 0;
   std::uint64_t probes_failed_transient = 0;
+  std::uint64_t zones_under_attack = 0;  // engine flagged an endpoint mid-scan
 
   // Merge another survey into this one: every counter sums, the maps merge
   // key-wise. Used by the sharded executor to fold per-shard surveys into

@@ -278,6 +278,7 @@ ZoneReport analyze_zone(const scanner::ZoneObservation& obs,
   report.failed_probes = obs.failed_probes;
   report.transient_failures = obs.transient_failures;
   report.scan_attempt = obs.scan_attempt;
+  report.under_attack = obs.probes_under_attack > 0;
   if (obs.resolved) {
     report.scan_quality =
         obs.completeness == scanner::ZoneObservation::Completeness::kComplete

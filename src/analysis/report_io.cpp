@@ -183,6 +183,7 @@ std::string survey_to_json(const SurveyRunResult& result) {
   w.field("probes_failed_transient", s.probes_failed_transient);
   w.field("zones_requeued", result.scanner_stats.zones_requeued);
   w.field("zones_recovered", result.scanner_stats.zones_recovered);
+  w.field("zones_under_attack", s.zones_under_attack);
   w.close_object();
 
   w.close();
@@ -195,7 +196,7 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
       "cds_present,cds_delete,cds_consistent,cds_matches_dnskey,"
       "cds_rrsig_valid,cds_query_failed,eligibility,signal_present,ab,"
       "endpoints_queried,endpoints_available,pool_sampled,scan_quality,"
-      "failed_probes,scan_attempt\n";
+      "failed_probes,scan_attempt,under_attack\n";
   for (const auto& r : reports) {
     out += csv_escape(r.zone.to_text());
     out += ',';
@@ -240,6 +241,10 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
     out += std::to_string(r.failed_probes);
     out += ',';
     out += std::to_string(r.scan_attempt);
+    out += ',';
+    // Kept as the last column on purpose: the adversarial smoke diff strips
+    // it to compare clean and attacked runs on the measurement columns.
+    out += r.under_attack ? '1' : '0';
     out += '\n';
   }
   return out;

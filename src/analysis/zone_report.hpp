@@ -109,6 +109,10 @@ struct ZoneReport {
   std::size_t failed_probes = 0;
   std::size_t transient_failures = 0;
   int scan_attempt = 1;  // which scan pass produced the observation
+  // Any probe completed while the engine's anti-spoofing defenses had the
+  // endpoint flagged as under active attack. Provenance only: the answers
+  // themselves still passed the ID/port/tuple checks.
+  bool under_attack = false;
 };
 
 // Run the complete analysis for one observation.

@@ -35,9 +35,32 @@ ChaosOptions chaos_preset(const std::string& name) {
     options.servfail_flap_fraction = 0.10;
     options.servfail_flap_period = 10 * net::kSecond;
     options.servfail_flap_fail = 2 * net::kSecond;
+  } else if (name == "adversarial") {
+    // Clean links, hostile peers. Link faults stay off on purpose: the
+    // acceptance claim is that a world under active attack produces a
+    // byte-identical adoption report to the clean run, which requires every
+    // *authentic* answer to arrive exactly as it would without the
+    // attacker. Everything else is crafted traffic racing it.
+    options.attack_fraction = 0.5;
+    options.attack.spoof_candidates = 12;
+    options.attack.flood_responses = 4;
+    options.attack.wrong_source_responses = 4;
+    options.attack.tc_rate = 0.25;
+    options.attack.malformed_responses = 2;
+    options.attack.oversized_responses = 1;
+    // Roll out the serving-tier hardening with the attack; generous enough
+    // that the paced scanner (50 qps/NS) never trips it.
+    options.defense_per_client_qps = 500.0;
+    options.defense_per_client_burst = 64.0;
   }
   // Anything else (notably "off") keeps the all-zero defaults.
   return options;
+}
+
+const std::vector<std::string>& chaos_preset_names() {
+  static const std::vector<std::string> names = {"off", "mild", "hostile",
+                                                 "adversarial"};
+  return names;
 }
 
 namespace {
@@ -84,6 +107,13 @@ ChaosPlan apply_chaos(net::SimNetwork& network, Ecosystem& eco,
         server->set_faults(faults);
         ++plan.servers_faulted;
       }
+      if (options.defense_per_client_qps > 0) {
+        server::ServerDefenseProfile defense;
+        defense.per_client_qps = options.defense_per_client_qps;
+        defense.per_client_burst = options.defense_per_client_burst;
+        server->set_defense(defense);
+        ++plan.servers_hardened;
+      }
     }
 
     // Infrastructure links stay fully clean: the paper's scan presumes a
@@ -91,6 +121,17 @@ ChaosPlan apply_chaos(net::SimNetwork& network, Ecosystem& eco,
     // for reasons no per-zone provenance can express.
     if (infra) continue;
     for (const auto& address : server->addresses()) {
+      // Attacker placement, forked per endpoint so the plan is stable
+      // under server reordering. The attacker's runtime RNG is a second
+      // independent fork: placement draws must not perturb its traffic.
+      if (options.attack_fraction > 0 && options.attack.any()) {
+        Rng placement_rng = rng.fork("attack-at:" + address.to_text());
+        if (placement_rng.chance(options.attack_fraction)) {
+          network.set_attack_on(address, options.attack,
+                                rng.fork("attack:" + address.to_text()));
+          ++plan.endpoints_attacked;
+        }
+      }
       Rng addr_rng = rng.fork("link:" + address.to_text());
       net::FaultProfile profile;
       bool any = false;

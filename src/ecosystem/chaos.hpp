@@ -12,6 +12,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ecosystem/builder.hpp"
 
@@ -48,14 +49,34 @@ struct ChaosOptions {
   net::SimTime servfail_flap_period = 0;
   net::SimTime servfail_flap_fail = 0;
 
+  // Adversarial tier (DESIGN.md §13): station an off-path attacker at this
+  // fraction of operator endpoints. The attacker races every observed UDP
+  // query with the scripted AttackProfile below; infrastructure exemption
+  // applies as for faults.
+  double attack_fraction = 0.0;
+  net::AttackProfile attack;
+
+  // Server-side hardening rolled out with the attack (per-client token
+  // buckets on every non-exempt server). 0 leaves servers unhardened.
+  double defense_per_client_qps = 0.0;
+  double defense_per_client_burst = 32.0;
+
   // Keep the root and TLD servers clean (see header comment).
   bool exempt_infrastructure = true;
 };
 
-// Named presets: "off", "mild" (low loss, some duplication/reordering), and
+// Named presets: "off", "mild" (low loss, some duplication/reordering),
 // "hostile" (the acceptance world: 30% loss, flapping links and endpoints,
-// transient-SERVFAIL and rate-limited servers).
+// transient-SERVFAIL and rate-limited servers), and "adversarial" (clean
+// links, hostile *peers*: off-path spoof sweeps, wrong-ID floods,
+// wrong-tuple injections, truncation games and garbage at half the
+// operator endpoints — the ss2DNS threat model).
 ChaosOptions chaos_preset(const std::string& name);
+
+// Every name chaos_preset understands, in CLI display order. Tools build
+// their --chaos choice lists from this so an unknown preset is a usage
+// error, never a silent fallback to "off".
+const std::vector<std::string>& chaos_preset_names();
 
 // What apply_chaos installed — the link map feeds the L106 lint and the
 // counters feed the survey's robustness summary.
@@ -65,6 +86,8 @@ struct ChaosPlan {
   std::uint64_t endpoints_faulted = 0;
   std::uint64_t endpoints_blackholed = 0;
   std::uint64_t endpoints_flapping = 0;
+  std::uint64_t endpoints_attacked = 0;
+  std::uint64_t servers_hardened = 0;
 };
 
 ChaosPlan apply_chaos(net::SimNetwork& network, Ecosystem& eco,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dns/message.hpp"
+
 namespace dnsboot::net {
 
 SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {
@@ -108,6 +110,137 @@ const FaultProfile* SimNetwork::faults_to(const IpAddress& destination) const {
   return it == faults_to_.end() ? nullptr : &it->second.profile;
 }
 
+void SimNetwork::set_attack_on(const IpAddress& target,
+                               const AttackProfile& profile, Rng rng) {
+  if (!profile.any()) {
+    attacks_.erase(target);
+    return;
+  }
+  attacks_.insert_or_assign(target, AttackRule{profile, std::move(rng)});
+}
+
+void SimNetwork::clear_attacks() { attacks_.clear(); }
+
+void SimNetwork::maybe_inject_attack(const Datagram& query) {
+  if (attacks_.empty() || query.tcp || query.injected) return;
+  auto it = attacks_.find(query.destination);
+  if (it == attacks_.end()) return;
+  AttackRule& rule = it->second;
+  const AttackProfile& prof = rule.profile;
+
+  // The attacker only reacts to DNS queries; responses (and junk) on the
+  // same path are of no use to it.
+  auto message = dns::Message::decode(query.payload);
+  if (!message.ok() || message->header.qr || message->questions.size() != 1) {
+    return;
+  }
+  ++attack_stats_.queries_observed;
+
+  // All crafted traffic is timed to race — and usually beat — the authentic
+  // answer: the attacker sits nearer the victim than the server, so its
+  // packets take about half of one one-way link latency, while the real
+  // answer needs a full round trip plus service time.
+  const LinkModel& link = link_for(query.source);
+  auto racing_latency = [&]() -> SimTime {
+    SimTime base = link.base_latency / 2;
+    SimTime jitter = link.jitter > 0 ? rule.rng.next_below(link.jitter) : 0;
+    return std::max<SimTime>(1, base + jitter);
+  };
+  // Fire one crafted datagram at the victim, spoofing `from` as its source.
+  auto inject = [&](dns::Message forged, const IpAddress& from,
+                    std::uint16_t to_port) {
+    Datagram dgram;
+    dgram.source = from;
+    dgram.destination = query.source;
+    dgram.payload = forged.encode();
+    dgram.source_port = query.destination_port;  // looks like the server
+    dgram.destination_port = to_port;
+    dgram.injected = true;
+    deliver(std::move(dgram), racing_latency());
+  };
+  // A forged answer must echo the question to get past the engine's
+  // question check — copying it is free for on- and off-path alike (the
+  // question is what the off-path attacker is targeting in the first place).
+  auto forged_answer = [&](std::uint16_t id) {
+    dns::Message forged = dns::Message::make_response(*message);
+    forged.header.id = id;
+    forged.header.aa = true;
+    forged.header.rcode = dns::Rcode::kNxDomain;
+    return forged;
+  };
+  auto guess_id = [&]() -> std::uint16_t {
+    if (prof.spoof_known_id) return message->header.id;
+    return static_cast<std::uint16_t>(rule.rng.next_below(0x10000));
+  };
+  // The engine draws ephemeral ports from 49152..65535; a realistic
+  // attacker knows the range, so the sweep guesses inside it.
+  auto guess_port = [&]() -> std::uint16_t {
+    if (prof.spoof_known_port || query.source_port == 0) {
+      return query.source_port;
+    }
+    return static_cast<std::uint16_t>(49152 + rule.rng.next_below(16384));
+  };
+
+  for (int i = 0; i < prof.spoof_candidates; ++i) {
+    inject(forged_answer(guess_id()), query.destination, guess_port());
+    ++attack_stats_.spoofs_injected;
+  }
+  for (int i = 0; i < prof.flood_responses; ++i) {
+    // Chaff across the whole ID space. The port is guessed like any other
+    // off-path packet: an attacker who can read the victim's ephemeral port
+    // is on-path, and models that via spoof_known_port instead. (Granting
+    // the true port here would turn every flood into a 1/65536 ID lottery
+    // that no resolver-side defense can win at volume.)
+    inject(forged_answer(
+               static_cast<std::uint16_t>(rule.rng.next_below(0x10000))),
+           query.destination, guess_port());
+    ++attack_stats_.floods_injected;
+  }
+  for (int i = 0; i < prof.wrong_source_responses; ++i) {
+    // The true ID and port from a wrong address: only the tuple check
+    // stands between this and acceptance.
+    IpAddress wrong_source = IpAddress::v4(
+        {198, 18, static_cast<std::uint8_t>(rule.rng.next_below(256)),
+         static_cast<std::uint8_t>(rule.rng.next_below(256))});
+    inject(forged_answer(message->header.id), wrong_source,
+           query.source_port);
+    ++attack_stats_.wrong_tuple_injected;
+  }
+  if (prof.tc_rate > 0 && rule.rng.chance(prof.tc_rate)) {
+    dns::Message forged = forged_answer(guess_id());
+    forged.header.rcode = dns::Rcode::kNoError;
+    forged.header.tc = true;
+    inject(std::move(forged), query.destination, guess_port());
+    ++attack_stats_.tc_injected;
+  }
+  for (int i = 0; i < prof.malformed_responses; ++i) {
+    // Undecodable junk: a truncated header's worth of random bytes.
+    Datagram dgram;
+    dgram.source = query.destination;
+    dgram.destination = query.source;
+    dgram.payload = rule.rng.bytes(1 + rule.rng.next_below(11));
+    dgram.source_port = query.destination_port;
+    dgram.destination_port = query.source_port;
+    dgram.injected = true;
+    deliver(std::move(dgram), racing_latency());
+    ++attack_stats_.malformed_injected;
+  }
+  for (int i = 0; i < prof.oversized_responses; ++i) {
+    // A response far past any advertised UDP budget; the first bytes look
+    // like a plausible header so lazy parsers bite.
+    Datagram dgram;
+    dgram.source = query.destination;
+    dgram.destination = query.source;
+    dgram.payload = forged_answer(guess_id()).encode();
+    dgram.payload.resize(9000, 0xa5);
+    dgram.source_port = query.destination_port;
+    dgram.destination_port = guess_port();
+    dgram.injected = true;
+    deliver(std::move(dgram), racing_latency());
+    ++attack_stats_.oversized_injected;
+  }
+}
+
 bool SimNetwork::apply_fault_rule(FaultRule& rule, SimTime* extra_latency,
                                   bool* duplicate, bool* corrupt) {
   const FaultProfile& p = rule.profile;
@@ -157,9 +290,23 @@ void SimNetwork::deliver(Datagram dgram, SimTime latency) {
 
 void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
                       Bytes payload, bool tcp) {
+  Datagram dgram;
+  dgram.source = source;
+  dgram.destination = destination;
+  dgram.payload = std::move(payload);
+  dgram.tcp = tcp;
+  send(std::move(dgram));
+}
+
+void SimNetwork::send(Datagram dgram) {
   ++datagrams_sent_;
-  bytes_sent_ += payload.size();
-  const LinkModel& link = link_for(destination);
+  bytes_sent_ += dgram.payload.size();
+  // A stationed attacker observes the query as it leaves — even if a fault
+  // rule later eats it (the tap is at the victim's edge, before the lossy
+  // middle). The hook draws only the attacker's own RNG, so the legitimate
+  // draw sequence below is unchanged whether or not an attack is scripted.
+  maybe_inject_attack(dgram);
+  const LinkModel& link = link_for(dgram.destination);
   if (rng_.chance(link.loss_rate)) {
     ++datagrams_dropped_;
     return;
@@ -169,7 +316,8 @@ void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
   bool duplicate = false;
   bool corrupt = false;
   for (auto* rules : {&faults_to_, &faults_from_}) {
-    const IpAddress& key = rules == &faults_to_ ? destination : source;
+    const IpAddress& key =
+        rules == &faults_to_ ? dgram.destination : dgram.source;
     auto it = rules->find(key);
     if (it == rules->end()) continue;
     if (!apply_fault_rule(it->second, &extra_latency, &duplicate, &corrupt)) {
@@ -177,21 +325,20 @@ void SimNetwork::send(const IpAddress& source, const IpAddress& destination,
       return;
     }
   }
-  if (corrupt && !payload.empty()) {
+  if (corrupt && !dgram.payload.empty()) {
     // One random bit-flip: enough to break the DNS header checksum-free
     // parse or a signature, as real corruption does.
-    std::size_t byte = rng_.next_below(payload.size());
-    payload[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+    std::size_t byte = rng_.next_below(dgram.payload.size());
+    dgram.payload[byte] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
     ++fault_stats_.corrupted;
   }
 
   SimTime latency = link.base_latency;
   if (link.jitter > 0) latency += rng_.next_below(link.jitter);
   // TCP pays an extra round trip for the handshake.
-  if (tcp) latency += link.base_latency;
+  if (dgram.tcp) latency += link.base_latency;
   latency += extra_latency;
 
-  Datagram dgram{source, destination, std::move(payload), tcp};
   if (duplicate) {
     // The copy takes its own (longer) path; it arrives strictly after the
     // original so handlers see a classic stale duplicate.

@@ -88,6 +88,49 @@ struct FaultProfile {
 // network's MetricsRegistry as dnsboot_net_fault_* counters and merge via
 // MetricsRegistry::merge instead of a hand-written operator+=.
 using FaultStats = obs::FaultStats;
+using AttackStats = obs::AttackStats;
+
+// One endpoint's attacker script (the ss2DNS threat model): whenever a UDP
+// query toward the attacked address is observed on the wire, the attacker
+// races the authentic answer with crafted traffic addressed back to the
+// querier. Every knob defaults to off; a default AttackProfile is a no-op.
+//
+// The attacker's position decides what it knows:
+//   * off-path (default): it sees that a query happened (a victim it is
+//     targeting emitted traffic) but not the ID or source port — spoofed
+//     candidates sweep guesses, which is the birthday attack the engine's
+//     forgery-abort defense exists for.
+//   * on-path (spoof_known_id / spoof_known_port): it read the packet, so
+//     forged answers carry the true ID (and true port) — the case only the
+//     DNSSEC validation chain can catch, which is why accepted-forgery
+//     accounting exists at all.
+struct AttackProfile {
+  // Off-path spoof sweep: this many forged NXDOMAIN answers per observed
+  // query, each with an independently guessed ID (and guessed source port
+  // in the engine's ephemeral range), timed to beat the authentic answer.
+  int spoof_candidates = 0;
+  // On-path knowledge escalation for the spoofed answers.
+  bool spoof_known_id = false;
+  bool spoof_known_port = false;
+  // Wrong-ID flood: junk answers carrying the right question but random IDs
+  // across the whole 16-bit space (cache-poisoning chaff).
+  int flood_responses = 0;
+  // Wrong-tuple injection: the true ID and port, but a wrong source address
+  // — what the engine's tuple check exists to reject.
+  int wrong_source_responses = 0;
+  // Truncation game: probability of injecting a forged TC=1 empty answer,
+  // hoping to shove the victim onto a TCP path the attacker can stall.
+  double tc_rate = 0.0;
+  // Garbage: undecodable junk and oversized replies per observed query.
+  int malformed_responses = 0;
+  int oversized_responses = 0;
+
+  bool any() const {
+    return spoof_candidates > 0 || flood_responses > 0 ||
+           wrong_source_responses > 0 || tc_rate > 0 ||
+           malformed_responses > 0 || oversized_responses > 0;
+  }
+};
 
 class SimNetwork : public Transport {
  public:
@@ -115,6 +158,10 @@ class SimNetwork : public Transport {
   // network).
   void send(const IpAddress& source, const IpAddress& destination,
             Bytes payload, bool tcp = false) override;
+  void send(Datagram dgram) override;
+  // The simulator carries Datagram port fields end-to-end, so endpoints can
+  // randomize and check source ports on it.
+  bool models_ports() const override { return true; }
 
   void set_default_link(const LinkModel& model) { default_link_ = model; }
   // Override the link model for datagrams *to* a given destination.
@@ -129,6 +176,17 @@ class SimNetwork : public Transport {
   void clear_faults();
   // The installed to-direction rule for an endpoint, or nullptr.
   const FaultProfile* faults_to(const IpAddress& destination) const;
+
+  // Station an attacker watching traffic toward `target`. The attacker has
+  // its own RNG (callers fork it per endpoint so plans are order-stable) and
+  // its crafted datagrams bypass the fault rules and the network RNG
+  // entirely: the legitimate event stream — timing, drops, corruption — is
+  // bit-for-bit what it would be without the attacker. That isolation is
+  // what makes the clean-vs-adversarial report-identity guarantee testable.
+  void set_attack_on(const IpAddress& target, const AttackProfile& profile,
+                     Rng rng);
+  void clear_attacks();
+  const AttackStats& attack_stats() const { return attack_stats_; }
 
   // Process events until the queue is empty or `max_events` fire.
   // Returns the number of events processed.
@@ -191,6 +249,11 @@ class SimNetwork : public Transport {
     FaultProfile profile;
     SimTime burst_until = 0;  // end of the current burst episode, if any
   };
+  // An attacker stationed at one endpoint, with its private RNG.
+  struct AttackRule {
+    AttackProfile profile;
+    Rng rng;
+  };
 
   const LinkModel& link_for(const IpAddress& destination) const;
   void push_event(Event event);
@@ -206,6 +269,10 @@ class SimNetwork : public Transport {
   bool apply_fault_rule(FaultRule& rule, SimTime* extra_latency,
                         bool* duplicate, bool* corrupt);
   void deliver(Datagram dgram, SimTime latency);
+  // Attack hook: if `query` is a UDP DNS query toward an attacked endpoint,
+  // craft and queue the attacker's racing traffic. Uses only the rule's own
+  // RNG and deliver() — never rng_ or the fault rules.
+  void maybe_inject_attack(const Datagram& query);
 
   SimTime now_ = 0;
   std::uint64_t next_sequence_ = 1;
@@ -224,6 +291,7 @@ class SimNetwork : public Transport {
   std::unordered_map<IpAddress, LinkModel, IpAddressHash> link_overrides_;
   std::unordered_map<IpAddress, FaultRule, IpAddressHash> faults_to_;
   std::unordered_map<IpAddress, FaultRule, IpAddressHash> faults_from_;
+  std::unordered_map<IpAddress, AttackRule, IpAddressHash> attacks_;
   LinkModel default_link_;
   Rng rng_;
 
@@ -240,6 +308,7 @@ class SimNetwork : public Transport {
   obs::CounterRef bytes_sent_{metrics_.counter("dnsboot_net_bytes_sent")};
   obs::CounterRef events_processed_{metrics_.counter("dnsboot_net_events")};
   FaultStats fault_stats_{metrics_};
+  AttackStats attack_stats_{metrics_};
 };
 
 }  // namespace dnsboot::net

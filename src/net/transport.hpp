@@ -43,6 +43,16 @@ struct Datagram {
   // transports deliver the two the same way — the flag only informs
   // endpoints (TC-bit fallback, AXFR-over-TCP-only).
   bool tcp = false;
+  // UDP ports, modelled only where the transport says models_ports(). 0 means
+  // "not modelled": the wire transport leaves these 0 because the kernel
+  // already enforces port routing, and endpoints skip port checks for 0.
+  std::uint16_t source_port = 0;
+  std::uint16_t destination_port = 0;
+  // Ground-truth marker set by the simulator's attack layer on crafted
+  // traffic. Endpoints MUST NOT consult it when deciding whether to accept a
+  // datagram (that would be cheating); it exists so accounting can prove a
+  // forgery that slipped past every check was in fact accepted.
+  bool injected = false;
 };
 
 class Transport {
@@ -71,6 +81,18 @@ class Transport {
   // frame the payload; the simulator just marks the delivery.
   virtual void send(const IpAddress& source, const IpAddress& destination,
                     Bytes payload, bool tcp = false) = 0;
+
+  // Full-datagram send for endpoints that stamp ports. The default forwards
+  // to the legacy overload, discarding port fields — exactly right for
+  // transports that don't model ports.
+  virtual void send(Datagram dgram) {
+    send(dgram.source, dgram.destination, std::move(dgram.payload), dgram.tcp);
+  }
+
+  // Whether Datagram port fields survive this transport. When false,
+  // endpoints skip source-port randomization and port checks (the kernel
+  // does both for the wire transport).
+  virtual bool models_ports() const { return false; }
 
   // Drive the transport until it is idle — no scheduled timer remains and
   // no in-flight work is pending — or `max_events` events fire. Returns the

@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace dnsboot::net {
 
@@ -304,6 +306,52 @@ WireTransport::TcpConn* WireTransport::open_client_conn(
   return raw;
 }
 
+void WireTransport::evict_for_cap() {
+  // Oldest-idle-first: the connection that has gone longest without bytes
+  // is the likeliest slowloris and the cheapest to lose.
+  TcpConn* oldest = nullptr;
+  for (auto& [vaddr, conn] : tcp_conns_) {
+    if (!conn->accepted) continue;
+    if (oldest == nullptr || conn->last_activity < oldest->last_activity) {
+      oldest = conn.get();
+    }
+  }
+  if (oldest != nullptr) {
+    ++tcp_evicted_cap_;
+    close_conn(oldest);
+  }
+}
+
+void WireTransport::sweep_idle_conns() {
+  idle_sweep_timer_ = 0;
+  if (options_.tcp_idle_timeout == 0) return;
+  const SimTime now = loop_.now();
+  // Collect-then-close: close_conn mutates tcp_conns_.
+  std::vector<TcpConn*> idle;
+  for (auto& [vaddr, conn] : tcp_conns_) {
+    if (!conn->accepted) continue;
+    if (now - conn->last_activity >= options_.tcp_idle_timeout) {
+      idle.push_back(conn.get());
+    }
+  }
+  for (TcpConn* conn : idle) {
+    ++tcp_evicted_idle_;
+    close_conn(conn);
+  }
+  arm_idle_sweep();
+}
+
+void WireTransport::arm_idle_sweep() {
+  if (options_.tcp_idle_timeout == 0 || idle_sweep_timer_ != 0 ||
+      accepted_conns_ == 0) {
+    return;
+  }
+  // Sweep at a quarter of the timeout: a connection is closed at most 1.25
+  // timeouts after its last byte, with four wakeups per timeout of cost.
+  SimTime interval = std::max<SimTime>(1, options_.tcp_idle_timeout / 4);
+  idle_sweep_timer_ = loop_.schedule(interval, [this] { sweep_idle_conns(); });
+}
+
 void WireTransport::on_accept_ready(Endpoint* endpoint) {
   while (true) {
     sockaddr_in peer{};
@@ -312,6 +360,10 @@ void WireTransport::on_accept_ready(Endpoint* endpoint) {
                      reinterpret_cast<sockaddr*>(&peer), &peer_len,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;
+    if (options_.max_tcp_conns > 0 &&
+        accepted_conns_ >= options_.max_tcp_conns) {
+      evict_for_cap();
+    }
     // Every accepted stream is its own session peer, even when several come
     // from one real address: allocate per-connection identities so two
     // concurrent connections from one client never share reply routing.
@@ -324,9 +376,14 @@ void WireTransport::on_accept_ready(Endpoint* endpoint) {
     conn->fd = fd;
     conn->local_vaddr = endpoint->vaddr;
     conn->peer_vaddr = session;
+    conn->accepted = true;
+    conn->last_activity = loop_.now();
+    conn->reassembler = TcpFrameReassembler(options_.tcp_max_buffered);
     TcpConn* raw = conn.get();
     tcp_conns_.emplace(session, std::move(conn));
     ++tcp_accepted_;
+    ++accepted_conns_;
+    arm_idle_sweep();
     loop_.watch(fd, EPOLLIN, [this, raw](std::uint32_t events) {
       on_conn_event(raw, events);
     });
@@ -390,6 +447,7 @@ void WireTransport::on_conn_event(TcpConn* conn, std::uint32_t events) {
       }
       conn->connecting = false;
     }
+    conn->last_activity = loop_.now();
     flush_conn(conn);
     if (conn->broken) {
       close_conn(conn);
@@ -409,6 +467,7 @@ void WireTransport::on_conn_event(TcpConn* conn, std::uint32_t events) {
         close_conn(conn);
         return;
       }
+      conn->last_activity = loop_.now();
       IpAddress source = conn->peer_vaddr;
       IpAddress destination = conn->local_vaddr;
       bool ok = conn->reassembler.feed(
@@ -420,6 +479,9 @@ void WireTransport::on_conn_event(TcpConn* conn, std::uint32_t events) {
       auto self = tcp_conns_.find(source);
       if (self == tcp_conns_.end()) return;
       if (!ok || conn->broken) {
+        // A framing violation sheds exactly this connection — the worker
+        // and its other connections keep serving.
+        if (!ok) ++malformed_shed_;
         close_conn(conn);
         return;
       }
@@ -430,6 +492,15 @@ void WireTransport::on_conn_event(TcpConn* conn, std::uint32_t events) {
 void WireTransport::close_conn(TcpConn* conn) {
   loop_.unwatch(conn->fd);
   close(conn->fd);
+  if (conn->accepted && accepted_conns_ > 0) {
+    --accepted_conns_;
+    // The sweep only exists to watch accepted connections; letting it
+    // linger would keep run() from ever reporting idle on this transport.
+    if (accepted_conns_ == 0 && idle_sweep_timer_ != 0) {
+      loop_.cancel(idle_sweep_timer_);
+      idle_sweep_timer_ = 0;
+    }
+  }
   tcp_conns_.erase(conn->peer_vaddr);  // destroys *conn
 }
 
@@ -444,7 +515,11 @@ std::size_t WireTransport::pending_tcp_writes() const {
 std::size_t WireTransport::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (processed < max_events && error().empty()) {
-    if (loop_.live_timers() == 0 && pending_tcp_writes() == 0) break;
+    // The idle sweep is a background timer: it exists to reap dead-weight
+    // connections, not to represent pending work, so it must not keep run()
+    // from reporting idle once the workload's own timers have drained.
+    const std::size_t background = idle_sweep_timer_ != 0 ? 1 : 0;
+    if (loop_.live_timers() <= background && pending_tcp_writes() == 0) break;
     processed += loop_.poll(options_.max_poll_wait);
   }
   return processed;

@@ -36,6 +36,19 @@ struct WireTransportOptions {
   bool reuse_port = false;
   // Upper bound for a single blocking poll inside run()/run_forever().
   SimTime max_poll_wait = 50 * kMillisecond;
+  // Accepted-TCP-connection cap per transport. At the cap, accepting a new
+  // connection first evicts the oldest-idle accepted connection — a
+  // slowloris herd cannot pin the table while live clients knock.
+  std::size_t max_tcp_conns = 64;
+  // Idle timeout for accepted TCP connections (slowloris defense): a
+  // connection with no read/write activity for this long is closed by the
+  // periodic sweep. 0 disables the sweep.
+  SimTime tcp_idle_timeout = 10 * kSecond;
+  // Reassembly-buffer cap for accepted TCP connections. The default admits
+  // any legal DNS frame (2-byte length prefix + 65535 bytes); a serving
+  // tier that never answers near the frame limit can set it lower so a
+  // client streaming an over-claimed frame is shed early.
+  std::size_t tcp_max_buffered = 2 + 65535;
 };
 
 class WireTransport : public Transport {
@@ -55,6 +68,9 @@ class WireTransport : public Transport {
   void unbind(const IpAddress& address) override;
   bool is_bound(const IpAddress& address) const override;
 
+  // Port fields on Datagram are not modelled here (the kernel owns real
+  // ports); the base-class forwarding overload is exactly right.
+  using Transport::send;
   void send(const IpAddress& source, const IpAddress& destination,
             Bytes payload, bool tcp = false) override;
 
@@ -77,6 +93,11 @@ class WireTransport : public Transport {
   std::uint64_t tcp_connections_opened() const { return tcp_opened_; }
   std::uint64_t tcp_connections_accepted() const { return tcp_accepted_; }
   std::uint64_t oversized_tcp_dropped() const { return oversized_tcp_; }
+  std::uint64_t tcp_evicted_idle() const { return tcp_evicted_idle_; }
+  std::uint64_t tcp_evicted_cap() const { return tcp_evicted_cap_; }
+  std::uint64_t malformed_shed() const { return malformed_shed_; }
+  // Currently-open accepted (server-side) TCP connections.
+  std::size_t accepted_tcp_conns() const { return accepted_conns_; }
 
   // Every counter above, by metric name (dnsboot_wire_*). Counters are
   // written only by the transport's own thread; a scrape thread may read
@@ -112,6 +133,10 @@ class WireTransport : public Transport {
     // connection's buffer) must not destroy the object mid-iteration; the
     // flag defers teardown to the owning on_conn_event frame.
     bool broken = false;
+    // Server-side (accepted) connections are subject to the cap and the
+    // idle sweep; client-opened connections are the transport's own.
+    bool accepted = false;
+    SimTime last_activity = 0;
   };
 
   void open_serving_sockets(Endpoint* endpoint);
@@ -133,6 +158,14 @@ class WireTransport : public Transport {
                BytesView payload, bool tcp);
   void fail(const std::string& what);
   std::size_t pending_tcp_writes() const;
+  // Slowloris defenses: evict the oldest-idle accepted connection (cap
+  // pressure), and the periodic idle sweep behind it.
+  void evict_for_cap();
+  void sweep_idle_conns();
+  // (Re)arm the sweep timer. It exists only while accepted connections do:
+  // run() idles on "no live timers", and a standing sweep timer on a client
+  // transport would keep run() spinning forever.
+  void arm_idle_sweep();
 
   // Threading contract (enforced under DNSBOOT_VERIFY): everything below is
   // owned by the thread that calls run()/run_forever()/poll_once(). A
@@ -157,6 +190,8 @@ class WireTransport : public Transport {
   std::unordered_map<IpAddress, RealEndpoint, IpAddressHash> udp_sessions_;
   std::unordered_map<std::uint64_t, IpAddress> udp_sessions_by_real_;
   std::uint64_t next_session_ = 0;
+  std::size_t accepted_conns_ = 0;
+  std::uint64_t idle_sweep_timer_ = 0;  // 0 when not armed
 
   Bytes recv_buffer_;
   std::string error_;
@@ -175,6 +210,12 @@ class WireTransport : public Transport {
       metrics_.counter("dnsboot_wire_tcp_accepted")};
   obs::CounterRef oversized_tcp_{
       metrics_.counter("dnsboot_wire_oversized_tcp_dropped")};
+  obs::CounterRef tcp_evicted_idle_{
+      metrics_.counter("dnsboot_wire_tcp_evicted_idle")};
+  obs::CounterRef tcp_evicted_cap_{
+      metrics_.counter("dnsboot_wire_tcp_evicted_cap")};
+  obs::CounterRef malformed_shed_{
+      metrics_.counter("dnsboot_wire_malformed_shed")};
 };
 
 }  // namespace dnsboot::net

@@ -129,6 +129,59 @@ struct FaultStats {
         duplicated(reg.counter("dnsboot_net_fault_duplicated")) {}
 };
 
+// net::SimNetwork attacker-layer counters (family dnsboot_attack_*): what
+// the adversary injected, by taxonomy class. Written by the simulator, read
+// by the survey robustness summary and the adversarial acceptance tests.
+struct AttackStats {
+  CounterRef queries_observed;      // UDP queries seen toward attacked targets
+  CounterRef spoofs_injected;       // off-path spoof-sweep candidates
+  CounterRef floods_injected;       // wrong-ID junk responses
+  CounterRef wrong_tuple_injected;  // right ID/port, wrong source address
+  CounterRef tc_injected;           // forged TC=1 truncation-game replies
+  CounterRef malformed_injected;    // undecodable junk replies
+  CounterRef oversized_injected;    // replies past any sane UDP budget
+
+  AttackStats() = default;
+  explicit AttackStats(MetricsRegistry& reg)
+      : queries_observed(reg.counter("dnsboot_attack_queries_observed")),
+        spoofs_injected(reg.counter("dnsboot_attack_spoofs_injected")),
+        floods_injected(reg.counter("dnsboot_attack_floods_injected")),
+        wrong_tuple_injected(
+            reg.counter("dnsboot_attack_wrong_tuple_injected")),
+        tc_injected(reg.counter("dnsboot_attack_tc_injected")),
+        malformed_injected(reg.counter("dnsboot_attack_malformed_injected")),
+        oversized_injected(reg.counter("dnsboot_attack_oversized_injected")) {}
+
+  std::uint64_t total_injected() const {
+    return spoofs_injected + floods_injected + wrong_tuple_injected +
+           tc_injected + malformed_injected + oversized_injected;
+  }
+};
+
+// resolver::QueryEngine anti-spoofing counters (family dnsboot_defense_*).
+// accepted_forgeries is the headline number: it counts matched responses
+// whose ground-truth `injected` marker was set, and the adversarial
+// acceptance criterion is that it stays exactly 0 off-path.
+struct DefenseStats {
+  CounterRef forged_rejected;    // rejected responses attributed to a pending
+                                 // question (spoof-sweep candidates)
+  CounterRef port_rejected;      // right ID, wrong destination port
+  CounterRef malformed_rejected; // undecodable payloads shed
+  CounterRef forgery_aborts;     // birthday detection: UDP abandoned for TCP
+  CounterRef accepted_forgeries; // injected datagrams that completed a query
+  CounterRef servers_marked;     // endpoints marked under_attack
+
+  DefenseStats() = default;
+  explicit DefenseStats(MetricsRegistry& reg)
+      : forged_rejected(reg.counter("dnsboot_defense_forged_rejected")),
+        port_rejected(reg.counter("dnsboot_defense_port_rejected")),
+        malformed_rejected(reg.counter("dnsboot_defense_malformed_rejected")),
+        forgery_aborts(reg.counter("dnsboot_defense_forgery_aborts")),
+        accepted_forgeries(
+            reg.counter("dnsboot_defense_accepted_forgeries")),
+        servers_marked(reg.counter("dnsboot_defense_servers_marked")) {}
+};
+
 // An owned snapshot: copies a component's registry and binds a view over
 // the copy, for call sites where the stats must outlive the component
 // (tests and benches that return stats from a scope that owns the engine).

@@ -18,12 +18,75 @@ QueryEngine::QueryEngine(net::Transport& network,
 }
 
 std::uint16_t QueryEngine::allocate_id() {
-  // Find a free 16-bit ID; the scanner bounds concurrency well below 65k.
+  if (options_.randomize_ids) {
+    // Random 16-bit IDs (RFC 5452 §9.2): an off-path spoofer has to win a
+    // 1-in-65535 lottery per candidate. A few draws before the sequential
+    // fallback: the scanner bounds concurrency well below 65k, so a
+    // collision is already rare at the first draw.
+    for (int tries = 0; tries < 64; ++tries) {
+      auto id = static_cast<std::uint16_t>(rng_.next_below(0x10000));
+      if (id != 0 && pending_.find(id) == pending_.end()) return id;
+    }
+  }
   for (int tries = 0; tries < 0x10000; ++tries) {
     std::uint16_t id = next_id_++;
     if (id != 0 && pending_.find(id) == pending_.end()) return id;
   }
   return 0;  // exhausted (callers treat as overload)
+}
+
+std::string QueryEngine::question_key(const net::IpAddress& server,
+                                      const dns::Name& qname,
+                                      dns::RRType qtype) {
+  return server.to_text() + "|" + qname.canonical_text() + "|" +
+         dns::to_string(qtype);
+}
+
+void QueryEngine::index_question(std::uint16_t id, const Pending& p) {
+  pending_by_question_.emplace(question_key(p.server, p.qname, p.qtype), id);
+}
+
+void QueryEngine::unindex_question(std::uint16_t id, const Pending& p) {
+  auto it = pending_by_question_.find(question_key(p.server, p.qname, p.qtype));
+  if (it != pending_by_question_.end() && it->second == id) {
+    pending_by_question_.erase(it);
+  }
+}
+
+void QueryEngine::mark_under_attack(const net::IpAddress& server) {
+  if (under_attack_.insert(server).second) ++defense_.servers_marked;
+}
+
+void QueryEngine::count_forged_candidate(std::uint16_t id, Pending& p) {
+  ++defense_.forged_rejected;
+  ++p.forged_candidates;
+  if (options_.forgery_abort_threshold <= 0 || p.forgery_aborted) return;
+  if (p.forged_candidates < options_.forgery_abort_threshold) return;
+  // Birthday attack in progress: someone is sweeping candidates at this
+  // exact question. Stop racing the attacker on UDP — re-issue over TCP,
+  // which an off-path spoofer cannot join (RFC 5452 §9.3).
+  p.forgery_aborted = true;
+  mark_under_attack(p.server);
+  ++defense_.forgery_aborts;
+  if (!p.use_tcp) {
+    network_.cancel(p.timeout_timer);
+    p.use_tcp = true;
+    ++p.attempts_left;  // the defensive re-query is not a lost attempt
+    send_attempt(id);
+  }
+}
+
+void QueryEngine::note_forged_candidate(const net::Datagram& dgram,
+                                        const dns::Message& message) {
+  // A rejected response naming a question we do have in flight (from the
+  // address we asked) is a spoof-sweep candidate against that query.
+  if (message.questions.size() != 1) return;
+  auto it = pending_by_question_.find(question_key(
+      dgram.source, message.questions[0].name, message.questions[0].type));
+  if (it == pending_by_question_.end()) return;
+  auto entry = pending_.find(it->second);
+  if (entry == pending_.end()) return;
+  count_forged_candidate(entry->first, entry->second);
 }
 
 net::SimTime QueryEngine::attempt_timeout(int attempt) const {
@@ -97,7 +160,15 @@ void QueryEngine::query(const net::IpAddress& server, const dns::Name& qname,
   pending.attempts_left = options_.attempts;
   pending.issued_at = network_.now();
   pending.traced = options_.tracer != nullptr && options_.tracer->sample();
-  pending_.emplace(id, std::move(pending));
+  // One randomized source port per logical query (kept across retries so a
+  // late authentic answer to an earlier attempt still matches). Only drawn
+  // on transports that model ports; the kernel does this for the wire.
+  if (options_.randomize_ports && network_.models_ports()) {
+    pending.sport =
+        static_cast<std::uint16_t>(49152 + rng_.next_below(16384));
+  }
+  auto [entry, inserted] = pending_.emplace(id, std::move(pending));
+  index_question(id, entry->second);
   send_attempt(id);
 }
 
@@ -129,8 +200,16 @@ void QueryEngine::send_attempt(std::uint16_t id) {
     if (entry == pending_.end()) return;  // answered while queued
     ++stats_.sends;
     entry->second.sent_at = network_.now();
-    network_.send(local_address_, entry->second.server, std::move(wire),
-                  entry->second.use_tcp);
+    net::Datagram dgram;
+    dgram.source = local_address_;
+    dgram.destination = entry->second.server;
+    dgram.payload = std::move(wire);
+    dgram.tcp = entry->second.use_tcp;
+    if (entry->second.sport != 0) {
+      dgram.source_port = entry->second.sport;
+      dgram.destination_port = 53;
+    }
+    network_.send(std::move(dgram));
   });
   p.timeout_timer = network_.schedule(delay + timeout,
                                       [this, id] { handle_timeout(id); });
@@ -156,6 +235,7 @@ void QueryEngine::finish(std::uint16_t id, Result<dns::Message> result) {
     options_.tracer->record(std::move(span));
   }
   Callback callback = std::move(it->second.callback);
+  unindex_question(id, it->second);
   pending_.erase(it);
   callback(std::move(result));
 }
@@ -180,11 +260,19 @@ void QueryEngine::handle_datagram(const net::Datagram& dgram) {
   auto message = dns::Message::decode(dgram.payload);
   if (!message.ok()) {
     ++stats_.mismatched;
+    ++defense_.malformed_rejected;
+    return;
+  }
+  if (!message->header.qr) {
+    ++stats_.mismatched;
     return;
   }
   auto it = pending_.find(message->header.id);
-  if (it == pending_.end() || !message->header.qr) {
+  if (it == pending_.end()) {
     ++stats_.mismatched;
+    // No pending ID — but if the question is one we have in flight, this is
+    // a wrong-ID candidate from a spoof sweep; count it against that query.
+    note_forged_candidate(dgram, *message);
     return;
   }
   // Guard against spoofed/crossed answers: source and question must match.
@@ -195,6 +283,22 @@ void QueryEngine::handle_datagram(const net::Datagram& dgram) {
       !(message->questions[0].name == p.qname) ||
       message->questions[0].type != p.qtype) {
     ++stats_.mismatched;
+    note_forged_candidate(dgram, *message);
+    return;
+  }
+  // Source-port check (RFC 5452 §4.5): the answer must come back to the
+  // port the query left from. Enforceable only when the transport models
+  // ports; the kernel does this for real sockets, so 0 skips the check.
+  if (dgram.destination_port != 0 && p.sport != 0 &&
+      dgram.destination_port != p.sport) {
+    ++stats_.mismatched;
+    ++defense_.port_rejected;
+    if (options_.port_mismatch_mark_threshold > 0 &&
+        ++port_mismatches_[p.server] >=
+            options_.port_mismatch_mark_threshold) {
+      mark_under_attack(p.server);
+    }
+    count_forged_candidate(it->first, p);
     return;
   }
   if (message->header.tc) {
@@ -224,6 +328,10 @@ void QueryEngine::handle_datagram(const net::Datagram& dgram) {
     return;
   }
   ++stats_.responses;
+  // Ground-truth accounting, never a gate: a crafted datagram that got this
+  // far beat every defense. The adversarial acceptance criterion is that
+  // this counter stays 0 under the off-path preset.
+  if (dgram.injected) ++defense_.accepted_forgeries;
   net::SimTime rtt =
       network_.now() >= p.sent_at ? network_.now() - p.sent_at : 0;
   rtt_histogram_.observe(rtt);

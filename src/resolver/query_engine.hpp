@@ -16,7 +16,9 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "base/rng.hpp"
 #include "dns/message.hpp"
@@ -52,6 +54,21 @@ struct QueryEngineOptions {
   // Jitter RNG seed (deterministic runs).
   std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 
+  // Anti-spoofing defenses (the attacker model the adversarial chaos tier
+  // drives; see DESIGN.md §13). Randomized IDs make every query a fresh
+  // 16-bit lottery; randomized source ports (only effective on transports
+  // that model ports) add another 14 bits an off-path attacker must guess.
+  bool randomize_ids = true;
+  bool randomize_ports = true;
+  // Birthday-attack detection: after this many rejected response candidates
+  // attributed to one pending question, the engine abandons the UDP race and
+  // re-queries over TCP (which an off-path attacker cannot join), marking
+  // the server under_attack. 0 disables the abort.
+  int forgery_abort_threshold = 8;
+  // A server whose responses hit this many wrong-destination-port rejections
+  // is marked under_attack even without a per-query abort.
+  int port_mismatch_mark_threshold = 4;
+
   // Per-server health tracking (breaker + SERVFAIL cache); off by default.
   HealthOptions health;
 
@@ -65,6 +82,7 @@ struct QueryEngineOptions {
 // plain-uint64 struct but live in the engine's MetricsRegistry as
 // dnsboot_engine_* counters; shard merging is MetricsRegistry::merge.
 using QueryEngineStats = obs::QueryEngineStats;
+using DefenseStats = obs::DefenseStats;
 
 class QueryEngine {
  public:
@@ -79,8 +97,16 @@ class QueryEngine {
              dns::RRType qtype, Callback callback);
 
   const QueryEngineStats& stats() const { return stats_; }
+  const DefenseStats& defense() const { return defense_; }
   const ServerHealthTracker& health() const { return health_; }
   std::size_t in_flight() const { return pending_.size(); }
+  // True once the anti-spoofing defenses concluded this endpoint is being
+  // attacked (a forgery abort fired, or repeated wrong-port rejections).
+  // Scan provenance threads this into ScanQuality as `under_attack`.
+  bool under_attack(const net::IpAddress& server) const {
+    return under_attack_.count(server) > 0;
+  }
+  std::size_t servers_under_attack() const { return under_attack_.size(); }
   // The engine's dnsboot_engine_* counters and RTT histogram; run_survey
   // merges this into the survey-wide registry.
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -99,6 +125,9 @@ class QueryEngine {
     net::SimTime prev_backoff = 0;   // decorrelated-jitter state
     net::SimTime issued_at = 0;      // when the logical query was issued
     bool traced = false;             // sampled for a trace span
+    std::uint16_t sport = 0;         // randomized source port (0: unmodelled)
+    int forged_candidates = 0;       // rejected candidates attributed here
+    bool forgery_aborted = false;    // birthday abort already fired
   };
 
   void send_attempt(std::uint16_t id);
@@ -109,6 +138,17 @@ class QueryEngine {
   net::SimTime attempt_timeout(int attempt) const;
   net::SimTime next_backoff(Pending& p);
   bool retry_budget_available() const;
+  // Anti-spoofing bookkeeping.
+  static std::string question_key(const net::IpAddress& server,
+                                  const dns::Name& qname, dns::RRType qtype);
+  void index_question(std::uint16_t id, const Pending& p);
+  void unindex_question(std::uint16_t id, const Pending& p);
+  // A rejected response carrying a pending question: count it against that
+  // query and fire the birthday abort at the threshold.
+  void note_forged_candidate(const net::Datagram& dgram,
+                             const dns::Message& message);
+  void count_forged_candidate(std::uint16_t id, Pending& p);
+  void mark_under_attack(const net::IpAddress& server);
 
   net::Transport& network_;
   net::IpAddress local_address_;
@@ -118,9 +158,20 @@ class QueryEngine {
   // Rate pacing: earliest time the next datagram may leave for a server.
   std::unordered_map<net::IpAddress, net::SimTime, net::IpAddressHash>
       next_free_;
+  // Forgery attribution: "server|qname|qtype" -> pending id. A rejected
+  // response that names a pending question is a spoof candidate against that
+  // query (the needle the birthday-abort defense counts). Duplicate
+  // questions keep the first index entry; attribution is a heuristic, not a
+  // correctness path.
+  std::unordered_map<std::string, std::uint16_t> pending_by_question_;
+  // Per-server wrong-destination-port rejections (threshold marks the
+  // server) and the marked set itself.
+  std::unordered_map<net::IpAddress, int, net::IpAddressHash> port_mismatches_;
+  std::unordered_set<net::IpAddress, net::IpAddressHash> under_attack_;
   // Registry before its views (members initialize in declaration order).
   obs::MetricsRegistry metrics_;
   QueryEngineStats stats_{metrics_};
+  DefenseStats defense_{metrics_};
   obs::Histogram& rtt_histogram_{metrics_.histogram("dnsboot_engine_rtt_usec")};
   ServerHealthTracker health_;
   Rng rng_;

@@ -59,6 +59,11 @@ struct RRsetProbe {
   Outcome outcome = Outcome::kTimeout;
   dns::Rcode rcode = dns::Rcode::kNoError;
   ProbeFailure failure = ProbeFailure::kNone;
+  // The engine's anti-spoofing defenses flagged this endpoint as under
+  // active attack when the probe completed (forgery abort or repeated
+  // wrong-port rejections). The answer itself was still authenticated by
+  // the usual ID/port/tuple checks — this is provenance, not a verdict.
+  bool under_attack = false;
   dnssec::SignedRRset rrset;  // filled for kAnswer
 };
 
@@ -110,6 +115,7 @@ struct ZoneObservation {
   int scan_attempt = 1;                // which pass produced this (1-based)
   std::size_t failed_probes = 0;       // probes with failure != kNone
   std::size_t transient_failures = 0;  // subset a requeue may recover
+  std::size_t probes_under_attack = 0; // probes flagged under_attack
 
   // Parent-side view (TLD referral).
   std::vector<dns::Name> parent_ns;

@@ -210,6 +210,9 @@ RRsetProbe Scanner::make_probe_result(const dns::Name& ns,
   probe.endpoint = endpoint;
   probe.qname = qname;
   probe.qtype = qtype;
+  // Thread the engine's under-attack verdict for this endpoint into the
+  // probe's provenance (it ends up in ScanQuality as `under_attack`).
+  probe.under_attack = engine_.under_attack(endpoint);
   if (!response.ok()) {
     // Engine-level failure: record the structured provenance so the
     // analysis can tell "scan could not observe" from operator behavior.
@@ -581,7 +584,9 @@ void Scanner::run_signal_task(std::shared_ptr<ZoneTask> task,
 void Scanner::finalize_completeness(ZoneObservation& obs) const {
   obs.failed_probes = 0;
   obs.transient_failures = 0;
+  obs.probes_under_attack = 0;
   auto count = [&obs](const RRsetProbe& probe) {
+    if (probe.under_attack) ++obs.probes_under_attack;
     if (probe.failure == ProbeFailure::kNone) return;
     ++obs.failed_probes;
     if (is_transient(probe.failure)) ++obs.transient_failures;

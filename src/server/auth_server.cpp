@@ -399,6 +399,35 @@ net::SimTime AuthServer::fault_gate(const dns::Message& query,
   return delay;
 }
 
+// The per-client token bucket. Silent drop on empty (RRL-style): answering
+// REFUSED would hand an attacker spoofing a victim's address an amplifier.
+bool AuthServer::defense_gate(const net::IpAddress& client,
+                              net::SimTime now) {
+  const ServerDefenseProfile& defense = config_.defense;
+  if (defense.per_client_qps <= 0) return true;
+  auto it = client_buckets_.find(client);
+  if (it == client_buckets_.end()) {
+    if (client_buckets_.size() >= defense.max_clients_tracked) {
+      return true;  // table full: fail open (see ServerDefenseProfile)
+    }
+    it = client_buckets_
+             .emplace(client,
+                      ClientBucket{defense.per_client_burst, now})
+             .first;
+  }
+  ClientBucket& bucket = it->second;
+  double refill = static_cast<double>(now - bucket.last_refill) *
+                  defense.per_client_qps / 1e6;
+  bucket.tokens = std::min(defense.per_client_burst, bucket.tokens + refill);
+  bucket.last_refill = now;
+  if (bucket.tokens < 1.0) {
+    ++client_throttled_;
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  return true;
+}
+
 void AuthServer::attach(net::Transport& network,
                         const net::IpAddress& address) {
   // Re-attaching an address (e.g. moving a built ecosystem from the
@@ -409,22 +438,42 @@ void AuthServer::attach(net::Transport& network,
   }
   network.bind(address, [this, &network](const net::Datagram& dgram) {
     auto query = dns::Message::decode(dgram.payload);
-    if (!query.ok()) return;  // garbage in, silence out (as UDP would)
+    if (!query.ok()) {
+      // Garbage in, silence out (as UDP would) — but observably: malformed
+      // floods are an attack signal the metrics must show.
+      ++malformed_dropped_;
+      return;
+    }
+    // Hardening gate before any work is spent on the query.
+    if (!defense_gate(dgram.source, network.now())) return;
 
-    // Chaos gates first: a slow, flapping, or rate-limited server fails the
+    // Chaos gates next: a slow, flapping, or rate-limited server fails the
     // same way for AXFR streams as for plain queries.
     std::optional<dns::Message> short_circuit;
     net::SimTime delay =
         fault_gate(query.value(), network.now(), &short_circuit);
+    // Replies echo the query's ports swapped, so the client's source-port
+    // check can match on transports that model ports.
     auto send_wire = [&network, delay, source = dgram.source,
-                      destination = dgram.destination](Bytes wire, bool tcp) {
+                      destination = dgram.destination,
+                      sport = dgram.destination_port,
+                      dport = dgram.source_port](Bytes wire, bool tcp) {
+      auto make = [&](Bytes payload) {
+        net::Datagram reply;
+        reply.source = destination;
+        reply.destination = source;
+        reply.payload = std::move(payload);
+        reply.tcp = tcp;
+        reply.source_port = sport;
+        reply.destination_port = dport;
+        return reply;
+      };
       if (delay == 0) {
-        network.send(destination, source, std::move(wire), tcp);
+        network.send(make(std::move(wire)));
         return;
       }
-      network.schedule(delay, [&network, source, destination,
-                               wire = std::move(wire), tcp] {
-        network.send(destination, source, wire, tcp);
+      network.schedule(delay, [&network, reply = make(std::move(wire))] {
+        network.send(reply);
       });
     };
     // Request span for sampled queries: receipt → response handed to the

@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "base/rng.hpp"
@@ -55,6 +56,22 @@ struct ServerFaultProfile {
   net::SimTime flap_fail = 0;
 };
 
+// Per-client defenses for hostile traffic (the adversarial chaos tier; see
+// DESIGN.md §13). Unlike ServerFaultProfile — which *simulates* a degraded
+// server — this hardens the server: response-rate limiting per client
+// address in the RRL style (silent drop, not REFUSED, so a spoofed victim
+// is not used as a reflector), bounded tracking state, and malformed-query
+// shedding that is observable in /metrics.
+struct ServerDefenseProfile {
+  // Token bucket per client source address; 0 qps disables the limiter.
+  double per_client_qps = 0.0;
+  double per_client_burst = 32.0;
+  // Bounded bucket table: at capacity, queries from *new* clients pass
+  // unthrottled rather than evicting state (fail-open — the limiter is a
+  // flood dampener, not an ACL).
+  std::size_t max_clients_tracked = 1024;
+};
+
 struct ServerConfig {
   std::string id;  // diagnostic label, e.g. "ns1.desec.io"
   ServerBehavior behavior = ServerBehavior::kCompliant;
@@ -75,6 +92,8 @@ struct ServerConfig {
 
   // Chaos fault profile (off by default; see apply_chaos()).
   ServerFaultProfile faults;
+  // Hardening profile (off by default; the adversarial preset enables it).
+  ServerDefenseProfile defense;
 };
 
 class AuthServer {
@@ -85,6 +104,9 @@ class AuthServer {
   // Install a fault profile after construction (the chaos planner does this
   // on servers the ecosystem builder already created).
   void set_faults(const ServerFaultProfile& faults) { config_.faults = faults; }
+  void set_defense(const ServerDefenseProfile& defense) {
+    config_.defense = defense;
+  }
 
   // Serve a zone. Zones are shared (an operator's servers all serve the same
   // zone objects).
@@ -121,6 +143,9 @@ class AuthServer {
   std::uint64_t rate_limited() const { return rate_limited_; }
   std::uint64_t flap_servfails() const { return flap_servfails_; }
   std::uint64_t slow_start_penalized() const { return slow_start_penalized_; }
+  // Defense outcome counters.
+  std::uint64_t client_throttled() const { return client_throttled_; }
+  std::uint64_t malformed_dropped() const { return malformed_dropped_; }
 
   // The server's dnsboot_server_* counters, including the per-rcode
   // response family (all family members are pre-created at construction, so
@@ -135,6 +160,9 @@ class AuthServer {
  private:
   net::SimTime fault_gate(const dns::Message& query, net::SimTime now,
                           std::optional<dns::Message>* short_circuit);
+  // Per-client token bucket (RRL-style): false means drop the query
+  // silently. Tracking state is bounded by max_clients_tracked.
+  bool defense_gate(const net::IpAddress& client, net::SimTime now);
   dns::Message respond_from_zone(const dns::Message& query,
                                  const dns::Zone& zone);
   dns::Message respond_parking(const dns::Message& query);
@@ -165,6 +193,10 @@ class AuthServer {
       metrics_.counter("dnsboot_server_flap_servfails")};
   obs::CounterRef slow_start_penalized_{
       metrics_.counter("dnsboot_server_slow_start_penalized")};
+  obs::CounterRef client_throttled_{
+      metrics_.counter("dnsboot_server_client_throttled")};
+  obs::CounterRef malformed_dropped_{
+      metrics_.counter("dnsboot_server_malformed_dropped")};
   // Per-rcode response family, pre-bound for rcodes 0..5 plus "other".
   std::vector<obs::Counter*> rcode_counters_;
   obs::Tracer* tracer_ = nullptr;
@@ -175,6 +207,15 @@ class AuthServer {
   net::SimTime rl_last_refill_ = 0;
   bool rl_initialized_ = false;
   std::uint64_t slow_queries_seen_ = 0;
+
+  // Per-client limiter state (defense profile), bounded by
+  // max_clients_tracked.
+  struct ClientBucket {
+    double tokens = 0.0;
+    net::SimTime last_refill = 0;
+  };
+  std::unordered_map<net::IpAddress, ClientBucket, net::IpAddressHash>
+      client_buckets_;
 };
 
 }  // namespace dnsboot::server

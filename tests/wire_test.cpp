@@ -1,6 +1,10 @@
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <string>
 #include <vector>
 
@@ -333,6 +337,127 @@ TEST(WireTransportTest, BindErrorIsReported) {
   WireTransport second(fx.map);
   second.bind(fx.server_vaddr, [](const Datagram&) {});
   EXPECT_FALSE(second.error().empty());
+}
+
+// --- TCP serving-tier defenses -------------------------------------------
+
+// Raw blocking TCP client — the attacker side of the slowloris tests. The
+// engine would never misbehave like this, so the tests speak socket(2).
+int raw_tcp_connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(0x7f000001);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Peer state probe: 0 = closed by server, 1 = still open, -1 = undecided.
+int peer_state(int fd) {
+  std::uint8_t byte;
+  ssize_t n = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+  if (n == 0) return 0;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 1;
+  return -1;
+}
+
+TEST(WireTransportTest, IdleTimeoutEvictsSlowlorisConnection) {
+  WireFixture fx;
+  WireTransportOptions options;
+  options.tcp_idle_timeout = 100 * kMillisecond;
+  WireTransport transport(fx.map, options);
+  transport.bind(fx.server_vaddr, [](const Datagram&) {});
+  ASSERT_TRUE(transport.error().empty()) << transport.error();
+
+  // A slowloris client: connect, send half a frame header, then stall.
+  int fd = raw_tcp_connect(fx.map.real_for(fx.server_vaddr)->port);
+  const std::uint8_t half_header = 0;
+  ASSERT_EQ(::send(fd, &half_header, 1, 0), 1);
+  ASSERT_TRUE(run_until(transport,
+                        [&] { return transport.tcp_evicted_idle() >= 1; }));
+  EXPECT_EQ(transport.tcp_evicted_idle(), 1u);
+  EXPECT_EQ(transport.accepted_tcp_conns(), 0u);
+  // The victim sees the connection closed from the server side.
+  EXPECT_EQ(peer_state(fd), 0);
+  // The eviction is visible in the transport's metrics registry.
+  EXPECT_EQ(transport.metrics_registry()->counter_value(
+                "dnsboot_wire_tcp_evicted_idle"),
+            1u);
+  ::close(fd);
+}
+
+TEST(WireTransportTest, ConnectionCapEvictsOldestIdleFirst) {
+  WireFixture fx;
+  WireTransportOptions options;
+  options.max_tcp_conns = 2;
+  WireTransport transport(fx.map, options);
+  transport.bind(fx.server_vaddr, [](const Datagram&) {});
+  ASSERT_TRUE(transport.error().empty()) << transport.error();
+  const std::uint16_t port = fx.map.real_for(fx.server_vaddr)->port;
+
+  int first = raw_tcp_connect(port);
+  ASSERT_TRUE(run_until(transport,
+                        [&] { return transport.accepted_tcp_conns() >= 1; }));
+  int second = raw_tcp_connect(port);
+  ASSERT_TRUE(run_until(transport,
+                        [&] { return transport.accepted_tcp_conns() >= 2; }));
+  // Refresh the second connection's activity clock so the first is
+  // unambiguously the oldest-idle when the cap eviction has to choose.
+  Bytes frame = frame_bytes("q");
+  ASSERT_EQ(::send(second, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  ASSERT_TRUE(run_until(
+      transport, [&] { return transport.datagrams_delivered() >= 1; }));
+
+  int third = raw_tcp_connect(port);
+  ASSERT_TRUE(run_until(transport,
+                        [&] { return transport.tcp_evicted_cap() >= 1; }));
+  EXPECT_EQ(transport.tcp_evicted_cap(), 1u);
+  EXPECT_EQ(transport.accepted_tcp_conns(), 2u);
+  // The oldest-idle connection was the one evicted; the others survive.
+  ASSERT_TRUE(run_until(transport, [&] { return peer_state(first) == 0; }));
+  EXPECT_EQ(peer_state(second), 1);
+  EXPECT_EQ(peer_state(third), 1);
+  EXPECT_EQ(
+      transport.metrics_registry()->counter_value("dnsboot_wire_tcp_evicted_cap"),
+      1u);
+  ::close(first);
+  ::close(second);
+  ::close(third);
+}
+
+TEST(WireTransportTest, MalformedTcpFrameIsShedWithoutKillingWorker) {
+  WireFixture fx;
+  WireTransportOptions options;
+  options.tcp_max_buffered = 512;  // serving tier that caps frames low
+  WireTransport transport(fx.map, options);
+  int frames_delivered = 0;
+  transport.bind(fx.server_vaddr,
+                 [&](const Datagram&) { ++frames_delivered; });
+  ASSERT_TRUE(transport.error().empty()) << transport.error();
+  const std::uint16_t port = fx.map.real_for(fx.server_vaddr)->port;
+
+  // A frame that claims 65535 bytes and streams garbage overflows the
+  // reassembly cap: the connection must be shed, not the worker.
+  int bad = raw_tcp_connect(port);
+  Bytes garbage(4096, 0xff);
+  (void)::send(bad, garbage.data(), garbage.size(), MSG_NOSIGNAL);
+  ASSERT_TRUE(run_until(transport,
+                        [&] { return transport.malformed_shed() >= 1; }));
+  ASSERT_TRUE(run_until(transport, [&] { return peer_state(bad) == 0; }));
+  ::close(bad);
+
+  // The transport still serves a well-formed client afterwards.
+  int good = raw_tcp_connect(port);
+  Bytes frame = frame_bytes("ok");
+  ASSERT_EQ(::send(good, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  ASSERT_TRUE(run_until(transport, [&] { return frames_delivered >= 1; }));
+  EXPECT_EQ(transport.malformed_shed(), 1u);
+  ::close(good);
 }
 
 // --- Endpoint stack over the wire ----------------------------------------

@@ -69,7 +69,10 @@ cli::FlagParser make_parser(CliOptions* options) {
   cli::OutputFlagSet output_flags;
   output_flags.with_json = false;  // the serve "report" IS the metrics dump
   cli::add_output_flags(parser, &options->output, output_flags);
-  parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
+  // Same preset registry as dnsboot-survey; over real sockets only the
+  // server-side pieces apply (fault gates + defense token buckets), but the
+  // accepted names must match so the two tools pair up 1:1.
+  parser.choice("--chaos", &options->chaos, ecosystem::chaos_preset_names(),
                 "inject the server-side fault schedule");
   parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
   parser.value("--max-seconds", &options->max_seconds,

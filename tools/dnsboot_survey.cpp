@@ -5,7 +5,7 @@
 // Usage:
 //   dnsboot-survey [--scale-denom N] [--seed S] [--json FILE] [--csv FILE]
 //                  [--no-pathologies] [--no-signal-scan] [--lint] [--quiet]
-//                  [--chaos off|mild|hostile] [--chaos-seed S]
+//                  [--chaos off|mild|hostile|adversarial] [--chaos-seed S]
 //                  [--scan-attempts N] [--threads N] [--shards N]
 //                  [--bench-json FILE] [--metrics-json FILE]
 //                  [--trace FILE] [--trace-sample N]
@@ -40,6 +40,7 @@
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
 #include "net/wire/wire_transport.hpp"
+#include "obs/stats.hpp"
 #include "obs/trace.hpp"
 
 using namespace dnsboot;
@@ -86,8 +87,11 @@ cli::FlagParser make_parser(CliOptions* options) {
               "skip the RFC 9615 signal-zone scan", false);
   parser.flag("--lint", &options->lint_preflight,
               "static lint preflight before scanning");
-  parser.choice("--chaos", &options->chaos, {"off", "mild", "hostile"},
-                "inject a deterministic fault schedule");
+  // The choice list comes from the preset registry so a preset added there
+  // is accepted here and an unknown name is a usage error (exit 2), never a
+  // silent fallback to "off".
+  parser.choice("--chaos", &options->chaos, ecosystem::chaos_preset_names(),
+                "inject a deterministic fault or attack schedule");
   parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
   parser.value("--scan-attempts", &options->scan_attempts,
                "scan passes per zone", 1);
@@ -190,12 +194,15 @@ int main(int argc, char** argv) {
     if (!options.output.quiet) {
       std::printf(
           "chaos '%s': %llu faulted endpoints (%llu blackholed, "
-          "%llu flapping), %llu faulted servers\n",
+          "%llu flapping), %llu faulted servers, %llu attacked endpoints, "
+          "%llu hardened servers\n",
           options.chaos.c_str(),
           static_cast<unsigned long long>(chaos_plan.endpoints_faulted),
           static_cast<unsigned long long>(chaos_plan.endpoints_blackholed),
           static_cast<unsigned long long>(chaos_plan.endpoints_flapping),
-          static_cast<unsigned long long>(chaos_plan.servers_faulted));
+          static_cast<unsigned long long>(chaos_plan.servers_faulted),
+          static_cast<unsigned long long>(chaos_plan.endpoints_attacked),
+          static_cast<unsigned long long>(chaos_plan.servers_hardened));
     }
   }
 
@@ -230,7 +237,12 @@ int main(int argc, char** argv) {
     tracer.emplace(tracer_options);
     run_options.tracer = &*tracer;
   }
-  if (chaos) {
+  // The adversarial preset keeps the clean run's engine policy: its links
+  // are fault-free by construction, and the clean-vs-adversarial report
+  // identity only holds when both runs draw from identical engine options.
+  const bool lossy_chaos =
+      options.chaos == "mild" || options.chaos == "hostile";
+  if (lossy_chaos) {
     // Resilient retry policy: escalating per-attempt timeouts, decorrelated
     // jitter between retries, a retry budget, per-server breakers with the
     // RFC 9520 SERVFAIL cache, and a second scan pass for transient losers.
@@ -345,6 +357,28 @@ int main(int argc, char** argv) {
           format_count(result.engine_stats.fail_fast).c_str(),
           format_count(result.engine_stats.servfail_cache_hits).c_str(),
           format_count(result.engine_stats.budget_denied).c_str());
+      // Attack/defense ledger (views over the merged registry; all zero
+      // outside the adversarial preset, so only printed when non-trivial).
+      obs::AttackStats attack_view(*result.metrics);
+      obs::DefenseStats defense_view(*result.metrics);
+      if (attack_view.total_injected() > 0 ||
+          defense_view.forged_rejected > 0) {
+        std::printf(
+            "adversary: %s injected (%s spoofs, %s floods, %s wrong-tuple, "
+            "%s tc, %s malformed); rejected %s forged + %s wrong-port, "
+            "%s tcp aborts, %s accepted forgeries; zones under attack %s\n",
+            format_count(attack_view.total_injected()).c_str(),
+            format_count(attack_view.spoofs_injected).c_str(),
+            format_count(attack_view.floods_injected).c_str(),
+            format_count(attack_view.wrong_tuple_injected).c_str(),
+            format_count(attack_view.tc_injected).c_str(),
+            format_count(attack_view.malformed_injected).c_str(),
+            format_count(defense_view.forged_rejected).c_str(),
+            format_count(defense_view.port_rejected).c_str(),
+            format_count(defense_view.forgery_aborts).c_str(),
+            format_count(defense_view.accepted_forgeries).c_str(),
+            format_count(s.zones_under_attack).c_str());
+      }
     }
     const double wall_sec = wall_ms / 1000.0;
     const double zones_per_sec =
