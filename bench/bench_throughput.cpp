@@ -1,17 +1,23 @@
 // bench_throughput — end-to-end throughput of the sharded survey executor
-// (DESIGN.md §9): zones/sec and events/sec for each requested thread count
-// over the same sharded workload, with a byte-identity check on the merged
-// reports across thread counts.
+// (DESIGN.md §9, §14): zones/sec, events/sec, and peak-RSS bytes/zone for
+// each requested thread count over the same sharded workload, with a
+// byte-identity check on the merged reports across thread counts.
 //
 // Usage:
 //   bench_throughput [--scale X] [--threads 1,4,8] [--shards N] [--seed S]
 //                    [--json PATH] [--fail-if-slower]
+//                    [--max-bytes-per-zone N]
 //
 // --scale is relative to the bench's reference population (scale 1.0 =
 // 1/40000 of the paper's 287.6 M zones, ~7.2 k zones); --fail-if-slower
 // exits non-zero when the last thread count's zones/sec is below the first's
-// (the CI smoke gate).
+// (the CI smoke gate). --max-bytes-per-zone is the memory-budget gate: it
+// fails the run when any thread count's peak RSS divided by the zone count
+// exceeds the budget. Worlds are built per shard from a shared
+// EcosystemPlan, so peak memory tracks the largest concurrent set of shard
+// slices, not the whole population.
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -19,13 +25,39 @@
 #include "analysis/report_io.hpp"
 #include "base/strings.hpp"
 #include "bench_json.hpp"
-#include "ecosystem/builder.hpp"
+#include "ecosystem/plan.hpp"
 
 namespace {
 
 using namespace dnsboot;
 
 constexpr double kReferenceDenom = 40000.0;
+
+// Reset the kernel's peak-RSS watermark to the current RSS. Returns false
+// when /proc/self/clear_refs is unavailable (non-Linux, restricted
+// container); callers then report peak-since-process-start instead.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+// Peak RSS (VmHWM) in bytes from /proc/self/status; 0 when unreadable.
+std::uint64_t read_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
 
 struct RunMeasurement {
   std::size_t threads = 0;
@@ -35,6 +67,8 @@ struct RunMeasurement {
   std::uint64_t events = 0;
   std::uint64_t queries = 0;
   double simulated_sec = 0;
+  std::uint64_t peak_rss_bytes = 0;  // peak during this run (0 = unknown)
+  bool rss_reset_ok = false;         // false: peak is since process start
   std::string report_json;
   obs::Histogram rtt_usec;  // merged dnsboot_engine_rtt_usec
 
@@ -45,23 +79,28 @@ struct RunMeasurement {
     return wall_ms > 0 ? static_cast<double>(events) / (wall_ms / 1000.0)
                        : 0.0;
   }
+  double bytes_per_zone() const {
+    return zones > 0 ? static_cast<double>(peak_rss_bytes) /
+                           static_cast<double>(zones)
+                     : 0.0;
+  }
 };
 
-RunMeasurement run_once(double scale, std::uint64_t seed, std::size_t shards,
+RunMeasurement run_once(const ecosystem::EcosystemPlan& plan,
+                        const ecosystem::EcosystemConfig& config,
+                        std::uint64_t seed, std::size_t shards,
                         std::size_t threads) {
-  auto factory = [scale, seed](std::size_t,
-                               std::uint64_t net_seed) -> analysis::ShardWorld {
+  auto source = [&plan, &config, shards](
+                    std::size_t shard,
+                    std::uint64_t net_seed) -> analysis::ShardWorld {
     analysis::ShardWorld world;
     world.network = std::make_unique<net::SimNetwork>(net_seed);
     world.network->set_default_link(
         net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
-    ecosystem::EcosystemConfig config;
-    config.seed = seed;
-    config.scale = scale;
-    ecosystem::EcosystemBuilder builder(*world.network, config);
-    auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+    auto eco = std::make_shared<ecosystem::Ecosystem>(
+        ecosystem::build_shard(*world.network, config, plan, shard, shards));
     world.hints = eco->hints;
-    world.targets = eco->scan_targets;
+    world.targets = std::move(eco->scan_targets);
     world.ns_domain_to_operator = eco->ns_domain_to_operator;
     world.now = eco->now;
     world.keepalive = std::move(eco);
@@ -73,11 +112,13 @@ RunMeasurement run_once(double scale, std::uint64_t seed, std::size_t shards,
   options.threads = threads;
   options.base_network_seed = seed ^ 0xd15b007;
 
-  auto start = std::chrono::steady_clock::now();
-  auto result = analysis::run_sharded_survey(factory, options);
-  auto end = std::chrono::steady_clock::now();
-
   RunMeasurement m;
+  m.rss_reset_ok = reset_peak_rss();
+  auto start = std::chrono::steady_clock::now();
+  auto result = analysis::run_sharded_survey(source, options);
+  auto end = std::chrono::steady_clock::now();
+  m.peak_rss_bytes = read_peak_rss_bytes();
+
   m.threads = result.threads;
   m.shards = result.shards;
   m.wall_ms =
@@ -113,6 +154,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string json_path;
   bool fail_if_slower = false;
+  double max_bytes_per_zone = 0;  // 0 = gate off
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -137,6 +179,9 @@ int main(int argc, char** argv) {
       json_path = need_value("--json");
     } else if (std::strcmp(argv[i], "--fail-if-slower") == 0) {
       fail_if_slower = true;
+    } else if (std::strcmp(argv[i], "--max-bytes-per-zone") == 0) {
+      max_bytes_per_zone = std::atof(need_value("--max-bytes-per-zone"));
+      if (max_bytes_per_zone <= 0) return 2;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -149,19 +194,28 @@ int main(int argc, char** argv) {
       "(1/%.0f of the paper population), %zu shards\n",
       scale, kReferenceDenom / scale, shards);
 
+  // The plan is the shared immutable half of world construction: computed
+  // once, read concurrently by every shard worker in every run.
+  ecosystem::EcosystemConfig config;
+  config.seed = seed;
+  config.scale = eco_scale;
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+
   std::vector<RunMeasurement> runs;
   bool identical = true;
   for (std::size_t threads : thread_counts) {
-    RunMeasurement m = run_once(eco_scale, seed, shards, threads);
+    RunMeasurement m = run_once(plan, config, seed, shards, threads);
     if (!runs.empty() && m.report_json != runs.front().report_json) {
       identical = false;
     }
     std::printf(
         "threads %2zu: %8llu zones in %9.1f ms  %8.1f zones/s  "
-        "%10.0f events/s  %llu queries\n",
+        "%10.0f events/s  %llu queries  %6.1f MiB peak  %7.0f B/zone%s\n",
         threads, static_cast<unsigned long long>(m.zones), m.wall_ms,
         m.zones_per_sec(), m.events_per_sec(),
-        static_cast<unsigned long long>(m.queries));
+        static_cast<unsigned long long>(m.queries),
+        static_cast<double>(m.peak_rss_bytes) / (1024.0 * 1024.0),
+        m.bytes_per_zone(), m.rss_reset_ok ? "" : " (no clear_refs)");
     runs.push_back(std::move(m));
   }
 
@@ -191,6 +245,9 @@ int main(int argc, char** argv) {
         .add("events_per_sec", m.events_per_sec())
         .add("queries", m.queries)
         .add("simulated_sec", m.simulated_sec)
+        .add("peak_rss_bytes", m.peak_rss_bytes)
+        .add("bytes_per_zone", m.bytes_per_zone())
+        .add("rss_reset_ok", m.rss_reset_ok)
         .add_histogram("rtt_usec", m.rtt_usec)
         .end_object();
   }
@@ -210,6 +267,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: %zu threads slower than %zu (%.2fx)\n",
                  runs.back().threads, runs.front().threads, speedup);
     return 1;
+  }
+  if (max_bytes_per_zone > 0) {
+    for (const RunMeasurement& m : runs) {
+      if (m.bytes_per_zone() > max_bytes_per_zone) {
+        std::fprintf(stderr,
+                     "FAIL: %zu threads used %.0f bytes/zone "
+                     "(budget %.0f)\n",
+                     m.threads, m.bytes_per_zone(), max_bytes_per_zone);
+        return 1;
+      }
+    }
   }
   return 0;
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Concurrency-audit smoke (DESIGN.md §12), the CI gate for dnsboot-audit:
-#   1. --rules must list every registered rule code A001..A006;
+#   1. --rules must list every registered rule code A001..A007;
 #   2. --self-check must pass its per-rule positive/negative fixtures;
 #   3. a tree scan over src/ and tools/ must come back clean (exit 0,
 #      "0 finding(s)") and the --json report must have the expected shape;
@@ -32,10 +32,10 @@ fail() {
 
 # --- 1. rule registry ------------------------------------------------------
 rules_out=$("$audit" --rules)
-for code in A001 A002 A003 A004 A005 A006; do
+for code in A001 A002 A003 A004 A005 A006 A007; do
   grep -q "$code" <<<"$rules_out" || fail "--rules is missing $code"
 done
-echo "audit_smoke: rule registry lists A001..A006"
+echo "audit_smoke: rule registry lists A001..A007"
 
 # --- 2. fixture self-check -------------------------------------------------
 "$audit" --self-check >"$workdir/selfcheck.txt" \

@@ -9,8 +9,7 @@
 namespace dnsboot::analysis {
 
 std::size_t shard_of(const dns::Name& zone, std::size_t shards) {
-  if (shards <= 1) return 0;
-  return static_cast<std::size_t>(fnv1a(zone.canonical_text()) % shards);
+  return shard_of_canonical(zone.canonical_text(), shards);
 }
 
 std::uint64_t shard_network_seed(std::uint64_t base_seed,
@@ -32,7 +31,7 @@ struct ShardSlot {
 
 }  // namespace
 
-ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
+ShardedSurveyResult run_sharded_survey(const ShardWorldSource& source,
                                        const ShardedSurveyOptions& options) {
   const std::size_t shards = std::max<std::size_t>(1, options.shards);
   const std::size_t threads =
@@ -48,26 +47,15 @@ ShardedSurveyResult run_sharded_survey(const ShardWorldFactory& factory,
       if (shard >= shards) return;
 
       ShardWorld world =
-          factory(shard, shard_network_seed(options.base_network_seed, shard,
-                                            shards));
-      // Select this shard's zones, preserving population order. With one
-      // shard the full list is used as-is (legacy equivalence).
-      std::vector<dns::Name> mine;
-      const std::vector<dns::Name>* targets = &world.targets;
-      if (shards > 1) {
-        mine.reserve(world.targets.size() / shards + 1);
-        for (const dns::Name& zone : world.targets) {
-          if (shard_of(zone, shards) == shard) mine.push_back(zone);
-        }
-        targets = &mine;
-      }
-
+          source(shard, shard_network_seed(options.base_network_seed, shard,
+                                           shards));
       ShardSlot& slot = slots[shard];
-      // run_survey folds the shard network's registry (fault counters,
-      // events, traffic) into slot.result.metrics, so the slot needs
-      // nothing beyond the result itself.
+      // world.targets is already this shard's slice (streaming-shard
+      // contract); run_survey folds the shard network's registry (fault
+      // counters, events, traffic) into slot.result.metrics, so the slot
+      // needs nothing beyond the result itself.
       slot.result =
-          run_survey(*world.network, world.hints, *targets,
+          run_survey(*world.network, world.hints, world.targets,
                      world.ns_domain_to_operator, world.now, options.run);
     }
   };

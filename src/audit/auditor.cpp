@@ -186,6 +186,18 @@ struct MutexDecl {
   std::size_t line;
 };
 
+bool path_has_suffix(const std::string& path,
+                     const std::vector<std::string>& suffixes) {
+  for (const std::string& suffix : suffixes) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 AuditReport audit_source(const std::string& path, std::string_view text,
@@ -352,16 +364,7 @@ AuditReport audit_source(const std::string& path, std::string_view text,
   }
 
   // ---- pass C: relaxed atomic writes (line window) -------------------------
-  bool relaxed_blessed = false;
-  for (const std::string& suffix : options.relaxed_write_allowlist) {
-    if (path.size() >= suffix.size() &&
-        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
-            0) {
-      relaxed_blessed = true;
-      break;
-    }
-  }
-  if (!relaxed_blessed) {
+  if (!path_has_suffix(path, options.relaxed_write_allowlist)) {
     for (std::size_t line = 1; line <= file.lines.size(); ++line) {
       if (!contains_word(file.code(line), "memory_order_relaxed")) continue;
       // The call this ordering belongs to starts on this line or shortly
@@ -384,6 +387,86 @@ AuditReport audit_source(const std::string& path, std::string_view text,
               ") outside the blessed single-writer counter pattern — use "
               "acq/rel ordering or add an audit-allow waiver stating the "
               "happens-before argument");
+    }
+  }
+
+  // ---- pass D: by-value Ecosystem/Zone copies (A007) -----------------------
+  // The streaming-shard contract (DESIGN.md §14) says whole zone
+  // populations are built once per shard slice and then only referenced.
+  // Outside the builder/plan layer a by-value Ecosystem or Zone is how the
+  // old one-full-world-per-worker pattern looked, so flag: by-value
+  // parameters, copy-initialization from an lvalue, by-value range-for
+  // loop variables, and sequence containers of full values. Constructor
+  // calls, prvalue returns (`Ecosystem build()`), references and pointers
+  // all stay legal.
+  if (!path_has_suffix(path, options.world_copy_allowlist)) {
+    int depth = 0;  // () nesting: separates parameters from declarations
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& tok = tokens[i];
+      if (tok.text == "(") {
+        ++depth;
+        continue;
+      }
+      if (tok.text == ")") {
+        if (depth > 0) --depth;
+        continue;
+      }
+      if (!tok.ident || (tok.text != "Ecosystem" && tok.text != "Zone")) {
+        continue;
+      }
+      const Token* prev = i > 0 ? &tokens[i - 1] : nullptr;
+      const Token* next = i + 1 < tokens.size() ? &tokens[i + 1] : nullptr;
+      if (prev != nullptr && (prev->text == "." || prev->text == "->")) {
+        continue;  // member access, not the type
+      }
+      // Sequence container of full values: one world/zone copy per element.
+      if (prev != nullptr && prev->text == "<" && i >= 2) {
+        const std::string& host = tokens[i - 2].text;
+        if (host == "vector" || host == "deque" || host == "list" ||
+            host == "array") {
+          add(RuleId::kFullWorldCopy, tok.line,
+              host + "<" + tok.text +
+                  "> holds one full copy per element — hold shard slices, "
+                  "shared_ptr or references instead");
+          continue;
+        }
+      }
+      if (next == nullptr || !next->ident) continue;  // ref/ptr/ctor/scope
+      const Token* after = i + 2 < tokens.size() ? &tokens[i + 2] : nullptr;
+      if (after == nullptr) continue;
+      if (after->text == "(") continue;  // function decl: prvalue return
+      if (depth > 0 && (after->text == "," || after->text == ")")) {
+        add(RuleId::kFullWorldCopy, tok.line,
+            tok.text + " passed by value (parameter `" + next->text +
+                "`) — pass const& so the population is not duplicated");
+        continue;
+      }
+      if (after->text == ":") {
+        add(RuleId::kFullWorldCopy, tok.line,
+            "range-for copies each " + tok.text + " into `" + next->text +
+                "` — iterate by const reference");
+        continue;
+      }
+      if (after->text == "=") {
+        // Copy-init from an lvalue. A call or braced init on the RHS is a
+        // prvalue (guaranteed elision) and stays legal.
+        bool prvalue = false;
+        for (std::size_t j = i + 3; j < tokens.size(); ++j) {
+          const std::string& t = tokens[j].text;
+          if (t == ";") break;
+          if (t == "(" || t == "{") {
+            prvalue = true;
+            break;
+          }
+          if (t == "move") prvalue = true;  // std::move handoff
+        }
+        if (!prvalue) {
+          add(RuleId::kFullWorldCopy, tok.line,
+              tok.text + " `" + next->text +
+                  "` copy-initialized from an lvalue — bind a const& or "
+                  "move the value");
+        }
+      }
     }
   }
 

@@ -80,6 +80,17 @@ struct AuditOptions {
       "src/base/verify.hpp",
       "src/base/verify.cpp",
   };
+
+  // Files (matched by path suffix) allowed to hold Ecosystem/Zone values:
+  // the builder/plan layer that constructs them in the first place. A007
+  // flags by-value copies everywhere else so the pre-streaming
+  // one-full-world-per-worker pattern cannot silently return.
+  std::vector<std::string> world_copy_allowlist = {
+      "src/ecosystem/builder.hpp",
+      "src/ecosystem/builder.cpp",
+      "src/ecosystem/plan.hpp",
+      "src/ecosystem/plan.cpp",
+  };
 };
 
 // Audit one file's text. `path` is used for reporting and for the

@@ -37,6 +37,11 @@ const std::vector<RuleInfo>& all_rules() {
       {RuleId::kThreadDetach, "A006", "thread-detach", Severity::kError,
        "a detached thread outlives scoped ownership and races shutdown; "
        "every thread in this codebase is joined"},
+      {RuleId::kFullWorldCopy, "A007", "full-world-copy", Severity::kError,
+       "a by-value Ecosystem/Zone duplicates an entire zone population; "
+       "outside the builder/plan layer pass const& (or build the shard "
+       "slice in place) so the pre-streaming full-world-copy pattern "
+       "cannot return"},
   };
   return rules;
 }

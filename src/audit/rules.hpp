@@ -31,6 +31,8 @@ enum class RuleId {
   kRelaxedAtomicWrite,      // A004: relaxed store/RMW outside blessed seams
   kVolatileQualifier,       // A005: volatile used as a concurrency tool
   kThreadDetach,            // A006: detached thread escapes join discipline
+  kFullWorldCopy,           // A007: by-value Ecosystem/Zone copy outside
+                            //       the blessed builder/plan files
 };
 
 struct RuleInfo {

@@ -170,6 +170,61 @@ void run_and_join(void (*work)()) {
 }
 )cpp";
 
+// --- A007 ------------------------------------------------------------------
+constexpr const char* kA007Fire = R"cpp(
+struct Ecosystem {
+  int zones = 0;
+};
+int count_zones(Ecosystem world) {
+  return world.zones;
+}
+)cpp";
+
+constexpr const char* kA007Silent = R"cpp(
+struct Ecosystem {
+  int zones = 0;
+};
+Ecosystem build_world();
+int count_zones(const Ecosystem& world) {
+  return world.zones;
+}
+int total() {
+  Ecosystem world = build_world();
+  return count_zones(world);
+}
+)cpp";
+
+constexpr const char* kA007CopyInit = R"cpp(
+struct Zone {
+  int records = 0;
+};
+int snapshot(const Zone& zone) {
+  Zone copy = zone;
+  return copy.records;
+}
+)cpp";
+
+constexpr const char* kA007Container = R"cpp(
+#include <vector>
+struct Ecosystem {
+  int zones = 0;
+};
+struct Fleet {
+  std::vector<Ecosystem> worlds;
+};
+)cpp";
+
+constexpr const char* kA007Waived = R"cpp(
+struct Zone {
+  int records = 0;
+};
+int snapshot(const Zone& zone) {
+  // audit-allow: A007 deliberate divergent-zone copy
+  Zone copy = zone;
+  return copy.records;
+}
+)cpp";
+
 }  // namespace
 
 const std::vector<SelfCheckCase>& self_check_cases() {
@@ -196,6 +251,14 @@ const std::vector<SelfCheckCase>& self_check_cases() {
       {"a005-sig-atomic", RuleId::kVolatileQualifier, kA005Silent, false},
       {"a006-detach", RuleId::kThreadDetach, kA006Fire, true},
       {"a006-join", RuleId::kThreadDetach, kA006Silent, false},
+      {"a007-by-value-parameter", RuleId::kFullWorldCopy, kA007Fire, true},
+      {"a007-const-ref-and-prvalue", RuleId::kFullWorldCopy, kA007Silent,
+       false},
+      {"a007-copy-init-from-lvalue", RuleId::kFullWorldCopy, kA007CopyInit,
+       true},
+      {"a007-container-of-worlds", RuleId::kFullWorldCopy, kA007Container,
+       true},
+      {"a007-waived-copy", RuleId::kFullWorldCopy, kA007Waived, false},
   };
   return cases;
 }

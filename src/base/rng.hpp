@@ -71,4 +71,14 @@ class ZipfSampler {
 // FNV-1a — stable string hashing for fork labels and operator bucketing.
 std::uint64_t fnv1a(const std::string& s);
 
+// Stable shard assignment of a zone by its canonical name text. Shared by
+// the ecosystem's streaming shard builder (which decides which zones a shard
+// world materializes) and the analysis executor (which partitions scan
+// targets) — the two MUST agree or shards would scan zones they never built.
+inline std::size_t shard_of_canonical(const std::string& canonical_text,
+                                      std::size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(fnv1a(canonical_text) % shards);
+}
+
 }  // namespace dnsboot

@@ -83,7 +83,38 @@ Fe fe_mul(const Fe& a, const Fe& b) {
   return r;
 }
 
-Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+// Dedicated squaring: the symmetric cross terms fold into doubled products,
+// ~3/5 the multiply work of the general fe_mul.
+Fe fe_sq(const Fe& a) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                      a4 = a.v[4];
+  const std::uint64_t a0_2 = a0 * 2, a1_2 = a1 * 2, a2_2 = a2 * 2,
+                      a3_19 = a3 * 19, a4_19 = a4 * 19;
+
+  u128 t0 = (u128)a0 * a0 + (u128)a1_2 * a4_19 + (u128)a2_2 * a3_19;
+  u128 t1 = (u128)a0_2 * a1 + (u128)a2_2 * a4_19 + (u128)a3 * a3_19;
+  u128 t2 = (u128)a0_2 * a2 + (u128)a1 * a1 + (u128)a3 * 2 * a4_19;
+  u128 t3 = (u128)a0_2 * a3 + (u128)a1_2 * a2 + (u128)a4 * a4_19;
+  u128 t4 = (u128)a0_2 * a4 + (u128)a1_2 * a3 + (u128)a2 * a2;
+
+  Fe r;
+  std::uint64_t c;
+  c = static_cast<std::uint64_t>(t0 >> 51); r.v[0] = static_cast<std::uint64_t>(t0) & kMask51; t1 += c;
+  c = static_cast<std::uint64_t>(t1 >> 51); r.v[1] = static_cast<std::uint64_t>(t1) & kMask51; t2 += c;
+  c = static_cast<std::uint64_t>(t2 >> 51); r.v[2] = static_cast<std::uint64_t>(t2) & kMask51; t3 += c;
+  c = static_cast<std::uint64_t>(t3 >> 51); r.v[3] = static_cast<std::uint64_t>(t3) & kMask51; t4 += c;
+  c = static_cast<std::uint64_t>(t4 >> 51); r.v[4] = static_cast<std::uint64_t>(t4) & kMask51;
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+// n successive squarings.
+Fe fe_sqn(Fe a, int n) {
+  for (int i = 0; i < n; ++i) a = fe_sq(a);
+  return a;
+}
 
 // Square-and-multiply with a big-endian 32-byte exponent. Variable time.
 Fe fe_pow(const Fe& base, const std::uint8_t exponent_be[32]) {
@@ -103,22 +134,37 @@ Fe fe_pow(const Fe& base, const std::uint8_t exponent_be[32]) {
   return result;
 }
 
+// z^(2^250 - 1): the shared prefix of the inversion and sqrt addition
+// chains (the classic curve25519 ladder — 249 squarings, 11 multiplies,
+// versus ~128 multiplies for the old bit-scan fe_pow).
+Fe fe_pow_2_250_m1(const Fe& z) {
+  Fe t0 = fe_sq(z);                      // z^2
+  Fe t1 = fe_mul(z, fe_sqn(t0, 2));      // z^9
+  t0 = fe_mul(t0, t1);                   // z^11
+  t1 = fe_mul(t1, fe_sq(t0));            // z^31 = z^(2^5 - 1)
+  t1 = fe_mul(fe_sqn(t1, 5), t1);        // z^(2^10 - 1)
+  Fe t2 = fe_mul(fe_sqn(t1, 10), t1);    // z^(2^20 - 1)
+  t2 = fe_mul(fe_sqn(t2, 20), t2);       // z^(2^40 - 1)
+  t2 = fe_sqn(t2, 10);                   // z^(2^50 - 2^10)
+  t1 = fe_mul(t2, t1);                   // z^(2^50 - 1)
+  t2 = fe_mul(fe_sqn(t1, 50), t1);       // z^(2^100 - 1)
+  t2 = fe_mul(fe_sqn(t2, 100), t2);      // z^(2^200 - 1)
+  return fe_mul(fe_sqn(t2, 50), t1);     // z^(2^250 - 1)
+}
+
 Fe fe_invert(const Fe& a) {
-  // a^(p-2), p-2 = 2^255 - 21.
-  static constexpr std::uint8_t kExp[32] = {
-      0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xeb};
-  return fe_pow(a, kExp);
+  // a^(p-2), p-2 = 2^255 - 21 = (2^250 - 1)·2^5 + 11.
+  Fe t = fe_sqn(fe_pow_2_250_m1(a), 5);  // a^(2^255 - 2^5)
+  Fe a2 = fe_sq(a);                      // a^2
+  Fe a9 = fe_mul(a, fe_sqn(a2, 2));      // a^9
+  Fe a11 = fe_mul(a2, a9);               // a^11
+  return fe_mul(t, a11);
 }
 
 Fe fe_pow_p58(const Fe& a) {
-  // a^((p-5)/8), (p-5)/8 = 2^252 - 3.
-  static constexpr std::uint8_t kExp[32] = {
-      0x0f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xfd};
-  return fe_pow(a, kExp);
+  // a^((p-5)/8), (p-5)/8 = 2^252 - 3 = (2^250 - 1)·4 + 1.
+  Fe t = fe_sqn(fe_pow_2_250_m1(a), 2);  // a^(2^252 - 4)
+  return fe_mul(t, a);
 }
 
 void fe_tobytes(std::uint8_t out[32], const Fe& a) {
@@ -325,25 +371,50 @@ const Point& base_point() {
   return b;
 }
 
-// Precomputed multiples of the base point for 4-bit fixed-window scalar
-// multiplication: table[w][j-1] = j * 16^w * B. Signing performs two base
-// multiplications per call, so this table (built once) cuts signing cost by
-// roughly an order of magnitude versus double-and-add.
+// A table entry in "cached" form: (Y+X, Y−X, Z, T·2d). Storing the sums and
+// the 2d product once per entry shaves two additions and one multiply off
+// every table addition relative to the generic point_add.
+struct CachedPoint {
+  Fe y_plus_x, y_minus_x, z, t2d;
+};
+
+CachedPoint point_cache(const Point& p) {
+  return CachedPoint{fe_add(p.y, p.x), fe_sub(p.y, p.x), p.z,
+                     fe_mul(p.t, constants().d2)};
+}
+
+Point point_add_cached(const Point& p, const CachedPoint& q) {
+  Fe a = fe_mul(fe_sub(p.y, p.x), q.y_minus_x);
+  Fe b = fe_mul(fe_add(p.y, p.x), q.y_plus_x);
+  Fe c = fe_mul(q.t2d, p.t);
+  Fe d = fe_mul(fe_add(p.z, p.z), q.z);
+  Fe e = fe_sub(b, a);
+  Fe f = fe_sub(d, c);
+  Fe g = fe_add(d, c);
+  Fe h = fe_add(b, a);
+  return Point{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// Precomputed multiples of the base point for 8-bit fixed-window scalar
+// multiplication: table[w][j-1] = j * 256^w * B, cached form. Signing and
+// key generation perform a base multiplication per call; 32 cached
+// additions per multiply is ~4x cheaper than the 4-bit Point table this
+// replaces (and ~40x cheaper than double-and-add). ~1.3 MiB, built once.
 struct BaseTable {
-  Point entry[64][15];
+  CachedPoint entry[32][255];
 };
 
 const BaseTable& base_table() {
-  static const BaseTable table = [] {
-    BaseTable t;
-    Point window_base = base_point();  // 16^w * B
-    for (int w = 0; w < 64; ++w) {
+  static const BaseTable& table = *[] {
+    auto* t = new BaseTable;  // leaked singleton, like the name pool
+    Point window_base = base_point();  // 256^w * B
+    for (int w = 0; w < 32; ++w) {
       Point acc = window_base;
-      for (int j = 0; j < 15; ++j) {
-        t.entry[w][j] = acc;
+      for (int j = 0; j < 255; ++j) {
+        t->entry[w][j] = point_cache(acc);
         acc = point_add(acc, window_base);
       }
-      window_base = acc;  // 16 * window_base
+      window_base = acc;  // 256 * window_base
     }
     return t;
   }();
@@ -354,9 +425,9 @@ const BaseTable& base_table() {
 Point point_scalarmult_base(const std::uint8_t scalar_le[32]) {
   const BaseTable& table = base_table();
   Point acc = point_identity();
-  for (int w = 0; w < 64; ++w) {
-    int nibble = (scalar_le[w / 2] >> (4 * (w & 1))) & 0xf;
-    if (nibble != 0) acc = point_add(acc, table.entry[w][nibble - 1]);
+  for (int w = 0; w < 32; ++w) {
+    int byte = scalar_le[w];
+    if (byte != 0) acc = point_add_cached(acc, table.entry[w][byte - 1]);
   }
   return acc;
 }

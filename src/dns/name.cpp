@@ -45,7 +45,24 @@ void append_escaped(std::string& out, char c, bool lower) {
   }
 }
 
-void append_canon_label(std::string& out, std::string_view label) {
+}  // namespace
+
+std::size_t canonical_label_width(std::string_view label) {
+  std::size_t width = 0;
+  for (char c : label) {
+    if (c == '.' || c == '\\') {
+      width += 2;
+    } else if (static_cast<unsigned char>(c) < 0x21 ||
+               static_cast<unsigned char>(c) > 0x7e) {
+      width += 4;
+    } else {
+      width += 1;
+    }
+  }
+  return width;
+}
+
+void append_canonical_label(std::string& out, std::string_view label) {
   // Fast path: labels are overwhelmingly plain lowercase LDH strings, which
   // canonicalize to themselves — one bulk append instead of per-char escaping.
   bool plain = true;
@@ -65,77 +82,29 @@ void append_canon_label(std::string& out, std::string_view label) {
   out.push_back('.');
 }
 
-// Label start offsets within a flat buffer, for right-to-left comparisons. A
-// name has at most 127 labels (255-octet wire limit, 2 octets per label
-// minimum) and a flat buffer of at most 254 octets, so uint8_t offsets fit.
-std::size_t collect_label_offsets(std::string_view flat,
-                                  std::uint8_t (&out)[128]) {
-  std::size_t n = 0;
-  std::size_t pos = 0;
-  while (pos < flat.size()) {
-    out[n++] = static_cast<std::uint8_t>(pos);
-    pos += 1 + static_cast<unsigned char>(flat[pos]);
-  }
-  return n;
-}
-
-}  // namespace
-
-std::size_t canonical_label_width(std::string_view label) {
-  std::size_t width = 0;
-  for (char c : label) {
-    if (c == '.' || c == '\\') {
-      width += 2;
-    } else if (static_cast<unsigned char>(c) < 0x21 ||
-               static_cast<unsigned char>(c) > 0x7e) {
-      width += 4;
-    } else {
-      width += 1;
-    }
-  }
-  return width;
+Name Name::intern(std::string_view flat, std::size_t label_count) {
+  return Name(NamePool::instance().intern_flat(flat, label_count));
 }
 
 Name Name::build(const std::vector<std::string>& labels) {
-  Name out;
-  if (labels.empty()) return out;
+  if (labels.empty()) return Name();
+  std::string flat;
   std::size_t flat_size = 0;
   for (const auto& l : labels) flat_size += 1 + l.size();
-  out.flat_.reserve(flat_size);
-  out.canon_.clear();
+  flat.reserve(flat_size);
   for (const auto& l : labels) {
-    out.flat_.push_back(static_cast<char>(l.size()));
-    out.flat_.append(l);
-    append_canon_label(out.canon_, l);
+    flat.push_back(static_cast<char>(l.size()));
+    flat.append(l);
   }
-  out.label_count_ = static_cast<std::uint8_t>(labels.size());
-  return out;
+  return intern(flat, labels.size());
 }
 
-Name Name::from_parts(std::string flat, std::string canon,
-                      std::uint8_t count) {
-  Name out;
-  out.flat_ = std::move(flat);
-  out.canon_ = std::move(canon);
-  out.label_count_ = count;
-  return out;
-}
-
-std::size_t Name::flat_offset_of(std::size_t index,
-                                 std::size_t* canon_offset) const {
+std::size_t Name::flat_offset_of(std::size_t index) const {
+  std::string_view flat = rep_().flat;
   std::size_t flat_pos = 0;
-  std::size_t canon_pos = 0;
   for (std::size_t i = 0; i < index; ++i) {
-    auto len = static_cast<unsigned char>(flat_[flat_pos]);
-    if (canon_offset != nullptr) {
-      canon_pos +=
-          canonical_label_width(std::string_view(flat_).substr(flat_pos + 1,
-                                                               len)) +
-          1;
-    }
-    flat_pos += 1 + len;
+    flat_pos += 1 + static_cast<unsigned char>(flat[flat_pos]);
   }
-  if (canon_offset != nullptr) *canon_offset = canon_pos;
   return flat_pos;
 }
 
@@ -192,7 +161,11 @@ Result<Name> Name::from_labels(std::vector<std::string> labels) {
 }
 
 Result<Name> Name::decode(ByteReader& reader) {
-  std::string flat;
+  // Small stack buffer: virtually every name fits 255 octets by definition,
+  // so the flat spelling is assembled without heap allocation, then interned
+  // (a hash hit for any name seen before).
+  char flat_buf[kMaxNameWireLength];
+  std::size_t flat_len = 0;
   std::size_t count = 0;
   std::size_t wire_len = 1;
   // Position to restore after the first compression pointer.
@@ -229,27 +202,19 @@ Result<Name> Name::decode(ByteReader& reader) {
       return Error{"name.too_long", "decoded name exceeds 255 octets"};
     }
     DNSBOOT_TRY(raw, reader.bytes(len));
-    flat.push_back(static_cast<char>(len));
-    flat.append(raw.begin(), raw.end());
+    flat_buf[flat_len++] = static_cast<char>(len);
+    std::copy(raw.begin(), raw.end(), flat_buf + flat_len);
+    flat_len += len;
     ++count;
   }
 
   if (jumped) DNSBOOT_CHECK(reader.seek(resume_at));
 
-  std::string canon;
-  if (count == 0) {
-    canon = ".";
-  } else {
-    for (std::string_view label : LabelsView(flat, count)) {
-      append_canon_label(canon, label);
-    }
-  }
-  return from_parts(std::move(flat), std::move(canon),
-                    static_cast<std::uint8_t>(count));
+  return intern(std::string_view(flat_buf, flat_len), count);
 }
 
 void Name::encode(ByteWriter& writer) const {
-  writer.raw(flat_);
+  writer.raw(rep_().flat);
   writer.u8(0);
 }
 
@@ -264,7 +229,7 @@ void Name::encode_canonical(ByteWriter& writer) const {
 std::string Name::to_text() const {
   if (is_root()) return ".";
   std::string out;
-  out.reserve(canon_.size());
+  out.reserve(canonical_text().size());
   for (std::string_view label : labels()) {
     for (char c : label) append_escaped(out, c, /*lower=*/false);
     out.push_back('.');
@@ -273,64 +238,60 @@ std::string Name::to_text() const {
 }
 
 Name Name::parent() const {
-  if (is_root()) return Name();
-  if (label_count_ == 1) return Name();
-  std::size_t canon_skip = 0;
-  std::size_t flat_skip = flat_offset_of(1, &canon_skip);
-  return from_parts(flat_.substr(flat_skip), canon_.substr(canon_skip),
-                    static_cast<std::uint8_t>(label_count_ - 1));
+  const NamePool::Rep& r = rep_();
+  if (r.label_count <= 1) return Name();
+  std::size_t skip = 1 + static_cast<unsigned char>(r.flat[0]);
+  return intern(r.flat.substr(skip), r.label_count - 1u);
 }
 
 Name Name::suffix(std::size_t n) const {
-  if (n >= label_count_) return *this;
+  const NamePool::Rep& r = rep_();
+  if (n >= r.label_count) return *this;
   if (n == 0) return Name();
-  std::size_t canon_skip = 0;
-  std::size_t flat_skip = flat_offset_of(label_count_ - n, &canon_skip);
-  return from_parts(flat_.substr(flat_skip), canon_.substr(canon_skip),
-                    static_cast<std::uint8_t>(n));
+  std::size_t skip = flat_offset_of(r.label_count - n);
+  return intern(r.flat.substr(skip), n);
 }
 
 Result<Name> Name::prepend(std::string_view label) const {
   DNSBOOT_CHECK(check_label(label));
-  std::size_t new_wire = flat_.size() + 1 + label.size() + 1;
+  std::string_view flat = rep_().flat;
+  std::size_t new_wire = flat.size() + 1 + label.size() + 1;
   if (new_wire > kMaxNameWireLength) {
     return Error{"name.too_long",
                  "wire length " + std::to_string(new_wire) + " exceeds 255"};
   }
-  std::string flat;
-  flat.reserve(1 + label.size() + flat_.size());
-  flat.push_back(static_cast<char>(label.size()));
-  flat.append(label);
-  flat.append(flat_);
-  std::string canon;
-  canon.reserve(canonical_label_width(label) + 1 + canon_.size());
-  append_canon_label(canon, label);
-  if (!is_root()) canon.append(canon_);
-  return from_parts(std::move(flat), std::move(canon),
-                    static_cast<std::uint8_t>(label_count_ + 1));
+  std::string out;
+  out.reserve(1 + label.size() + flat.size());
+  out.push_back(static_cast<char>(label.size()));
+  out.append(label);
+  out.append(flat);
+  return intern(out, label_count() + 1);
 }
 
 Result<Name> Name::concat(const Name& suffix) const {
-  std::size_t new_wire = flat_.size() + suffix.flat_.size() + 1;
+  std::string_view a = rep_().flat;
+  std::string_view b = suffix.rep_().flat;
+  std::size_t new_wire = a.size() + b.size() + 1;
   if (new_wire > kMaxNameWireLength) {
     return Error{"name.too_long",
                  "wire length " + std::to_string(new_wire) + " exceeds 255"};
   }
-  std::size_t count = label_count_ + suffix.label_count_;
+  std::size_t count = label_count() + suffix.label_count();
   if (count == 0) return Name();
-  std::string flat = flat_ + suffix.flat_;
-  std::string canon;
-  if (!is_root()) canon.append(canon_);
-  if (!suffix.is_root()) canon.append(suffix.canon_);
-  return from_parts(std::move(flat), std::move(canon),
-                    static_cast<std::uint8_t>(count));
+  std::string flat;
+  flat.reserve(a.size() + b.size());
+  flat.append(a);
+  flat.append(b);
+  return intern(flat, count);
 }
 
 bool Name::is_under(const Name& ancestor) const {
-  if (ancestor.label_count_ > label_count_) return false;
-  std::size_t pos = flat_offset_of(label_count_ - ancestor.label_count_);
-  std::string_view tail = std::string_view(flat_).substr(pos);
-  std::string_view anc = ancestor.flat_;
+  const NamePool::Rep& mine = rep_();
+  const NamePool::Rep& anc_rep = ancestor.rep_();
+  if (anc_rep.label_count > mine.label_count) return false;
+  std::size_t pos = flat_offset_of(mine.label_count - anc_rep.label_count);
+  std::string_view tail = mine.flat.substr(pos);
+  std::string_view anc = anc_rep.flat;
   if (tail.size() != anc.size()) return false;
   // Compare label by label: length bytes must match exactly, label octets
   // case-insensitively.
@@ -348,37 +309,18 @@ bool Name::is_under(const Name& ancestor) const {
 }
 
 bool Name::is_strictly_under(const Name& ancestor) const {
-  return label_count_ > ancestor.label_count_ && is_under(ancestor);
+  return label_count() > ancestor.label_count() && is_under(ancestor);
 }
 
 std::strong_ordering Name::operator<=>(const Name& other) const {
-  // Equal names share a canonical spelling; one memcmp settles the common
-  // case (map lookups hit it once per find) before the label walk.
-  if (canon_ == other.canon_) return std::strong_ordering::equal;
-  // RFC 4034 §6.1: compare label sequences right to left; absent labels sort
-  // first; labels compare as case-folded octet strings. Offset arrays are
-  // uninitialized PODs on purpose — only the first na/nb slots are written.
-  std::uint8_t mine[128];
-  std::uint8_t theirs[128];
-  std::size_t na = collect_label_offsets(flat_, mine);
-  std::size_t nb = collect_label_offsets(other.flat_, theirs);
-  std::size_t n = std::min(na, nb);
-  for (std::size_t i = 1; i <= n; ++i) {
-    std::size_t pa = mine[na - i];
-    std::size_t pb = theirs[nb - i];
-    std::size_t la = static_cast<unsigned char>(flat_[pa]);
-    std::size_t lb = static_cast<unsigned char>(other.flat_[pb]);
-    std::size_t m = std::min(la, lb);
-    for (std::size_t j = 0; j < m; ++j) {
-      unsigned char ca =
-          static_cast<unsigned char>(ascii_lower(flat_[pa + 1 + j]));
-      unsigned char cb =
-          static_cast<unsigned char>(ascii_lower(other.flat_[pb + 1 + j]));
-      if (ca != cb) return ca <=> cb;
-    }
-    if (la != lb) return la <=> lb;
-  }
-  return na <=> nb;
+  const NamePool::Rep* a = rep_().canon;
+  const NamePool::Rep* b = other.rep_().canon;
+  if (a == b) return std::strong_ordering::equal;
+  // RFC 4034 §6.1 order is plain byte order over the pooled order keys, and
+  // the key encoding is injective, so distinct canonical entries never
+  // compare equal here.
+  int c = a->order_key.compare(b->order_key);
+  return c < 0 ? std::strong_ordering::less : std::strong_ordering::greater;
 }
 
 }  // namespace dnsboot::dns

@@ -5,12 +5,14 @@
 // spelling. Wire-format decoding follows compression pointers with a hop
 // limit so malicious messages cannot loop the parser.
 //
-// Storage is flat: the labels live length-prefixed in one string (the
-// uncompressed wire form minus the root byte), and the canonical
-// (lower-cased, escaped) presentation text is computed once at construction.
-// A Name is immutable after construction, so copies are two string copies
-// and canonical_text() is a free lookup — the scanner keys most of its maps
-// on it. Short names stay entirely in SSO storage.
+// Storage is a 4-byte handle into the process-global interned-name table
+// (dns::NamePool, DESIGN.md §14): each distinct spelling is stored once —
+// flat length-prefixed labels, cached canonical presentation text, and a
+// canonical order key whose memcmp order equals RFC 4034 §6.1 order. Copying
+// a Name copies one uint32_t; equality is a pointer compare; ordering is a
+// memcmp; canonical_text() returns a reference that stays valid for the
+// whole process. Decoding a name the process has seen before is a single
+// hash-table hit with no canonicalization work.
 #pragma once
 
 #include <compare>
@@ -22,6 +24,7 @@
 
 #include "base/bytes.hpp"
 #include "base/result.hpp"
+#include "dns/name_pool.hpp"
 
 namespace dnsboot::dns {
 
@@ -33,10 +36,14 @@ inline constexpr std::size_t kMaxNameWireLength = 255;
 // dot ('.' and '\\' escape to two characters, non-printables to four).
 std::size_t canonical_label_width(std::string_view label);
 
+// Append `label`'s canonical (lower-cased, escaped) presentation form plus a
+// trailing dot to `out`. Shared with the name pool's canonical-text builder.
+void append_canonical_label(std::string& out, std::string_view label);
+
 class Name {
  public:
-  // Forward range over a name's labels as string_views into its wire-form
-  // storage. Views stay valid as long as the Name they came from.
+  // Forward range over a name's labels as string_views into its pooled
+  // wire-form storage. Views stay valid for the process lifetime.
   class LabelsView {
    public:
     class iterator {
@@ -96,7 +103,7 @@ class Name {
     std::size_t count_;
   };
 
-  // The root name ".".
+  // The root name ".". Id 0 is the pool's pre-interned root entry.
   Name() = default;
 
   static Name root() { return Name(); }
@@ -121,11 +128,14 @@ class Name {
   // Presentation form, always absolute with trailing dot; "." for root.
   std::string to_text() const;
 
-  bool is_root() const { return label_count_ == 0; }
-  std::size_t label_count() const { return label_count_; }
-  LabelsView labels() const { return LabelsView(flat_, label_count_); }
+  bool is_root() const { return id_ == 0; }
+  std::size_t label_count() const { return rep_().label_count; }
+  LabelsView labels() const {
+    const NamePool::Rep& r = rep_();
+    return LabelsView(r.flat, r.label_count);
+  }
   // Wire-format length in bytes (sum of label lengths + length bytes + root).
-  std::size_t wire_length() const { return flat_.size() + 1; }
+  std::size_t wire_length() const { return rep_().flat.size() + 1; }
 
   // Immediate parent ("example.com." -> "com."). Parent of root is root.
   Name parent() const;
@@ -145,38 +155,40 @@ class Name {
   // Strictly below (not equal).
   bool is_strictly_under(const Name& ancestor) const;
 
-  // Case-insensitive equality (canonical texts are injective, so this is a
-  // single string compare).
-  bool operator==(const Name& other) const { return canon_ == other.canon_; }
+  // Case-insensitive equality: both spellings link to the same canonical
+  // pool entry, so this is one pointer compare.
+  bool operator==(const Name& other) const {
+    return id_ == other.id_ || rep_().canon == other.rep_().canon;
+  }
   bool operator!=(const Name& other) const { return !(*this == other); }
 
   // RFC 4034 §6.1 canonical ordering (by reversed label sequence, labels as
-  // case-folded octet strings). Used for NSEC chains and sorted containers.
+  // case-folded octet strings). One memcmp over the pooled order keys.
   std::strong_ordering operator<=>(const Name& other) const;
 
-  // Lower-cased presentation form; stable key for hashing/maps. Computed at
-  // construction — this accessor never allocates.
-  const std::string& canonical_text() const { return canon_; }
+  // Lower-cased presentation form; stable key for hashing/maps. Cached in
+  // the pool — this accessor never allocates, and the reference stays valid
+  // for the process lifetime.
+  const std::string& canonical_text() const { return rep_().canon->canon_text; }
 
   // Append RFC 4034 §6.2 canonical wire form (lowercased, uncompressed).
   void encode_canonical(ByteWriter& writer) const;
 
  private:
+  explicit Name(std::uint32_t id) : id_(id) {}
+
+  const NamePool::Rep& rep_() const { return NamePool::instance().rep(id_); }
+
   // Build from validated labels (lengths and totals already checked).
   static Name build(const std::vector<std::string>& labels);
-  static Name from_parts(std::string flat, std::string canon,
-                         std::uint8_t count);
+  // Intern a validated flat spelling.
+  static Name intern(std::string_view flat, std::size_t label_count);
 
-  // Flat offset of label `index` (0 <= index <= label_count_); when
-  // `canon_offset` is non-null it receives the matching offset into canon_.
-  std::size_t flat_offset_of(std::size_t index,
-                             std::size_t* canon_offset = nullptr) const;
+  // Flat offset of label `index` (0 <= index <= label_count()).
+  std::size_t flat_offset_of(std::size_t index) const;
 
-  // Wire-form labels, length-prefixed, without the trailing root byte.
-  std::string flat_;
-  // Canonical presentation text with trailing dot; "." for the root.
-  std::string canon_ = ".";
-  std::uint8_t label_count_ = 0;
+  // Handle into NamePool; 0 is the root.
+  std::uint32_t id_ = 0;
 };
 
 }  // namespace dnsboot::dns

@@ -1,0 +1,174 @@
+#include "dns/name_pool.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.hpp"
+#include "dns/name.hpp"
+
+namespace dnsboot::dns {
+namespace {
+
+std::size_t shard_of(std::string_view flat) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : flat) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // Top bits: decorrelated from the low bits std::unordered_map consumes.
+  return static_cast<std::size_t>(h >> 58);
+}
+
+// Lowercase the label bytes of a flat spelling. Length prefixes are <= 63,
+// below 'A', so folding the whole buffer bytewise is exact.
+std::string fold_flat(std::string_view flat) {
+  std::string out(flat);
+  for (char& c : out) c = ascii_lower(c);
+  return out;
+}
+
+}  // namespace
+
+NamePool& NamePool::instance() {
+  // Leaked by design (see header): entries and their ids stay valid until
+  // process exit, and the pointer root keeps LeakSanitizer quiet.
+  static NamePool* pool = new NamePool();
+  return *pool;
+}
+
+NamePool::NamePool() : chunks_{} {
+  // Pre-intern the root name so a default Name (id 0) needs no pool trip to
+  // exist and `rep(0)` is always valid.
+  std::uint32_t root_id = intern_canonical(std::string_view(), 0);
+  (void)root_id;
+}
+
+std::string NamePool::make_order_key(std::string_view flat) {
+  // Collect label offsets, then emit labels rightmost first: 0x00 separator,
+  // then case-folded label bytes with 0x00 -> 0x01 0x02, 0x01 -> 0x01 0x03.
+  // The separator sorts below every escaped label byte (all >= 0x01), which
+  // encodes RFC 4034's "absent labels sort first"; the escape preserves
+  // byte order and prefix order within a label.
+  std::uint8_t offsets[128];
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while (pos < flat.size()) {
+    offsets[n++] = static_cast<std::uint8_t>(pos);
+    pos += 1 + static_cast<unsigned char>(flat[pos]);
+  }
+  std::string key;
+  key.reserve(flat.size() + n);
+  for (std::size_t i = n; i-- > 0;) {
+    std::size_t at = offsets[i];
+    auto len = static_cast<unsigned char>(flat[at]);
+    key.push_back('\0');
+    for (std::size_t j = 0; j < len; ++j) {
+      char c = ascii_lower(flat[at + 1 + j]);
+      if (c == '\0') {
+        key.push_back('\x01');
+        key.push_back('\x02');
+      } else if (c == '\x01') {
+        key.push_back('\x01');
+        key.push_back('\x03');
+      } else {
+        key.push_back(c);
+      }
+    }
+  }
+  return key;
+}
+
+std::uint32_t NamePool::intern_flat(std::string_view flat,
+                                    std::size_t label_count) {
+  Shard& shard = shards_[shard_of(flat)];
+  {
+    base::MutexLock lock(shard.mutex);
+    auto it = shard.map.find(flat);
+    if (it != shard.map.end()) return it->second;
+  }
+  // First sight of this spelling: resolve its canonical sibling before
+  // retaking the shard lock (the sibling may live in a different shard, and
+  // shard mutexes are never nested — lockdep-clean by construction).
+  std::string folded = fold_flat(flat);
+  const Rep* canon_rep = nullptr;
+  if (folded != flat) {
+    canon_rep = &rep(intern_canonical(folded, label_count));
+  }
+  base::MutexLock lock(shard.mutex);
+  return intern_locked(shard, flat, label_count, canon_rep);
+}
+
+std::uint32_t NamePool::intern_canonical(std::string_view folded,
+                                         std::size_t label_count) {
+  Shard& shard = shards_[shard_of(folded)];
+  base::MutexLock lock(shard.mutex);
+  return intern_locked(shard, folded, label_count, nullptr);
+}
+
+std::uint32_t NamePool::intern_locked(Shard& shard, std::string_view flat,
+                                      std::size_t label_count,
+                                      const Rep* canon_rep) {
+  auto it = shard.map.find(flat);
+  if (it != shard.map.end()) return it->second;
+  std::uint32_t id = 0;
+  Rep* r = new_rep(&id);
+  r->flat = shard.arena.copy(flat);
+  r->id = id;
+  r->label_count = static_cast<std::uint8_t>(label_count);
+  if (canon_rep == nullptr) {
+    r->canon = r;
+    if (flat.empty()) {
+      // assign via push_back: gcc-12 -Werror=restrict misfires on literal
+      // assignment here once the sanitizer presets turn up inlining.
+      r->canon_text.push_back('.');
+    } else {
+      r->canon_text.reserve(flat.size() + 1);
+      std::size_t pos = 0;
+      while (pos < flat.size()) {
+        auto len = static_cast<unsigned char>(flat[pos]);
+        append_canonical_label(r->canon_text, flat.substr(pos + 1, len));
+        pos += 1 + len;
+      }
+    }
+    r->order_key = shard.arena.copy(make_order_key(r->flat));
+  } else {
+    r->canon = canon_rep;
+  }
+  shard.map.emplace(r->flat, id);
+  return id;
+}
+
+NamePool::Rep* NamePool::new_rep(std::uint32_t* id_out) {
+  // audit-allow: A004 monotone id ticket; entry contents publish via the shard mutex every intern path holds
+  std::uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::uint32_t chunk_i = id >> kChunkBits;
+  if (chunk_i >= kMaxChunks) {
+    std::fprintf(stderr,
+                 "dnsboot: NamePool capacity exhausted (%u spellings)\n", id);
+    std::abort();
+  }
+  Rep* chunk = chunks_[chunk_i].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    base::MutexLock lock(grow_mutex_);
+    chunk = chunks_[chunk_i].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new Rep[std::size_t{1} << kChunkBits]();
+      chunks_[chunk_i].store(chunk, std::memory_order_release);
+    }
+  }
+  *id_out = id;
+  return chunk + (id & kChunkMask);
+}
+
+NamePool::Stats NamePool::stats() {
+  Stats out;
+  // audit-allow: A004 monitoring read; exactness is not required.
+  out.entries = next_id_.load(std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    base::MutexLock lock(shard.mutex);
+    out.arena_bytes += shard.arena.bytes_reserved();
+  }
+  return out;
+}
+
+}  // namespace dnsboot::dns

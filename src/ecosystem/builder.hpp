@@ -86,6 +86,11 @@ struct Ecosystem {
   std::uint64_t signatures_created = 0;
 };
 
+// Thin facade over the plan/shard split in ecosystem/plan.hpp: build() is
+// exactly build_shard(network, config, make_ecosystem_plan(config), 0, 1).
+// Callers that want a full world keep using this; callers that want
+// O(zones/shard) worker memory call make_ecosystem_plan once and build_shard
+// per worker.
 class EcosystemBuilder {
  public:
   EcosystemBuilder(net::SimNetwork& network, EcosystemConfig config);
@@ -93,19 +98,8 @@ class EcosystemBuilder {
   Ecosystem build();
 
  private:
-  struct OperatorRuntime;
-
-  net::IpAddress next_v4();
-  net::IpAddress next_v6();
-  std::uint64_t scaled(std::uint64_t full_count) const;
-  std::uint64_t scaled_pathology(std::uint64_t full_count) const;
-
-  dnssec::SigningPolicy zone_policy(bool expired = false) const;
-
   net::SimNetwork& network_;
   EcosystemConfig config_;
-  std::uint32_t v4_counter_ = 100;
-  std::uint64_t v6_counter_ = 100;
 };
 
 }  // namespace dnsboot::ecosystem

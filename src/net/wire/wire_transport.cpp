@@ -157,6 +157,12 @@ void WireTransport::unbind(const IpAddress& address) {
   auto it = endpoints_.find(address);
   if (it == endpoints_.end()) return;
   Endpoint* endpoint = it->second.get();
+  // Flush queued datagrams best-effort, then drop the pending-list entry so
+  // no dangling pointer survives the erase.
+  flush_endpoint_udp(endpoint);
+  udp_pending_.erase(
+      std::remove(udp_pending_.begin(), udp_pending_.end(), endpoint),
+      udp_pending_.end());
   if (endpoint->udp_fd >= 0) {
     loop_.unwatch(endpoint->udp_fd);
     close(endpoint->udp_fd);
@@ -211,12 +217,11 @@ void WireTransport::deliver(const IpAddress& source,
   it->second->handler(dgram);
 }
 
-void WireTransport::on_udp_readable(Endpoint* endpoint) {
+void WireTransport::recv_udp_unbatched(int fd, const IpAddress& vaddr) {
   while (true) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof peer;
-    ssize_t n = recvfrom(endpoint->udp_fd, recv_buffer_.data(),
-                         recv_buffer_.size(), 0,
+    ssize_t n = recvfrom(fd, recv_buffer_.data(), recv_buffer_.size(), 0,
                          reinterpret_cast<sockaddr*>(&peer), &peer_len);
     if (n < 0) return;  // EAGAIN or transient error: wait for next wakeup
     RealEndpoint real = from_sockaddr(peer);
@@ -226,9 +231,59 @@ void WireTransport::on_udp_readable(Endpoint* endpoint) {
     } else {
       source = session_address_for(real);  // unknown peer: session identity
     }
-    deliver(source, endpoint->vaddr,
+    deliver(source, vaddr,
             BytesView(recv_buffer_.data(), static_cast<std::size_t>(n)),
             /*tcp=*/false);
+  }
+}
+
+void WireTransport::on_udp_readable(Endpoint* endpoint) {
+  // Locals: a delivery handler may legally unbind this endpoint mid-drain.
+  const int fd = endpoint->udp_fd;
+  const IpAddress vaddr = endpoint->vaddr;
+  const std::size_t batch = options_.udp_batch;
+  if (batch <= 1 || !mmsg_recv_ok_) return recv_udp_unbatched(fd, vaddr);
+
+  if (mmsg_buffers_.size() < batch) {
+    mmsg_buffers_.resize(batch);
+    for (Bytes& buffer : mmsg_buffers_) buffer.resize(65535);
+  }
+  std::vector<mmsghdr> msgs(batch);
+  std::vector<iovec> iovs(batch);
+  std::vector<sockaddr_in> peers(batch);
+  while (true) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      iovs[i].iov_base = mmsg_buffers_[i].data();
+      iovs[i].iov_len = mmsg_buffers_[i].size();
+      msgs[i] = mmsghdr{};
+      msgs[i].msg_hdr.msg_name = &peers[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof peers[i];
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int n = recvmmsg(fd, msgs.data(), static_cast<unsigned>(batch), 0,
+                     nullptr);
+    if (n < 0) {
+      if (errno == ENOSYS || errno == EINVAL) {
+        mmsg_recv_ok_ = false;  // kernel without recvmmsg: fall back for good
+        return recv_udp_unbatched(fd, vaddr);
+      }
+      return;  // EAGAIN or transient error: wait for next wakeup
+    }
+    ++udp_recv_batches_;
+    for (int i = 0; i < n; ++i) {
+      RealEndpoint real = from_sockaddr(peers[i]);
+      IpAddress source;
+      if (auto mapped = map_.virtual_for(real)) {
+        source = *mapped;
+      } else {
+        source = session_address_for(real);
+      }
+      deliver(source, vaddr,
+              BytesView(mmsg_buffers_[i].data(), msgs[i].msg_len),
+              /*tcp=*/false);
+    }
+    if (static_cast<std::size_t>(n) < batch) return;  // socket drained
   }
 }
 
@@ -271,11 +326,83 @@ void WireTransport::send(const IpAddress& source,
     ++datagrams_unroutable_;
     return;
   }
+  if (options_.udp_batch <= 1 || !mmsg_send_ok_) {
+    send_udp_now(endpoint->udp_fd, real, payload);
+    return;
+  }
+  // Batched path: queue on the endpoint and flush with one sendmmsg when
+  // the batch fills; the run loops flush every queue before each poll, so a
+  // datagram is never held across a blocking wait.
+  endpoint->udp_outq.emplace_back(real, std::move(payload));
+  if (!endpoint->udp_queued) {
+    endpoint->udp_queued = true;
+    udp_pending_.push_back(endpoint);
+  }
+  if (endpoint->udp_outq.size() >= options_.udp_batch) {
+    flush_endpoint_udp(endpoint);
+  }
+}
+
+void WireTransport::send_udp_now(int fd, const RealEndpoint& real,
+                                 BytesView payload) {
   sockaddr_in addr = to_sockaddr(real);
   // Non-blocking best effort: a full socket buffer drops the datagram, the
   // sender's retry logic treats it as network loss (exactly UDP semantics).
-  sendto(endpoint->udp_fd, payload.data(), payload.size(), 0,
+  sendto(fd, payload.data(), payload.size(), 0,
          reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+}
+
+void WireTransport::flush_endpoint_udp(Endpoint* endpoint) {
+  std::vector<std::pair<RealEndpoint, Bytes>>& queue = endpoint->udp_outq;
+  endpoint->udp_queued = false;
+  if (queue.empty()) return;
+  std::size_t off = 0;
+  if (mmsg_send_ok_) {
+    std::vector<mmsghdr> msgs(queue.size());
+    std::vector<iovec> iovs(queue.size());
+    std::vector<sockaddr_in> addrs(queue.size());
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      addrs[i] = to_sockaddr(queue[i].first);
+      iovs[i].iov_base = queue[i].second.data();
+      iovs[i].iov_len = queue[i].second.size();
+      msgs[i] = mmsghdr{};
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof addrs[i];
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    while (off < queue.size()) {
+      int n = sendmmsg(endpoint->udp_fd, msgs.data() + off,
+                       static_cast<unsigned>(queue.size() - off), 0);
+      if (n < 0) {
+        if (errno == ENOSYS || errno == EINVAL) {
+          mmsg_send_ok_ = false;  // fall through to the sendto tail below
+          break;
+        }
+        // Full socket buffer (or transient error): the unsent tail drops,
+        // exactly the loss semantics of the unbatched sendto path.
+        off = queue.size();
+        break;
+      }
+      ++udp_send_batches_;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  for (; off < queue.size(); ++off) {
+    send_udp_now(endpoint->udp_fd, queue[off].first, queue[off].second);
+  }
+  queue.clear();
+}
+
+void WireTransport::flush_udp_sends() {
+  // flush_endpoint_udp never *adds* to udp_pending_ (sends during a flush
+  // would be nested handler work, which only happens inside poll), so a
+  // single sweep empties it.
+  while (!udp_pending_.empty()) {
+    Endpoint* endpoint = udp_pending_.back();
+    udp_pending_.pop_back();
+    flush_endpoint_udp(endpoint);
+  }
 }
 
 WireTransport::TcpConn* WireTransport::open_client_conn(
@@ -515,6 +642,10 @@ std::size_t WireTransport::pending_tcp_writes() const {
 std::size_t WireTransport::run(std::size_t max_events) {
   std::size_t processed = 0;
   while (processed < max_events && error().empty()) {
+    // Queued UDP sends leave with this iteration — the flush empties every
+    // queue by construction, so the idle check below never sees stuck
+    // datagrams.
+    flush_udp_sends();
     // The idle sweep is a background timer: it exists to reap dead-weight
     // connections, not to represent pending work, so it must not keep run()
     // from reporting idle once the workload's own timers have drained.
@@ -535,6 +666,9 @@ void WireTransport::run_forever() {
   // audit-allow: A004 standalone stop flag; the eventfd wakeup is the sync
   while (!stop_.load(std::memory_order_relaxed) && error().empty()) {
     loop_.poll(options_.max_poll_wait);
+    // Responses queued by handlers during this poll batch go out in one
+    // sendmmsg per endpoint before the next blocking wait.
+    flush_udp_sends();
   }
 }
 

@@ -49,6 +49,13 @@ struct WireTransportOptions {
   // tier that never answers near the frame limit can set it lower so a
   // client streaming an over-claimed frame is shed early.
   std::size_t tcp_max_buffered = 2 + 65535;
+  // UDP syscall batching (DESIGN.md §14): drain up to this many datagrams
+  // per recvmmsg call, and queue outbound datagrams per endpoint, flushing
+  // with one sendmmsg when the batch fills or before the next poll. 0 or 1
+  // disables batching; when the kernel rejects the mmsg calls (ENOSYS /
+  // EINVAL) the transport falls back to recvfrom/sendto permanently, so the
+  // option is always safe to leave on.
+  std::size_t udp_batch = 16;
 };
 
 class WireTransport : public Transport {
@@ -120,6 +127,12 @@ class WireTransport : public Transport {
     int udp_fd = -1;
     int tcp_listen_fd = -1;  // serving endpoints only
     RealEndpoint real;       // bound real address
+    // Outbound UDP datagrams queued for one sendmmsg flush. Queued at most
+    // one poll iteration: send() flushes at udp_batch, the run loops flush
+    // before every poll, and a flush always empties the queue (unsendable
+    // tails drop with plain UDP-loss semantics).
+    std::vector<std::pair<RealEndpoint, Bytes>> udp_outq;
+    bool udp_queued = false;  // true while on udp_pending_
   };
   struct TcpConn {
     int fd = -1;
@@ -144,6 +157,11 @@ class WireTransport : public Transport {
   void watch_udp(Endpoint* endpoint);
   void watch_listener(Endpoint* endpoint);
   void on_udp_readable(Endpoint* endpoint);
+  void recv_udp_unbatched(int fd, const IpAddress& vaddr);
+  void send_udp_now(int fd, const RealEndpoint& real, BytesView payload);
+  // sendmmsg flush of one endpoint's queue / of every queued endpoint.
+  void flush_endpoint_udp(Endpoint* endpoint);
+  void flush_udp_sends();
   void on_accept_ready(Endpoint* endpoint);
   void on_conn_event(TcpConn* conn, std::uint32_t events);
   void queue_frame(TcpConn* conn, BytesView payload);
@@ -194,6 +212,15 @@ class WireTransport : public Transport {
   std::uint64_t idle_sweep_timer_ = 0;  // 0 when not armed
 
   Bytes recv_buffer_;
+  // Per-message receive buffers for recvmmsg, udp_batch × 65535, allocated
+  // on the first batched read. Endpoints with queued outbound datagrams
+  // (ordered only for bookkeeping — flush order does not affect delivery).
+  std::vector<Bytes> mmsg_buffers_;
+  std::vector<Endpoint*> udp_pending_;
+  // Sticky runtime fallbacks: flipped off after the kernel rejects the
+  // batched syscall (ENOSYS/EINVAL), never retried.
+  bool mmsg_recv_ok_ = true;
+  bool mmsg_send_ok_ = true;
   std::string error_;
 
   // Registry before its views (members initialize in declaration order).
@@ -216,6 +243,13 @@ class WireTransport : public Transport {
       metrics_.counter("dnsboot_wire_tcp_evicted_cap")};
   obs::CounterRef malformed_shed_{
       metrics_.counter("dnsboot_wire_malformed_shed")};
+  // mmsg batching effectiveness: one tick per recvmmsg/sendmmsg syscall
+  // that moved at least one datagram (smoke scripts assert these are a
+  // small fraction of the datagram counters when batching is on).
+  obs::CounterRef udp_recv_batches_{
+      metrics_.counter("dnsboot_wire_udp_recv_batches")};
+  obs::CounterRef udp_send_batches_{
+      metrics_.counter("dnsboot_wire_udp_send_batches")};
 };
 
 }  // namespace dnsboot::net

@@ -1,0 +1,109 @@
+// base::Arena lifetime and accounting tests (DESIGN.md §14). The arena's
+// contract is that every view it hands out stays valid and byte-identical
+// for the arena's whole lifetime, across any number of chunk growths and a
+// move of the arena object. Run under the asan preset this doubles as the
+// use-after-growth / out-of-bounds lifetime check for the interned-name
+// storage.
+#include "base/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dnsboot::base {
+namespace {
+
+std::string pattern_string(std::size_t i, std::size_t len) {
+  std::string out;
+  out.reserve(len);
+  for (std::size_t j = 0; j < len; ++j) {
+    out.push_back(static_cast<char>('a' + (i * 7 + j * 13) % 26));
+  }
+  return out;
+}
+
+TEST(ArenaTest, ViewsStayStableAcrossGrowth) {
+  // A tiny chunk size forces hundreds of growths; earlier views must not
+  // move or change when later allocations open new chunks.
+  Arena arena(64);
+  std::vector<std::string> expected;
+  std::vector<std::string_view> views;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    expected.push_back(pattern_string(i, i % 37));
+    views.push_back(arena.copy(expected.back()));
+    total += expected.back().size();
+  }
+  ASSERT_GT(arena.chunk_count(), 10u);
+  EXPECT_EQ(arena.bytes_used(), total);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]) << "allocation " << i;
+  }
+}
+
+TEST(ArenaTest, OversizeAllocationGetsDedicatedChunk) {
+  Arena arena(64);
+  std::string_view small = arena.copy("before");
+  std::size_t reserved_before = arena.bytes_reserved();
+  std::string big = pattern_string(3, 1000);
+  std::string_view view = arena.copy(big);
+  // The oversize request gets a chunk of exactly its own size.
+  EXPECT_EQ(arena.bytes_reserved(), reserved_before + big.size());
+  EXPECT_EQ(view, big);
+  // Both the earlier small view and later allocations survive it.
+  std::string_view after = arena.copy("after");
+  EXPECT_EQ(small, "before");
+  EXPECT_EQ(after, "after");
+}
+
+TEST(ArenaTest, EmptyCopyIsValid) {
+  Arena arena(64);
+  std::string_view empty = arena.copy("");
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  char* p = arena.allocate(0);
+  (void)p;  // may be null; must not crash or count bytes
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, MoveKeepsViewsAlive) {
+  Arena source(64);
+  std::vector<std::string> expected;
+  std::vector<std::string_view> views;
+  for (std::size_t i = 0; i < 100; ++i) {
+    expected.push_back(pattern_string(i, 1 + i % 19));
+    views.push_back(source.copy(expected.back()));
+  }
+  Arena moved = std::move(source);
+  // Storage ownership transferred wholesale: every view still reads the
+  // bytes it was given, and the moved-to arena keeps allocating.
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]);
+  }
+  std::string_view fresh = moved.copy("fresh");
+  EXPECT_EQ(fresh, "fresh");
+}
+
+TEST(ArenaTest, AccountingSumsAllocations) {
+  Arena arena(128);
+  std::size_t total = 0;
+  for (std::size_t n : {1u, 7u, 127u, 128u, 129u, 0u, 64u}) {
+    char* p = arena.allocate(n);
+    if (n > 0) {
+      ASSERT_NE(p, nullptr);
+      // Touch every byte so asan checks the slice is really owned.
+      for (std::size_t j = 0; j < n; ++j) p[j] = static_cast<char>(j);
+    }
+    total += n;
+    EXPECT_EQ(arena.bytes_used(), total);
+    EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+  }
+}
+
+}  // namespace
+}  // namespace dnsboot::base

@@ -22,7 +22,7 @@ namespace dnsboot::audit {
 namespace {
 
 TEST(AuditRules, RegistryIsTotalAndLookupsWork) {
-  EXPECT_EQ(all_rules().size(), 6u);
+  EXPECT_EQ(all_rules().size(), 7u);
   for (const RuleInfo& rule : all_rules()) {
     EXPECT_EQ(&rule_info(rule.id), &rule);
     EXPECT_EQ(find_rule(rule.code), &rule);
@@ -119,6 +119,50 @@ TEST(AuditorRules, BlessedFilesMayWriteRelaxed) {
       "}\n";
   EXPECT_EQ(audit_source("repo/src/obs/metrics.hpp", source).size(), 0u);
   EXPECT_EQ(audit_source("repo/src/obs/other.hpp", source).size(), 1u);
+}
+
+TEST(AuditorRules, FullWorldCopyPatterns) {
+  // Range-for by value copies every element — the pattern A007 exists for.
+  AuditReport by_value = audit_source(
+      "t.cpp",
+      "struct Zone { int records = 0; };\n"
+      "int total(const Zone* zones, int n) {\n"
+      "  int sum = 0;\n"
+      "  for (Zone z : {zones[0], zones[1]}) sum += z.records;\n"
+      "  (void)n;\n"
+      "  return sum;\n"
+      "}\n");
+  EXPECT_EQ(by_value.count(RuleId::kFullWorldCopy), 1u)
+      << report_to_text(by_value);
+
+  // Constructor calls, prvalue returns, references, pointers and
+  // shared_ptr storage are all legal.
+  AuditReport legal = audit_source(
+      "t.cpp",
+      "#include <memory>\n"
+      "#include <string>\n"
+      "struct Zone { explicit Zone(std::string o); int records = 0; };\n"
+      "Zone parse_zone(const std::string& text);\n"
+      "int count(const Zone& zone, Zone* scratch) {\n"
+      "  Zone fresh(std::string(\"example.\"));\n"
+      "  Zone parsed = parse_zone(std::string(\"x\"));\n"
+      "  auto shared = std::make_shared<Zone>(std::string(\"y\"));\n"
+      "  (void)scratch;\n"
+      "  return zone.records + fresh.records + parsed.records;\n"
+      "}\n");
+  EXPECT_EQ(legal.count(RuleId::kFullWorldCopy), 0u) << report_to_text(legal);
+
+  // The builder/plan layer is blessed: it owns the values it builds.
+  const char* copy =
+      "struct Ecosystem { int zones = 0; };\n"
+      "int dup(const Ecosystem& in) {\n"
+      "  Ecosystem copy = in;\n"
+      "  return copy.zones;\n"
+      "}\n";
+  EXPECT_EQ(audit_source("repo/src/ecosystem/plan.cpp", copy).size(), 0u);
+  EXPECT_EQ(audit_source("repo/src/analysis/parallel.cpp", copy)
+                .count(RuleId::kFullWorldCopy),
+            1u);
 }
 
 TEST(AuditReportTest, JsonShapeAndSeverityGate) {

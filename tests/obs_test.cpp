@@ -8,7 +8,7 @@
 #include <algorithm>
 
 #include "analysis/parallel.hpp"
-#include "ecosystem/builder.hpp"
+#include "ecosystem/plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_http.hpp"
 #include "obs/stats.hpp"
@@ -223,7 +223,8 @@ constexpr double kScale = 1.0 / 2000000;
 constexpr std::uint64_t kSeed = 11;
 constexpr std::uint64_t kBaseNetworkSeed = kSeed ^ 0xd15b007;
 
-analysis::ShardWorld build_world(std::uint64_t net_seed) {
+analysis::ShardWorld build_world(std::size_t shard, std::size_t shards,
+                                 std::uint64_t net_seed) {
   analysis::ShardWorld world;
   world.network = std::make_unique<net::SimNetwork>(net_seed);
   world.network->set_default_link(
@@ -231,10 +232,11 @@ analysis::ShardWorld build_world(std::uint64_t net_seed) {
   ecosystem::EcosystemConfig config;
   config.seed = kSeed;
   config.scale = kScale;
-  ecosystem::EcosystemBuilder builder(*world.network, config);
-  auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+  auto eco = std::make_shared<ecosystem::Ecosystem>(
+      ecosystem::build_shard(*world.network, config, plan, shard, shards));
   world.hints = eco->hints;
-  world.targets = eco->scan_targets;
+  world.targets = std::move(eco->scan_targets);
   world.ns_domain_to_operator = eco->ns_domain_to_operator;
   world.now = eco->now;
   world.keepalive = std::move(eco);
@@ -247,7 +249,9 @@ analysis::ShardedSurveyResult run_sharded(std::size_t threads) {
   options.threads = threads;
   options.base_network_seed = kBaseNetworkSeed;
   return analysis::run_sharded_survey(
-      [](std::size_t, std::uint64_t net_seed) { return build_world(net_seed); },
+      [](std::size_t shard, std::uint64_t net_seed) {
+        return build_world(shard, 8, net_seed);
+      },
       options);
 }
 

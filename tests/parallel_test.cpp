@@ -6,8 +6,8 @@
 
 #include "analysis/parallel.hpp"
 #include "analysis/report_io.hpp"
-#include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
+#include "ecosystem/plan.hpp"
 
 namespace {
 
@@ -18,17 +18,24 @@ constexpr std::uint64_t kSeed = 11;
 constexpr std::uint64_t kBaseNetworkSeed = kSeed ^ 0xd15b007;
 constexpr std::uint64_t kChaosSeed = 0xc4a05;
 
-analysis::ShardWorld build_world(std::uint64_t net_seed,
+ecosystem::EcosystemConfig world_config() {
+  ecosystem::EcosystemConfig config;
+  config.seed = kSeed;
+  config.scale = kScale;
+  return config;
+}
+
+analysis::ShardWorld build_world(std::size_t shard, std::size_t shards,
+                                 std::uint64_t net_seed,
                                  const std::string& chaos_preset) {
   analysis::ShardWorld world;
   world.network = std::make_unique<net::SimNetwork>(net_seed);
   world.network->set_default_link(
       net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
-  ecosystem::EcosystemConfig config;
-  config.seed = kSeed;
-  config.scale = kScale;
-  ecosystem::EcosystemBuilder builder(*world.network, config);
-  auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+  const ecosystem::EcosystemConfig config = world_config();
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+  auto eco = std::make_shared<ecosystem::Ecosystem>(
+      ecosystem::build_shard(*world.network, config, plan, shard, shards));
   if (chaos_preset != "off") {
     ecosystem::ChaosOptions chaos_options =
         ecosystem::chaos_preset(chaos_preset);
@@ -36,16 +43,17 @@ analysis::ShardWorld build_world(std::uint64_t net_seed,
     ecosystem::apply_chaos(*world.network, *eco, chaos_options);
   }
   world.hints = eco->hints;
-  world.targets = eco->scan_targets;
+  world.targets = std::move(eco->scan_targets);
   world.ns_domain_to_operator = eco->ns_domain_to_operator;
   world.now = eco->now;
   world.keepalive = std::move(eco);
   return world;
 }
 
-analysis::ShardWorldFactory make_factory(const std::string& chaos = "off") {
-  return [chaos](std::size_t, std::uint64_t net_seed) {
-    return build_world(net_seed, chaos);
+analysis::ShardWorldSource make_source(std::size_t shards,
+                                       const std::string& chaos = "off") {
+  return [shards, chaos](std::size_t shard, std::uint64_t net_seed) {
+    return build_world(shard, shards, net_seed, chaos);
   };
 }
 
@@ -74,12 +82,12 @@ analysis::ShardedSurveyResult run_sharded(std::size_t shards,
   options.shards = shards;
   options.threads = threads;
   options.base_network_seed = kBaseNetworkSeed;
-  return analysis::run_sharded_survey(make_factory(chaos), options);
+  return analysis::run_sharded_survey(make_source(shards, chaos), options);
 }
 
 TEST(ParallelSurveyTest, SingleShardReproducesLegacyPipelineByteForByte) {
   // The legacy single-world pipeline, exactly as run_survey callers drive it.
-  analysis::ShardWorld world = build_world(kBaseNetworkSeed, "off");
+  analysis::ShardWorld world = build_world(0, 1, kBaseNetworkSeed, "off");
   auto legacy = analysis::run_survey(*world.network, world.hints,
                                      world.targets, world.ns_domain_to_operator,
                                      world.now, run_options(false));
@@ -148,7 +156,7 @@ TEST(ParallelSurveyTest, HostileChaosMergesDeterministically) {
 }
 
 TEST(ParallelSurveyTest, ShardAssignmentPartitionsThePopulation) {
-  analysis::ShardWorld world = build_world(kBaseNetworkSeed, "off");
+  analysis::ShardWorld world = build_world(0, 1, kBaseNetworkSeed, "off");
   ASSERT_GT(world.targets.size(), 0u);
 
   const std::size_t shards = 8;
@@ -169,6 +177,57 @@ TEST(ParallelSurveyTest, ShardAssignmentPartitionsThePopulation) {
   // One shard routes everything to shard 0.
   for (const dns::Name& zone : world.targets) {
     EXPECT_EQ(analysis::shard_of(zone, 1), 0u);
+  }
+}
+
+TEST(ParallelSurveyTest, StreamingShardSlicesPartitionThePopulation) {
+  // The streaming contract (DESIGN.md §14): the union of build_shard slices
+  // is exactly the full world's population — every zone materialized once,
+  // on the shard shard_of says, with the same closed-form ground truth.
+  const ecosystem::EcosystemConfig config = world_config();
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+  net::SimNetwork full_network(1);
+  ecosystem::Ecosystem full =
+      ecosystem::build_shard(full_network, config, plan, 0, 1);
+  ASSERT_GT(full.scan_targets.size(), 0u);
+  EXPECT_EQ(full.zones_total, plan.zones_total);
+
+  const std::size_t shards = 4;
+  std::size_t total = 0;
+  std::map<std::string, ecosystem::ZoneTruth> merged;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    net::SimNetwork network(100 + shard);
+    ecosystem::Ecosystem slice =
+        ecosystem::build_shard(network, config, plan, shard, shards);
+    total += slice.scan_targets.size();
+    for (const dns::Name& zone : slice.scan_targets) {
+      EXPECT_EQ(analysis::shard_of(zone, shards), shard)
+          << zone.canonical_text();
+    }
+    for (auto& [name, truth] : slice.truth) {
+      EXPECT_TRUE(merged.emplace(name, truth).second)
+          << name << " materialized by two shards";
+    }
+  }
+  EXPECT_EQ(total, full.scan_targets.size());
+  ASSERT_EQ(merged.size(), full.truth.size());
+  for (const auto& [name, truth] : full.truth) {
+    auto it = merged.find(name);
+    ASSERT_NE(it, merged.end()) << name;
+    const ecosystem::ZoneTruth& sliced = it->second;
+    EXPECT_EQ(sliced.operator_name, truth.operator_name) << name;
+    EXPECT_EQ(sliced.state, truth.state) << name;
+    EXPECT_EQ(sliced.cds, truth.cds) << name;
+    EXPECT_EQ(sliced.cds_delete, truth.cds_delete) << name;
+    EXPECT_EQ(sliced.cds_no_match, truth.cds_no_match) << name;
+    EXPECT_EQ(sliced.cds_inconsistent, truth.cds_inconsistent) << name;
+    EXPECT_EQ(sliced.multi_operator, truth.multi_operator) << name;
+    EXPECT_EQ(sliced.csync, truth.csync) << name;
+    EXPECT_EQ(sliced.signal, truth.signal) << name;
+    EXPECT_EQ(sliced.signal_missing_one_ns, truth.signal_missing_one_ns)
+        << name;
+    EXPECT_EQ(sliced.signal_stale_one_ns, truth.signal_stale_one_ns) << name;
+    EXPECT_EQ(sliced.signal_zone_cut, truth.signal_zone_cut) << name;
   }
 }
 

@@ -28,8 +28,8 @@
 #include <vector>
 
 #include "cli.hpp"
-#include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
+#include "ecosystem/plan.hpp"
 #include "net/simnet.hpp"
 #include "net/wire/wire_transport.hpp"
 #include "obs/metrics.hpp"
@@ -104,20 +104,22 @@ void handle_signal(int) {
 }
 
 // Build one worker's world and bind its sockets. Returns false (with
-// `error` set) when anything fails; safe to call concurrently.
-bool setup_worker(const CliOptions& options, Worker* worker,
+// `error` set) when anything fails; safe to call concurrently. Workers stay
+// share-nothing on purpose — AuthServer fault gates, token buckets, and
+// metrics are mutable per-worker state, and wire scale is bounded by port
+// space long before world copies dominate memory — but the immutable
+// EcosystemPlan is computed once and read by every concurrent build.
+bool setup_worker(const CliOptions& options,
+                  const ecosystem::EcosystemConfig& config,
+                  const ecosystem::EcosystemPlan& plan, Worker* worker,
                   std::string* error) {
   // Same derived network seed as dnsboot-survey's build (shard 0 of 1 passes
   // the base through unchanged), so both processes construct bit-identical
   // worlds even if the builder ever draws from the network.
   worker->buildnet =
       std::make_unique<net::SimNetwork>(options.seed ^ 0xd15b007);
-  ecosystem::EcosystemConfig config;
-  config.seed = options.seed;
-  config.scale = 1.0 / options.scale_denom;
-  config.inject_pathologies = options.pathologies;
-  ecosystem::EcosystemBuilder builder(*worker->buildnet, config);
-  worker->eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+  worker->eco = std::make_shared<ecosystem::Ecosystem>(
+      ecosystem::build_shard(*worker->buildnet, config, plan, 0, 1));
   if (options.chaos != "off") {
     ecosystem::ChaosOptions chaos_options =
         ecosystem::chaos_preset(options.chaos);
@@ -189,17 +191,23 @@ int main(int argc, char** argv) {
   std::string first_error;
   std::atomic<std::size_t> failures{0};
 
-  // Every worker builds its own identical world copy (the builders are
+  // Every worker builds its own identical world copy (the builds are
   // deterministic in --seed) and binds the same ports via SO_REUSEPORT, so
-  // the serving threads share no mutable state at all.
+  // the serving threads share no mutable state at all. Only the plan — the
+  // immutable half of world construction — is shared across the builds.
+  ecosystem::EcosystemConfig config;
+  config.seed = options.seed;
+  config.scale = 1.0 / options.scale_denom;
+  config.inject_pathologies = options.pathologies;
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
   {
     std::vector<std::thread> builders;
     builders.reserve(workers.size());
     for (Worker& worker : workers) {
-      builders.emplace_back([&options, &worker, &error_mutex, &first_error,
-                             &failures] {
+      builders.emplace_back([&options, &config, &plan, &worker, &error_mutex,
+                             &first_error, &failures] {
         std::string error;
-        if (!setup_worker(options, &worker, &error)) {
+        if (!setup_worker(options, config, plan, &worker, &error)) {
           failures.fetch_add(1);
           std::lock_guard<std::mutex> lock(error_mutex);
           if (first_error.empty()) first_error = std::move(error);

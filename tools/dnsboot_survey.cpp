@@ -34,8 +34,8 @@
 #include "base/strings.hpp"
 #include "bench/bench_json.hpp"
 #include "cli.hpp"
-#include "ecosystem/builder.hpp"
 #include "ecosystem/chaos.hpp"
+#include "ecosystem/plan.hpp"
 #include "lint/chaos_lint.hpp"
 #include "lint/ecosystem_lint.hpp"
 #include "lint/report.hpp"
@@ -143,24 +143,30 @@ int main(int argc, char** argv) {
       options.shards != 0 ? options.shards : (options.threads > 1 ? 8 : 1);
   const std::uint64_t base_network_seed = options.seed ^ 0xd15b007;
 
+  // The shared immutable half of world construction (DESIGN.md §14):
+  // computed once, read concurrently by every shard worker.
+  ecosystem::EcosystemConfig eco_config;
+  eco_config.seed = options.seed;
+  eco_config.scale = 1.0 / options.scale_denom;
+  eco_config.inject_pathologies = options.pathologies;
+  const ecosystem::EcosystemPlan eco_plan =
+      ecosystem::make_ecosystem_plan(eco_config);
+
   // Build one shard's world: a private SimNetwork seeded for that shard
-  // carrying an ecosystem (and chaos plan) that depends only on the
-  // ecosystem/chaos seeds — identical across shards. Called concurrently
-  // from the executor's workers for shards > 0.
-  auto build_world = [&options, chaos](std::uint64_t net_seed,
-                                       ecosystem::ChaosPlan* plan_out,
-                                       std::shared_ptr<ecosystem::Ecosystem>*
-                                           eco_out) -> analysis::ShardWorld {
+  // carrying that shard's zone slice (and a chaos plan that depends only on
+  // the chaos seed and server identities — identical across shards). Called
+  // concurrently from the executor's workers for shards > 0.
+  auto build_world = [&options, &eco_config, &eco_plan, shards, chaos](
+                         std::size_t shard, std::uint64_t net_seed,
+                         ecosystem::ChaosPlan* plan_out,
+                         std::shared_ptr<ecosystem::Ecosystem>* eco_out)
+      -> analysis::ShardWorld {
     analysis::ShardWorld world;
     world.network = std::make_unique<net::SimNetwork>(net_seed);
     world.network->set_default_link(
         net::LinkModel{5 * net::kMillisecond, 2 * net::kMillisecond, 0.0});
-    ecosystem::EcosystemConfig config;
-    config.seed = options.seed;
-    config.scale = 1.0 / options.scale_denom;
-    config.inject_pathologies = options.pathologies;
-    ecosystem::EcosystemBuilder builder(*world.network, config);
-    auto eco = std::make_shared<ecosystem::Ecosystem>(builder.build());
+    auto eco = std::make_shared<ecosystem::Ecosystem>(ecosystem::build_shard(
+        *world.network, eco_config, eco_plan, shard, shards));
     if (chaos) {
       ecosystem::ChaosOptions chaos_options =
           ecosystem::chaos_preset(options.chaos);
@@ -169,7 +175,7 @@ int main(int argc, char** argv) {
       if (plan_out != nullptr) *plan_out = std::move(plan);
     }
     world.hints = eco->hints;
-    world.targets = eco->scan_targets;
+    world.targets = std::move(eco->scan_targets);
     world.ns_domain_to_operator = eco->ns_domain_to_operator;
     world.now = eco->now;
     if (eco_out != nullptr) *eco_out = eco;
@@ -177,16 +183,18 @@ int main(int argc, char** argv) {
     return world;
   };
 
-  // Shard 0's world doubles as the preflight view (banner, chaos summary,
-  // lint); it is handed to the executor instead of being rebuilt.
+  // Shard 0's world doubles as the preflight view (chaos summary, and with
+  // one shard the lint/wire population); it is handed to the executor
+  // instead of being rebuilt.
   ecosystem::ChaosPlan chaos_plan;
   std::shared_ptr<ecosystem::Ecosystem> preflight_eco;
   auto first_world = std::make_shared<analysis::ShardWorld>(build_world(
-      analysis::shard_network_seed(base_network_seed, 0, shards), &chaos_plan,
-      &preflight_eco));
+      0, analysis::shard_network_seed(base_network_seed, 0, shards),
+      &chaos_plan, &preflight_eco));
   if (!options.output.quiet) {
-    std::printf("dnsboot-survey: %zu zones (scale 1/%.0f, seed %llu)\n",
-                first_world->targets.size(), options.scale_denom,
+    std::printf("dnsboot-survey: %llu zones (scale 1/%.0f, seed %llu)\n",
+                static_cast<unsigned long long>(eco_plan.zones_total),
+                options.scale_denom,
                 static_cast<unsigned long long>(options.seed));
   }
 
@@ -210,11 +218,28 @@ int main(int argc, char** argv) {
     // Static preflight: lint every zone the servers publish before spending
     // simulated traffic on the scan. Reported per rule; the scan proceeds
     // either way (the point of the survey is to *measure* broken zones).
-    auto view = lint::collect_view(preflight_eco->servers, preflight_eco->now);
+    // Shard worlds only hold their slice, so with shards > 1 the lint pass
+    // builds a throwaway full world (legacy memory profile — lint is an
+    // explicit opt-in diagnostic).
+    std::shared_ptr<ecosystem::Ecosystem> lint_eco = preflight_eco;
+    ecosystem::ChaosPlan lint_chaos = chaos_plan;
+    std::unique_ptr<net::SimNetwork> lint_network;
+    if (shards > 1) {
+      lint_network = std::make_unique<net::SimNetwork>(base_network_seed);
+      lint_eco = std::make_shared<ecosystem::Ecosystem>(
+          ecosystem::build_shard(*lint_network, eco_config, eco_plan, 0, 1));
+      if (chaos) {
+        ecosystem::ChaosOptions chaos_options =
+            ecosystem::chaos_preset(options.chaos);
+        chaos_options.seed = options.chaos_seed;
+        lint_chaos =
+            ecosystem::apply_chaos(*lint_network, *lint_eco, chaos_options);
+      }
+    }
+    auto view = lint::collect_view(lint_eco->servers, lint_eco->now);
     auto lint_report = lint::lint_ecosystem(view);
     // L106: a chaos plan must never make a zone structurally unobservable.
-    lint_report.merge(
-        lint::lint_chaos(preflight_eco->servers, chaos_plan.links));
+    lint_report.merge(lint::lint_chaos(lint_eco->servers, lint_chaos.links));
     std::printf("lint preflight: %zu zone version(s), %zu finding(s)\n",
                 lint_report.zones_checked(), lint_report.size());
     for (const auto& [rule, count] : lint_report.counts_by_rule()) {
@@ -267,19 +292,19 @@ int main(int argc, char** argv) {
   sharded_options.shards = shards;
   sharded_options.threads = options.threads;
   sharded_options.base_network_seed = base_network_seed;
-  analysis::ShardWorldFactory factory =
+  analysis::ShardWorldSource source =
       [&build_world, first_world](std::size_t shard,
                                   std::uint64_t net_seed) {
         // Shard 0 reuses the preflight world (built with this exact seed);
         // only one worker ever receives shard 0, so the move is safe.
         if (shard == 0) return std::move(*first_world);
-        return build_world(net_seed, nullptr, nullptr);
+        return build_world(shard, net_seed, nullptr, nullptr);
       };
 
   analysis::ShardedSurveyResult sharded;
   const auto wall_start = std::chrono::steady_clock::now();
   if (!wire_base.has_value()) {
-    sharded = analysis::run_sharded_survey(factory, sharded_options);
+    sharded = analysis::run_sharded_survey(source, sharded_options);
   } else {
     // Real-socket scan: derive the same virtual→real map dnsboot-serve
     // derived from this seed, then run the identical pipeline over a wire
