@@ -1,0 +1,258 @@
+// bench_longitudinal — throughput of the continuous monitoring service
+// (DESIGN.md §15): end-to-end transitions/sec over a live monitored world,
+// journal replay (recover + decode + crc verify) records/sec over a
+// synthetic journal, and steady-state peak RSS of the monitor run.
+//
+// Usage:
+//   bench_longitudinal [--scale-denom N] [--seed S] [--sim-days D]
+//                      [--journal-records N] [--json PATH]
+//                      [--fail-if-slower] [--min-replay-rate R]
+//
+// --fail-if-slower is the CI smoke gate: the run fails when the journal
+// replay rate drops below --min-replay-rate records/sec (replay speed is
+// what bounds restart time after a crash, so it is the regression that
+// hurts first) or when the live run produced no transitions at all.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_json.hpp"
+#include "ecosystem/plan.hpp"
+#include "longitudinal/lifecycle.hpp"
+#include "longitudinal/monitor.hpp"
+#include "tools/cli.hpp"
+
+namespace {
+
+using namespace dnsboot;
+
+// Reset the kernel's peak-RSS watermark to the current RSS (bench_throughput
+// idiom). Returns false when /proc/self/clear_refs is unavailable.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::uint64_t read_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+struct LiveRun {
+  std::uint64_t zones = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t transitions = 0;
+  std::size_t kinds = 0;
+  double wall_ms = 0;
+  std::uint64_t peak_rss_bytes = 0;
+  bool rss_reset_ok = false;
+
+  double transitions_per_sec() const {
+    return wall_ms > 0 ? transitions / (wall_ms / 1000.0) : 0.0;
+  }
+  double probes_per_sec() const {
+    return wall_ms > 0 ? probes / (wall_ms / 1000.0) : 0.0;
+  }
+};
+
+LiveRun run_live(double scale_denom, std::uint64_t seed,
+                 std::uint64_t sim_days_usec) {
+  net::SimNetwork network(seed ^ 0xd15b007);
+  ecosystem::EcosystemConfig config;
+  config.seed = seed;
+  config.scale = 1.0 / scale_denom;
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+  ecosystem::Ecosystem eco =
+      ecosystem::build_shard(network, config, plan, 0, 1);
+
+  longitudinal::MonitorOptions options;
+  options.seed = seed;
+  options.horizon = sim_days_usec;
+  longitudinal::Monitor monitor(network, eco, options);
+
+  resolver::QueryEngine registry_engine(
+      network, net::IpAddress::v4({192, 0, 2, 252}), {});
+  resolver::DelegationResolver registry_resolver(registry_engine, eco.hints);
+  longitudinal::LifecycleOptions lifecycle_options;
+  lifecycle_options.seed = seed;
+  lifecycle_options.horizon = sim_days_usec;
+  longitudinal::LifecycleDriver lifecycle(network, registry_engine,
+                                          registry_resolver, eco,
+                                          lifecycle_options);
+  lifecycle.arm();
+
+  LiveRun run;
+  run.zones = eco.scan_targets.size();
+  run.rss_reset_ok = reset_peak_rss();
+  const auto start = std::chrono::steady_clock::now();
+  if (!monitor.start().ok()) return run;
+  monitor.run();
+  const auto end = std::chrono::steady_clock::now();
+  run.peak_rss_bytes = read_peak_rss_bytes();
+  run.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  run.probes = monitor.probes_completed();
+  run.batches = monitor.batches_run();
+  run.transitions = monitor.reporter().transitions();
+  run.kinds = monitor.reporter().distinct_kinds();
+  return run;
+}
+
+struct ReplayRun {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  double wall_ms = 0;
+  double records_per_sec() const {
+    return wall_ms > 0 ? records / (wall_ms / 1000.0) : 0.0;
+  }
+};
+
+// Synthesize a journal of `records` transitions and measure recover():
+// the full restart path — read, split, decode, crc-verify every line.
+ReplayRun run_replay(std::uint64_t records) {
+  namespace fs = std::filesystem;
+  char tmpl[] = "/tmp/bench_longitudinal_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  ReplayRun run;
+  if (dir == nullptr) return run;
+  const std::string path = std::string(dir) + "/journal.log";
+  {
+    auto journal = longitudinal::Journal::open(path, "bench");
+    if (!journal.ok()) return run;
+    longitudinal::Transition t;
+    auto zone = dns::Name::from_text("replay-victim.example.ch.");
+    if (!zone.ok()) return run;
+    t.zone = std::move(zone).take();
+    t.cds_changed = true;
+    t.cds_digest = "00112233aabbccdd";
+    t.operator_name = "BenchOp";
+    for (std::uint64_t seq = 1; seq <= records; ++seq) {
+      t.seq = seq;
+      t.at = seq * 250000;
+      t.from = static_cast<longitudinal::ZonePhase>(seq % 6);
+      t.to = static_cast<longitudinal::ZonePhase>((seq + 1) % 6);
+      if (!journal->append(t).ok()) return run;
+    }
+  }
+  run.bytes = fs::file_size(path);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto recovered = longitudinal::Journal::recover(path);
+  const auto end = std::chrono::steady_clock::now();
+  run.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  if (recovered.ok()) run.records = recovered->transitions.size();
+  fs::remove_all(dir);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale_denom = 200000;
+  std::uint64_t seed = 1;
+  std::uint64_t sim_days_usec = 5 * cli::kUsecPerDay;
+  std::uint64_t journal_records = 50000;
+  std::string json_path;
+  bool fail_if_slower = false;
+  double min_replay_rate = 50000;  // records/sec
+
+  cli::FlagParser parser(
+      "bench_longitudinal — monitor transitions/sec, journal replay "
+      "records/sec, steady-state RSS");
+  parser.value("--scale-denom", &scale_denom, "world scale divisor", 1e-9);
+  parser.value("--seed", &seed, "world + schedule seed");
+  parser.duration("--sim-days", &sim_days_usec, cli::kUsecPerDay,
+                  "simulated monitoring window for the live run");
+  parser.value("--journal-records", &journal_records,
+               "synthetic journal size for the replay measurement", 1);
+  parser.value("--json", &json_path, "FILE", "write BENCH_longitudinal.json");
+  parser.flag("--fail-if-slower", &fail_if_slower,
+              "exit non-zero when replay rate < --min-replay-rate or the "
+              "live run saw no transitions",
+              true);
+  parser.value("--min-replay-rate", &min_replay_rate,
+               "replay gate threshold, records/sec", 1.0);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+
+  std::printf("bench_longitudinal — scale 1/%.0f, seed %llu, %.1f sim days\n",
+              scale_denom, static_cast<unsigned long long>(seed),
+              static_cast<double>(sim_days_usec) /
+                  static_cast<double>(cli::kUsecPerDay));
+
+  const LiveRun live = run_live(scale_denom, seed, sim_days_usec);
+  std::printf(
+      "live:   %llu zones  %llu probes (%llu batches)  %llu transitions "
+      "(%zu kinds)  %.1f ms  %.1f trans/s  %.0f probes/s  %.1f MiB peak%s\n",
+      static_cast<unsigned long long>(live.zones),
+      static_cast<unsigned long long>(live.probes),
+      static_cast<unsigned long long>(live.batches),
+      static_cast<unsigned long long>(live.transitions), live.kinds,
+      live.wall_ms, live.transitions_per_sec(), live.probes_per_sec(),
+      static_cast<double>(live.peak_rss_bytes) / (1024.0 * 1024.0),
+      live.rss_reset_ok ? "" : " (no clear_refs)");
+
+  const ReplayRun replay = run_replay(journal_records);
+  std::printf(
+      "replay: %llu records (%.1f MiB) in %.1f ms  %.0f records/s\n",
+      static_cast<unsigned long long>(replay.records),
+      static_cast<double>(replay.bytes) / (1024.0 * 1024.0), replay.wall_ms,
+      replay.records_per_sec());
+
+  bench::BenchJson json("longitudinal");
+  json.add("scale_denom", scale_denom)
+      .add("seed", seed)
+      .add("sim_days",
+           static_cast<double>(sim_days_usec) /
+               static_cast<double>(cli::kUsecPerDay))
+      .add("zones", live.zones)
+      .add("probes", live.probes)
+      .add("batches", live.batches)
+      .add("transitions", live.transitions)
+      .add("transition_kinds", static_cast<std::uint64_t>(live.kinds))
+      .add("live_wall_ms", live.wall_ms)
+      .add("transitions_per_sec", live.transitions_per_sec())
+      .add("probes_per_sec", live.probes_per_sec())
+      .add("peak_rss_bytes", live.peak_rss_bytes)
+      .add("rss_reset_ok", live.rss_reset_ok)
+      .add("replay_records", replay.records)
+      .add("replay_bytes", replay.bytes)
+      .add("replay_wall_ms", replay.wall_ms)
+      .add("replay_records_per_sec", replay.records_per_sec());
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write bench json\n");
+    return 1;
+  }
+
+  if (replay.records != journal_records) {
+    std::fprintf(stderr, "FAIL: replay recovered %llu of %llu records\n",
+                 static_cast<unsigned long long>(replay.records),
+                 static_cast<unsigned long long>(journal_records));
+    return 1;
+  }
+  if (fail_if_slower) {
+    if (live.transitions == 0) {
+      std::fprintf(stderr, "FAIL: live run produced no transitions\n");
+      return 1;
+    }
+    if (replay.records_per_sec() < min_replay_rate) {
+      std::fprintf(stderr, "FAIL: replay rate %.0f records/s below %.0f\n",
+                   replay.records_per_sec(), min_replay_rate);
+      return 1;
+    }
+  }
+  return 0;
+}

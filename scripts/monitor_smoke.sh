@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# Longitudinal monitor smoke (DESIGN.md §15), the CI gate for the
+# crash-recovery determinism contract:
+#   1. an uninterrupted dnsboot-monitor run over a small world must journal
+#      >= 3 distinct transition kinds and write a final snapshot;
+#   2. the same run killed with SIGKILL mid-stream and restarted with the
+#      same flags must converge to the byte-identical journal and adoption
+#      report (replayed prefix verified, tail re-appended);
+#   3. a run with --metrics-port must expose the dnsboot_monitor_* family
+#      (plus the NamePool gauges) on GET /metrics, linted by
+#      check_prometheus.sh.
+#
+# Usage: scripts/monitor_smoke.sh [BUILD_DIR]
+#   BUILD_DIR    cmake build tree holding tools/ (default: build)
+# Environment: SCALE_DENOM (default 400000, ~750 zones), SEED (7),
+#   SIM_DAYS (3), METRICS_PORT (9311).
+set -euo pipefail
+
+build_dir=${1:-build}
+scale_denom=${SCALE_DENOM:-400000}
+seed=${SEED:-7}
+sim_days=${SIM_DAYS:-3}
+metrics_port=${METRICS_PORT:-9311}
+script_dir=$(cd "$(dirname "$0")" && pwd)
+
+monitor="$build_dir/tools/dnsboot-monitor"
+if [[ ! -x "$monitor" ]]; then
+  echo "monitor_smoke: missing $monitor (build dnsboot-monitor first)" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+monitor_pid=
+cleanup() {
+  if [[ -n "$monitor_pid" ]] && kill -0 "$monitor_pid" 2>/dev/null; then
+    kill -9 "$monitor_pid" 2>/dev/null || true
+    wait "$monitor_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+common=(--scale-denom "$scale_denom" --seed "$seed" --sim-days "$sim_days"
+        --snapshot-every 12h --quiet)
+
+echo "monitor_smoke: uninterrupted run (seed $seed, 1/$scale_denom, ${sim_days}d)"
+mkdir -p "$workdir/full"
+"$monitor" "${common[@]}" --state-dir "$workdir/full" \
+  --json "$workdir/full.json" --csv "$workdir/full.csv"
+
+for f in "$workdir/full/journal.log" "$workdir/full/snapshot.dnsboot"; do
+  if [[ ! -s "$f" ]]; then
+    echo "monitor_smoke: FAIL — $f missing or empty" >&2
+    exit 1
+  fi
+done
+
+kinds=$(grep -o '"[a-z_]*->[a-z_]*"' "$workdir/full.json" | sort -u | wc -l)
+if [[ "$kinds" -lt 3 ]]; then
+  echo "monitor_smoke: FAIL — only $kinds distinct transition kinds (need >= 3)" >&2
+  exit 1
+fi
+echo "monitor_smoke: $kinds distinct transition kinds"
+
+echo "monitor_smoke: SIGKILL mid-run, then restart with the same flags"
+mkdir -p "$workdir/crash"
+"$monitor" "${common[@]}" --state-dir "$workdir/crash" \
+  --json "$workdir/crash_first.json" >"$workdir/crash.log" 2>&1 &
+monitor_pid=$!
+# Kill once the journal shows real progress (but before it can finish).
+target=$(( $(wc -c < "$workdir/full/journal.log") / 4 ))
+for _ in $(seq 1 300); do
+  size=$(stat -c %s "$workdir/crash/journal.log" 2>/dev/null || echo 0)
+  if [[ "$size" -ge "$target" ]]; then
+    break
+  fi
+  if ! kill -0 "$monitor_pid" 2>/dev/null; then
+    break  # finished before we could kill it; restart still verifies replay
+  fi
+  sleep 0.1
+done
+kill -9 "$monitor_pid" 2>/dev/null || true
+wait "$monitor_pid" 2>/dev/null || true
+monitor_pid=
+
+"$monitor" "${common[@]}" --state-dir "$workdir/crash" \
+  --json "$workdir/crash.json" --csv "$workdir/crash.csv"
+
+if ! cmp -s "$workdir/full/journal.log" "$workdir/crash/journal.log"; then
+  echo "monitor_smoke: FAIL — restarted journal differs from uninterrupted run" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full.json" "$workdir/crash.json"; then
+  echo "monitor_smoke: FAIL — restarted adoption report differs" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full.csv" "$workdir/crash.csv"; then
+  echo "monitor_smoke: FAIL — restarted adoption curve CSV differs" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full/snapshot.dnsboot" "$workdir/crash/snapshot.dnsboot"; then
+  echo "monitor_smoke: FAIL — restarted snapshot differs" >&2
+  exit 1
+fi
+echo "monitor_smoke: kill-restart-resume converged byte-identically"
+
+echo "monitor_smoke: /metrics scrape on :$metrics_port"
+"$monitor" "${common[@]}" --metrics-port "$metrics_port" --max-seconds 600 \
+  >"$workdir/serve.log" 2>&1 &
+monitor_pid=$!
+
+scrape() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS "http://127.0.0.1:$metrics_port/metrics"
+  else
+    exec 3<>"/dev/tcp/127.0.0.1/$metrics_port"
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    sed '1,/^\r\{0,1\}$/d' <&3
+    exec 3<&- 3>&-
+  fi
+}
+ok=
+for _ in $(seq 1 100); do
+  if scrape >"$workdir/exposition.txt" 2>/dev/null; then
+    ok=1
+    break
+  fi
+  if ! kill -0 "$monitor_pid" 2>/dev/null; then
+    echo "monitor_smoke: FAIL — monitor exited before /metrics answered:" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+if [[ -z "$ok" ]]; then
+  echo "monitor_smoke: FAIL — /metrics never answered" >&2
+  exit 1
+fi
+
+for name in dnsboot_monitor_probes_total dnsboot_monitor_batches_total \
+    dnsboot_monitor_journal_appended_total dnsboot_monitor_zones_tracked \
+    dnsboot_monitor_transitions_total dnsboot_namepool_names \
+    dnsboot_namepool_bytes; do
+  if ! grep -q "^$name\|^# TYPE $name " "$workdir/exposition.txt"; then
+    echo "monitor_smoke: FAIL — $name missing from /metrics" >&2
+    cat "$workdir/exposition.txt" >&2
+    exit 1
+  fi
+done
+"$script_dir/check_prometheus.sh" "$workdir/exposition.txt"
+
+kill -TERM "$monitor_pid" 2>/dev/null || true
+wait "$monitor_pid" 2>/dev/null || true
+monitor_pid=
+
+echo "monitor_smoke: OK — kinds, kill-restart identity, snapshot, /metrics all pass"

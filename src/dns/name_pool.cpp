@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+
 #include "base/strings.hpp"
 #include "dns/name.hpp"
 
@@ -158,6 +160,17 @@ NamePool::Rep* NamePool::new_rep(std::uint32_t* id_out) {
   }
   *id_out = id;
   return chunk + (id & kChunkMask);
+}
+
+void NamePool::export_gauges(obs::MetricsRegistry& registry) {
+  const Stats s = stats();
+  registry.set_help("dnsboot_namepool_names",
+                    "distinct interned name spellings (process-global)");
+  registry.set_help("dnsboot_namepool_bytes",
+                    "arena bytes reserved for labels and order keys");
+  registry.gauge("dnsboot_namepool_names").set(static_cast<double>(s.entries));
+  registry.gauge("dnsboot_namepool_bytes")
+      .set(static_cast<double>(s.arena_bytes));
 }
 
 NamePool::Stats NamePool::stats() {

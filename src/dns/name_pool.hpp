@@ -34,6 +34,10 @@
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 
+namespace dnsboot::obs {
+class MetricsRegistry;
+}  // namespace dnsboot::obs
+
 namespace dnsboot::dns {
 
 class NamePool {
@@ -76,6 +80,12 @@ class NamePool {
     std::uint64_t arena_bytes = 0;    // label + order-key bytes reserved
   };
   Stats stats();
+
+  // Publish stats() as the dnsboot_namepool_names / dnsboot_namepool_bytes
+  // gauges. A long-running monitor calls this after each batch: a flat
+  // curve over re-probes of a fixed population is the interning working
+  // (the pool is append-only, so growth == new spellings, never churn).
+  void export_gauges(obs::MetricsRegistry& registry);
 
   // Build the canonical order key for a flat label sequence: labels in
   // reverse (rightmost first), case-folded, each preceded by 0x00, with

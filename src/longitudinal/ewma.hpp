@@ -1,0 +1,72 @@
+// Per-zone EWMA reliability/volatility statistics over the bitcoin-seeder
+// window ladder (2h / 8h / 1d / 1w).
+//
+// Each window is an exponentially-weighted average with half-life equal to
+// the window length: on every probe the old average decays by
+// 2^(-age/window) and the new sample contributes the complementary weight.
+// `reliability` averages probe success, `volatility` averages "this probe
+// observed a change" (phase transition or digest change), and `weight` is
+// the total decayed sample mass — a confidence measure that separates "no
+// data" from "reliably zero".
+//
+// The scheduler reads these to pick a cadence: volatile zones stay on the
+// fast tier, long-stable zones decay toward the weekly tier, and zones that
+// stop answering back off instead of burning probes.
+//
+// All state is plain doubles updated deterministically from simulated time,
+// and serialization (snapshot files) uses C hex-float formatting so a
+// round-trip is bit-exact.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dnsboot::longitudinal {
+
+inline constexpr int kEwmaWindows = 4;
+inline constexpr double kEwmaWindowSeconds[kEwmaWindows] = {
+    2.0 * 3600, 8.0 * 3600, 24.0 * 3600, 7.0 * 24 * 3600};
+
+struct EwmaWindow {
+  double reliability = 0.0;
+  double volatility = 0.0;
+  double weight = 0.0;
+
+  void update(double age_seconds, double window_seconds, bool good,
+              bool changed) {
+    if (age_seconds < 0) age_seconds = 0;
+    const double f = std::exp2(-age_seconds / window_seconds);
+    const double in = 1.0 - f;
+    reliability = reliability * f + (good ? in : 0.0);
+    volatility = volatility * f + (changed ? in : 0.0);
+    weight = weight * f + in;
+  }
+
+  bool operator==(const EwmaWindow&) const = default;
+};
+
+struct ZoneEwma {
+  EwmaWindow windows[kEwmaWindows];
+
+  // `age_seconds` is the time since the previous probe of this zone.
+  void update(double age_seconds, bool good, bool changed) {
+    for (int i = 0; i < kEwmaWindows; ++i) {
+      windows[i].update(age_seconds, kEwmaWindowSeconds[i], good, changed);
+    }
+  }
+
+  // Normalized estimates (0 when the window has no sample mass yet).
+  double reliability(int window) const {
+    const EwmaWindow& w = windows[window];
+    return w.weight > 0 ? w.reliability / w.weight : 0.0;
+  }
+  double volatility(int window) const {
+    const EwmaWindow& w = windows[window];
+    return w.weight > 0 ? w.volatility / w.weight : 0.0;
+  }
+  double weight(int window) const { return windows[window].weight; }
+
+  bool operator==(const ZoneEwma&) const = default;
+};
+
+}  // namespace dnsboot::longitudinal

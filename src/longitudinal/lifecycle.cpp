@@ -1,0 +1,217 @@
+#include "longitudinal/lifecycle.hpp"
+
+#include "dnssec/signer.hpp"
+
+namespace dnsboot::longitudinal {
+
+std::string to_string(LifecycleEvent::Kind kind) {
+  switch (kind) {
+    case LifecycleEvent::Kind::kPublishCds:
+      return "publish_cds";
+    case LifecycleEvent::Kind::kInstallDs:
+      return "install_ds";
+    case LifecycleEvent::Kind::kBreakRollover:
+      return "break_rollover";
+    case LifecycleEvent::Kind::kPublishDelete:
+      return "publish_delete";
+    case LifecycleEvent::Kind::kRemoveDs:
+      return "remove_ds";
+  }
+  return "unknown";
+}
+
+LifecycleDriver::LifecycleDriver(net::SimNetwork& network,
+                                 resolver::QueryEngine& engine,
+                                 resolver::DelegationResolver& resolver,
+                                 ecosystem::Ecosystem& eco,
+                                 LifecycleOptions options)
+    : network_(network),
+      engine_(engine),
+      resolver_(resolver),
+      eco_(eco),
+      options_(options),
+      rng_(options.seed) {
+  policy_.inception = eco_.now - 3600;
+  policy_.expiration = eco_.now + 90 * 86400;
+
+  // Zone -> server map, once: eco.servers is in deterministic build order
+  // and each server's zones() is an ordered map.
+  for (const auto& server : eco_.servers) {
+    for (const auto& [origin, zone] : server->zones()) {
+      zone_server_.emplace(origin, server);
+    }
+  }
+
+  // Script the schedule. eco.truth is ordered by canonical zone text and
+  // every draw comes from a per-zone fork, so the plan is a pure function of
+  // (seed, population) — independent of anything the monitor does.
+  const net::SimTime start = options_.start;
+  if (options_.horizon <= start + 2 * options_.ds_latency) return;
+  const net::SimTime pub_span = (options_.horizon - start) * 2 / 5;
+  for (const auto& [canonical, truth] : eco_.truth) {
+    if (truth.state != ecosystem::ZoneState::kUnsigned || truth.cds ||
+        truth.signal || truth.legacy_servers) {
+      continue;
+    }
+    auto zone_name = dns::Name::from_text(canonical);
+    if (!zone_name.ok()) continue;
+    const dns::Name zone = std::move(zone_name).take();
+    const std::string tld_text = zone.parent().canonical_text();
+    if (eco_.registries.find(tld_text) == eco_.registries.end()) continue;
+    if (zone_server_.find(canonical) == zone_server_.end()) continue;
+
+    Rng zone_rng = rng_.fork("lifecycle:" + canonical);
+    if (!zone_rng.chance(options_.participate_fraction)) continue;
+
+    const net::SimTime t_pub =
+        start + (pub_span > 0 ? zone_rng.next_below(pub_span) : 0);
+    const net::SimTime t_ds = t_pub + options_.ds_latency +
+                              zone_rng.next_below(options_.ds_latency + 1);
+    events_.push_back({t_pub, LifecycleEvent::Kind::kPublishCds, zone});
+    events_.push_back({t_ds, LifecycleEvent::Kind::kInstallDs, zone});
+
+    const double post = zone_rng.next_double();
+    if (t_ds + 2 * options_.ds_latency >= options_.horizon) continue;
+    const net::SimTime remaining =
+        options_.horizon - t_ds - 2 * options_.ds_latency;
+    const net::SimTime t_post =
+        t_ds + options_.ds_latency + zone_rng.next_below(remaining + 1);
+    if (post < options_.break_fraction) {
+      events_.push_back({t_post, LifecycleEvent::Kind::kBreakRollover, zone});
+    } else if (post < options_.break_fraction + options_.delete_fraction) {
+      events_.push_back({t_post, LifecycleEvent::Kind::kPublishDelete, zone});
+      events_.push_back({t_post + options_.ds_latency,
+                         LifecycleEvent::Kind::kRemoveDs, zone});
+    }
+  }
+}
+
+void LifecycleDriver::arm() {
+  const net::SimTime now = network_.now();
+  for (const LifecycleEvent& event : events_) {
+    const net::SimTime delay = event.at > now ? event.at - now : 1;
+    network_.schedule(delay, [this, event]() { apply(event); });
+  }
+}
+
+std::shared_ptr<dns::Zone> LifecycleDriver::mutable_zone(
+    const dns::Name& zone) {
+  auto it = zone_server_.find(zone.canonical_text());
+  if (it == zone_server_.end()) return nullptr;
+  auto zone_const = it->second->zone_for(zone);
+  if (zone_const == nullptr) return nullptr;
+  return std::const_pointer_cast<dns::Zone>(
+      std::shared_ptr<const dns::Zone>(zone_const));
+}
+
+Result<registry::CdsProcessor*> LifecycleDriver::processor_for(
+    const dns::Name& tld) {
+  const std::string& text = tld.canonical_text();
+  auto it = processors_.find(text);
+  if (it != processors_.end()) return it->second.get();
+  auto handle = eco_.registries.find(text);
+  if (handle == eco_.registries.end()) {
+    return Error{"lifecycle.registry", "no registry handle for " + text};
+  }
+  registry::RegistryConfig config;
+  config.tld = tld;
+  config.now = eco_.now;
+  auto processor = std::make_unique<registry::CdsProcessor>(
+      network_, engine_, resolver_, handle->second, config);
+  registry::CdsProcessor* raw = processor.get();
+  processors_.emplace(text, std::move(processor));
+  return raw;
+}
+
+void LifecycleDriver::publish_child_sync(dns::Zone& zone,
+                                         const dns::Name& zone_name,
+                                         const crypto::KeyPair& ksk) {
+  zone.remove_rrset(zone_name, dns::RRType::kCDS);
+  zone.remove_rrset(zone_name, dns::RRType::kCDNSKEY);
+  auto sync = dnssec::make_child_sync_records(zone_name, ksk);
+  if (!sync.ok()) return;
+  for (const auto& cds : sync->cds) {
+    (void)zone.add(dns::ResourceRecord{zone_name, dns::RRType::kCDS,
+                                       dns::RRClass::kIN, 300,
+                                       dns::Rdata{cds}});
+  }
+  for (const auto& key : sync->cdnskey) {
+    (void)zone.add(dns::ResourceRecord{zone_name, dns::RRType::kCDNSKEY,
+                                       dns::RRClass::kIN, 300,
+                                       dns::Rdata{key}});
+  }
+}
+
+void LifecycleDriver::apply(const LifecycleEvent& event) {
+  const std::string& canonical = event.zone.canonical_text();
+  std::shared_ptr<dns::Zone> zone = mutable_zone(event.zone);
+  if (zone == nullptr) {
+    ++failed_;
+    return;
+  }
+
+  auto current_keys = [&]() -> dnssec::ZoneKeys& {
+    auto it = keys_.find(canonical);
+    if (it == keys_.end()) {
+      Rng kr = rng_.fork("keys:" + canonical + ":0");
+      it = keys_.emplace(canonical, dnssec::ZoneKeys::generate(kr)).first;
+    }
+    return it->second;
+  };
+
+  switch (event.kind) {
+    case LifecycleEvent::Kind::kPublishCds: {
+      dnssec::ZoneKeys& keys = current_keys();
+      publish_child_sync(*zone, event.zone, keys.ksk);
+      if (!dnssec::sign_zone(*zone, keys, policy_).ok()) ++failed_;
+      break;
+    }
+    case LifecycleEvent::Kind::kInstallDs: {
+      dnssec::ZoneKeys& keys = current_keys();
+      auto ds = dnssec::make_ds(event.zone, dnssec::make_dnskey(keys.ksk), 2);
+      auto processor = processor_for(event.zone.parent());
+      if (!ds.ok() || !processor.ok()) {
+        ++failed_;
+        break;
+      }
+      if (!(*processor)->install_ds(event.zone, {*ds}).ok()) ++failed_;
+      break;
+    }
+    case LifecycleEvent::Kind::kBreakRollover: {
+      // The abrupt roll from the key_rollover example: fresh KSK signs and
+      // is announced via CDS, but the parent DS still names the old key.
+      const std::uint32_t generation = ++generation_[canonical];
+      Rng kr = rng_.fork("keys:" + canonical + ":" +
+                         std::to_string(generation));
+      dnssec::ZoneKeys fresh = dnssec::ZoneKeys::generate(kr);
+      publish_child_sync(*zone, event.zone, fresh.ksk);
+      if (!dnssec::sign_zone(*zone, fresh, policy_).ok()) ++failed_;
+      keys_.insert_or_assign(canonical, std::move(fresh));
+      break;
+    }
+    case LifecycleEvent::Kind::kPublishDelete: {
+      dnssec::ZoneKeys& keys = current_keys();
+      zone->remove_rrset(event.zone, dns::RRType::kCDS);
+      zone->remove_rrset(event.zone, dns::RRType::kCDNSKEY);
+      (void)zone->add(dns::ResourceRecord{
+          event.zone, dns::RRType::kCDS, dns::RRClass::kIN, 300,
+          dns::Rdata{dnssec::cds_delete_sentinel()}});
+      (void)zone->add(dns::ResourceRecord{
+          event.zone, dns::RRType::kCDNSKEY, dns::RRClass::kIN, 300,
+          dns::Rdata{dnssec::cdnskey_delete_sentinel()}});
+      if (!dnssec::sign_zone(*zone, keys, policy_).ok()) ++failed_;
+      break;
+    }
+    case LifecycleEvent::Kind::kRemoveDs: {
+      auto processor = processor_for(event.zone.parent());
+      if (!processor.ok() || !(*processor)->remove_ds(event.zone).ok()) {
+        ++failed_;
+        break;
+      }
+      break;
+    }
+  }
+  ++applied_;
+}
+
+}  // namespace dnsboot::longitudinal

@@ -1,0 +1,100 @@
+// LifecycleDriver — the scripted "world motion" a longitudinal monitor
+// exists to observe.
+//
+// The ecosystem builder produces a static population; this driver gives a
+// seeded subset of the clean unsigned zones a bootstrap lifecycle over the
+// monitored window: sign + publish CDS, registry installs the DS some hours
+// later, and a fraction of the bootstrapped zones later either botch a key
+// rollover (re-sign under a fresh KSK while the parent DS still points at
+// the old one — the chain goes bogus) or tear DNSSEC down via the RFC 8078
+// delete sentinel (registry removes the DS; the zone is unsigned again).
+//
+// Every decision and timestamp is drawn from Rng::fork("lifecycle:<zone>"),
+// so the schedule depends only on (seed, zone) — a restarted monitor rebuilds
+// the world and replays the identical motion, which the crash-recovery
+// determinism gate requires. Zone edits use the live server zone objects
+// (the key_rollover example's idiom) and DS edits go through the registry
+// module's CdsProcessor, i.e. the same write path the registries use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ecosystem/builder.hpp"
+#include "registry/cds_processor.hpp"
+
+namespace dnsboot::longitudinal {
+
+struct LifecycleOptions {
+  std::uint64_t seed = 1;
+  net::SimTime start = net::SimTime{3600} * net::kSecond;
+  net::SimTime horizon = net::SimTime{30} * 86400 * net::kSecond;
+  // Fraction of eligible (clean, unsigned, registry-covered) zones that
+  // bootstrap during the window.
+  double participate_fraction = 0.7;
+  // Of the participants: later break a rollover / request deletion.
+  double break_fraction = 0.2;
+  double delete_fraction = 0.15;
+  // CDS publication -> registry DS install latency (plus up to the same
+  // amount of per-zone spread).
+  net::SimTime ds_latency = net::SimTime{6} * 3600 * net::kSecond;
+};
+
+struct LifecycleEvent {
+  enum class Kind : std::uint8_t {
+    kPublishCds,     // sign the zone, publish CDS/CDNSKEY (secure island)
+    kInstallDs,      // registry installs the matching DS
+    kBreakRollover,  // re-sign under a fresh KSK; parent DS goes stale
+    kPublishDelete,  // replace CDS/CDNSKEY with the delete sentinel
+    kRemoveDs,       // registry acts on the sentinel: DS withdrawn
+  };
+  net::SimTime at = 0;
+  Kind kind = Kind::kPublishCds;
+  dns::Name zone;
+};
+
+std::string to_string(LifecycleEvent::Kind kind);
+
+class LifecycleDriver {
+ public:
+  LifecycleDriver(net::SimNetwork& network, resolver::QueryEngine& engine,
+                  resolver::DelegationResolver& resolver,
+                  ecosystem::Ecosystem& eco, LifecycleOptions options);
+
+  // The full scripted schedule, in deterministic construction order.
+  const std::vector<LifecycleEvent>& events() const { return events_; }
+
+  // Schedule every event onto the network (call once, before run()).
+  void arm();
+
+  std::uint64_t applied() const { return applied_; }
+  std::uint64_t failed() const { return failed_; }
+
+ private:
+  void apply(const LifecycleEvent& event);
+  std::shared_ptr<dns::Zone> mutable_zone(const dns::Name& zone);
+  Result<registry::CdsProcessor*> processor_for(const dns::Name& tld);
+  void publish_child_sync(dns::Zone& zone, const dns::Name& zone_name,
+                          const crypto::KeyPair& ksk);
+
+  net::SimNetwork& network_;
+  resolver::QueryEngine& engine_;
+  resolver::DelegationResolver& resolver_;
+  ecosystem::Ecosystem& eco_;
+  LifecycleOptions options_;
+  Rng rng_;
+  dnssec::SigningPolicy policy_;
+
+  std::vector<LifecycleEvent> events_;
+  // canonical zone text -> owning server (first server wins; built once).
+  std::map<std::string, std::shared_ptr<server::AuthServer>> zone_server_;
+  // canonical zone text -> current key generation / keys.
+  std::map<std::string, dnssec::ZoneKeys> keys_;
+  std::map<std::string, std::uint32_t> generation_;
+  std::map<std::string, std::unique_ptr<registry::CdsProcessor>> processors_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace dnsboot::longitudinal

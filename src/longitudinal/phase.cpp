@@ -1,0 +1,130 @@
+#include "longitudinal/phase.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/encoding.hpp"
+#include "base/rng.hpp"
+
+namespace dnsboot::longitudinal {
+
+std::string to_string(ZonePhase phase) {
+  switch (phase) {
+    case ZonePhase::kUnknown:
+      return "unknown";
+    case ZonePhase::kInsecure:
+      return "insecure";
+    case ZonePhase::kCdsPublished:
+      return "cds_published";
+    case ZonePhase::kDsBootstrapped:
+      return "ds_bootstrapped";
+    case ZonePhase::kMaintained:
+      return "maintained";
+    case ZonePhase::kBrokenRollover:
+      return "broken_rollover";
+    case ZonePhase::kUnsignedDeleted:
+      return "unsigned_deleted";
+  }
+  return "unknown";
+}
+
+std::optional<ZonePhase> phase_from_string(const std::string& text) {
+  for (int i = 0; i < kZonePhaseCount; ++i) {
+    ZonePhase phase = static_cast<ZonePhase>(i);
+    if (to_string(phase) == text) return phase;
+  }
+  return std::nullopt;
+}
+
+std::string ds_set_digest(const std::vector<dns::DsRdata>& set) {
+  if (set.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(set.size());
+  for (const dns::DsRdata& ds : set) {
+    parts.push_back(std::to_string(ds.key_tag) + "/" +
+                    std::to_string(ds.algorithm) + "/" +
+                    std::to_string(ds.digest_type) + "/" +
+                    hex_encode(ds.digest));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string joined;
+  for (const std::string& part : parts) {
+    joined += part;
+    joined += ';';
+  }
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx",
+                static_cast<unsigned long long>(fnv1a(joined)));
+  return std::string(out, 16);
+}
+
+namespace {
+
+// Extract the DS rdatas from a (possibly mixed) signed RRset.
+std::vector<dns::DsRdata> ds_rdatas(const dnssec::SignedRRset& signed_set) {
+  std::vector<dns::DsRdata> out;
+  for (const dns::Rdata& rdata : signed_set.rrset.rdatas) {
+    if (const auto* ds = std::get_if<dns::DsRdata>(&rdata)) out.push_back(*ds);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProbeFinding reduce_report(const analysis::ZoneReport& report,
+                           const scanner::ZoneObservation& observation) {
+  ProbeFinding finding;
+  finding.reachable = report.resolved;
+  if (!finding.reachable) return finding;
+
+  std::vector<dns::DsRdata> parent_ds = ds_rdatas(observation.parent_ds);
+  finding.ds_present = !parent_ds.empty();
+  finding.ds_digest = ds_set_digest(parent_ds);
+  finding.dnssec = report.dnssec;
+  finding.cds_present = report.cds.present;
+  finding.cds_delete = report.cds.delete_request;
+  finding.cds_digest = ds_set_digest(report.cds.cds);
+  finding.operator_name = report.operator_name;
+  return finding;
+}
+
+ZonePhase next_phase(ZonePhase previous, const ProbeFinding& finding,
+                     std::uint32_t stable_run, std::uint32_t stable_probes) {
+  if (!finding.reachable) return previous;
+
+  if (finding.ds_present) {
+    if (finding.dnssec == dnssec::ZoneDnssecStatus::kSecure) {
+      if (previous == ZonePhase::kMaintained) return ZonePhase::kMaintained;
+      if (previous == ZonePhase::kDsBootstrapped &&
+          stable_run + 1 >= stable_probes) {
+        return ZonePhase::kMaintained;
+      }
+      return ZonePhase::kDsBootstrapped;
+    }
+    // A DS that no longer matches the child chain (stale after a key change,
+    // or a DS pointing at an unsigned/bogus zone) breaks validation for
+    // every validating resolver — the failure mode bootstrapping automation
+    // is supposed to prevent.
+    return ZonePhase::kBrokenRollover;
+  }
+
+  // No DS at the parent.
+  if (finding.dnssec == dnssec::ZoneDnssecStatus::kSecureIsland &&
+      finding.cds_present && !finding.cds_delete) {
+    return ZonePhase::kCdsPublished;
+  }
+  switch (previous) {
+    case ZonePhase::kDsBootstrapped:
+    case ZonePhase::kMaintained:
+    case ZonePhase::kBrokenRollover:
+    case ZonePhase::kUnsignedDeleted:
+      // The zone had a DS and the parent no longer serves one: withdrawn
+      // (RFC 8078 delete sentinel or registry action). Absorbing until the
+      // zone publishes CDS again.
+      return ZonePhase::kUnsignedDeleted;
+    default:
+      return ZonePhase::kInsecure;
+  }
+}
+
+}  // namespace dnsboot::longitudinal

@@ -1,0 +1,70 @@
+// ZonePhase — the longitudinal state machine over scanner observations.
+//
+// The paper's survey is a snapshot; RFC 9615 adoption is a process. Each
+// monitored zone walks a small lifecycle graph as successive probes observe
+// it:
+//
+//   unknown ──► insecure ──► cds_published ──► ds_bootstrapped ──► maintained
+//                  ▲               │                  │    ▲           │
+//                  │               ▼                  ▼    │           ▼
+//                  └───── unsigned_deleted ◄──── broken_rollover ──────┘
+//
+// A probe reduces the full analysis::ZoneReport (plus the raw observation's
+// parent-DS view) to a ProbeFinding, and next_phase() is a pure transition
+// function over (previous phase, finding). "maintained" is history-derived:
+// a zone that stays validly bootstrapped for `stable_probes` consecutive
+// probes graduates; any later breakage or DS withdrawal demotes it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/zone_report.hpp"
+
+namespace dnsboot::longitudinal {
+
+enum class ZonePhase : std::uint8_t {
+  kUnknown = 0,      // never successfully observed
+  kInsecure,         // no DS, not a bootstrappable island
+  kCdsPublished,     // secure island publishing a non-delete CDS; DS pending
+  kDsBootstrapped,   // DS present and the chain validates
+  kMaintained,       // bootstrapped and stable for >= stable_probes probes
+  kBrokenRollover,   // DS present but the chain no longer validates
+  kUnsignedDeleted,  // DS withdrawn after having been bootstrapped
+};
+
+inline constexpr int kZonePhaseCount = 7;
+
+std::string to_string(ZonePhase phase);
+std::optional<ZonePhase> phase_from_string(const std::string& text);
+
+// One probe's observation, reduced to exactly the fields the state machine
+// and the delta-compressed history need.
+struct ProbeFinding {
+  bool reachable = false;
+  bool ds_present = false;  // the parent served a DS RRset
+  dnssec::ZoneDnssecStatus dnssec = dnssec::ZoneDnssecStatus::kUnsigned;
+  bool cds_present = false;
+  bool cds_delete = false;
+  std::string cds_digest;  // digest of the in-zone CDS set ("" when absent)
+  std::string ds_digest;   // digest of the parent DS set ("" when absent)
+  std::string operator_name;
+};
+
+// Reduce an analyzed report (and the raw observation it came from — the
+// report does not retain the parent DS rdatas) to a ProbeFinding.
+ProbeFinding reduce_report(const analysis::ZoneReport& report,
+                           const scanner::ZoneObservation& observation);
+
+// The pure transition function. `stable_run` is the number of consecutive
+// prior probes that saw the zone validly bootstrapped with unchanged
+// digests; crossing `stable_probes` turns kDsBootstrapped into kMaintained.
+ZonePhase next_phase(ZonePhase previous, const ProbeFinding& finding,
+                     std::uint32_t stable_run, std::uint32_t stable_probes);
+
+// Order-independent digest of a DS/CDS rdata set (FNV-1a over the sorted
+// presentation forms, 16 hex chars). Change detection, not cryptography.
+std::string ds_set_digest(const std::vector<dns::DsRdata>& set);
+
+}  // namespace dnsboot::longitudinal

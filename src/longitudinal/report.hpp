@@ -1,0 +1,79 @@
+// AdoptionReporter — incremental time-series reports folded from journal
+// transitions, never recomputed from scratch.
+//
+// Every Transition updates: the adoption curve (per-phase zone counts over
+// simulated time), the transition-kind counters, the per-operator
+// cds_published→ds_bootstrapped latency histogram, and the global
+// time-to-bootstrapped latency list (percentiles at report time). The fold
+// is a pure function of the transition sequence, so a recovered run that
+// regenerates the same journal produces byte-identical JSON/CSV — the
+// crash-recovery determinism gate diffs exactly these bytes.
+//
+// When constructed with a MetricsRegistry the reporter mirrors its state
+// into the dnsboot_monitor_* family (transition counters labeled by kind,
+// per-phase zone-count gauges, a bootstrap-latency histogram) for /metrics
+// scraping.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "longitudinal/history.hpp"
+#include "obs/metrics.hpp"
+
+namespace dnsboot::longitudinal {
+
+struct AdoptionPoint {
+  net::SimTime at = 0;
+  std::array<std::uint64_t, kZonePhaseCount> counts{};
+};
+
+// Fixed-bucket latency histogram (hours); small and serializable, unlike
+// the registry histogram which is scrape-oriented.
+struct LatencyHistogram {
+  static constexpr int kBuckets = 8;
+  // Upper bounds in hours; the last bucket is +inf.
+  static constexpr double kBucketHours[kBuckets - 1] = {1,  2,  4, 8,
+                                                        24, 72, 168};
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum_hours = 0;
+
+  void observe(double hours);
+};
+
+class AdoptionReporter {
+ public:
+  // `registry` (optional, not owned) receives the dnsboot_monitor_* mirror.
+  explicit AdoptionReporter(obs::MetricsRegistry* registry = nullptr);
+
+  void on_transition(const Transition& transition);
+
+  const std::vector<AdoptionPoint>& curve() const { return curve_; }
+  const std::map<std::string, std::uint64_t>& transitions_by_kind() const {
+    return kinds_;
+  }
+  std::uint64_t transitions() const { return transitions_; }
+  std::size_t distinct_kinds() const { return kinds_.size(); }
+
+  // Reports. Deterministic bytes for a given transition sequence.
+  std::string to_json() const;
+  std::string to_csv() const;
+
+ private:
+  obs::MetricsRegistry* registry_ = nullptr;
+
+  std::array<std::uint64_t, kZonePhaseCount> counts_{};
+  std::vector<AdoptionPoint> curve_;
+  std::map<std::string, std::uint64_t> kinds_;
+  std::uint64_t transitions_ = 0;
+
+  // cds_published anchors awaiting a ds_bootstrapped completion.
+  std::map<dns::Name, net::SimTime> pending_cds_;
+  std::map<std::string, LatencyHistogram> operator_latency_;
+  std::vector<double> bootstrap_hours_;  // all completions, for percentiles
+};
+
+}  // namespace dnsboot::longitudinal

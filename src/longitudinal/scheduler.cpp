@@ -1,0 +1,68 @@
+#include "longitudinal/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dnsboot::longitudinal {
+
+net::SimTime ReprobeScheduler::jittered(const dns::Name& zone,
+                                        std::uint64_t salt,
+                                        net::SimTime interval) const {
+  if (options_.jitter <= 0) return interval;
+  Rng fork = rng_.fork("probe:" + zone.canonical_text() + ":" +
+                       std::to_string(salt));
+  const double u = fork.next_double() * 2.0 - 1.0;  // [-1, 1)
+  const double factor = 1.0 + options_.jitter * u;
+  const double scaled = static_cast<double>(interval) * factor;
+  return scaled < 1.0 ? net::SimTime{1} : static_cast<net::SimTime>(scaled);
+}
+
+net::SimTime ReprobeScheduler::initial_offset(const dns::Name& zone,
+                                              net::SimTime spread) const {
+  if (spread == 0) return 0;
+  Rng fork = rng_.fork("probe:" + zone.canonical_text() + ":0");
+  return fork.next_below(spread);
+}
+
+net::SimTime ReprobeScheduler::next_interval(
+    const dns::Name& zone, const ZoneHistory& history) const {
+  net::SimTime interval;
+  switch (history.phase) {
+    case ZonePhase::kCdsPublished:
+    case ZonePhase::kBrokenRollover:
+      // Mid-transition: the DS should appear (or the chain be repaired)
+      // soon, and transition latency is the measurement that matters.
+      interval = options_.hot_interval;
+      break;
+    default:
+      interval = options_.base_interval;
+      break;
+  }
+
+  // Recent change keeps the zone warm even after the phase settles.
+  if (interval > options_.warm_interval &&
+      history.ewma.volatility(2) > options_.volatile_threshold) {
+    interval = options_.warm_interval;
+  }
+
+  // Long-stable zones decay toward the slow tier: one doubling per
+  // consecutive no-change probe, starting after the zone has proven itself
+  // quiet for a couple of rounds.
+  if (interval == options_.base_interval && history.quiet_run > 2) {
+    const std::uint32_t doublings =
+        std::min(history.quiet_run - 2, options_.decay_doublings);
+    interval = options_.base_interval << doublings;
+  }
+
+  // Dead or flapping delegations back off instead of burning probes.
+  if (history.ewma.weight(1) > 0.5 &&
+      history.ewma.reliability(1) < options_.unreliable_threshold) {
+    interval = std::max(interval, options_.unreliable_floor);
+  }
+
+  interval = std::clamp(interval, options_.min_interval,
+                        options_.max_interval);
+  interval = jittered(zone, history.probes, interval);
+  return std::max(interval, options_.min_interval);
+}
+
+}  // namespace dnsboot::longitudinal

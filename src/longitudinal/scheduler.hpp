@@ -1,0 +1,72 @@
+// ReprobeScheduler — the cadence policy of the longitudinal monitor
+// (bitcoin-seeder style: revisit interesting hosts fast, decay stable ones).
+//
+// The interval for a zone is a pure, deterministic function of its
+// ZoneHistory plus a seeded per-(zone, probe#) jitter:
+//
+//   hot   (1h)  — zones mid-transition: CDS published but DS pending, or a
+//                 broken rollover someone will presumably fix
+//   warm  (4h)  — zones whose 1-day volatility window still shows recent
+//                 change (a transition happened lately)
+//   base  (8h)  — the default steady-state cadence
+//   decay       — each consecutive no-change probe doubles the interval
+//                 (capped), so long-stable zones drift to the weekly tier
+//   backoff     — zones whose 8h reliability collapsed probe at most daily;
+//                 dead delegations must not burn the probe budget
+//
+// Jitter (±10% by default) is drawn from Rng::fork("probe:<zone>:<n>"), so
+// it depends only on (seed, zone, probe count) — a restarted run recomputes
+// the identical schedule, which the crash-recovery determinism gate relies
+// on.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "longitudinal/history.hpp"
+
+namespace dnsboot::longitudinal {
+
+struct CadenceOptions {
+  net::SimTime min_interval = net::SimTime{30} * 60 * net::kSecond;
+  net::SimTime hot_interval = net::SimTime{1} * 3600 * net::kSecond;
+  net::SimTime warm_interval = net::SimTime{4} * 3600 * net::kSecond;
+  net::SimTime base_interval = net::SimTime{8} * 3600 * net::kSecond;
+  net::SimTime max_interval = net::SimTime{7} * 86400 * net::kSecond;
+  // Zones below this 8h-window reliability (with enough sample mass) back
+  // off to at most one probe per `unreliable_floor`.
+  double unreliable_threshold = 0.3;
+  net::SimTime unreliable_floor = net::SimTime{86400} * net::kSecond;
+  // 1d-window volatility above this keeps a zone on the warm tier.
+  double volatile_threshold = 0.1;
+  // Consecutive no-change probes double the interval, up to this many
+  // doublings (8h << 6 caps above the weekly tier, which then clamps).
+  std::uint32_t decay_doublings = 6;
+  double jitter = 0.1;  // ± fraction of the chosen interval
+};
+
+class ReprobeScheduler {
+ public:
+  ReprobeScheduler(CadenceOptions options, std::uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  // Interval from a zone's just-updated history to its next probe.
+  net::SimTime next_interval(const dns::Name& zone,
+                             const ZoneHistory& history) const;
+
+  // Offset of a zone's first probe, spreading the initial sweep over
+  // [0, spread) so the monitor does not thundering-herd its own scanner.
+  net::SimTime initial_offset(const dns::Name& zone,
+                              net::SimTime spread) const;
+
+  const CadenceOptions& options() const { return options_; }
+
+ private:
+  net::SimTime jittered(const dns::Name& zone, std::uint64_t salt,
+                        net::SimTime interval) const;
+
+  CadenceOptions options_;
+  Rng rng_;
+};
+
+}  // namespace dnsboot::longitudinal

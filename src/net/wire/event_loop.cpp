@@ -120,6 +120,13 @@ void EventLoop::cancel(std::uint64_t timer_id) {
 
 void EventLoop::place(TimerEntry entry) {
   std::uint64_t delta = entry.expiry_tick - current_tick_;
+  if (delta >= (1ull << (kWheelBits * kLevels))) {
+    // Past the wheel horizon: park instead of wrapping into the top level,
+    // where the entry would be cascaded (and re-placed) once per top-level
+    // wrap until its final lap. advance() re-admits it when in range.
+    overflow_.emplace(entry.expiry_tick, entry.id);
+    return;
+  }
   for (int level = 0; level < kLevels; ++level) {
     if (delta < (1ull << (kWheelBits * (level + 1))) ||
         level == kLevels - 1) {
@@ -133,6 +140,23 @@ void EventLoop::place(TimerEntry entry) {
 
 std::size_t EventLoop::advance(std::uint64_t target_tick) {
   std::size_t fired = 0;
+  // Re-admit parked timers whose expiry is now within the wheel horizon.
+  // The horizon (~51 days) dwarfs any poll interval, so checking once per
+  // advance is always early enough.
+  while (!overflow_.empty()) {
+    const auto it = overflow_.begin();
+    const std::uint64_t expiry = it->first;
+    if (expiry > current_tick_ &&
+        expiry - current_tick_ >= (1ull << (kWheelBits * kLevels))) {
+      break;
+    }
+    const std::uint64_t id = it->second;
+    overflow_.erase(it);
+    if (timers_.find(id) == timers_.end()) continue;  // cancelled while parked
+    // Clamp overdue expiries forward so the level-0 guard fires them on the
+    // next tick instead of computing a wrapped delta.
+    place(TimerEntry{id, expiry > current_tick_ ? expiry : current_tick_ + 1});
+  }
   std::vector<TimerEntry> pending;
   while (current_tick_ < target_tick) {
     ++current_tick_;

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,10 @@ class EventLoop {
   std::uint64_t schedule(SimTime delay, TimerHandler fn);
   void cancel(std::uint64_t timer_id);
   std::size_t live_timers() const { return live_timers_; }
+  // Timers parked past the wheel horizon (~51 days); they sit in an ordered
+  // overflow list instead of churning through top-level cascades, and are
+  // re-admitted to the wheel once their expiry comes within the horizon.
+  std::size_t overflow_timers() const { return overflow_.size(); }
 
   // Register or update interest in `fd`. `events` is an epoll mask; the
   // handler fires with the ready mask. unwatch() must precede close(fd).
@@ -91,6 +96,10 @@ class EventLoop {
   SimTime epoch_us_ = 0;
 
   std::vector<TimerEntry> wheel_[kLevels][kWheelSlots];
+  // expiry_tick -> id for timers at least one full wheel horizon out.
+  // Ordered so re-admission pops from the front; cancellation stays lazy
+  // (a parked id missing from timers_ is dropped at re-admission).
+  std::multimap<std::uint64_t, std::uint64_t> overflow_;
   std::unordered_map<std::uint64_t, TimerHandler> timers_;  // live only
   std::uint64_t current_tick_ = 0;
   std::uint64_t next_timer_id_ = 1;

@@ -142,7 +142,15 @@ Scanner::Scanner(net::Transport& network, resolver::QueryEngine& engine,
       engine_(engine),
       resolver_(resolver),
       options_(options),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  if (options_.infrastructure != nullptr) {
+    infra_ = *options_.infrastructure;
+    root_capture_started_ = true;
+    for (const auto& [key, info] : infra_.tlds) {
+      tld_capture_started_.emplace(key, true);
+    }
+  }
+}
 
 void Scanner::scan(std::vector<dns::Name> zones, ZoneCallback on_zone) {
   on_zone_ = std::move(on_zone);

@@ -44,6 +44,13 @@ struct ScannerOptions {
 
   std::uint64_t seed = 0x5ca11ab1e;
 
+  // Pre-captured infrastructure hand-off (continuous monitoring): when set,
+  // the snapshot is adopted wholesale and the root-DNSKEY / already-covered
+  // TLD captures are skipped — a re-probe batch reuses the previous batch's
+  // infrastructure instead of re-fetching it. TLDs absent from the snapshot
+  // are still captured on demand. Not owned; read in the constructor only.
+  const InfrastructureSnapshot* infrastructure = nullptr;
+
   // Optional zone-lifecycle tracing (obs/trace.hpp): every started zone
   // scan is a sampling candidate; sampled ones record a "zone" span from
   // scan start to delivery with the outcome class. Not owned.

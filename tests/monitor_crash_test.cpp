@@ -1,0 +1,183 @@
+// Crash-persistence harness for the longitudinal journal: a child process
+// appends transitions and reports each acknowledged seq over a pipe; the
+// parent SIGKILLs it at a seeded point mid-stream and then verifies the
+// recovery contract on the survivor file:
+//
+//   - every acknowledged transition (append() returned ok before the kill)
+//     is recovered intact,
+//   - no transition appears twice and seqs stay dense,
+//   - recovery is idempotent (a second pass truncates nothing further),
+//   - an uninterrupted writer's bytes for the same prefix are identical.
+//
+// SIGKILL (unlike SIGTERM) gives the child no chance to flush or clean up —
+// exactly the failure the append-then-ack protocol must survive.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "base/rng.hpp"
+#include "longitudinal/journal.hpp"
+
+namespace dnsboot::longitudinal {
+namespace {
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/dnsboot_crash_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+Transition transition_for(std::uint64_t seq) {
+  Transition t;
+  t.seq = seq;
+  t.at = seq * 1000;
+  auto zone = dns::Name::from_text("crash-victim.example.ch.");
+  EXPECT_TRUE(zone.ok());
+  t.zone = std::move(zone).take();
+  t.from = seq % 2 == 0 ? ZonePhase::kInsecure : ZonePhase::kCdsPublished;
+  t.to = seq % 2 == 0 ? ZonePhase::kCdsPublished : ZonePhase::kDsBootstrapped;
+  t.cds_changed = true;
+  t.cds_digest = "00112233aabbccdd";
+  t.operator_name = "CrashOp";
+  return t;
+}
+
+constexpr std::uint64_t kChildTransitions = 400;
+
+// Child body: append transitions, acking each acknowledged seq on the pipe.
+[[noreturn]] void run_child(const std::string& path, int ack_fd) {
+  auto journal = Journal::open(path, "crash-tag");
+  if (!journal.ok()) _exit(3);
+  for (std::uint64_t seq = 1; seq <= kChildTransitions; ++seq) {
+    if (!journal->append(transition_for(seq)).ok()) _exit(4);
+    // append() returned: the line was fwritten + fflushed — acknowledged.
+    if (write(ack_fd, &seq, sizeof seq) != static_cast<ssize_t>(sizeof seq)) {
+      _exit(5);
+    }
+  }
+  _exit(0);
+}
+
+// One kill-at-ack-K round. Returns the number of recovered transitions.
+std::size_t crash_round(std::uint64_t kill_after_acks) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/journal.log";
+
+  int fds[2];
+  EXPECT_EQ(pipe(fds), 0);
+  const pid_t child = fork();
+  if (child == 0) {
+    close(fds[0]);
+    run_child(path, fds[1]);
+  }
+  close(fds[1]);
+
+  // Wait for the seeded number of acknowledgements, then kill without mercy.
+  std::uint64_t last_acked = 0;
+  while (last_acked < kill_after_acks) {
+    std::uint64_t seq = 0;
+    const ssize_t n = read(fds[0], &seq, sizeof seq);
+    if (n != static_cast<ssize_t>(sizeof seq)) break;  // child finished early
+    last_acked = seq;
+  }
+  kill(child, SIGKILL);
+  // Drain acks that raced the kill: they too were acknowledged appends.
+  fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  std::uint64_t seq = 0;
+  while (read(fds[0], &seq, sizeof seq) ==
+         static_cast<ssize_t>(sizeof seq)) {
+    last_acked = seq;
+  }
+  close(fds[0]);
+  int wstatus = 0;
+  waitpid(child, &wstatus, 0);
+
+  auto recovered = Journal::recover(path);
+  EXPECT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->existed);
+  EXPECT_EQ(recovered->world_tag, "crash-tag");
+  // No acknowledged transition was lost...
+  EXPECT_GE(recovered->transitions.size(), last_acked)
+      << "lost acknowledged transitions after SIGKILL at ack "
+      << kill_after_acks;
+  // ...and nothing is duplicated or reordered: seqs are the dense prefix.
+  for (std::size_t i = 0; i < recovered->transitions.size(); ++i) {
+    EXPECT_EQ(recovered->transitions[i].seq, i + 1);
+  }
+  // Recovered bytes match what an uninterrupted writer would have produced
+  // for the same prefix.
+  for (std::size_t i = 0; i < recovered->lines.size(); ++i) {
+    EXPECT_EQ(recovered->lines[i], Journal::encode(transition_for(i + 1)));
+  }
+  // Idempotent: recovery already truncated the torn tail in place.
+  auto again = Journal::recover(path);
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(again->truncated_bytes, 0u);
+  EXPECT_EQ(again->lines.size(), recovered->lines.size());
+
+  const std::size_t count = recovered->transitions.size();
+  std::filesystem::remove_all(dir);
+  return count;
+}
+
+TEST(MonitorCrashTest, SigkillAtSeededPointsLosesNoAcknowledgedTransition) {
+  Rng rng(20260808);
+  for (int round = 0; round < 6; ++round) {
+    const std::uint64_t kill_after =
+        1 + rng.next_below(kChildTransitions / 2);
+    crash_round(kill_after);
+  }
+}
+
+TEST(MonitorCrashTest, SigkillAfterCompletionKeepsEverything) {
+  // Kill "after" more acks than the child will send: it exits normally and
+  // the full journal must survive.
+  EXPECT_EQ(crash_round(kChildTransitions + 1), kChildTransitions);
+}
+
+// The journal survives a crash *and* the snapshot compaction path: write a
+// snapshot from a recovered store and confirm the round trip is exact even
+// when the source journal was torn.
+TEST(MonitorCrashTest, RecoveredJournalFeedsSnapshotRoundTrip) {
+  const std::string dir = make_temp_dir();
+  const std::string path = dir + "/journal.log";
+  {
+    auto journal = Journal::open(path, "crash-tag");
+    ASSERT_TRUE(journal.ok());
+    for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+      ASSERT_TRUE(journal->append(transition_for(seq)).ok());
+    }
+  }
+  // Tear the tail mid-line.
+  const auto size = std::filesystem::file_size(path);
+  ASSERT_EQ(truncate(path.c_str(), static_cast<off_t>(size - 7)), 0);
+
+  auto recovered = Journal::recover(path);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->transitions.size(), 19u);
+
+  HistoryStore store;
+  store.set_next_seq(recovered->transitions.back().seq + 1);
+  SnapshotMeta meta;
+  meta.world_tag = recovered->world_tag;
+  meta.seq = recovered->transitions.back().seq;
+  meta.at = recovered->transitions.back().at;
+  const std::string snapshot_path = dir + "/snapshot.dnsboot";
+  ASSERT_TRUE(write_snapshot_file(snapshot_path, meta, store).ok());
+  HistoryStore restored;
+  auto meta2 = read_snapshot_file(snapshot_path, &restored);
+  ASSERT_TRUE(meta2.ok());
+  EXPECT_EQ(meta2->world_tag, "crash-tag");
+  EXPECT_EQ(restored.next_seq(), 20u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dnsboot::longitudinal

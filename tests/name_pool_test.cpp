@@ -16,6 +16,7 @@
 #include "base/bytes.hpp"
 #include "base/rng.hpp"
 #include "dns/name.hpp"
+#include "obs/metrics.hpp"
 
 namespace dnsboot::dns {
 namespace {
@@ -197,6 +198,34 @@ TEST(NamePoolTest, ReinterningAddsNoEntries) {
   NamePool::Stats after = NamePool::instance().stats();
   EXPECT_EQ(before.entries, after.entries);
   EXPECT_EQ(before.arena_bytes, after.arena_bytes);
+}
+
+TEST(NamePoolTest, GaugesStayFlatAcrossReprobes) {
+  // The longitudinal monitor re-interns the same zone names on every
+  // re-probe cycle; the pool gauges must show a stable population, not
+  // growth. Re-export after re-interning and require identical values.
+  dnsboot::Rng rng(0x5eed0005);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 80; ++i) {
+    texts.push_back(must_build(random_labels(rng)).to_text());
+  }
+  dnsboot::obs::MetricsRegistry registry;
+  NamePool::instance().export_gauges(registry);
+  const double names_before =
+      registry.gauge("dnsboot_namepool_names").get();
+  const double bytes_before =
+      registry.gauge("dnsboot_namepool_bytes").get();
+  EXPECT_GT(names_before, 0.0);
+  EXPECT_GT(bytes_before, 0.0);
+
+  for (int cycle = 0; cycle < 5; ++cycle) {  // simulated re-probe rounds
+    for (const std::string& text : texts) {
+      ASSERT_TRUE(Name::from_text(text).ok());
+    }
+    NamePool::instance().export_gauges(registry);
+    EXPECT_EQ(registry.gauge("dnsboot_namepool_names").get(), names_before);
+    EXPECT_EQ(registry.gauge("dnsboot_namepool_bytes").get(), bytes_before);
+  }
 }
 
 TEST(NamePoolTest, CrossThreadInterningIsDeterministic) {

@@ -101,6 +101,45 @@ TEST(EventLoop, LongDelayCascadesThroughWheelLevels) {
   EXPECT_GE(loop.now() - start, 390 * kMillisecond);
 }
 
+TEST(EventLoop, FarHorizonTimerParksInOverflow) {
+  // 60 days of ticks exceeds the wheel's ~51-day horizon (2^32 ticks of
+  // 2^10 usec); before the overflow list this delta wrapped the level index
+  // and the timer fired absurdly early. It must park, not fire.
+  EventLoop loop;
+  ASSERT_TRUE(loop.error().empty());
+  bool fired = false;
+  const SimTime sixty_days = SimTime{60} * 86400 * kSecond;
+  std::uint64_t id = loop.schedule(sixty_days, [&] { fired = true; });
+  EXPECT_EQ(loop.overflow_timers(), 1u);
+  EXPECT_EQ(loop.live_timers(), 1u);
+
+  // Polling advances the wheel; the parked timer must neither fire nor get
+  // lost, and near timers keep working around it.
+  bool near_fired = false;
+  loop.schedule(2 * kMillisecond, [&] { near_fired = true; });
+  SimTime start = loop.now();
+  while (!near_fired && loop.now() < start + kSecond) {
+    loop.poll(50 * kMillisecond);
+  }
+  EXPECT_TRUE(near_fired);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.overflow_timers(), 1u);
+  EXPECT_EQ(loop.live_timers(), 1u);
+
+  // Cancel-while-parked: lazily deregistered, never fires.
+  loop.cancel(id);
+  EXPECT_EQ(loop.live_timers(), 0u);
+}
+
+TEST(EventLoop, JustBelowHorizonStaysInTheWheel) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.error().empty());
+  // 40 days (~3.4e9 ticks) fits under the 2^32-tick horizon: top level.
+  loop.schedule(SimTime{40} * 86400 * kSecond, [] {});
+  EXPECT_EQ(loop.overflow_timers(), 0u);
+  EXPECT_EQ(loop.live_timers(), 1u);
+}
+
 // --- TcpFrameReassembler -------------------------------------------------
 
 Bytes frame_bytes(const std::string& payload) {

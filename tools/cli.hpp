@@ -18,6 +18,43 @@
 
 namespace dnsboot::cli {
 
+inline constexpr std::uint64_t kUsecPerMilli = 1'000;
+inline constexpr std::uint64_t kUsecPerSecond = 1'000'000;
+inline constexpr std::uint64_t kUsecPerMinute = 60 * kUsecPerSecond;
+inline constexpr std::uint64_t kUsecPerHour = 3'600 * kUsecPerSecond;
+inline constexpr std::uint64_t kUsecPerDay = 86'400 * kUsecPerSecond;
+
+// Parse a human duration — "500ms", "90s", "15m", "2h", "30d", or a bare
+// number taken as `default_unit_usec` — into microseconds. Fractions work
+// ("1.5h"); negatives, junk suffixes, and overflow are rejected.
+inline bool parse_duration(const std::string& text,
+                           std::uint64_t default_unit_usec,
+                           std::uint64_t* out_usec) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return false;
+  const std::string suffix(end);
+  std::uint64_t unit = default_unit_usec;
+  if (suffix == "ms") {
+    unit = kUsecPerMilli;
+  } else if (suffix == "s") {
+    unit = kUsecPerSecond;
+  } else if (suffix == "m") {
+    unit = kUsecPerMinute;
+  } else if (suffix == "h") {
+    unit = kUsecPerHour;
+  } else if (suffix == "d") {
+    unit = kUsecPerDay;
+  } else if (!suffix.empty()) {
+    return false;
+  }
+  const double usec = value * static_cast<double>(unit);
+  if (usec > 9.0e18) return false;  // stays representable in uint64
+  *out_usec = static_cast<std::uint64_t>(usec);
+  return true;
+}
+
 class FlagParser {
  public:
   explicit FlagParser(std::string summary) : summary_(std::move(summary)) {}
@@ -129,6 +166,20 @@ class FlagParser {
                           *target = static_cast<int>(v);
                           return true;
                         }});
+    return *this;
+  }
+
+  // --name DUR: human duration into *target_usec (microseconds). Bare
+  // numbers are taken as `default_unit_usec`, so "--sim-days 30" and
+  // "--snapshot-every 15m" both read naturally.
+  FlagParser& duration(const std::string& name, std::uint64_t* target_usec,
+                       std::uint64_t default_unit_usec,
+                       const std::string& help) {
+    entries_.push_back(
+        {name, "DUR", help,
+         [target_usec, default_unit_usec](const std::string& text) {
+           return parse_duration(text, default_unit_usec, target_usec);
+         }});
     return *this;
   }
 

@@ -49,7 +49,7 @@ struct CliOptions {
   cli::OutputOptions output;
   std::string chaos = "off";
   std::uint64_t chaos_seed = 0xc4a05;
-  std::uint64_t max_seconds = 0;   // 0 = serve until SIGINT/SIGTERM
+  std::uint64_t max_runtime_usec = 0;  // 0 = serve until SIGINT/SIGTERM
   std::uint32_t metrics_port = 0;  // 0 = no /metrics listener
 };
 
@@ -75,8 +75,10 @@ cli::FlagParser make_parser(CliOptions* options) {
   parser.choice("--chaos", &options->chaos, ecosystem::chaos_preset_names(),
                 "inject the server-side fault schedule");
   parser.value("--chaos-seed", &options->chaos_seed, "fault schedule seed");
-  parser.value("--max-seconds", &options->max_seconds,
-               "exit after this many seconds (0 = until SIGINT)");
+  parser.duration("--max-seconds", &options->max_runtime_usec,
+                  cli::kUsecPerSecond,
+                  "exit after this long — bare number = seconds, or 90s/15m/2h "
+                  "(0 = until SIGINT)");
   parser.value("--metrics-port", &options->metrics_port,
                "serve Prometheus GET /metrics on 127.0.0.1:N (0 = off)");
   return parser;
@@ -265,9 +267,9 @@ int main(int argc, char** argv) {
   const auto started = std::chrono::steady_clock::now();
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    if (options.max_seconds > 0 &&
+    if (options.max_runtime_usec > 0 &&
         std::chrono::steady_clock::now() - started >=
-            std::chrono::seconds(options.max_seconds)) {
+            std::chrono::microseconds(options.max_runtime_usec)) {
       handle_signal(0);
     }
   }
