@@ -1,0 +1,232 @@
+// bench_kasp — throughput of the KASP key-lifecycle engine (DESIGN.md §16):
+// how fast the PolicyClock scripts a population's RFC 7583 schedule (pure
+// CPU: per-zone policy jitter + scenario placement), how many key events the
+// live monitored world applies per second of wall time (each event re-signs
+// a zone and may drive registry DS churn), and the monitor's steady-state
+// peak RSS with the kasp motion attached.
+//
+// Usage:
+//   bench_kasp [--scale-denom N] [--seed S] [--sim-days D] [--json PATH]
+//              [--fail-if-slower] [--min-script-rate R] [--min-event-rate R]
+//
+// --fail-if-slower is the CI smoke gate: the run fails when schedule
+// scripting drops below --min-script-rate steps/sec, when live key events
+// fall below --min-event-rate events/sec, when any scripted step fails to
+// apply, or when the monitored world produced no transitions at all.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.hpp"
+#include "ecosystem/plan.hpp"
+#include "kasp/clock.hpp"
+#include "longitudinal/monitor.hpp"
+#include "tools/cli.hpp"
+
+namespace {
+
+using namespace dnsboot;
+
+// Reset the kernel's peak-RSS watermark to the current RSS (bench_throughput
+// idiom). Returns false when /proc/self/clear_refs is unavailable.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::uint64_t read_peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+struct KaspRun {
+  std::uint64_t zones = 0;
+  std::uint64_t planned = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t transitions = 0;
+  std::size_t kinds = 0;
+  double script_wall_ms = 0;  // PolicyClock construction (scheduling only)
+  double live_wall_ms = 0;    // monitor run with the clock armed
+  std::uint64_t peak_rss_bytes = 0;
+  bool rss_reset_ok = false;
+
+  double script_steps_per_sec() const {
+    return script_wall_ms > 0 ? planned / (script_wall_ms / 1000.0) : 0.0;
+  }
+  double key_events_per_sec() const {
+    return live_wall_ms > 0 ? applied / (live_wall_ms / 1000.0) : 0.0;
+  }
+  double transitions_per_sec() const {
+    return live_wall_ms > 0 ? transitions / (live_wall_ms / 1000.0) : 0.0;
+  }
+};
+
+KaspRun run_kasp(double scale_denom, std::uint64_t seed,
+                 std::uint64_t sim_days_usec) {
+  net::SimNetwork network(seed ^ 0xd15b007);
+  ecosystem::EcosystemConfig config;
+  config.seed = seed;
+  config.scale = 1.0 / scale_denom;
+  const ecosystem::EcosystemPlan plan = ecosystem::make_ecosystem_plan(config);
+  ecosystem::Ecosystem eco =
+      ecosystem::build_shard(network, config, plan, 0, 1);
+
+  resolver::QueryEngine registry_engine(
+      network, net::IpAddress::v4({192, 0, 2, 252}), {});
+  resolver::DelegationResolver registry_resolver(registry_engine, eco.hints);
+  kasp::KaspOptions kasp_options;
+  kasp_options.seed = seed;
+  kasp_options.horizon = sim_days_usec;
+
+  KaspRun run;
+  run.zones = eco.scan_targets.size();
+
+  const auto script_start = std::chrono::steady_clock::now();
+  kasp::PolicyClock clock(network, registry_engine, registry_resolver, eco,
+                          kasp_options);
+  const auto script_end = std::chrono::steady_clock::now();
+  run.script_wall_ms =
+      std::chrono::duration<double, std::milli>(script_end - script_start)
+          .count();
+  run.planned = clock.planned_steps();
+
+  longitudinal::MonitorOptions options;
+  options.seed = seed;
+  options.horizon = sim_days_usec;
+  longitudinal::Monitor monitor(network, eco, options, &clock);
+
+  run.rss_reset_ok = reset_peak_rss();
+  const auto start = std::chrono::steady_clock::now();
+  if (!monitor.start().ok()) return run;
+  monitor.run();
+  const auto end = std::chrono::steady_clock::now();
+  run.live_wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  run.peak_rss_bytes = read_peak_rss_bytes();
+  run.applied = clock.applied();
+  run.failed = clock.failed();
+  run.probes = monitor.probes_completed();
+  run.transitions = monitor.reporter().transitions();
+  run.kinds = monitor.reporter().distinct_kinds();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale_denom = 400000;
+  std::uint64_t seed = 1;
+  std::uint64_t sim_days_usec = 10 * cli::kUsecPerDay;
+  std::string json_path;
+  bool fail_if_slower = false;
+  double min_script_rate = 50;  // steps/sec scripted
+  double min_event_rate = 1;    // applied key events/sec
+
+  cli::FlagParser parser(
+      "bench_kasp — KASP schedule scripting steps/sec, live key events/sec, "
+      "monitor RSS with the policy clock armed");
+  parser.value("--scale-denom", &scale_denom, "world scale divisor", 1e-9);
+  parser.value("--seed", &seed, "world + schedule seed");
+  parser.duration("--sim-days", &sim_days_usec, cli::kUsecPerDay,
+                  "simulated monitoring window for the live run");
+  parser.value("--json", &json_path, "FILE", "write BENCH_kasp.json");
+  parser.flag("--fail-if-slower", &fail_if_slower,
+              "exit non-zero when scripting or key-event rates fall below "
+              "their --min-* thresholds, any step fails, or no transitions",
+              true);
+  parser.value("--min-script-rate", &min_script_rate,
+               "schedule scripting gate, steps/sec", 1.0);
+  parser.value("--min-event-rate", &min_event_rate,
+               "live key-event gate, events/sec", 1e-3);
+  if (!parser.parse(argc, argv)) return 2;
+  if (parser.help_requested()) return 0;
+
+  std::printf("bench_kasp — scale 1/%.0f, seed %llu, %.1f sim days\n",
+              scale_denom, static_cast<unsigned long long>(seed),
+              static_cast<double>(sim_days_usec) /
+                  static_cast<double>(cli::kUsecPerDay));
+
+  const KaspRun run = run_kasp(scale_denom, seed, sim_days_usec);
+  std::printf(
+      "script: %llu zones  %llu steps in %.1f ms  %.0f steps/s\n",
+      static_cast<unsigned long long>(run.zones),
+      static_cast<unsigned long long>(run.planned), run.script_wall_ms,
+      run.script_steps_per_sec());
+  std::printf(
+      "live:   %llu/%llu key events (%llu failed)  %llu probes  "
+      "%llu transitions (%zu kinds)  %.1f ms  %.2f events/s  %.1f trans/s  "
+      "%.1f MiB peak%s\n",
+      static_cast<unsigned long long>(run.applied),
+      static_cast<unsigned long long>(run.planned),
+      static_cast<unsigned long long>(run.failed),
+      static_cast<unsigned long long>(run.probes),
+      static_cast<unsigned long long>(run.transitions), run.kinds,
+      run.live_wall_ms, run.key_events_per_sec(), run.transitions_per_sec(),
+      static_cast<double>(run.peak_rss_bytes) / (1024.0 * 1024.0),
+      run.rss_reset_ok ? "" : " (no clear_refs)");
+
+  bench::BenchJson json("kasp");
+  json.add("scale_denom", scale_denom)
+      .add("seed", seed)
+      .add("sim_days",
+           static_cast<double>(sim_days_usec) /
+               static_cast<double>(cli::kUsecPerDay))
+      .add("zones", run.zones)
+      .add("planned_steps", run.planned)
+      .add("applied_steps", run.applied)
+      .add("failed_steps", run.failed)
+      .add("script_wall_ms", run.script_wall_ms)
+      .add("script_steps_per_sec", run.script_steps_per_sec())
+      .add("probes", run.probes)
+      .add("transitions", run.transitions)
+      .add("transition_kinds", static_cast<std::uint64_t>(run.kinds))
+      .add("live_wall_ms", run.live_wall_ms)
+      .add("key_events_per_sec", run.key_events_per_sec())
+      .add("transitions_per_sec", run.transitions_per_sec())
+      .add("peak_rss_bytes", run.peak_rss_bytes)
+      .add("rss_reset_ok", run.rss_reset_ok);
+  if (!json.write(json_path)) {
+    std::fprintf(stderr, "cannot write bench json\n");
+    return 1;
+  }
+
+  if (run.failed != 0 || run.applied != run.planned) {
+    std::fprintf(stderr,
+                 "FAIL: %llu of %llu scripted steps applied (%llu failed)\n",
+                 static_cast<unsigned long long>(run.applied),
+                 static_cast<unsigned long long>(run.planned),
+                 static_cast<unsigned long long>(run.failed));
+    return 1;
+  }
+  if (fail_if_slower) {
+    if (run.transitions == 0) {
+      std::fprintf(stderr, "FAIL: live run produced no transitions\n");
+      return 1;
+    }
+    if (run.script_steps_per_sec() < min_script_rate) {
+      std::fprintf(stderr, "FAIL: scripting rate %.0f steps/s below %.0f\n",
+                   run.script_steps_per_sec(), min_script_rate);
+      return 1;
+    }
+    if (run.key_events_per_sec() < min_event_rate) {
+      std::fprintf(stderr, "FAIL: key-event rate %.2f/s below %.2f\n",
+                   run.key_events_per_sec(), min_event_rate);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -79,11 +79,6 @@ LiveRun run_live(double scale_denom, std::uint64_t seed,
   ecosystem::Ecosystem eco =
       ecosystem::build_shard(network, config, plan, 0, 1);
 
-  longitudinal::MonitorOptions options;
-  options.seed = seed;
-  options.horizon = sim_days_usec;
-  longitudinal::Monitor monitor(network, eco, options);
-
   resolver::QueryEngine registry_engine(
       network, net::IpAddress::v4({192, 0, 2, 252}), {});
   resolver::DelegationResolver registry_resolver(registry_engine, eco.hints);
@@ -93,7 +88,11 @@ LiveRun run_live(double scale_denom, std::uint64_t seed,
   longitudinal::LifecycleDriver lifecycle(network, registry_engine,
                                           registry_resolver, eco,
                                           lifecycle_options);
-  lifecycle.arm();
+
+  longitudinal::MonitorOptions options;
+  options.seed = seed;
+  options.horizon = sim_days_usec;
+  longitudinal::Monitor monitor(network, eco, options, &lifecycle);
 
   LiveRun run;
   run.zones = eco.scan_targets.size();

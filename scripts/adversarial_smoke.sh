@@ -2,9 +2,9 @@
 # Adversarial wire-model smoke (DESIGN.md §13), the CI gate for the attack
 # layer:
 #   1. the same seeded survey runs clean and with --chaos adversarial; the
-#      per-zone CSVs must be byte-identical once the trailing under_attack
-#      provenance column is stripped — crafted traffic may slow the scan but
-#      must never change a measurement;
+#      per-zone CSVs must be byte-identical once the trailing provenance
+#      columns (under_attack, key_state) are stripped — crafted traffic may
+#      slow the scan but must never change a measurement;
 #   2. the adversarial run must actually have been attacked (attack counters
 #      nonzero) and must have rejected every forgery (accepted_forgeries 0);
 #   3. the under_attack provenance must surface end to end: nonzero
@@ -50,10 +50,10 @@ if "$survey" --scale-denom "$scale_denom" --chaos catastrophic \
   exit 1
 fi
 
-# The under_attack provenance column is the last one by design; everything
-# before it must be byte-identical between the two runs.
-sed 's/,[^,]*$//' "$workdir/clean.csv" >"$workdir/clean.stripped"
-sed 's/,[^,]*$//' "$workdir/adv.csv" >"$workdir/adv.stripped"
+# The provenance columns (under_attack, key_state) are the last two by
+# design; everything before them must be byte-identical between the runs.
+sed 's/,[^,]*$//;s/,[^,]*$//' "$workdir/clean.csv" >"$workdir/clean.stripped"
+sed 's/,[^,]*$//;s/,[^,]*$//' "$workdir/adv.csv" >"$workdir/adv.stripped"
 if ! diff -u "$workdir/clean.stripped" "$workdir/adv.stripped" >&2; then
   echo "adversarial_smoke: FAIL — adversarial run changed the report" >&2
   exit 1

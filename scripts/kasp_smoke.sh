@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# KASP key-lifecycle smoke (DESIGN.md §16), the CI gate for the acceptance
+# criteria of the RFC 7583 policy-clock world motion:
+#   1. a seeded `dnsboot-monitor --motion kasp` run over 90 simulated days
+#      must journal clean ZSK pre-publication rollovers (phase unchanged,
+#      DNSKEY RRset digest changed), clean KSK double-DS rollovers (phase
+#      unchanged, DS digest changed), and broken-rollover transitions in
+#      both directions (break + repair);
+#   2. the journal header must carry the motion=kasp world tag, and the
+#      key_state column must witness mid-rollover and broken-rollover zones;
+#   3. the same run killed with SIGKILL mid-stream and restarted with the
+#      same flags must converge to the byte-identical journal, snapshot, and
+#      adoption reports (which also proves two uninterrupted runs identical:
+#      the restart re-simulates from t=0 and byte-verifies the full prefix).
+#
+# Usage: scripts/kasp_smoke.sh [BUILD_DIR]
+#   BUILD_DIR    cmake build tree holding tools/ (default: build)
+# Environment: SCALE_DENOM (default 2000000, ~160 zones), SEED (7),
+#   SIM_DAYS (90).
+set -euo pipefail
+
+build_dir=${1:-build}
+scale_denom=${SCALE_DENOM:-2000000}
+seed=${SEED:-7}
+sim_days=${SIM_DAYS:-90}
+
+monitor="$build_dir/tools/dnsboot-monitor"
+if [[ ! -x "$monitor" ]]; then
+  echo "kasp_smoke: missing $monitor (build dnsboot-monitor first)" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+monitor_pid=
+cleanup() {
+  if [[ -n "$monitor_pid" ]] && kill -0 "$monitor_pid" 2>/dev/null; then
+    kill -9 "$monitor_pid" 2>/dev/null || true
+    wait "$monitor_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+common=(--scale-denom "$scale_denom" --seed "$seed" --sim-days "$sim_days"
+        --motion kasp --snapshot-every 2d --quiet)
+
+echo "kasp_smoke: uninterrupted run (seed $seed, 1/$scale_denom, ${sim_days}d)"
+mkdir -p "$workdir/full"
+"$monitor" "${common[@]}" --state-dir "$workdir/full" \
+  --json "$workdir/full.json" --csv "$workdir/full.csv"
+
+journal="$workdir/full/journal.log"
+for f in "$journal" "$workdir/full/snapshot.dnsboot"; do
+  if [[ ! -s "$f" ]]; then
+    echo "kasp_smoke: FAIL — $f missing or empty" >&2
+    exit 1
+  fi
+done
+
+if ! head -n 1 "$journal" | grep -q 'motion=kasp'; then
+  echo "kasp_smoke: FAIL — journal world tag lacks motion=kasp:" >&2
+  head -n 1 "$journal" >&2
+  exit 1
+fi
+
+# Journal record fields (journal v2, tab-separated):
+#   1=T 2=seq 3=at 4=zone 5=from 6=to 7=cds 8=ds 9=dnskey 10=key_state 11=op
+# Digest fields: "=" unchanged, "-" absent, else the new digest.
+count() { awk -F'\t' "$1" "$journal" | wc -l; }
+
+zsk_rolls=$(count '$1=="T" && $5==$6 && $9!="=" && $9!="-" && $8=="="')
+ksk_rolls=$(count '$1=="T" && $5==$6 && $8!="=" && $8!="-"')
+breaks=$(count '$1=="T" && $6=="broken_rollover"')
+repairs=$(count '$1=="T" && $5=="broken_rollover"')
+mid_states=$(count '$1=="T" && $10=="mid-rollover"')
+broken_states=$(count '$1=="T" && $10=="broken-rollover"')
+
+echo "kasp_smoke: zsk=$zsk_rolls ksk=$ksk_rolls break=$breaks repair=$repairs" \
+     "key_state mid=$mid_states broken=$broken_states"
+fail=0
+[[ "$zsk_rolls" -ge 1 ]] || { echo "kasp_smoke: FAIL — no clean ZSK rollover journaled (steady-phase DNSKEY change)" >&2; fail=1; }
+[[ "$ksk_rolls" -ge 1 ]] || { echo "kasp_smoke: FAIL — no KSK double-DS rollover journaled (steady-phase DS change)" >&2; fail=1; }
+[[ "$breaks" -ge 1 ]] || { echo "kasp_smoke: FAIL — no transition into broken_rollover journaled" >&2; fail=1; }
+[[ "$repairs" -ge 1 ]] || { echo "kasp_smoke: FAIL — no repair out of broken_rollover journaled" >&2; fail=1; }
+[[ "$mid_states" -ge 1 ]] || { echo "kasp_smoke: FAIL — key_state never reported mid-rollover" >&2; fail=1; }
+[[ "$broken_states" -ge 1 ]] || { echo "kasp_smoke: FAIL — key_state never reported broken-rollover" >&2; fail=1; }
+[[ "$fail" -eq 0 ]] || exit 1
+
+echo "kasp_smoke: SIGKILL mid-run, then restart with the same flags"
+mkdir -p "$workdir/crash"
+"$monitor" "${common[@]}" --state-dir "$workdir/crash" \
+  --json "$workdir/crash_first.json" >"$workdir/crash.log" 2>&1 &
+monitor_pid=$!
+# Kill once the journal shows real progress (but before it can finish).
+target=$(( $(wc -c < "$journal") / 4 ))
+for _ in $(seq 1 600); do
+  size=$(stat -c %s "$workdir/crash/journal.log" 2>/dev/null || echo 0)
+  if [[ "$size" -ge "$target" ]]; then
+    break
+  fi
+  if ! kill -0 "$monitor_pid" 2>/dev/null; then
+    break  # finished before we could kill it; restart still verifies replay
+  fi
+  sleep 0.1
+done
+kill -9 "$monitor_pid" 2>/dev/null || true
+wait "$monitor_pid" 2>/dev/null || true
+monitor_pid=
+
+"$monitor" "${common[@]}" --state-dir "$workdir/crash" \
+  --json "$workdir/crash.json" --csv "$workdir/crash.csv"
+
+if ! cmp -s "$journal" "$workdir/crash/journal.log"; then
+  echo "kasp_smoke: FAIL — restarted journal differs from uninterrupted run" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full.json" "$workdir/crash.json"; then
+  echo "kasp_smoke: FAIL — restarted adoption report differs" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full.csv" "$workdir/crash.csv"; then
+  echo "kasp_smoke: FAIL — restarted adoption curve CSV differs" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/full/snapshot.dnsboot" "$workdir/crash/snapshot.dnsboot"; then
+  echo "kasp_smoke: FAIL — restarted snapshot differs" >&2
+  exit 1
+fi
+echo "kasp_smoke: kill-restart-resume converged byte-identically"
+
+echo "kasp_smoke: OK — rollover kinds, key_state, kill-restart identity all pass"

@@ -76,6 +76,8 @@ void Survey::operator+=(const Survey& other) {
   probes_failed += other.probes_failed;
   probes_failed_transient += other.probes_failed_transient;
   zones_under_attack += other.zones_under_attack;
+  zones_mid_rollover += other.zones_mid_rollover;
+  zones_broken_rollover += other.zones_broken_rollover;
 }
 
 void SurveyAggregator::add(const ZoneReport& report) {
@@ -90,6 +92,11 @@ void SurveyAggregator::add(const ZoneReport& report) {
   s.probes_failed += report.failed_probes;
   s.probes_failed_transient += report.transient_failures;
   if (report.under_attack) ++s.zones_under_attack;
+  switch (report.key_state) {
+    case KeyLifecycleState::kStable: break;
+    case KeyLifecycleState::kMidRollover: ++s.zones_mid_rollover; break;
+    case KeyLifecycleState::kBrokenRollover: ++s.zones_broken_rollover; break;
+  }
   if (!report.resolved) {
     ++s.unresolved;
     return;

@@ -94,6 +94,10 @@ struct Survey {
   std::uint64_t probes_failed_transient = 0;
   std::uint64_t zones_under_attack = 0;  // engine flagged an endpoint mid-scan
 
+  // Key-lifecycle rollup (RFC 7583 provenance on each report).
+  std::uint64_t zones_mid_rollover = 0;
+  std::uint64_t zones_broken_rollover = 0;
+
   // Merge another survey into this one: every counter sums, the maps merge
   // key-wise. Used by the sharded executor to fold per-shard surveys into
   // one aggregate; merging in a fixed shard order keeps the result

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "analysis/zone_report.hpp"
 #include "dnssec/signer.hpp"
@@ -161,6 +162,63 @@ BootstrapEligibility derive_eligibility(const ZoneReport& report) {
   return BootstrapEligibility::kBootstrappable;
 }
 
+// Key-lifecycle classification (RFC 7583): what state the zone's keys are
+// in, judged purely from served data. "Broken" requires a parent DS — an
+// island or unsigned zone has no rollover to break; "mid" requires a secure
+// chain plus evidence of a transition in flight.
+KeyLifecycleState derive_key_state(const ZoneReport& report,
+                                   const std::vector<dns::DnskeyRdata>& keys,
+                                   const std::vector<dns::DsRdata>& parent_ds) {
+  if (!report.resolved) return KeyLifecycleState::kStable;
+  const bool ds_present = !parent_ds.empty();
+  if (ds_present && report.dnssec != dnssec::ZoneDnssecStatus::kSecure) {
+    // The parent vouches for a chain the child no longer serves: a botched
+    // rollover (premature DS swap, stale RRSIGs, withdrawn DNSKEY, ...).
+    return KeyLifecycleState::kBrokenRollover;
+  }
+  if (report.dnssec != dnssec::ZoneDnssecStatus::kSecure &&
+      report.dnssec != dnssec::ZoneDnssecStatus::kSecureIsland) {
+    return KeyLifecycleState::kStable;
+  }
+
+  // Multiple keys of one role, or multiple DNSKEY algorithms: a
+  // pre-publication / double-signature roll in progress.
+  std::size_t sep_keys = 0;
+  std::size_t zone_keys = 0;
+  std::set<std::uint8_t> algorithms;
+  for (const auto& key : keys) {
+    if ((key.flags & 0x0001) != 0) {
+      ++sep_keys;
+    } else {
+      ++zone_keys;
+    }
+    algorithms.insert(key.algorithm);
+  }
+  if (sep_keys > 1 || zone_keys > 1 || algorithms.size() > 1) {
+    return KeyLifecycleState::kMidRollover;
+  }
+
+  // Double DS at the parent: the KSK roll's overlap window.
+  std::set<std::uint16_t> ds_tags;
+  for (const auto& ds : parent_ds) ds_tags.insert(ds.key_tag);
+  if (ds_tags.size() > 1) return KeyLifecycleState::kMidRollover;
+
+  // CDS announcing a DS set that differs from the one the parent serves:
+  // RFC 7344 maintenance pending (only meaningful when a DS exists).
+  if (ds_present && report.cds.present && !report.cds.delete_request &&
+      !report.cds.cds.empty()) {
+    auto key_of = [](const dns::DsRdata& ds) {
+      return std::make_tuple(ds.key_tag, ds.algorithm, ds.digest_type,
+                             ds.digest);
+    };
+    std::set<decltype(key_of(parent_ds[0]))> served, announced;
+    for (const auto& ds : parent_ds) served.insert(key_of(ds));
+    for (const auto& ds : report.cds.cds) announced.insert(key_of(ds));
+    if (served != announced) return KeyLifecycleState::kMidRollover;
+  }
+  return KeyLifecycleState::kStable;
+}
+
 // --- signal-zone checks (§4.4) ------------------------------------------------
 
 bool signal_has_answer(const scanner::SignalObservation& signal) {
@@ -249,6 +307,15 @@ std::string to_string(ScanQuality quality) {
     case ScanQuality::kDegraded: return "degraded";
     case ScanQuality::kNotObserved: return "not-observed";
     case ScanQuality::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::string to_string(KeyLifecycleState state) {
+  switch (state) {
+    case KeyLifecycleState::kStable: return "stable";
+    case KeyLifecycleState::kMidRollover: return "mid-rollover";
+    case KeyLifecycleState::kBrokenRollover: return "broken-rollover";
   }
   return "?";
 }
@@ -345,6 +412,10 @@ ZoneReport analyze_zone(const scanner::ZoneObservation& obs,
 
   // Figure 1 funnel position.
   report.eligibility = derive_eligibility(report);
+
+  // Key-lifecycle state (RFC 7583 provenance).
+  report.key_state =
+      derive_key_state(report, zone_keys, ds_rdatas_of(obs.parent_ds.rrset));
 
   // Signal-zone analysis (§4.4).
   for (const auto& signal : obs.signals) {

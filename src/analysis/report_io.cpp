@@ -186,6 +186,11 @@ std::string survey_to_json(const SurveyRunResult& result) {
   w.field("zones_under_attack", s.zones_under_attack);
   w.close_object();
 
+  w.open_object("key_lifecycle");
+  w.field("zones_mid_rollover", s.zones_mid_rollover);
+  w.field("zones_broken_rollover", s.zones_broken_rollover);
+  w.close_object();
+
   w.close();
   return w.take();
 }
@@ -196,7 +201,7 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
       "cds_present,cds_delete,cds_consistent,cds_matches_dnskey,"
       "cds_rrsig_valid,cds_query_failed,eligibility,signal_present,ab,"
       "endpoints_queried,endpoints_available,pool_sampled,scan_quality,"
-      "failed_probes,scan_attempt,under_attack\n";
+      "failed_probes,scan_attempt,under_attack,key_state\n";
   for (const auto& r : reports) {
     out += csv_escape(r.zone.to_text());
     out += ',';
@@ -242,9 +247,11 @@ std::string reports_to_csv(const std::vector<ZoneReport>& reports) {
     out += ',';
     out += std::to_string(r.scan_attempt);
     out += ',';
-    // Kept as the last column on purpose: the adversarial smoke diff strips
-    // it to compare clean and attacked runs on the measurement columns.
+    // The provenance columns stay at the end on purpose: smoke-test diffs
+    // strip trailing columns to compare runs on the measurement columns.
     out += r.under_attack ? '1' : '0';
+    out += ',';
+    out += to_string(r.key_state);
     out += '\n';
   }
   return out;

@@ -64,6 +64,20 @@ enum class AbStatus {
 
 std::string to_string(AbStatus status);
 
+// Where the zone's keys stand in their RFC 7583 lifecycle, derived from the
+// same observation the rest of the report comes from. A clean steady-state
+// zone is kStable; a zone caught between rollover phases (successor key
+// pre-published, double DS, CDS announcing a pending change, mixed DNSKEY
+// algorithms) is kMidRollover; a zone whose parent serves a DS that the
+// child's served data no longer validates under is kBrokenRollover.
+enum class KeyLifecycleState {
+  kStable,
+  kMidRollover,
+  kBrokenRollover,
+};
+
+std::string to_string(KeyLifecycleState state);
+
 // Why a signal was judged incorrect (§4.4's violation taxonomy).
 struct SignalViolations {
   bool zone_cut = false;             // signaling name crosses an extra cut
@@ -113,6 +127,10 @@ struct ZoneReport {
   // endpoint flagged as under active attack. Provenance only: the answers
   // themselves still passed the ID/port/tuple checks.
   bool under_attack = false;
+
+  // Key-lifecycle provenance (like under_attack: carried on every report,
+  // rolled up by the survey, emitted as a trailing strippable CSV column).
+  KeyLifecycleState key_state = KeyLifecycleState::kStable;
 };
 
 // Run the complete analysis for one observation.

@@ -9,9 +9,13 @@
 namespace dnsboot::dnssec {
 
 ZoneKeys ZoneKeys::generate(Rng& rng) {
-  return ZoneKeys{crypto::KeyPair::generate(rng, crypto::kKskFlags),
-                  crypto::KeyPair::generate(rng, crypto::kZskFlags),
-                  {}};
+  ZoneKeys keys{crypto::KeyPair::generate(rng, crypto::kKskFlags),
+                crypto::KeyPair::generate(rng, crypto::kZskFlags),
+                {},
+                {},
+                {},
+                {}};
+  return keys;
 }
 
 dns::DnskeyRdata make_dnskey(const crypto::KeyPair& key) {
@@ -123,6 +127,15 @@ Status sign_zone(dns::Zone& zone, const ZoneKeys& keys,
   for (const auto& extra : keys.extra_ksks) {
     dnskey_set.rdatas.push_back(dns::Rdata{make_dnskey(extra)});
   }
+  for (const auto& extra : keys.extra_zsks) {
+    dnskey_set.rdatas.push_back(dns::Rdata{make_dnskey(extra)});
+  }
+  for (const auto& extra : keys.co_zsks) {
+    dnskey_set.rdatas.push_back(dns::Rdata{make_dnskey(extra)});
+  }
+  for (const auto& extra : keys.extra_dnskeys) {
+    dnskey_set.rdatas.push_back(dns::Rdata{extra});
+  }
   DNSBOOT_CHECK(zone.add_rrset(dnskey_set));
 
   // 2. Denial chain: NSEC (canonically ordered, circular) or NSEC3.
@@ -171,6 +184,13 @@ Status sign_zone(dns::Zone& zone, const ZoneKeys& keys,
       // Rollover: every published KSK signs the DNSKEY RRset, so a DS
       // pointing at either old or new key validates the chain.
       for (const auto& extra : keys.extra_ksks) {
+        DNSBOOT_CHECK(
+            zone.add(sign_rrset(set, extra, zone.origin(), policy)));
+      }
+    } else {
+      // Double-signature ZSK/algorithm rollover: the co-signing key adds a
+      // second RRSIG over every data RRset the active ZSK signs.
+      for (const auto& extra : keys.co_zsks) {
         DNSBOOT_CHECK(
             zone.add(sign_rrset(set, extra, zone.origin(), policy)));
       }

@@ -12,6 +12,7 @@
 
 #include "dnssec/signer.hpp"
 #include "ecosystem/profiles.hpp"
+#include "kasp/materialize.hpp"
 #include "net/simnet.hpp"
 #include "resolver/resolver.hpp"
 #include "server/auth_server.hpp"
@@ -47,6 +48,10 @@ struct ZoneTruth {
   bool cds_inconsistent = false;   // NSes serve differing CDS
   bool multi_operator = false;
   bool legacy_servers = false;     // NSes FORMERR on CDS queries
+
+  // Key-lifecycle snapshot this zone is frozen in (kNone for the vast
+  // majority). Scenarios that publish CDS force `cds` true below.
+  kasp::RolloverScenario rollover = kasp::RolloverScenario::kNone;
 
   bool csync = false;                   // publishes a migrating CSYNC record
   bool signal = false;                  // signal RRs published

@@ -184,6 +184,16 @@ EcosystemPlan make_ecosystem_plan(const EcosystemConfig& config) {
     op.q_signal_on_unsigned =
         scaled_pathology(config, op.profile.signal_on_unsigned);
     op.q_csync = scaled_pathology(config, op.profile.csync_migrations);
+    op.q_roll_mid_zsk = scaled_pathology(config, op.profile.roll_mid_zsk);
+    op.q_roll_mid_ksk = scaled_pathology(config, op.profile.roll_mid_ksk);
+    op.q_roll_premature_ds =
+        scaled_pathology(config, op.profile.roll_premature_ds);
+    op.q_roll_stale_rrsig =
+        scaled_pathology(config, op.profile.roll_stale_rrsig);
+    op.q_roll_cds_unpublished =
+        scaled_pathology(config, op.profile.roll_cds_unpublished);
+    op.q_roll_algorithm_broken =
+        scaled_pathology(config, op.profile.roll_algorithm_broken);
   }
 
   // ---- population arithmetic ----------------------------------------------
@@ -203,8 +213,15 @@ EcosystemPlan make_ecosystem_plan(const EcosystemConfig& config) {
         op.q_signal_missing_ns_multi + op.q_signal_zone_cut +
         op.q_signal_cds_inconsistent + op.q_signal_cds_bad_rrsig +
         (profile.publishes_signal ? 1 : 0);  // headroom for a correct signal
-    const std::uint64_t need_secured =
-        op.q_signed_cds_delete + op.q_signed_cds_no_match + op.q_csync;
+    // Rollover snapshots occupy the tail of the secured range; growing the
+    // floor by their sum keeps them disjoint from the prefix chains.
+    const std::uint64_t need_rollover =
+        op.q_roll_mid_zsk + op.q_roll_mid_ksk + op.q_roll_premature_ds +
+        op.q_roll_stale_rrsig + op.q_roll_cds_unpublished +
+        op.q_roll_algorithm_broken;
+    const std::uint64_t need_secured = op.q_signed_cds_delete +
+                                       op.q_signed_cds_no_match + op.q_csync +
+                                       need_rollover;
     const std::uint64_t need_unsigned =
         op.q_unsigned_cds + op.q_unsigned_cds_delete + op.q_signal_on_unsigned;
     const std::uint64_t need_invalid = op.q_signal_on_invalid;
@@ -346,6 +363,32 @@ ZoneTruth planned_truth(const OperatorPlan& op, std::uint64_t i) {
         std::min(D, op.cds_secured > S ? op.cds_secured - S : 0);
     const std::uint64_t c = (i - S) - std::min(i - S, tagged_total);
     if (c < op.q_csync) truth.csync = true;
+  }
+  if (truth.state == ZoneState::kSecured && !truth.cds_delete &&
+      !truth.cds_no_match && !truth.csync) {
+    // Key-lifecycle snapshots live at the TAIL of the secured range (ordinal
+    // counted down from sec_hi), so this chain and the prefix chains above
+    // never meet: need_secured in make_ecosystem_plan covers both sums.
+    const std::uint64_t t = sec_hi - 1 - i;
+    std::uint64_t hi = op.q_roll_mid_zsk;
+    if (t < hi) {
+      truth.rollover = kasp::RolloverScenario::kMidZskPrepublish;
+    } else if (t < (hi += op.q_roll_mid_ksk)) {
+      truth.rollover = kasp::RolloverScenario::kMidKskDoubleDs;
+    } else if (t < (hi += op.q_roll_premature_ds)) {
+      truth.rollover = kasp::RolloverScenario::kPrematureDs;
+    } else if (t < (hi += op.q_roll_stale_rrsig)) {
+      truth.rollover = kasp::RolloverScenario::kStaleRrsig;
+    } else if (t < (hi += op.q_roll_cds_unpublished)) {
+      truth.rollover = kasp::RolloverScenario::kCdsUnpublishedKey;
+    } else if (t < (hi += op.q_roll_algorithm_broken)) {
+      truth.rollover = kasp::RolloverScenario::kAlgorithmBroken;
+    }
+    if (truth.rollover == kasp::RolloverScenario::kMidKskDoubleDs ||
+        truth.rollover == kasp::RolloverScenario::kPrematureDs ||
+        truth.rollover == kasp::RolloverScenario::kCdsUnpublishedKey) {
+      truth.cds = true;  // these scenarios publish their own CDS set
+    }
   }
   if (truth.state == ZoneState::kIsland && truth.cds && !truth.cds_delete) {
     // Non-delete CDS islands: ordinal k among them (delete islands occupy
@@ -750,15 +793,44 @@ Ecosystem build_shard(net::SimNetwork& network, const EcosystemConfig& config,
                                truth.state == ZoneState::kIsland ||
                                (truth.state == ZoneState::kInvalid &&
                                 profile.secured > 0);
+      // Key-lifecycle snapshot material: keys (with extra published /
+      // co-signing members), scenario CDS, and the parent DS override.
+      // materialize_rollover's first draw is ZoneKeys::generate(zrng), the
+      // same first draw plain zones make, so zone bytes stay a pure
+      // function of (seed, name) either way.
+      std::optional<kasp::RolloverMaterial> rollover;
+      if (truth.rollover != kasp::RolloverScenario::kNone) {
+        auto material =
+            kasp::materialize_rollover(truth.rollover, zone_name, zrng);
+        if (material.ok()) rollover = std::move(material).take();
+      }
+
       std::optional<dnssec::ZoneKeys> keys;
       if (signed_zone) {
-        keys = dnssec::ZoneKeys::generate(zrng);
+        if (rollover.has_value()) {
+          keys = std::move(rollover->keys);
+        } else {
+          keys = dnssec::ZoneKeys::generate(zrng);
+        }
       }
 
       // In-zone CDS/CDNSKEY.
       std::vector<dns::Rdata> cds_rdatas;
       std::vector<dns::Rdata> cdnskey_rdatas;
-      if (truth.cds) {
+      if (rollover.has_value() && !rollover->cds.empty()) {
+        for (const auto& cds : rollover->cds) {
+          cds_rdatas.push_back(dns::Rdata{cds});
+        }
+        for (const auto& key : rollover->cdnskey) {
+          cdnskey_rdatas.push_back(dns::Rdata{key});
+        }
+        for (const auto& rd : cds_rdatas) {
+          (void)zone->add(make_rr(zone_name, dns::RRType::kCDS, 300, rd));
+        }
+        for (const auto& rd : cdnskey_rdatas) {
+          (void)zone->add(make_rr(zone_name, dns::RRType::kCDNSKEY, 300, rd));
+        }
+      } else if (truth.cds) {
         if (truth.cds_delete) {
           cds_rdatas.push_back(dns::Rdata{dnssec::cds_delete_sentinel()});
           cdnskey_rdatas.push_back(
@@ -796,6 +868,12 @@ Ecosystem build_shard(net::SimNetwork& network, const EcosystemConfig& config,
         if (i % 5 < 2) policy.denial = dnssec::DenialMode::kNsec3;
         (void)dnssec::sign_zone(*zone, *keys, policy);
         eco.zones_signed++;
+        if (rollover.has_value() && rollover->stale_zsk.has_value()) {
+          // Re-sign the data RRsets with the retired (absent) ZSK: the
+          // DNSKEY RRset and its KSK signature stay intact, so the breakage
+          // is a key mismatch below the apex, never an expiry.
+          (void)kasp::apply_stale_rrsigs(*zone, *rollover->stale_zsk, policy);
+        }
         if (truth.cds_bad_rrsig) {
           // Corrupt the RRSIG over the CDS set.
           auto sigs = zone->signatures_covering(zone_name, dns::RRType::kCDS);
@@ -856,8 +934,15 @@ Ecosystem build_shard(net::SimNetwork& network, const EcosystemConfig& config,
         (void)tld_zone.add(
             make_rr(zone_name, dns::RRType::kNS, 86400, dns::NsRdata{ns}));
       }
-      if (truth.state == ZoneState::kSecured ||
-          truth.state == ZoneState::kInvalid) {
+      if (rollover.has_value() && !rollover->parent_ds.empty()) {
+        // Scenario-controlled DS set: double-DS mid-roll, or the premature
+        // swap to a not-yet-published successor.
+        for (const auto& ds : rollover->parent_ds) {
+          (void)tld_zone.add(
+              make_rr(zone_name, dns::RRType::kDS, 86400, dns::Rdata{ds}));
+        }
+      } else if (truth.state == ZoneState::kSecured ||
+                 truth.state == ZoneState::kInvalid) {
         dns::DsRdata ds;
         if (signed_zone) {
           ds = dnssec::make_ds(zone_name, dnssec::make_dnskey(keys->ksk), 2)

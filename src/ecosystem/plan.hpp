@@ -84,6 +84,15 @@ struct OperatorPlan {
   std::uint64_t q_signal_on_unsigned = 0;
   std::uint64_t q_signal_zone_cut = 0;
   std::uint64_t q_csync = 0;
+  // Key-lifecycle snapshot quotas, consumed from the TAIL of the secured
+  // range (ordinal sec_hi - 1 - i) so they never collide with the prefix
+  // chains above; need_secured in make_ecosystem_plan grows by their sum.
+  std::uint64_t q_roll_mid_zsk = 0;
+  std::uint64_t q_roll_mid_ksk = 0;
+  std::uint64_t q_roll_premature_ds = 0;
+  std::uint64_t q_roll_stale_rrsig = 0;
+  std::uint64_t q_roll_cds_unpublished = 0;
+  std::uint64_t q_roll_algorithm_broken = 0;
 
   // Eager infrastructure decisions (the legacy builder created these lazily
   // at the first zone that needed them, which would make server identity

@@ -61,6 +61,18 @@ struct OperatorProfile {
   // set that differs from the TLD delegation — migration via
   // child-to-parent synchronization (the paper's future-work mechanism).
   std::uint64_t csync_migrations = 0;
+
+  // Key-lifecycle snapshots (RFC 7583 rollover states frozen at scan time).
+  // A scan of the real ecosystem always catches some zones mid-rollover and
+  // a few with botched rollovers; these counts (full scale, scaled with
+  // floor 1) carve those states out of the secured population. All default
+  // to zero so worlds built before this knob existed are byte-identical.
+  std::uint64_t roll_mid_zsk = 0;          // successor ZSK published, waiting
+  std::uint64_t roll_mid_ksk = 0;          // double-DS KSK roll in flight
+  std::uint64_t roll_premature_ds = 0;     // DS swapped before DNSKEY publish
+  std::uint64_t roll_stale_rrsig = 0;      // RRSIGs by a retired, absent ZSK
+  std::uint64_t roll_cds_unpublished = 0;  // CDS announces an unpublished key
+  std::uint64_t roll_algorithm_broken = 0; // new-alg DNSKEY that signs nothing
 };
 
 // Exact small-count error injections (scaled with floor 1).

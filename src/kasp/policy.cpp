@@ -1,0 +1,66 @@
+#include "kasp/policy.hpp"
+
+namespace dnsboot::kasp {
+
+Seconds zsk_ipub(const KeyPolicy& policy) {
+  return policy.zone_propagation + policy.dnskey_ttl;
+}
+
+Seconds zsk_iret(const KeyPolicy& policy) {
+  // Dsgn (the re-sign sweep) is zero in this simulation: sign_zone rewrites
+  // every RRSIG atomically, so Iret reduces to propagation + TTLsig, with
+  // TTLsig bounded by the max zone TTL (RFC 7583 §2.3).
+  return policy.zone_propagation + policy.max_zone_ttl;
+}
+
+Seconds ksk_dreg_ds(const KeyPolicy& policy) {
+  return policy.registrar_delay + policy.parent_propagation + policy.ds_ttl;
+}
+
+Seconds ksk_iret(const KeyPolicy& policy) {
+  return policy.parent_propagation + policy.ds_ttl;
+}
+
+ZskTiming zsk_timing(const KeyPolicy& policy) {
+  ZskTiming t;
+  t.publish_before = zsk_ipub(policy) + policy.publish_safety;
+  t.retire_after = zsk_iret(policy) + policy.retire_safety;
+  t.remove_after = t.retire_after;
+  return t;
+}
+
+KskTiming ksk_timing(const KeyPolicy& policy) {
+  KskTiming t;
+  // The successor DNSKEY must be visible (Ipub) before its DS may be
+  // submitted, and the new DS must be active everywhere (DregDS) before the
+  // old key may stop signing.
+  t.ds_submit_before = ksk_dreg_ds(policy) + policy.publish_safety;
+  t.publish_before =
+      t.ds_submit_before + zsk_ipub(policy) + policy.publish_safety;
+  t.retire_after = ksk_iret(policy) + policy.retire_safety;
+  return t;
+}
+
+namespace {
+
+// value scaled into [value*(1-spread), value*(1+spread)], never zero.
+Seconds jitter(Seconds value, double spread, Rng& rng) {
+  if (value == 0) return 0;
+  const double factor = 1.0 + spread * (2.0 * rng.next_double() - 1.0);
+  auto out = static_cast<Seconds>(static_cast<double>(value) * factor);
+  return out == 0 ? 1 : out;
+}
+
+}  // namespace
+
+KeyPolicy jitter_policy(const KeyPolicy& base, Rng& rng) {
+  KeyPolicy p = base;
+  p.zsk_lifetime = jitter(base.zsk_lifetime, 0.25, rng);
+  p.ksk_lifetime = jitter(base.ksk_lifetime, 0.25, rng);
+  p.zone_propagation = jitter(base.zone_propagation, 0.5, rng);
+  p.parent_propagation = jitter(base.parent_propagation, 0.5, rng);
+  p.registrar_delay = jitter(base.registrar_delay, 0.5, rng);
+  return p;
+}
+
+}  // namespace dnsboot::kasp

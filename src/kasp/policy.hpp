@@ -1,0 +1,95 @@
+// KASP — key-and-signing-policy timing (the BIND 9 kaspconf model, RFC 7583
+// math).
+//
+// A KeyPolicy is the operator's declared intent: key lifetimes, TTLs, and
+// propagation delays. The timing functions below turn that intent into the
+// RFC 7583 rollover instants — when the successor key must be published
+// before it may sign (Ipub), and how long the predecessor must linger after
+// it stops signing (Iret) — for the two standard rollover methods:
+//
+//   ZSK  Pre-Publication (RFC 7583 §3.2.1, RFC 6781 §4.1.1.1)
+//        Ipub = Dprp + TTLkey          (successor visible everywhere)
+//        Iret = Dsgn + Dprp + TTLsig   (old RRSIGs out of caches)
+//
+//   KSK  Double-DS (RFC 7583 §3.3.2, RFC 6781 §4.1.2)
+//        DregDS = Dreg + DprpP + TTLds (new DS visible everywhere)
+//        Iret   = DprpP + TTLds        (old DS out of caches)
+//
+// Everything is integral seconds of simulated time; there is no wall clock
+// anywhere in this subsystem. Policies are jittered per (seed, zone) so the
+// population does not roll in lockstep, but the jitter is drawn from a
+// deterministic fork — the same (seed, zone) always yields the same policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hpp"
+
+namespace dnsboot::kasp {
+
+// Seconds of simulated time (matches net::SimTime / kSecond granularity at
+// the call sites; kept as plain seconds here because RFC 7583 intervals are
+// naturally second-valued).
+using Seconds = std::uint64_t;
+
+// The operator's key-and-signing policy for one zone (kaspconf's dns_kasp_t,
+// trimmed to the fields this simulation exercises).
+struct KeyPolicy {
+  // Key lifetimes: how long a key signs before its successor takes over.
+  Seconds zsk_lifetime = 90 * Seconds{86400};
+  Seconds ksk_lifetime = 365 * Seconds{86400};
+
+  // TTLs that bound cache visibility (RFC 7583's TTLkey / TTLsig / TTLds).
+  Seconds dnskey_ttl = 3600;
+  Seconds max_zone_ttl = 86400;  // max TTL of any RRSIG-covered data
+  Seconds ds_ttl = 3600;
+
+  // Propagation delays: zone push to all authoritatives (Dprp), parent zone
+  // push (DprpP), and registrar/registry processing of a DS change (Dreg).
+  Seconds zone_propagation = 300;
+  Seconds parent_propagation = 3600;
+  Seconds registrar_delay = 6 * Seconds{3600};
+
+  // Safety margins added on top of the RFC minimum (kaspconf's
+  // publish-safety / retire-safety knobs).
+  Seconds publish_safety = 3600;
+  Seconds retire_safety = 3600;
+};
+
+// RFC 7583 §3.2.1 pre-publication ZSK rollover offsets, all relative to the
+// instant the successor starts signing (the "active" instant, t=0).
+struct ZskTiming {
+  Seconds publish_before;  // Ipub + publish-safety: successor in DNSKEY RRset
+  Seconds retire_after;    // Iret + retire-safety: predecessor stops signing
+                           // at t=0 but stays published until this offset
+  Seconds remove_after;    // == retire_after; the predecessor leaves the
+                           // RRset once old RRSIGs expired from caches
+};
+
+// RFC 7583 §3.3.2 double-DS KSK rollover offsets, relative to the instant
+// the successor KSK takes over signing the DNSKEY RRset (t=0).
+struct KskTiming {
+  Seconds publish_before;     // successor DNSKEY published (Ipub analogue)
+  Seconds ds_submit_before;   // CDS for {old,new} published; DregDS before
+                              // the swap so the new DS is active everywhere
+  Seconds retire_after;       // old DS + old DNSKEY may go after Iret
+};
+
+// The timing math, exposed pure so tests can golden-table it.
+ZskTiming zsk_timing(const KeyPolicy& policy);
+KskTiming ksk_timing(const KeyPolicy& policy);
+
+// Ipub / Iret / DregDS primitives (for tests and documentation).
+Seconds zsk_ipub(const KeyPolicy& policy);   // Dprp + TTLkey
+Seconds zsk_iret(const KeyPolicy& policy);   // Dsgn=0 here: Dprp + TTLsig
+Seconds ksk_dreg_ds(const KeyPolicy& policy);  // Dreg + DprpP + TTLds
+Seconds ksk_iret(const KeyPolicy& policy);     // DprpP + TTLds
+
+// Deterministic per-zone policy: the base policy with lifetimes jittered by
+// +-25% and delays by +-50%, drawn from rng (callers fork per zone). The
+// jitter keeps the population from rolling in lockstep while staying a pure
+// function of the fork.
+KeyPolicy jitter_policy(const KeyPolicy& base, Rng& rng);
+
+}  // namespace dnsboot::kasp

@@ -88,6 +88,30 @@ inline CrossCheckResult cross_check(const ecosystem::Ecosystem& eco,
       {"csync-migration",
        {RuleId::kDelegationDrift},
        [](const ZoneTruth& t) { return t.csync; }},
+      // Botched key-lifecycle snapshots (RFC 7583 ordering violations).
+      // Premature-DS zones also trip L008 (the DS is an orphan) and L002
+      // (the successor CDS matches no key) — the class is satisfied by the
+      // refined rule alone.
+      {"roll-premature-ds",
+       {RuleId::kDsPrematureKey},
+       [](const ZoneTruth& t) {
+         return t.rollover == kasp::RolloverScenario::kPrematureDs;
+       }},
+      {"roll-stale-rrsig",
+       {RuleId::kRrsigRetiredKey},
+       [](const ZoneTruth& t) {
+         return t.rollover == kasp::RolloverScenario::kStaleRrsig;
+       }},
+      {"roll-cds-unpublished",
+       {RuleId::kCdsUnpublishedKey},
+       [](const ZoneTruth& t) {
+         return t.rollover == kasp::RolloverScenario::kCdsUnpublishedKey;
+       }},
+      {"roll-algorithm-broken",
+       {RuleId::kAlgorithmRollOrder},
+       [](const ZoneTruth& t) {
+         return t.rollover == kasp::RolloverScenario::kAlgorithmBroken;
+       }},
   };
 
   CrossCheckResult result;
@@ -145,6 +169,37 @@ inline ecosystem::EcosystemConfig clean_world_config(std::uint64_t seed = 7) {
   config.scale = 1.0;
   config.inject_pathologies = false;
   config.operators = {signal_op, plain_op};
+  return config;
+}
+
+// A world of key-lifecycle snapshots for the rollover half of the
+// self-check: every RFC 7583 scenario class injected, nothing else. The
+// mid-rollover scenarios (pre-published ZSK, double-DS KSK) are *correct*
+// operator behavior and must lint clean; the four botched ones must each be
+// caught by its L107–L110 rule. Rollover quotas live on the OperatorProfile
+// (scaled outside the inject_pathologies guard, like CSYNC), so a custom
+// profile is enough.
+inline ecosystem::EcosystemConfig rollover_world_config(std::uint64_t seed = 11) {
+  ecosystem::OperatorProfile op;
+  op.name = "RollLab";
+  op.ns_domains = {"rolllab.net", "rolllab.org"};
+  op.tld = "net";
+  op.customer_tld = "org";
+  op.domains = 48;
+  op.secured = 40;
+  op.cds_domains = 8;
+  op.roll_mid_zsk = 4;
+  op.roll_mid_ksk = 4;
+  op.roll_premature_ds = 4;
+  op.roll_stale_rrsig = 4;
+  op.roll_cds_unpublished = 4;
+  op.roll_algorithm_broken = 4;
+
+  ecosystem::EcosystemConfig config;
+  config.seed = seed;
+  config.scale = 1.0;
+  config.inject_pathologies = false;
+  config.operators = {op};
   return config;
 }
 

@@ -74,6 +74,25 @@ const std::vector<RuleInfo>& all_rules() {
        "the fault profile permanently blackholes every endpoint serving the "
        "zone, so no scan can ever observe it (chaos worlds must stay "
        "measurable: every failure should be attributable, not structural)"},
+      {RuleId::kDsPrematureKey, "L107", "ds-premature-key", Severity::kError,
+       "the parent DS commits to a key the child announces via CDS but has "
+       "not yet published: the DS was swapped before Ipub elapsed "
+       "(RFC 7583 §3.3.2; a botched double-DS rollover)"},
+      {RuleId::kRrsigRetiredKey, "L108", "rrsig-retired-key",
+       Severity::kError,
+       "a temporally valid RRSIG names a key tag/algorithm absent from the "
+       "DNSKEY RRset: the signing key was retired before its signatures were "
+       "replaced (RFC 7583 §3.2.2 Iret; the stale-RRSIG failure)"},
+      {RuleId::kCdsUnpublishedKey, "L109", "cds-unpublished-key",
+       Severity::kWarning,
+       "part of the CDS set commits to keys missing from the DNSKEY RRset; "
+       "a parent acting on the full set would install a DS that cannot "
+       "validate (RFC 7344 §4.1 continuity, RFC 7583 §3.3)"},
+      {RuleId::kAlgorithmRollOrder, "L110", "algorithm-roll-order",
+       Severity::kWarning,
+       "a DNSKEY algorithm signs nothing in the zone (or a DS algorithm has "
+       "no DNSKEY): algorithm rollovers must publish signatures before keys "
+       "and keys before DS (RFC 6781 §4.1.4, RFC 4035 §2.2)"},
   };
   return rules;
 }

@@ -35,6 +35,10 @@ enum class RuleId {
   kDsOrphan,              // L008: parent DS matches no apex DNSKEY
   kDsUnsignedChild,       // L009: parent publishes DS but the child is unsigned
   kCdsNonApex,            // L010: CDS/CDNSKEY outside apex or a _signal tree
+  kDsPrematureKey,        // L107: DS references a CDS-announced, unpublished key
+  kRrsigRetiredKey,       // L108: RRSIG by a key absent from the DNSKEY RRset
+  kCdsUnpublishedKey,     // L109: CDS partially commits to unpublished keys
+  kAlgorithmRollOrder,    // L110: algorithm rollover ordering violation
   // --- ecosystem rules (ecosystem_lint.cpp) ---
   kDelegationDrift,       // L100: parent NS set != child apex NS set
   kCdsCrossServer,        // L101: nameservers serve differing CDS/CDNSKEY

@@ -1,6 +1,7 @@
 #include "lint/zone_lint.hpp"
 
 #include <algorithm>
+#include <set>
 #include <string>
 
 #include "dnssec/validator.hpp"
@@ -75,23 +76,34 @@ void check_child_sync_sets(const dns::Zone& zone,
   }
 
   // L002: some non-sentinel CDS must commit to an apex DNSKEY, otherwise the
-  // parent would install a DS that can never validate.
+  // parent would install a DS that can never validate. L109: a *partial*
+  // match — the current key plus a successor that is not yet in the DNSKEY
+  // RRset — is the CDS-ahead-of-publication rollover ordering violation.
   const bool all_sentinel = cds_sentinels == cds.size();
   if (!cds.empty() && !all_sentinel) {
     bool any_match = false;
+    std::vector<const dns::DsRdata*> unmatched;
     for (const dns::DsRdata& d : cds) {
       if (d.is_delete_sentinel()) continue;
-      for (const dns::DnskeyRdata& key : keys) {
-        if (dnssec::ds_matches_dnskey(apex, d, key)) {
-          any_match = true;
-          break;
-        }
+      const bool matched = std::any_of(
+          keys.begin(), keys.end(), [&](const dns::DnskeyRdata& key) {
+            return dnssec::ds_matches_dnskey(apex, d, key);
+          });
+      if (matched) {
+        any_match = true;
+      } else {
+        unmatched.push_back(&d);
       }
-      if (any_match) break;
     }
     if (!any_match) {
       report.add(RuleId::kCdsDnskeyMismatch, apex, apex,
                  "no CDS record matches any apex DNSKEY");
+    } else {
+      for (const dns::DsRdata* d : unmatched) {
+        report.add(RuleId::kCdsUnpublishedKey, apex, apex,
+                   "CDS key tag " + std::to_string(d->key_tag) +
+                       " commits to a key absent from the DNSKEY RRset");
+      }
     }
   }
 
@@ -172,6 +184,31 @@ void check_signatures(const dns::Zone& zone,
       continue;
     }
 
+    // L108: some current signature must name a published key. When every
+    // tag/algorithm points outside the DNSKEY RRset, the signer was retired
+    // (or never published) while its signatures linger — report the rollover
+    // ordering violation, not the generic verification failure below.
+    if (!keys.empty()) {
+      bool signer_published = false;
+      for (const dns::RrsigRdata& sig : current) {
+        for (const dns::DnskeyRdata& key : keys) {
+          if (key.algorithm == sig.algorithm && key.key_tag() == sig.key_tag) {
+            signer_published = true;
+            break;
+          }
+        }
+        if (signer_published) break;
+      }
+      if (!signer_published) {
+        report.add(RuleId::kRrsigRetiredKey, apex, rrset.name,
+                   "RRSIG over " + dns::to_string(rrset.type) +
+                       " by key tag " +
+                       std::to_string(current.front().key_tag) +
+                       " matches no published DNSKEY (retired key)");
+        continue;
+      }
+    }
+
     // L006: temporally valid signatures must verify against the key set.
     if (options.verify_signatures && !keys.empty()) {
       dnssec::RrsetValidation validation =
@@ -220,14 +257,93 @@ void check_parent_ds(const dns::Zone& zone,
                    " DS record(s) but the zone serves no DNSKEY");
     return;
   }
-  // L008: some DS must commit to an apex key for the chain to close.
+  // L008: some DS must commit to an apex key for the chain to close. L107
+  // refines the orphan case: a non-matching DS the child itself announces
+  // via CDS/CDNSKEY means the registry swapped the DS before the successor
+  // DNSKEY was published (Ipub not honored) — a diagnosable botched
+  // rollover, not an arbitrary stale DS.
+  const auto cds = rdatas_of<dns::DsRdata>(zone, apex, dns::RRType::kCDS);
+  const auto cdnskey =
+      rdatas_of<dns::DnskeyRdata>(zone, apex, dns::RRType::kCDNSKEY);
+  bool any_match = false;
   for (const dns::DsRdata& ds : options.parent_ds) {
-    for (const dns::DnskeyRdata& key : keys) {
-      if (dnssec::ds_matches_dnskey(apex, ds, key)) return;
+    const bool matched = std::any_of(
+        keys.begin(), keys.end(), [&](const dns::DnskeyRdata& key) {
+          return dnssec::ds_matches_dnskey(apex, ds, key);
+        });
+    if (matched) {
+      any_match = true;
+      continue;
+    }
+    const bool announced =
+        std::any_of(cds.begin(), cds.end(),
+                    [&](const dns::DsRdata& c) {
+                      return !c.is_delete_sentinel() &&
+                             c.key_tag == ds.key_tag &&
+                             c.algorithm == ds.algorithm &&
+                             c.digest_type == ds.digest_type &&
+                             c.digest == ds.digest;
+                    }) ||
+        std::any_of(cdnskey.begin(), cdnskey.end(),
+                    [&](const dns::DnskeyRdata& k) {
+                      return !k.is_delete_sentinel() &&
+                             dnssec::ds_matches_dnskey(apex, ds, k);
+                    });
+    if (announced) {
+      report.add(RuleId::kDsPrematureKey, apex, apex,
+                 "parent DS key tag " + std::to_string(ds.key_tag) +
+                     " is announced via CDS but absent from the DNSKEY RRset");
     }
   }
-  report.add(RuleId::kDsOrphan, apex, apex,
-             "no parent DS matches any apex DNSKEY (orphan DS)");
+  if (!any_match) {
+    report.add(RuleId::kDsOrphan, apex, apex,
+               "no parent DS matches any apex DNSKEY (orphan DS)");
+  }
+}
+
+// L110: RFC 4035 §2.2 expects every DNSKEY algorithm to sign the zone, and
+// RFC 6781 §4.1.4 orders an algorithm rollover "signatures, then keys, then
+// DS". A published algorithm with no valid signature anywhere — or a DS
+// algorithm with no DNSKEY behind it — is a rollover executed out of order.
+void check_algorithm_roll_order(const dns::Zone& zone,
+                                const std::vector<dns::DnskeyRdata>& keys,
+                                const ZoneLintOptions& options,
+                                LintReport& report) {
+  if (keys.empty()) return;
+  const dns::Name& apex = zone.origin();
+  std::set<std::uint8_t> key_algorithms;
+  for (const dns::DnskeyRdata& key : keys) {
+    if (!key.is_delete_sentinel()) key_algorithms.insert(key.algorithm);
+  }
+  std::set<std::uint8_t> signing_algorithms;
+  for (const dns::RRset& rrset : zone.all_rrsets()) {
+    for (const dns::RrsigRdata& sig :
+         signatures_of(zone, rrset.name, rrset.type)) {
+      if (sig.signer_name != apex) continue;
+      if (sig.inception <= options.now && options.now <= sig.expiration) {
+        signing_algorithms.insert(sig.algorithm);
+      }
+    }
+  }
+  // No current signature at all: the zone is unsigned-with-keys or fully
+  // expired — L004's domain, not an ordering question.
+  if (signing_algorithms.empty()) return;
+  for (std::uint8_t algorithm : key_algorithms) {
+    if (signing_algorithms.count(algorithm) == 0) {
+      report.add(RuleId::kAlgorithmRollOrder, apex, apex,
+                 "DNSKEY algorithm " + std::to_string(algorithm) +
+                     " signs no RRset in the zone");
+    }
+  }
+  if (options.have_parent) {
+    for (const dns::DsRdata& ds : options.parent_ds) {
+      if (key_algorithms.count(ds.algorithm) == 0) {
+        report.add(RuleId::kAlgorithmRollOrder, apex, apex,
+                   "parent DS algorithm " + std::to_string(ds.algorithm) +
+                       " has no matching DNSKEY algorithm");
+      }
+    }
+  }
 }
 
 void check_non_apex_child_sync(const dns::Zone& zone, LintReport& report) {
@@ -254,6 +370,7 @@ void lint_zone(const dns::Zone& zone, const ZoneLintOptions& options,
   check_signatures(zone, keys, options, report);
   check_nsec3(zone, options, report);
   check_parent_ds(zone, keys, options, report);
+  check_algorithm_roll_order(zone, keys, options, report);
   check_non_apex_child_sync(zone, report);
 }
 

@@ -1,6 +1,7 @@
 // Single-zone static analysis: checks a Zone's DNSSEC/CDS state without any
-// network traffic (rules L001–L010). The caller supplies the validation time
-// and, when known, the DS set the parent publishes for this zone.
+// network traffic (rules L001–L010 plus the key-lifecycle rules L107–L110).
+// The caller supplies the validation time and, when known, the DS set the
+// parent publishes for this zone.
 #pragma once
 
 #include <cstdint>

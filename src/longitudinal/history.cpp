@@ -95,10 +95,12 @@ HistoryStore::ProbeOutcome HistoryStore::record_probe(
 
   const bool cds_changed = finding.cds_digest != h.cds_digest;
   const bool ds_changed = finding.ds_digest != h.ds_digest;
+  const bool dnskey_changed = finding.dnskey_digest != h.dnskey_digest;
   const ZonePhase to =
       next_phase(h.phase, finding, h.stable_run, stable_probes);
   const bool phase_changed = to != h.phase;
-  const bool changed = phase_changed || cds_changed || ds_changed;
+  const bool changed =
+      phase_changed || cds_changed || ds_changed || dnskey_changed;
 
   ++h.probes;
   h.ewma.update(age_seconds, /*good=*/true, changed);
@@ -110,7 +112,8 @@ HistoryStore::ProbeOutcome HistoryStore::record_probe(
                        to == ZonePhase::kMaintained;
   const bool was_settled = h.phase == ZonePhase::kDsBootstrapped ||
                            h.phase == ZonePhase::kMaintained;
-  if (settled && was_settled && !cds_changed && !ds_changed) {
+  if (settled && was_settled && !cds_changed && !ds_changed &&
+      !dnskey_changed) {
     ++h.stable_run;
   } else if (settled) {
     h.stable_run = 0;
@@ -128,8 +131,11 @@ HistoryStore::ProbeOutcome HistoryStore::record_probe(
     t.to = to;
     t.cds_changed = cds_changed;
     t.ds_changed = ds_changed;
+    t.dnskey_changed = dnskey_changed;
     t.cds_digest = finding.cds_digest;
     t.ds_digest = finding.ds_digest;
+    t.dnskey_digest = finding.dnskey_digest;
+    t.key_state = finding.key_state;
     t.operator_name = finding.operator_name;
 
     if (phase_changed) {
@@ -146,9 +152,11 @@ HistoryStore::ProbeOutcome HistoryStore::record_probe(
     ++h.transitions;
     h.cds_digest = intern(finding.cds_digest);
     h.ds_digest = intern(finding.ds_digest);
+    h.dnskey_digest = intern(finding.dnskey_digest);
     outcome.transition = std::move(t);
     outcome.changed = true;
   }
+  h.key_state = finding.key_state;
   if (!finding.operator_name.empty() &&
       h.operator_name != finding.operator_name) {
     h.operator_name = intern(finding.operator_name);
@@ -183,6 +191,10 @@ std::string HistoryStore::serialize() const {
     out += '\t';
     out += dash_if_empty(h.ds_digest);
     out += '\t';
+    out += dash_if_empty(h.dnskey_digest);
+    out += '\t';
+    out += analysis::to_string(h.key_state);
+    out += '\t';
     out += dash_if_empty(h.operator_name);
     for (int i = 0; i < kEwmaWindows; ++i) {
       const EwmaWindow& w = h.ewma.windows[i];
@@ -211,10 +223,10 @@ Status HistoryStore::restore(const std::string& body) {
     line_start = line_end + 1;
     ++line_no;
     std::vector<std::string_view> f = split_tabs(line);
-    if (f.size() != 16 + 3 * kEwmaWindows) {
+    if (f.size() != 18 + 3 * kEwmaWindows) {
       return Error{"history.fields",
                    "line " + std::to_string(line_no) + ": expected " +
-                       std::to_string(16 + 3 * kEwmaWindows) + " fields, got " +
+                       std::to_string(18 + 3 * kEwmaWindows) + " fields, got " +
                        std::to_string(f.size())};
     }
     auto name = dns::Name::from_text(std::string(f[0]));
@@ -237,12 +249,19 @@ Status HistoryStore::restore(const std::string& body) {
               parse_u64(f[12], &h.bootstrapped_at);
     h.cds_digest = intern(empty_if_dash(f[13]));
     h.ds_digest = intern(empty_if_dash(f[14]));
-    h.operator_name = intern(empty_if_dash(f[15]));
+    h.dnskey_digest = intern(empty_if_dash(f[15]));
+    std::optional<analysis::KeyLifecycleState> key_state =
+        key_state_from_string(std::string(f[16]));
+    if (!key_state.has_value()) {
+      return Error{"history.key_state", std::string(f[16])};
+    }
+    h.key_state = *key_state;
+    h.operator_name = intern(empty_if_dash(f[17]));
     for (int i = 0; ok && i < kEwmaWindows; ++i) {
       EwmaWindow& w = h.ewma.windows[i];
-      ok = parse_double(f[16 + 3 * i], &w.reliability) &&
-           parse_double(f[17 + 3 * i], &w.volatility) &&
-           parse_double(f[18 + 3 * i], &w.weight);
+      ok = parse_double(f[18 + 3 * i], &w.reliability) &&
+           parse_double(f[19 + 3 * i], &w.volatility) &&
+           parse_double(f[20 + 3 * i], &w.weight);
     }
     if (!ok) {
       return Error{"history.parse", "line " + std::to_string(line_no)};

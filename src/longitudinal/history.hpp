@@ -41,8 +41,14 @@ struct Transition {
   ZonePhase to = ZonePhase::kUnknown;
   bool cds_changed = false;
   bool ds_changed = false;
+  bool dnskey_changed = false;
   std::string cds_digest;  // post-transition values ("" = no such RRset)
   std::string ds_digest;
+  std::string dnskey_digest;
+  // Key-lifecycle state at the transition (RFC 7583 provenance): a clean
+  // ZSK roll journals as maintained->maintained with dnskey_changed and
+  // key_state mid-rollover; a botched one pivots the phase itself.
+  analysis::KeyLifecycleState key_state = analysis::KeyLifecycleState::kStable;
   std::string operator_name;
 
   // "insecure->cds_published" — the label used for metrics and the
@@ -69,7 +75,9 @@ struct ZoneHistory {
   // Arena-interned current digests/operator ("" = absent).
   std::string_view cds_digest;
   std::string_view ds_digest;
+  std::string_view dnskey_digest;
   std::string_view operator_name;
+  analysis::KeyLifecycleState key_state = analysis::KeyLifecycleState::kStable;
   ZoneEwma ewma;
 };
 

@@ -12,8 +12,11 @@ namespace dnsboot::longitudinal {
 
 namespace {
 
-constexpr std::string_view kJournalMagic = "dnsboot-journal v1";
-constexpr std::string_view kSnapshotMagic = "dnsboot-snapshot v1";
+// v2: transition records carry dnskey digest + key_state (12 fields), and
+// snapshot history lines grew the matching columns. v1 files fail the header
+// check instead of being silently mis-decoded as torn tails.
+constexpr std::string_view kJournalMagic = "dnsboot-journal v2";
+constexpr std::string_view kSnapshotMagic = "dnsboot-snapshot v2";
 
 std::string crc_of(std::string_view data) {
   char buf[17];
@@ -165,6 +168,10 @@ std::string Journal::encode(const Transition& t) {
   line += '\t';
   encode_digest(&line, t.ds_changed, t.ds_digest);
   line += '\t';
+  encode_digest(&line, t.dnskey_changed, t.dnskey_digest);
+  line += '\t';
+  line += analysis::to_string(t.key_state);
+  line += '\t';
   line += t.operator_name.empty() ? "-" : t.operator_name;
   line += '\t';
   line += crc_of(line);
@@ -173,12 +180,12 @@ std::string Journal::encode(const Transition& t) {
 
 Result<Transition> Journal::decode(std::string_view line) {
   std::vector<std::string_view> f = split_tabs(line);
-  if (f.size() != 10 || f[0] != "T") {
+  if (f.size() != 12 || f[0] != "T") {
     return Error{"journal.record", "malformed record"};
   }
   // The crc covers everything up to and including the tab before it.
-  std::size_t payload = line.size() - f[9].size();
-  if (crc_of(line.substr(0, payload)) != f[9]) {
+  std::size_t payload = line.size() - f[11].size();
+  if (crc_of(line.substr(0, payload)) != f[11]) {
     return Error{"journal.crc", "checksum mismatch"};
   }
   Transition t;
@@ -196,10 +203,17 @@ Result<Transition> Journal::decode(std::string_view line) {
   t.from = *from;
   t.to = *to;
   if (!decode_digest(f[6], &t.cds_changed, &t.cds_digest) ||
-      !decode_digest(f[7], &t.ds_changed, &t.ds_digest)) {
+      !decode_digest(f[7], &t.ds_changed, &t.ds_digest) ||
+      !decode_digest(f[8], &t.dnskey_changed, &t.dnskey_digest)) {
     return Error{"journal.record", "bad digest field"};
   }
-  t.operator_name = f[8] == "-" ? std::string() : std::string(f[8]);
+  std::optional<analysis::KeyLifecycleState> key_state =
+      key_state_from_string(std::string(f[9]));
+  if (!key_state.has_value()) {
+    return Error{"journal.record", "bad key_state"};
+  }
+  t.key_state = *key_state;
+  t.operator_name = f[10] == "-" ? std::string() : std::string(f[10]);
   return t;
 }
 

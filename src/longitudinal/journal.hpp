@@ -3,7 +3,7 @@
 //
 // Journal format (text, one record per line, tab-separated):
 //
-//   dnsboot-journal v1\t<world_tag>
+//   dnsboot-journal v2\t<world_tag>
 //   T\t<seq>\t<at>\t<zone>\t<from>\t<to>\t<cds>\t<ds>\t<op>\t<crc>
 //
 // <world_tag> fingerprints the world the journal belongs to (seed, scale,

@@ -1,5 +1,7 @@
 #include "longitudinal/lifecycle.hpp"
 
+#include <algorithm>
+
 #include "dnssec/signer.hpp"
 
 namespace dnsboot::longitudinal {
@@ -84,13 +86,31 @@ LifecycleDriver::LifecycleDriver(net::SimNetwork& network,
                          LifecycleEvent::Kind::kRemoveDs, zone});
     }
   }
+
+  fire_order_.resize(events_.size());
+  for (std::size_t i = 0; i < fire_order_.size(); ++i) fire_order_[i] = i;
+  std::stable_sort(fire_order_.begin(), fire_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events_[a].at < events_[b].at;
+                   });
 }
 
-void LifecycleDriver::arm() {
-  const net::SimTime now = network_.now();
-  for (const LifecycleEvent& event : events_) {
-    const net::SimTime delay = event.at > now ? event.at - now : 1;
-    network_.schedule(delay, [this, event]() { apply(event); });
+std::vector<net::SimTime> LifecycleDriver::step_times() const {
+  std::vector<net::SimTime> times;
+  times.reserve(fire_order_.size());
+  for (std::size_t index : fire_order_) {
+    if (times.empty() || times.back() != events_[index].at) {
+      times.push_back(events_[index].at);
+    }
+  }
+  return times;
+}
+
+void LifecycleDriver::advance(net::SimTime now) {
+  while (next_fire_ < fire_order_.size() &&
+         events_[fire_order_[next_fire_]].at <= now) {
+    apply(events_[fire_order_[next_fire_]]);
+    ++next_fire_;
   }
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ecosystem/builder.hpp"
+#include "longitudinal/world_motion.hpp"
 #include "registry/cds_processor.hpp"
 
 namespace dnsboot::longitudinal {
@@ -56,7 +57,7 @@ struct LifecycleEvent {
 
 std::string to_string(LifecycleEvent::Kind kind);
 
-class LifecycleDriver {
+class LifecycleDriver : public WorldMotion {
  public:
   LifecycleDriver(net::SimNetwork& network, resolver::QueryEngine& engine,
                   resolver::DelegationResolver& resolver,
@@ -65,11 +66,15 @@ class LifecycleDriver {
   // The full scripted schedule, in deterministic construction order.
   const std::vector<LifecycleEvent>& events() const { return events_; }
 
-  // Schedule every event onto the network (call once, before run()).
-  void arm();
+  // WorldMotion: the monitor arms and drives the schedule through this
+  // interface (arm_world_motion replaces the old arm()).
+  std::string_view motion_name() const override { return "legacy"; }
+  std::size_t planned_steps() const override { return events_.size(); }
+  std::vector<net::SimTime> step_times() const override;
+  void advance(net::SimTime now) override;
 
-  std::uint64_t applied() const { return applied_; }
-  std::uint64_t failed() const { return failed_; }
+  std::uint64_t applied() const override { return applied_; }
+  std::uint64_t failed() const override { return failed_; }
 
  private:
   void apply(const LifecycleEvent& event);
@@ -87,6 +92,11 @@ class LifecycleDriver {
   dnssec::SigningPolicy policy_;
 
   std::vector<LifecycleEvent> events_;
+  // events_ indices stable-sorted by fire time: the order advance() applies
+  // them in (ties keep construction order, matching the old per-event
+  // scheduling).
+  std::vector<std::size_t> fire_order_;
+  std::size_t next_fire_ = 0;
   // canonical zone text -> owning server (first server wins; built once).
   std::map<std::string, std::shared_ptr<server::AuthServer>> zone_server_;
   // canonical zone text -> current key generation / keys.

@@ -17,10 +17,11 @@ std::string format_tag_u64(std::uint64_t v) {
 }  // namespace
 
 Monitor::Monitor(net::Transport& network, ecosystem::Ecosystem& eco,
-                 MonitorOptions options)
+                 MonitorOptions options, WorldMotion* motion)
     : network_(network),
       eco_(eco),
       options_(std::move(options)),
+      motion_(motion),
       rng_(options_.seed),
       engine_(network, net::IpAddress::v4({192, 0, 2, 251}), {}),
       resolver_(engine_, eco_.hints),
@@ -41,6 +42,12 @@ Monitor::Monitor(net::Transport& network, ecosystem::Ecosystem& eco,
                " pop=" + pop_hex +
                " horizon=" + format_tag_u64(options_.horizon) +
                " stable=" + format_tag_u64(options_.stable_probes);
+  if (motion_ != nullptr) {
+    // The motion determines the transition stream, so it is part of the
+    // world identity: a journal recorded under one motion must refuse to
+    // replay under another.
+    world_tag_ += " motion=" + std::string(motion_->motion_name());
+  }
 
   metrics_.set_help("dnsboot_monitor_probes_total",
                     "zone probes folded into the history store");
@@ -85,6 +92,8 @@ Status Monitor::start() {
     if (!journal.ok()) return journal.error();
     journal_.emplace(std::move(journal).take());
   }
+
+  if (motion_ != nullptr) arm_world_motion(network_, *motion_);
 
   for (const auto& zone : eco_.scan_targets) {
     schedule_zone(zone,

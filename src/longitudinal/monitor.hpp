@@ -35,6 +35,7 @@
 #include "longitudinal/journal.hpp"
 #include "longitudinal/report.hpp"
 #include "longitudinal/scheduler.hpp"
+#include "longitudinal/world_motion.hpp"
 #include "scanner/scanner.hpp"
 
 namespace dnsboot::longitudinal {
@@ -61,11 +62,15 @@ struct MonitorOptions {
 
 class Monitor {
  public:
+  // `motion` is the generator of world mutations the monitor observes
+  // (LifecycleDriver, kasp::PolicyClock, ...). The monitor arms it in
+  // start() and mixes its name into the world tag; nullptr = a static world.
+  // The motion must outlive the monitor.
   Monitor(net::Transport& network, ecosystem::Ecosystem& eco,
-          MonitorOptions options);
+          MonitorOptions options, WorldMotion* motion = nullptr);
 
-  // Recover + open the journal, seed the initial probe schedule, arm the
-  // snapshot timer. Call once, then run().
+  // Recover + open the journal, arm the world motion, seed the initial probe
+  // schedule, arm the snapshot timer. Call once, then run().
   Status start();
 
   // Drive the network until every scheduled probe before the horizon has
@@ -110,6 +115,7 @@ class Monitor {
   net::Transport& network_;
   ecosystem::Ecosystem& eco_;
   MonitorOptions options_;
+  WorldMotion* motion_;
   Rng rng_;
   std::string world_tag_;
 

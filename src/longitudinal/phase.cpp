@@ -58,6 +58,38 @@ std::string ds_set_digest(const std::vector<dns::DsRdata>& set) {
   return std::string(out, 16);
 }
 
+std::string dnskey_set_digest(const std::vector<dns::DnskeyRdata>& set) {
+  if (set.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(set.size());
+  for (const dns::DnskeyRdata& key : set) {
+    parts.push_back(std::to_string(key.flags) + "/" +
+                    std::to_string(key.protocol) + "/" +
+                    std::to_string(key.algorithm) + "/" +
+                    hex_encode(key.public_key));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string joined;
+  for (const std::string& part : parts) {
+    joined += part;
+    joined += ';';
+  }
+  char out[17];
+  std::snprintf(out, sizeof out, "%016llx",
+                static_cast<unsigned long long>(fnv1a(joined)));
+  return std::string(out, 16);
+}
+
+std::optional<analysis::KeyLifecycleState> key_state_from_string(
+    const std::string& text) {
+  for (auto state : {analysis::KeyLifecycleState::kStable,
+                     analysis::KeyLifecycleState::kMidRollover,
+                     analysis::KeyLifecycleState::kBrokenRollover}) {
+    if (analysis::to_string(state) == text) return state;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 // Extract the DS rdatas from a (possibly mixed) signed RRset.
@@ -84,6 +116,24 @@ ProbeFinding reduce_report(const analysis::ZoneReport& report,
   finding.cds_present = report.cds.present;
   finding.cds_delete = report.cds.delete_request;
   finding.cds_digest = ds_set_digest(report.cds.cds);
+  // Representative DNSKEY answer, preferring a signed one (same rule the
+  // analysis uses: a rogue unsigned answer must not shadow the real set).
+  {
+    const scanner::RRsetProbe* best = nullptr;
+    for (const auto* probe : observation.probes_of(dns::RRType::kDNSKEY)) {
+      if (probe->outcome != scanner::RRsetProbe::Outcome::kAnswer) continue;
+      if (!probe->rrset.signatures.empty()) {
+        best = probe;
+        break;
+      }
+      if (best == nullptr) best = probe;
+    }
+    if (best != nullptr) {
+      finding.dnskey_digest =
+          dnskey_set_digest(analysis::dnskeys_of(best->rrset.rrset));
+    }
+  }
+  finding.key_state = report.key_state;
   finding.operator_name = report.operator_name;
   return finding;
 }

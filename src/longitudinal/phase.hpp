@@ -49,6 +49,11 @@ struct ProbeFinding {
   bool cds_delete = false;
   std::string cds_digest;  // digest of the in-zone CDS set ("" when absent)
   std::string ds_digest;   // digest of the parent DS set ("" when absent)
+  // Digest of the apex DNSKEY set ("" when absent): a clean pre-publication
+  // ZSK roll changes no DS and no phase, but it does change this — the only
+  // signal the journal gets that a rollover happened at all.
+  std::string dnskey_digest;
+  analysis::KeyLifecycleState key_state = analysis::KeyLifecycleState::kStable;
   std::string operator_name;
 };
 
@@ -66,5 +71,12 @@ ZonePhase next_phase(ZonePhase previous, const ProbeFinding& finding,
 // Order-independent digest of a DS/CDS rdata set (FNV-1a over the sorted
 // presentation forms, 16 hex chars). Change detection, not cryptography.
 std::string ds_set_digest(const std::vector<dns::DsRdata>& set);
+
+// Same idea over a DNSKEY set (flags/protocol/algorithm/key bytes).
+std::string dnskey_set_digest(const std::vector<dns::DnskeyRdata>& set);
+
+// Round-trip helper for the journal's key_state field.
+std::optional<analysis::KeyLifecycleState> key_state_from_string(
+    const std::string& text);
 
 }  // namespace dnsboot::longitudinal

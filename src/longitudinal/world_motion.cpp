@@ -1,0 +1,14 @@
+#include "longitudinal/world_motion.hpp"
+
+namespace dnsboot::longitudinal {
+
+void arm_world_motion(net::Transport& network, WorldMotion& motion) {
+  const net::SimTime now = network.now();
+  for (net::SimTime at : motion.step_times()) {
+    const net::SimTime delay = at > now ? at - now : 1;
+    network.schedule(delay,
+                     [&motion, &network]() { motion.advance(network.now()); });
+  }
+}
+
+}  // namespace dnsboot::longitudinal

@@ -117,7 +117,7 @@ std::vector<std::string> codes_of(const LintReport& report) {
 
 TEST(RuleRegistry, CodesAreUniqueAndOrdered) {
   const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 17u);
+  ASSERT_EQ(rules.size(), 21u);
   std::set<std::string_view> codes;
   std::set<std::string_view> names;
   for (const RuleInfo& rule : rules) {

@@ -598,7 +598,6 @@ MonitorRunResult run_monitor(const std::string& state_dir) {
   options.stable_probes = 2;
   options.state_dir = state_dir;
   options.snapshot_every = net::SimTime{86400} * net::kSecond;
-  Monitor monitor(network, eco, options);
 
   resolver::QueryEngine registry_engine(
       network, net::IpAddress::v4({192, 0, 2, 252}), {});
@@ -613,7 +612,7 @@ MonitorRunResult run_monitor(const std::string& state_dir) {
   LifecycleDriver lifecycle(network, registry_engine, registry_resolver, eco,
                             lifecycle_options);
   EXPECT_GT(lifecycle.events().size(), 10u);
-  lifecycle.arm();
+  Monitor monitor(network, eco, options, &lifecycle);
 
   Status started = monitor.start();
   EXPECT_TRUE(started.ok()) << (started.ok() ? ""

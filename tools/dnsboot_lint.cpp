@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -199,6 +200,46 @@ int self_check(const CliOptions& options) {
       }
     }
     pass = pass && check.all_caught();
+  }
+
+  // Rollover half: a world of key-lifecycle snapshots. Every botched
+  // scenario class must be caught by its L107–L110 rule, while the
+  // mid-rollover zones (correct RFC 7583 operator behavior in flight) must
+  // produce no findings at all.
+  {
+    net::SimNetwork network(options.seed ^ 0x5011);
+    auto eco =
+        build_world(lint::rollover_world_config(options.seed), network);
+    auto view = lint::collect_view(eco.servers, eco.now);
+    auto report = lint::lint_ecosystem(view);
+    auto check = lint::cross_check(eco, report);
+    std::printf("self-check: rollover world, %zu zones, %zu findings\n",
+                eco.truth.size(), report.size());
+    for (const lint::CrossCheckClass& cls : check.classes) {
+      if (cls.name.rfind("roll-", 0) != 0) continue;
+      std::printf("  %-28s injected %3zu  caught %3zu  %s\n", cls.name.c_str(),
+                  cls.injected.size(), cls.caught(),
+                  cls.missed.empty() ? "ok" : "MISSED");
+      for (const std::string& zone : cls.missed) {
+        std::printf("    missed: %s\n", zone.c_str());
+      }
+    }
+    pass = pass && check.all_caught();
+    std::set<std::string> mid_zones;
+    for (const auto& [zone, truth] : eco.truth) {
+      if (truth.rollover == kasp::RolloverScenario::kMidZskPrepublish ||
+          truth.rollover == kasp::RolloverScenario::kMidKskDoubleDs) {
+        mid_zones.insert(zone);
+      }
+    }
+    for (const lint::Finding& finding : report.findings()) {
+      if (mid_zones.count(finding.zone.canonical_text()) == 0) continue;
+      std::printf("  mid-rollover zone flagged: %s %s (%s)\n",
+                  std::string(lint::rule_info(finding.rule).code).c_str(),
+                  finding.zone.canonical_text().c_str(),
+                  finding.detail.c_str());
+      pass = false;
+    }
   }
 
   // Negative half: a misconfiguration-free world must lint clean.

@@ -24,6 +24,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -31,6 +32,7 @@
 #include "dns/name_pool.hpp"
 #include "ecosystem/chaos.hpp"
 #include "ecosystem/plan.hpp"
+#include "kasp/clock.hpp"
 #include "longitudinal/lifecycle.hpp"
 #include "longitudinal/monitor.hpp"
 #include "net/simnet.hpp"
@@ -54,6 +56,7 @@ struct CliOptions {
   std::uint32_t stable_probes = 3;
   std::string state_dir;
   std::string csv_path;
+  std::string motion = "legacy";
   bool no_lifecycle = false;
   std::uint32_t metrics_port = 0;
   cli::OutputOptions output;
@@ -92,8 +95,11 @@ cli::FlagParser make_parser(CliOptions* options) {
                "journal + snapshot directory (enables crash-safe persistence)");
   parser.value("--csv", &options->csv_path, "FILE",
                "write the adoption curve as CSV");
+  parser.choice("--motion", &options->motion, {"legacy", "kasp"},
+                "world-motion engine: the legacy lifecycle draws or the "
+                "RFC 7583 KASP key-lifecycle policy clock");
   parser.flag("--no-lifecycle", &options->no_lifecycle,
-              "skip the scripted bootstrap lifecycle (static world)");
+              "skip the scripted world motion entirely (static world)");
   parser.value("--metrics-port", &options->metrics_port,
                "serve Prometheus GET /metrics on 127.0.0.1:N (0 = off)");
   cli::OutputFlagSet output_flags;
@@ -130,6 +136,30 @@ int main(int argc, char** argv) {
     ecosystem::apply_chaos(network, eco, chaos_options);
   }
 
+  // The registry-side world motion uses its own resolver vantage — the same
+  // split as reality, where registry CDS scanners and measurement scanners
+  // are different hosts.
+  resolver::QueryEngine registry_engine(
+      network, net::IpAddress::v4({192, 0, 2, 252}), {});
+  resolver::DelegationResolver registry_resolver(registry_engine, eco.hints);
+  std::unique_ptr<longitudinal::WorldMotion> motion;
+  if (!options.no_lifecycle) {
+    if (options.motion == "kasp") {
+      kasp::KaspOptions kasp_options;
+      kasp_options.seed = options.seed;
+      kasp_options.horizon = options.sim_days_usec;
+      motion = std::make_unique<kasp::PolicyClock>(
+          network, registry_engine, registry_resolver, eco, kasp_options);
+    } else {
+      longitudinal::LifecycleOptions lifecycle_options;
+      lifecycle_options.seed = options.seed;
+      lifecycle_options.horizon = options.sim_days_usec;
+      motion = std::make_unique<longitudinal::LifecycleDriver>(
+          network, registry_engine, registry_resolver, eco,
+          lifecycle_options);
+    }
+  }
+
   longitudinal::MonitorOptions monitor_options;
   monitor_options.seed = options.seed;
   monitor_options.horizon = options.sim_days_usec;
@@ -137,21 +167,7 @@ int main(int argc, char** argv) {
   monitor_options.snapshot_every = options.snapshot_every_usec;
   monitor_options.stable_probes = options.stable_probes;
   monitor_options.state_dir = options.state_dir;
-  longitudinal::Monitor monitor(network, eco, monitor_options);
-
-  // The registry-side lifecycle uses its own resolver vantage — the same
-  // split as reality, where registry CDS scanners and measurement scanners
-  // are different hosts.
-  resolver::QueryEngine registry_engine(
-      network, net::IpAddress::v4({192, 0, 2, 252}), {});
-  resolver::DelegationResolver registry_resolver(registry_engine, eco.hints);
-  longitudinal::LifecycleOptions lifecycle_options;
-  lifecycle_options.seed = options.seed;
-  lifecycle_options.horizon = options.sim_days_usec;
-  longitudinal::LifecycleDriver lifecycle(network, registry_engine,
-                                          registry_resolver, eco,
-                                          lifecycle_options);
-  if (!options.no_lifecycle) lifecycle.arm();
+  longitudinal::Monitor monitor(network, eco, monitor_options, motion.get());
 
   Status started = monitor.start();
   if (!started.ok()) {
@@ -185,9 +201,10 @@ int main(int argc, char** argv) {
 
   if (!options.output.quiet) {
     std::printf(
-        "dnsboot-monitor: %zu zones, %zu lifecycle events, %.1f sim days"
+        "dnsboot-monitor: %zu zones, %zu %s steps, %.1f sim days"
         "%s%s\n",
-        eco.scan_targets.size(), lifecycle.events().size(),
+        eco.scan_targets.size(), motion ? motion->planned_steps() : 0,
+        motion ? std::string(motion->motion_name()).c_str() : "motion",
         static_cast<double>(options.sim_days_usec) /
             static_cast<double>(cli::kUsecPerDay),
         options.chaos != "off" ? (", chaos " + options.chaos).c_str() : "",
